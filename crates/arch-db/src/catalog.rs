@@ -1,0 +1,143 @@
+//! Table II: the architectures used in the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad class of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineClass {
+    /// Field-programmable gate array boards.
+    Fpga,
+    /// General-purpose server or desktop CPUs.
+    Cpu,
+    /// Discrete GPUs.
+    Gpu,
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Marketing name.
+    pub name: String,
+    /// Machine class.
+    pub class: MachineClass,
+    /// Process node in nanometres.
+    pub tech_nm: u32,
+    /// Peak double-precision performance in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Thermal design power in watts.
+    pub tdp_watts: f64,
+    /// Core/boost clock in MHz.
+    pub frequency_mhz: f64,
+    /// Release year.
+    pub release_year: u32,
+}
+
+impl Architecture {
+    /// Byte-per-FLOP ratio (the derived column of Table II).
+    #[must_use]
+    pub fn byte_per_flop(&self) -> f64 {
+        self.bandwidth_gbs / self.peak_gflops
+    }
+}
+
+fn arch(
+    name: &str,
+    class: MachineClass,
+    tech_nm: u32,
+    peak_gflops: f64,
+    bandwidth_gbs: f64,
+    tdp_watts: f64,
+    frequency_mhz: f64,
+    release_year: u32,
+) -> Architecture {
+    Architecture {
+        name: name.to_string(),
+        class,
+        tech_nm,
+        peak_gflops,
+        bandwidth_gbs,
+        tdp_watts,
+        frequency_mhz,
+        release_year,
+    }
+}
+
+/// The nine architectures of Table II, in the paper's order.
+///
+/// The FPGA's "peak" is the paper's optimistic model bound at 400 MHz; the
+/// GPU/CPU peaks are vendor double-precision figures.
+#[must_use]
+pub fn table2() -> Vec<Architecture> {
+    vec![
+        arch("Stratix 10 GX2800 (520N)", MachineClass::Fpga, 14, 500.0, 76.8, 225.0, 400.0, 2016),
+        arch("Intel Xeon Gold 6130", MachineClass::Cpu, 14, 1_075.0, 128.0, 125.0, 2_100.0, 2017),
+        arch("Intel i9-10920X", MachineClass::Cpu, 14, 921.0, 76.8, 165.0, 3_500.0, 2019),
+        arch("Marvell ThunderX2", MachineClass::Cpu, 16, 512.0, 170.0, 180.0, 2_000.0, 2018),
+        arch("NVIDIA Tesla K80", MachineClass::Gpu, 28, 1_371.0, 240.0, 300.0, 562.0, 2014),
+        arch("NVIDIA Tesla P100 SXM2", MachineClass::Gpu, 16, 5_304.0, 732.2, 300.0, 1_328.0, 2016),
+        arch("NVIDIA RTX 2060 Super", MachineClass::Gpu, 12, 224.4, 448.0, 175.0, 1_470.0, 2019),
+        arch("NVIDIA Tesla V100 PCIe", MachineClass::Gpu, 12, 7_066.0, 897.0, 250.0, 1_245.0, 2017),
+        arch("NVIDIA A100 PCIe", MachineClass::Gpu, 7, 9_746.0, 1_555.0, 250.0, 765.0, 2020),
+    ]
+}
+
+/// Look up an architecture by (case-insensitive) substring of its name.
+#[must_use]
+pub fn find(name_fragment: &str) -> Option<Architecture> {
+    let needle = name_fragment.to_lowercase();
+    table2()
+        .into_iter()
+        .find(|a| a.name.to_lowercase().contains(&needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_nine_rows_in_three_classes() {
+        let t = table2();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.iter().filter(|a| a.class == MachineClass::Cpu).count(), 3);
+        assert_eq!(t.iter().filter(|a| a.class == MachineClass::Gpu).count(), 5);
+        assert_eq!(t.iter().filter(|a| a.class == MachineClass::Fpga).count(), 1);
+    }
+
+    #[test]
+    fn derived_byte_per_flop_matches_table2() {
+        // Spot-check the derived column against the paper: FPGA 0.154,
+        // i9 0.083, ThunderX2 0.33, A100 0.16.
+        let checks = [
+            ("Stratix", 0.154),
+            ("i9", 0.083),
+            ("ThunderX2", 0.33),
+            ("A100", 0.16),
+        ];
+        for (name, expected) in checks {
+            let a = find(name).unwrap();
+            assert!(
+                (a.byte_per_flop() - expected).abs() < 0.01,
+                "{name}: {}",
+                a.byte_per_flop()
+            );
+        }
+    }
+
+    #[test]
+    fn the_a100_has_the_highest_bandwidth_and_the_fpga_the_lowest() {
+        let t = table2();
+        let max = t.iter().max_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs)).unwrap();
+        let min = t.iter().min_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs)).unwrap();
+        assert!(max.name.contains("A100"));
+        assert!(min.class == MachineClass::Fpga || min.name.contains("i9"));
+        assert!((min.bandwidth_gbs - 76.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(find("thunderx2").is_some());
+        assert!(find("does-not-exist").is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion benchmark of the basis-level building blocks: GLL point
+//! generation, derivative-matrix construction and geometric-factor setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem_basis::{gauss_lobatto_legendre, DerivativeMatrix};
+use sem_mesh::{BoxMesh, GeometricFactors};
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup");
+    for &degree in &[7_usize, 11, 15] {
+        group.bench_with_input(BenchmarkId::new("gll_points", degree), &degree, |b, &n| {
+            b.iter(|| gauss_lobatto_legendre(std::hint::black_box(n + 1)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("derivative_matrix", degree),
+            &degree,
+            |b, &n| b.iter(|| DerivativeMatrix::new(std::hint::black_box(n))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("geometric_factors_8_elements", degree),
+            &degree,
+            |b, &n| {
+                let mesh = BoxMesh::unit_cube(n, 2);
+                b.iter(|| GeometricFactors::from_mesh(std::hint::black_box(&mesh)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup);
+criterion_main!(benches);

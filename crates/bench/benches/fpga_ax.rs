@@ -1,0 +1,30 @@
+//! Criterion benchmark of the FPGA-accelerator simulator itself: how long the
+//! functional simulation of one kernel invocation takes on the host, per
+//! degree (the *simulated* FPGA timings are reported by the `table1`/`fig1`
+//! binaries; this bench tracks the cost of running the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_sim::{FpgaAccelerator, FpgaDevice};
+use sem_mesh::{BoxMesh, GeometricFactors};
+
+fn bench_fpga_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpga_sim_execute");
+    group.sample_size(10);
+    let device = FpgaDevice::stratix10_gx2800();
+    for &degree in &[3_usize, 7, 11] {
+        let mesh = BoxMesh::unit_cube(degree, 2);
+        let geo = GeometricFactors::from_mesh(&mesh);
+        let u = mesh.evaluate(|x, y, z| x * y + z);
+        let acc = FpgaAccelerator::for_degree(degree, &device);
+        group.bench_with_input(BenchmarkId::new("execute", degree), &degree, |b, _| {
+            b.iter(|| acc.execute(std::hint::black_box(&u), &geo))
+        });
+        group.bench_with_input(BenchmarkId::new("estimate_4096", degree), &degree, |b, _| {
+            b.iter(|| acc.estimate(std::hint::black_box(4096)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fpga_sim);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark of the gather–scatter (direct stiffness summation)
+//! phase, one of the surrounding phases the paper lists as a further
+//! acceleration candidate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem_mesh::{BoxMesh, GatherScatter};
+
+fn bench_dssum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(20);
+    for &(degree, elems) in &[(7_usize, 4_usize), (11, 3), (15, 2)] {
+        let mesh = BoxMesh::unit_cube(degree, elems);
+        let gs = GatherScatter::from_mesh(&mesh);
+        let field = mesh.evaluate(|x, y, z| x + y * z);
+        group.bench_with_input(
+            BenchmarkId::new("dssum", format!("N{degree}_E{}", mesh.num_elements())),
+            &degree,
+            |b, _| {
+                b.iter(|| {
+                    let mut f = field.clone();
+                    gs.direct_stiffness_sum(&mut f);
+                    f
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dssum);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark of the Nekbone-style CG proxy (fixed iteration count),
+//! the end-to-end workload the paper's kernel lives inside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem_kernel::AxImplementation;
+use sem_solver::ProxyConfig;
+
+fn bench_proxy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nekbone_proxy");
+    group.sample_size(10);
+    for &(degree, elems) in &[(3_usize, 4_usize), (7, 2), (9, 2)] {
+        let config = ProxyConfig {
+            degree,
+            elements: [elems, elems, elems],
+            cg_iterations: 20,
+            implementation: AxImplementation::Parallel,
+            use_jacobi: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("cg20", format!("N{degree}_E{}", elems * elems * elems)),
+            &config,
+            |b, cfg| b.iter(|| cfg.run()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proxy);
+criterion_main!(benches);

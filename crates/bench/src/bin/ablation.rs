@@ -1,0 +1,39 @@
+//! Regenerates the Section III optimisation ladder: baseline → BRAM caching +
+//! unrolling + split geometric factors → II=1 → banked external memory.
+//!
+//! Run with `cargo run -p bench --bin ablation --release [degree]`.
+
+use bench::table::fmt;
+use bench::TableWriter;
+
+fn main() {
+    let degree: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let ladder = bench::ladder_gflops(degree, 4096);
+    let paper_ladder: &[(&str, Option<f64>)] = &[
+        ("baseline", Some(0.025)),
+        ("+BRAM/unroll/split-gxyz", Some(10.0)),
+        ("+II=1", Some(60.0)),
+        ("+banked memory", Some(109.0)),
+    ];
+
+    let mut table = TableWriter::new(vec!["Stage", "GFLOP/s (sim)", "GFLOP/s (paper, N=7)", "Speedup vs baseline"]);
+    let baseline = ladder[0].1;
+    for (i, (label, gflops)) in ladder.iter().enumerate() {
+        let paper = if degree == 7 {
+            paper_ladder[i].1.map_or("-".to_string(), |v| fmt(v, 3))
+        } else {
+            "-".to_string()
+        };
+        table.row(vec![
+            (*label).to_string(),
+            fmt(*gflops, 3),
+            paper,
+            format!("{:.0}x", gflops / baseline),
+        ]);
+    }
+    println!("Section III optimisation ladder, N = {degree}, 4096 elements\n");
+    table.print();
+}

@@ -1,0 +1,52 @@
+//! Regenerates Fig. 1: observed performance (GFLOP/s) as a function of the
+//! problem size (#elements) and the polynomial degree, for the simulated
+//! FPGA accelerator and every CPU/GPU baseline.
+//!
+//! Run with `cargo run -p bench --bin fig1 --release`.
+//! Pass a degree as the first argument to print a single panel.
+
+use bench::experiments::{FIG1_ELEMENT_COUNTS, TABLE1_DEGREES};
+use bench::table::fmt;
+use bench::TableWriter;
+
+fn print_panel(degree: usize) {
+    let series = bench::fig1_series(degree);
+    let machines: Vec<String> = {
+        let mut names = Vec::new();
+        for p in &series {
+            if !names.contains(&p.machine) {
+                names.push(p.machine.clone());
+            }
+        }
+        names
+    };
+
+    let mut headers = vec!["#elements".to_string()];
+    headers.extend(machines.iter().cloned());
+    let mut table = TableWriter::new(headers);
+    for &elements in &FIG1_ELEMENT_COUNTS {
+        let mut row = vec![elements.to_string()];
+        for machine in &machines {
+            let point = series
+                .iter()
+                .find(|p| p.num_elements == elements && &p.machine == machine)
+                .expect("series covers every (machine, size) pair");
+            row.push(fmt(point.gflops, 1));
+        }
+        table.row(row);
+    }
+    println!("\nFig. 1 panel — N = {degree} (GFLOP/s vs #elements)\n");
+    table.print();
+}
+
+fn main() {
+    let arg: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    match arg {
+        Some(degree) => print_panel(degree),
+        None => {
+            for &degree in &TABLE1_DEGREES {
+                print_panel(degree);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 2: the peak-performance comparison at 4096 elements —
+//! the simulated FPGA, every CPU/GPU baseline, power efficiency, rooflines,
+//! and the three projected future FPGAs.
+//!
+//! Run with `cargo run -p bench --bin fig2 --release`.
+
+use bench::table::fmt;
+use bench::TableWriter;
+
+fn main() {
+    let mut table = TableWriter::new(vec![
+        "Machine",
+        "N=7",
+        "N=11",
+        "N=15",
+        "Power(W)",
+        "GF/s/W",
+        "Roofline@15",
+        "Projected?",
+    ]);
+    for row in bench::fig2_rows() {
+        table.row(vec![
+            row.machine.clone(),
+            fmt(row.gflops[0], 1),
+            fmt(row.gflops[1], 1),
+            fmt(row.gflops[2], 1),
+            fmt(row.power_watts, 0),
+            fmt(row.gflops_per_watt, 2),
+            if row.roofline_gflops.is_finite() {
+                fmt(row.roofline_gflops, 0)
+            } else {
+                "-".to_string()
+            },
+            if row.projected { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("Fig. 2 — peak performance comparison at 4096 elements (GFLOP/s)\n");
+    table.print();
+}

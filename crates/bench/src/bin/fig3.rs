@@ -1,0 +1,31 @@
+//! Regenerates Fig. 3: simulated ("measured") accelerator performance versus
+//! the analytic model at 300 MHz and 210 MHz and the roofline, as a function
+//! of the polynomial degree, for 4096 elements.
+//!
+//! Run with `cargo run -p bench --bin fig3 --release`.
+
+use bench::table::fmt;
+use bench::TableWriter;
+
+fn main() {
+    let mut table = TableWriter::new(vec![
+        "N",
+        "Measured(sim)",
+        "Model@300MHz",
+        "Model@210MHz",
+        "Roofline",
+        "Model err %",
+    ]);
+    for row in bench::fig3_rows() {
+        table.row(vec![
+            row.degree.to_string(),
+            fmt(row.measured_gflops, 1),
+            fmt(row.modelled_300mhz_gflops, 1),
+            fmt(row.modelled_210mhz_gflops, 1),
+            fmt(row.roofline_gflops, 1),
+            fmt(row.model_error_percent, 2),
+        ]);
+    }
+    println!("Fig. 3 — measured vs modelled SEM-accelerator performance, 4096 elements (GFLOP/s)\n");
+    table.print();
+}

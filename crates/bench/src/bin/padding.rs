@@ -1,0 +1,46 @@
+//! Regenerates the padding analysis of Section III-E / Section IV: for every
+//! degree, whether padding the element up to the next unroll-friendly size
+//! pays off.
+//!
+//! Run with `cargo run -p bench --bin padding --release`.
+
+use bench::table::fmt;
+use bench::TableWriter;
+use perf_model::padding::analyse_padding;
+
+fn main() {
+    let mut table = TableWriter::new(vec![
+        "N",
+        "points",
+        "padded to",
+        "T unpadded",
+        "T padded",
+        "work inflation",
+        "net gain",
+        "verdict",
+    ]);
+    for degree in 1..=15 {
+        let a = analyse_padding(degree, 4, 4.0);
+        table.row(vec![
+            degree.to_string(),
+            (degree + 1).to_string(),
+            a.padded_points.to_string(),
+            fmt(a.unpadded_throughput, 0),
+            fmt(a.padded_throughput, 0),
+            fmt(a.work_inflation, 2),
+            fmt(a.net_gain, 2),
+            if a.net_gain > 1.05 {
+                "pads"
+            } else if a.net_gain < 0.95 {
+                "hurts"
+            } else {
+                "neutral"
+            }
+            .to_string(),
+        ]);
+    }
+    println!("Padding analysis (unroll target 4, bandwidth-limited T_max = 4)\n");
+    table.print();
+    println!("\nAs in the paper: padding mostly hurts or is neutral for the even GLL counts,");
+    println!("which is why the final accelerators do not use it.");
+}

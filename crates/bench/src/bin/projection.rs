@@ -1,0 +1,80 @@
+//! Regenerates the Section V-D projections: the Agilex 027, the Stratix 10M,
+//! the "Stratix 10M + more DSPs + 600 GB/s" variant, and the hypothetical
+//! ideal FPGA, plus the inverse design question ("what would it take to beat
+//! an A100?").
+//!
+//! Run with `cargo run -p bench --bin projection --release`.
+
+use bench::table::fmt;
+use bench::TableWriter;
+use perf_model::projection::{design_fpga_for_targets, project_device};
+use perf_model::throughput::ArbitrationPolicy;
+use perf_model::{FpgaDevice, FpuCost, PerformanceBound};
+
+fn bound_label(b: PerformanceBound) -> &'static str {
+    match b {
+        PerformanceBound::Bandwidth => "memory",
+        PerformanceBound::Logic => "logic",
+        PerformanceBound::Dsp => "DSP",
+        PerformanceBound::Bram => "BRAM",
+    }
+}
+
+fn main() {
+    let degrees = [7_usize, 11, 15];
+    let devices = [
+        (FpgaDevice::stratix10_gx2800(), ArbitrationPolicy::PowerOfTwoDivisor),
+        (FpgaDevice::agilex_027(), ArbitrationPolicy::PowerOfTwo),
+        (FpgaDevice::stratix10m(), ArbitrationPolicy::PowerOfTwo),
+        (FpgaDevice::stratix10m_plus(), ArbitrationPolicy::PowerOfTwo),
+        (FpgaDevice::hypothetical_ideal(), ArbitrationPolicy::Unconstrained),
+    ];
+
+    let mut table = TableWriter::new(vec![
+        "Device",
+        "N=7 (GF/s)",
+        "bound",
+        "N=11 (GF/s)",
+        "bound",
+        "N=15 (GF/s)",
+        "bound",
+    ]);
+    for (device, policy) in &devices {
+        let out = project_device(device, &degrees, 300.0, *policy);
+        let mut row = vec![device.name.clone()];
+        for &d in &degrees {
+            let p = out.for_degree(d).unwrap().prediction;
+            row.push(fmt(p.gflops, 0));
+            row.push(bound_label(p.bound).to_string());
+        }
+        table.row(row);
+    }
+    println!("Section V-D — projected SEM-accelerator performance at 300 MHz\n");
+    table.print();
+
+    // Inverse question: size a device for A100-class kernel performance.
+    let target = [(7, 2_100.0), (11, 3_000.0), (15, 3_970.0)];
+    let designed = design_fpga_for_targets(&target, 300.0, FpuCost::stratix10_double());
+    let gx = FpgaDevice::stratix10_gx2800();
+    println!("\nWhat would it take to beat the A100 (paper's targets: 2.1/3.0/3.97 TFLOP/s)?");
+    println!(
+        "  ALMs : {:>10.0}  ({:.1}x the GX2800)",
+        designed.resources.alms,
+        designed.resources.alms / gx.resources.alms
+    );
+    println!(
+        "  DSPs : {:>10.0}  ({:.1}x the GX2800)",
+        designed.resources.dsps,
+        designed.resources.dsps / gx.resources.dsps
+    );
+    println!(
+        "  BRAM : {:>10.0}  ({:.1}x the GX2800)",
+        designed.resources.brams.max(gx.resources.brams * 1.1),
+        designed.resources.brams.max(gx.resources.brams * 1.1) / gx.resources.brams
+    );
+    println!(
+        "  Mem  : {:>10.1} GB/s (A100 has 1555 GB/s)",
+        designed.memory_bandwidth_gbs
+    );
+    println!("\nPaper's answer: 6.2 M ALMs, 20 k DSPs, ~12.9 k BRAMs, 1.2 TB/s.");
+}

@@ -1,0 +1,51 @@
+//! Regenerates Table I: synthesis and performance of the eight SEM
+//! accelerators on the Stratix 10 GX2800, compared against the paper's
+//! measured values.
+//!
+//! Run with `cargo run -p bench --bin table1 --release`.
+
+use bench::table::fmt;
+use bench::TableWriter;
+use fpga_sim::{synthesize, AcceleratorDesign, FpgaDevice};
+
+fn main() {
+    let device = FpgaDevice::stratix10_gx2800();
+    let mut table = TableWriter::new(vec![
+        "N",
+        "fmax(MHz)",
+        "Logic%",
+        "BRAM%",
+        "DSP%",
+        "Power(W)",
+        "GFLOP/s(sim)",
+        "GFLOP/s(paper)",
+        "GF/s/W(sim)",
+        "DOF/cyc(sim)",
+        "DOF/cyc(paper)",
+        "dev%",
+    ]);
+
+    for (paper, sim) in bench::table1_comparison() {
+        let design = AcceleratorDesign::for_degree(paper.degree, &device);
+        let synth = synthesize(&design, &device);
+        let deviation = (sim.gflops - paper.gflops).abs() / paper.gflops * 100.0;
+        table.row(vec![
+            paper.degree.to_string(),
+            fmt(synth.fmax_mhz, 0),
+            fmt(synth.utilisation.alms * 100.0, 0),
+            fmt(synth.utilisation.brams * 100.0, 0),
+            fmt(synth.utilisation.dsps * 100.0, 0),
+            fmt(sim.power_watts, 1),
+            fmt(sim.gflops, 1),
+            fmt(paper.gflops, 1),
+            fmt(sim.gflops_per_watt, 2),
+            fmt(sim.dofs_per_cycle, 2),
+            fmt(paper.dofs_per_cycle, 2),
+            fmt(deviation, 1),
+        ]);
+    }
+
+    println!("Table I — SEM-accelerator synthesis and performance (4096 elements)");
+    println!("simulated GX2800 designs vs. the paper's measured values ('dev%' = |sim-paper|/paper)\n");
+    table.print();
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table II: the architecture overview with derived Byte/FLOP
+//! ratios.
+//!
+//! Run with `cargo run -p bench --bin table2 --release`.
+
+use arch_db::{table2, MachineClass};
+use bench::table::fmt;
+use bench::TableWriter;
+
+fn main() {
+    let mut table = TableWriter::new(vec![
+        "Type",
+        "Architecture",
+        "Tech(nm)",
+        "Peak(GFLOP/s)",
+        "Mem B/W(GB/s)",
+        "TDP(W)",
+        "Byte/FLOP",
+        "Freq(MHz)",
+        "Release",
+    ]);
+    for arch in table2() {
+        let class = match arch.class {
+            MachineClass::Fpga => "FPGA",
+            MachineClass::Cpu => "CPU",
+            MachineClass::Gpu => "GPU",
+        };
+        table.row(vec![
+            class.to_string(),
+            arch.name.clone(),
+            arch.tech_nm.to_string(),
+            fmt(arch.peak_gflops, 1),
+            fmt(arch.bandwidth_gbs, 1),
+            fmt(arch.tdp_watts, 0),
+            fmt(arch.byte_per_flop(), 3),
+            fmt(arch.frequency_mhz, 0),
+            arch.release_year.to_string(),
+        ]);
+    }
+    println!("Table II — overview of the evaluated systems\n");
+    table.print();
+}

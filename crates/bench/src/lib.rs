@@ -1,0 +1,19 @@
+//! Shared infrastructure for the report binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin/` (see `DESIGN.md` for the experiment index).  The
+//! functions here produce the underlying numbers so that the binaries stay
+//! thin and the integration tests can assert on the same data the reports
+//! print.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    fig1_series, fig2_rows, fig3_rows, fpga_performance, ladder_gflops, table1_comparison,
+    Fig1Point, Fig2Row, Fig3Row,
+};
+pub use table::TableWriter;

@@ -1,0 +1,97 @@
+//! On-chip buffer (BRAM) accounting.
+//!
+//! The accelerator keeps one element's working set on chip (Section III-B):
+//! the operand `u`, the three intermediate arrays `shur`/`shus`/`shut` and the
+//! six split geometric-factor planes — ten arrays of `(N+1)^3` doubles.  Each
+//! array is cyclically partitioned into `T` banks so the unrolled datapath can
+//! read `T` values per cycle without arbitration, and double-buffered so the
+//! load of element `e+1` overlaps the compute of element `e`.  M20K blocks
+//! hold 20 kbit (2.5 kB) each, but a partition never occupies less than one
+//! block.
+
+use crate::design::AcceleratorDesign;
+use perf_model::FpgaDevice;
+
+/// Bytes of one M20K block RAM.
+pub const M20K_BYTES: usize = 2_560;
+
+/// Number of distinct on-chip arrays the kernel keeps per element.
+pub const ON_CHIP_ARRAYS: usize = 10;
+
+/// Double-buffering factor (load/compute overlap).
+pub const DOUBLE_BUFFER: usize = 2;
+
+/// Number of M20K blocks one array of `dofs` doubles needs when cyclically
+/// partitioned into `banks` banks.
+#[must_use]
+pub fn blocks_for_array(dofs: usize, banks: usize) -> usize {
+    let banks = banks.max(1);
+    let words_per_bank = dofs.div_ceil(banks);
+    let bytes_per_bank = words_per_bank * std::mem::size_of::<f64>();
+    banks * bytes_per_bank.div_ceil(M20K_BYTES)
+}
+
+/// Total M20K blocks the design's element working set requires.
+#[must_use]
+pub fn design_bram_blocks(design: &AcceleratorDesign) -> usize {
+    let dofs = design.dofs_per_element();
+    ON_CHIP_ARRAYS * DOUBLE_BUFFER * blocks_for_array(dofs, design.unroll)
+}
+
+/// Whether the working set fits in the device BRAM next to the base design
+/// (memory controllers, load/store units) which is accounted for in the
+/// calibrated base utilisation.
+#[must_use]
+pub fn fits_in_device(design: &AcceleratorDesign, device: &FpgaDevice, base_brams: f64) -> bool {
+    (design_bram_blocks(design) as f64 + base_brams) <= device.resources.brams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::OptimizationStage;
+
+    #[test]
+    fn block_counts_round_up_per_bank() {
+        // 512 doubles in 4 banks: 128 doubles = 1 kB per bank -> 1 block each.
+        assert_eq!(blocks_for_array(512, 4), 4);
+        // 4096 doubles in 4 banks: 8 kB per bank -> 4 blocks each.
+        assert_eq!(blocks_for_array(4096, 4), 16);
+        // Tiny arrays still cost one block per bank.
+        assert_eq!(blocks_for_array(8, 2), 2);
+    }
+
+    #[test]
+    fn bram_demand_grows_with_degree() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let mut prev = 0;
+        for degree in [1, 3, 7, 11, 15] {
+            let d = AcceleratorDesign::for_degree(degree, &device);
+            let blocks = design_bram_blocks(&d);
+            assert!(blocks >= prev, "degree {degree}");
+            prev = blocks;
+        }
+    }
+
+    #[test]
+    fn every_table1_design_fits_the_gx2800() {
+        // The paper's BRAM column never exceeds 53%, so with the calibrated
+        // base the working set must always fit.
+        let device = FpgaDevice::stratix10_gx2800();
+        for degree in [1_usize, 3, 5, 7, 9, 11, 13, 15] {
+            let d = AcceleratorDesign::for_degree(degree, &device);
+            let base = perf_model::projection::calibrated_base(degree);
+            assert!(fits_in_device(&d, &device, base.brams), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn padding_increases_the_working_set() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let plain = AcceleratorDesign::at_stage(9, &device, OptimizationStage::Banked);
+        let mut padded = plain;
+        padded.unroll = 4;
+        padded.host_padding = true;
+        assert!(design_bram_blocks(&padded) > design_bram_blocks(&plain));
+    }
+}

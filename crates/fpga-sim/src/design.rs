@@ -1,0 +1,216 @@
+//! Accelerator design points.
+//!
+//! A design fixes everything the HLS flow would fix at compile time: the
+//! polynomial degree the datapath is specialised for, the unroll factor
+//! (vector width) `T`, the initiation interval of the pipelined loops, how
+//! the geometric factors are laid out, how buffers are allocated across the
+//! external memory banks, and which rung of the Section III optimisation
+//! ladder the design corresponds to.
+
+use perf_model::throughput::{constrain_throughput, ArbitrationPolicy};
+use perf_model::{projection::calibrated_base, FpgaDevice};
+use serde::{Deserialize, Serialize};
+
+/// External-memory allocation policy (Section III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MemoryAllocation {
+    /// Every buffer interleaved across all banks (the OpenCL runtime
+    /// default); convenient but loses bandwidth to bus arbitration.
+    Interleaved,
+    /// Each buffer pinned to one bank (the optimisation that takes the N=7
+    /// design from 60 to 109 GFLOP/s).
+    #[default]
+    Banked,
+}
+
+/// The optimisation ladder of Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OptimizationStage {
+    /// Listing-1 translated directly to HLS: no on-chip caching, no unrolling,
+    /// serial floating-point chains (0.025 GFLOP/s at N = 7).
+    Baseline,
+    /// BRAM-cached operands, split `gxyz`, unrolled inner loops — but the
+    /// compiler still schedules the critical loops at II = 2 (≈10 GFLOP/s).
+    LocalMemory,
+    /// `#pragma ii 1` forces single-cycle initiation (≈60 GFLOP/s).
+    InitiationIntervalOne,
+    /// Banked external memory on top of all of the above (≈109 GFLOP/s at
+    /// N = 7 — the design of Table I).
+    #[default]
+    Banked,
+}
+
+impl OptimizationStage {
+    /// All stages in ladder order.
+    #[must_use]
+    pub fn ladder() -> [Self; 4] {
+        [
+            Self::Baseline,
+            Self::LocalMemory,
+            Self::InitiationIntervalOne,
+            Self::Banked,
+        ]
+    }
+
+    /// Initiation interval of the critical loop at this stage.
+    #[must_use]
+    pub fn initiation_interval(self) -> usize {
+        match self {
+            Self::Baseline => 1, // the baseline is not pipelined at all; its cost is modelled separately
+            Self::LocalMemory => 2,
+            Self::InitiationIntervalOne | Self::Banked => 1,
+        }
+    }
+
+    /// Memory allocation implied by the stage.
+    #[must_use]
+    pub fn memory_allocation(self) -> MemoryAllocation {
+        match self {
+            Self::Banked => MemoryAllocation::Banked,
+            _ => MemoryAllocation::Interleaved,
+        }
+    }
+}
+
+/// A fully specified accelerator design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorDesign {
+    /// Polynomial degree `N` the datapath is specialised for.
+    pub degree: usize,
+    /// Unroll factor / vector width `T` (DOFs entering the pipeline per cycle).
+    pub unroll: usize,
+    /// Initiation interval of the critical loop.
+    pub initiation_interval: usize,
+    /// Whether the host pads elements up to the next supported size.
+    pub host_padding: bool,
+    /// External-memory allocation policy.
+    pub memory_allocation: MemoryAllocation,
+    /// The optimisation-ladder stage this design corresponds to.
+    pub stage: OptimizationStage,
+}
+
+impl AcceleratorDesign {
+    /// The production design for `degree` on `device`: the largest
+    /// power-of-two unroll that divides `N + 1`, fits in the fabric next to
+    /// the calibrated base design, and does not exceed the bandwidth bound at
+    /// the memory clock.
+    #[must_use]
+    pub fn for_degree(degree: usize, device: &FpgaDevice) -> Self {
+        let base = calibrated_base(degree);
+        let available = device.resources.saturating_minus(&base);
+        let resource_limit = device.fpu.max_throughput(degree, &available);
+        let bandwidth_limit = perf_model::throughput::bandwidth_throughput(
+            device.memory_bandwidth_gbs,
+            degree,
+            device.memory_clock_mhz,
+        );
+        let unconstrained = resource_limit.min(bandwidth_limit);
+        let unroll = constrain_throughput(
+            unconstrained,
+            degree,
+            ArbitrationPolicy::PowerOfTwoDivisor,
+        )
+        .max(1.0) as usize;
+        Self {
+            degree,
+            unroll,
+            initiation_interval: 1,
+            host_padding: false,
+            memory_allocation: MemoryAllocation::Banked,
+            stage: OptimizationStage::Banked,
+        }
+    }
+
+    /// The same design at an earlier rung of the optimisation ladder (used by
+    /// the ablation benchmark reproducing Section III).
+    #[must_use]
+    pub fn at_stage(degree: usize, device: &FpgaDevice, stage: OptimizationStage) -> Self {
+        let mut design = Self::for_degree(degree, device);
+        design.stage = stage;
+        design.initiation_interval = stage.initiation_interval();
+        design.memory_allocation = stage.memory_allocation();
+        if stage == OptimizationStage::Baseline {
+            design.unroll = 1;
+        }
+        design
+    }
+
+    /// GLL points per direction the datapath processes (after optional
+    /// host padding).
+    #[must_use]
+    pub fn points_per_direction(&self) -> usize {
+        let n1 = self.degree + 1;
+        if self.host_padding {
+            n1.div_ceil(self.unroll) * self.unroll
+        } else {
+            n1
+        }
+    }
+
+    /// Degrees of freedom per (possibly padded) element.
+    #[must_use]
+    pub fn dofs_per_element(&self) -> usize {
+        self.points_per_direction().pow(3)
+    }
+
+    /// Whether the unroll factor divides the element extent, i.e. whether the
+    /// BRAM accesses are arbitration-free (Section III-B).
+    #[must_use]
+    pub fn arbitration_free(&self) -> bool {
+        self.points_per_direction() % self.unroll == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_designs_match_the_papers_unroll_pattern() {
+        let device = FpgaDevice::stratix10_gx2800();
+        for degree in [1_usize, 3, 5, 7, 9, 11, 13, 15] {
+            let d = AcceleratorDesign::for_degree(degree, &device);
+            let expected = if (degree + 1) % 4 == 0 { 4 } else { 2 };
+            assert_eq!(d.unroll, expected, "degree {degree}");
+            assert!(d.arbitration_free());
+            assert_eq!(d.initiation_interval, 1);
+            assert_eq!(d.memory_allocation, MemoryAllocation::Banked);
+        }
+    }
+
+    #[test]
+    fn ladder_stages_have_the_documented_settings() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let baseline = AcceleratorDesign::at_stage(7, &device, OptimizationStage::Baseline);
+        assert_eq!(baseline.unroll, 1);
+        assert_eq!(baseline.memory_allocation, MemoryAllocation::Interleaved);
+        let local = AcceleratorDesign::at_stage(7, &device, OptimizationStage::LocalMemory);
+        assert_eq!(local.initiation_interval, 2);
+        let ii1 = AcceleratorDesign::at_stage(7, &device, OptimizationStage::InitiationIntervalOne);
+        assert_eq!(ii1.initiation_interval, 1);
+        assert_eq!(ii1.memory_allocation, MemoryAllocation::Interleaved);
+        let banked = AcceleratorDesign::at_stage(7, &device, OptimizationStage::Banked);
+        assert_eq!(banked.memory_allocation, MemoryAllocation::Banked);
+        assert_eq!(OptimizationStage::ladder().len(), 4);
+    }
+
+    #[test]
+    fn padding_rounds_the_element_up() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let mut d = AcceleratorDesign::for_degree(9, &device);
+        assert_eq!(d.points_per_direction(), 10);
+        d.unroll = 4;
+        assert!(!d.arbitration_free());
+        d.host_padding = true;
+        assert_eq!(d.points_per_direction(), 12);
+        assert_eq!(d.dofs_per_element(), 1728);
+        assert!(d.arbitration_free());
+    }
+
+    #[test]
+    fn bigger_devices_allow_wider_unrolls() {
+        let ideal = FpgaDevice::hypothetical_ideal();
+        let d = AcceleratorDesign::for_degree(15, &ideal);
+        assert!(d.unroll >= 16, "unroll {}", d.unroll);
+    }
+}

@@ -1,0 +1,351 @@
+//! Functional + timing execution of the simulated accelerator.
+//!
+//! [`FpgaAccelerator::execute`] produces the actual kernel output (by running
+//! the same double-precision arithmetic as the host kernels) together with a
+//! cycle-level timing estimate derived from the design parameters:
+//!
+//! * the unrolled datapath retires `T / II` DOFs per cycle when fed,
+//!   halved if the unroll factor does not divide `N+1` (BRAM arbitration);
+//! * the external memory feeds at most `B_eff / 64` DOFs per cycle, where
+//!   `B_eff` follows the allocation policy and the problem-size ramp of
+//!   [`crate::memory::MemorySystem`];
+//! * each element pays a pipeline fill/drain of `2 (N+1)` cycles and each
+//!   kernel launch a fixed overhead, which is what bends the small-problem
+//!   end of Fig. 1;
+//! * the unpipelined baseline stage is modelled separately (serial FP
+//!   latency and uncoalesced accesses), reproducing the ~0.025 GFLOP/s
+//!   starting point of the Section III ladder.
+
+use crate::design::{AcceleratorDesign, OptimizationStage};
+use crate::memory::MemorySystem;
+use crate::power::PowerModel;
+use crate::synthesis::{synthesize, SynthesisReport};
+use perf_model::FpgaDevice;
+use sem_basis::DerivativeMatrix;
+use sem_mesh::{ElementField, GeometricFactors};
+use serde::{Deserialize, Serialize};
+
+/// Kernel-launch overhead in cycles (queue submission, control, DMA setup).
+pub const LAUNCH_OVERHEAD_CYCLES: f64 = 2_000.0;
+
+/// Serial floating-point latency (cycles per FLOP) of the unpipelined
+/// baseline design.
+pub const BASELINE_FLOP_LATENCY: f64 = 8.0;
+
+/// Cycles per uncoalesced external word of the baseline design.
+pub const BASELINE_WORD_LATENCY: f64 = 70.0;
+
+/// HLS scheduling efficiency of the `LocalMemory` ladder stage (the compiler
+/// still serialises parts of the datapath before the II=1 pragma is applied).
+pub const LOCAL_MEMORY_STAGE_EFFICIENCY: f64 = 0.17;
+
+/// Timing and efficiency figures of one simulated accelerator run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Polynomial degree.
+    pub degree: usize,
+    /// Number of elements processed.
+    pub num_elements: usize,
+    /// Total simulated kernel cycles.
+    pub cycles: f64,
+    /// Kernel clock used (MHz).
+    pub kernel_clock_mhz: f64,
+    /// Simulated wall time in seconds.
+    pub seconds: f64,
+    /// Achieved double-precision GFLOP/s.
+    pub gflops: f64,
+    /// Achieved throughput in DOFs per cycle.
+    pub dofs_per_cycle: f64,
+    /// Effective external bandwidth in GB/s.
+    pub effective_bandwidth_gbs: f64,
+    /// Board power estimate in watts.
+    pub power_watts: f64,
+    /// Power efficiency in GFLOP/s per watt.
+    pub gflops_per_watt: f64,
+}
+
+/// A simulated accelerator: a design synthesised onto a device.
+#[derive(Debug, Clone)]
+pub struct FpgaAccelerator {
+    device: FpgaDevice,
+    design: AcceleratorDesign,
+    synthesis: SynthesisReport,
+    memory: MemorySystem,
+    power: PowerModel,
+    derivative: DerivativeMatrix,
+}
+
+impl FpgaAccelerator {
+    /// Synthesise `design` for `device` and construct the simulator.
+    ///
+    /// # Panics
+    /// Panics if the design does not fit on the device.
+    #[must_use]
+    pub fn new(device: FpgaDevice, design: AcceleratorDesign) -> Self {
+        let synthesis = synthesize(&design, &device);
+        assert!(
+            synthesis.fits,
+            "design for degree {} does not fit on {}",
+            design.degree, device.name
+        );
+        let memory = MemorySystem::of_device(&device, design.memory_allocation);
+        let derivative = DerivativeMatrix::new(design.degree);
+        Self {
+            device,
+            design,
+            synthesis,
+            memory,
+            power: PowerModel::stratix10_board(),
+            derivative,
+        }
+    }
+
+    /// The production accelerator for `degree` on `device`.
+    #[must_use]
+    pub fn for_degree(degree: usize, device: &FpgaDevice) -> Self {
+        Self::new(device.clone(), AcceleratorDesign::for_degree(degree, device))
+    }
+
+    /// The synthesised design.
+    #[must_use]
+    pub fn design(&self) -> &AcceleratorDesign {
+        &self.design
+    }
+
+    /// The synthesis report.
+    #[must_use]
+    pub fn synthesis(&self) -> &SynthesisReport {
+        &self.synthesis
+    }
+
+    /// The device the accelerator is mapped onto.
+    #[must_use]
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Board power estimate for this design (W).
+    #[must_use]
+    pub fn power_watts(&self) -> f64 {
+        self.power
+            .board_power(&self.synthesis.utilisation, self.synthesis.fmax_mhz)
+    }
+
+    /// Estimate the timing of processing `num_elements` elements without
+    /// running the numerics (used for the large Fig. 1/2 sweeps).
+    #[must_use]
+    pub fn estimate(&self, num_elements: usize) -> ExecutionReport {
+        let degree = self.design.degree;
+        let nx = degree + 1;
+        let dofs_per_element = sem_basis::dofs_per_element(degree) as f64;
+        let total_dofs = dofs_per_element * num_elements as f64;
+        let flops_per_dof = sem_kernel::flops_per_dof(degree) as f64;
+        let bytes_per_dof = sem_kernel::bytes_per_dof(degree) as f64;
+        let total_bytes = bytes_per_dof * total_dofs;
+        let f_mhz = self.synthesis.fmax_mhz;
+
+        let cycles = match self.design.stage {
+            OptimizationStage::Baseline => {
+                // Serial, unpipelined, uncoalesced: latency-bound per FLOP and
+                // per external word.
+                total_dofs
+                    * (flops_per_dof * BASELINE_FLOP_LATENCY
+                        + (bytes_per_dof / 8.0) * BASELINE_WORD_LATENCY)
+                    + LAUNCH_OVERHEAD_CYCLES
+            }
+            stage => {
+                let ii = self.design.initiation_interval as f64;
+                let mut compute_rate = self.design.unroll as f64 / ii;
+                if !self.design.arbitration_free() {
+                    // Arbitration on the shared scratch arrays roughly halves
+                    // the issue rate (Section III-B).
+                    compute_rate *= 0.5;
+                }
+                if stage == OptimizationStage::LocalMemory {
+                    compute_rate *= LOCAL_MEMORY_STAGE_EFFICIENCY;
+                }
+                let memory_rate =
+                    self.memory.effective_bytes_per_cycle(total_bytes, f_mhz) / bytes_per_dof;
+                let steady_rate = compute_rate.min(memory_rate).max(1e-9);
+                // Per-element pipeline fill/drain: about half the element
+                // extent in cycles (calibrated against Table I's DOFs/cycle).
+                let fill = 0.5 * nx as f64 * num_elements as f64;
+                total_dofs / steady_rate + fill + LAUNCH_OVERHEAD_CYCLES
+            }
+        };
+
+        let seconds = cycles / (f_mhz * 1e6);
+        let gflops = flops_per_dof * total_dofs / seconds / 1e9;
+        let dofs_per_cycle = total_dofs / cycles;
+        let effective_bandwidth_gbs = total_bytes / seconds / 1e9;
+        let power_watts = self.power_watts();
+
+        ExecutionReport {
+            degree,
+            num_elements,
+            cycles,
+            kernel_clock_mhz: f_mhz,
+            seconds,
+            gflops,
+            dofs_per_cycle,
+            effective_bandwidth_gbs,
+            power_watts,
+            gflops_per_watt: gflops / power_watts,
+        }
+    }
+
+    /// Execute the kernel: compute `w = A u` for every element (numerically,
+    /// on the host, standing in for the datapath) and return the result
+    /// together with the timing estimate.
+    ///
+    /// # Panics
+    /// Panics if the field and geometric factors do not match the design's
+    /// degree.
+    #[must_use]
+    pub fn execute(
+        &self,
+        u: &ElementField,
+        geometry: &GeometricFactors,
+    ) -> (ElementField, ExecutionReport) {
+        assert_eq!(u.degree(), self.design.degree, "field degree mismatch");
+        assert_eq!(
+            geometry.degree(),
+            self.design.degree,
+            "geometry degree mismatch"
+        );
+        assert_eq!(
+            u.num_elements(),
+            geometry.num_elements(),
+            "element count mismatch"
+        );
+        let mut w = ElementField::zeros(u.degree(), u.num_elements());
+        // The datapath evaluates the same split-layout dataflow as the
+        // optimised host kernel; results agree with the reference kernel to
+        // rounding (the real accelerator reorders operations too, via
+        // -ffp-reassoc).
+        let planes = geometry.split();
+        sem_kernel::optimized::ax_optimized(
+            u.as_slice(),
+            w.as_mut_slice(),
+            &planes,
+            &self.derivative,
+        );
+        let report = self.estimate(u.num_elements());
+        (w, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::measured_table1;
+    use sem_mesh::BoxMesh;
+
+    #[test]
+    fn production_designs_reproduce_table1_within_tolerance() {
+        // The simulated GFLOP/s at 4096 elements must land near the measured
+        // Table I values: within 12% for the paper's headline degrees 7, 11,
+        // 15 and within 45% elsewhere (the paper's own model error reaches
+        // 28% for the small degrees, whose effective bandwidth is anomalous).
+        let device = FpgaDevice::stratix10_gx2800();
+        for row in measured_table1() {
+            let acc = FpgaAccelerator::for_degree(row.degree, &device);
+            let est = acc.estimate(4096);
+            let rel = (est.gflops - row.gflops).abs() / row.gflops;
+            let tol = if matches!(row.degree, 7 | 11 | 15) { 0.12 } else { 0.45 };
+            assert!(
+                rel < tol,
+                "degree {}: simulated {:.1} vs measured {:.1} GFLOP/s ({:.0}%)",
+                row.degree,
+                est.gflops,
+                row.gflops,
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_never_exceeds_the_model_bound() {
+        // The simulator must respect the paper's T_max = 4 bound on this board.
+        let device = FpgaDevice::stratix10_gx2800();
+        for degree in [1, 3, 5, 7, 9, 11, 13, 15] {
+            let acc = FpgaAccelerator::for_degree(degree, &device);
+            for elements in [16, 256, 4096] {
+                let est = acc.estimate(elements);
+                assert!(
+                    est.dofs_per_cycle <= 4.0 + 1e-9,
+                    "degree {degree}, {elements} elements: {}",
+                    est.dofs_per_cycle
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn performance_ramps_with_problem_size() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let acc = FpgaAccelerator::for_degree(7, &device);
+        let small = acc.estimate(10);
+        let medium = acc.estimate(512);
+        let large = acc.estimate(8192);
+        assert!(small.gflops < medium.gflops);
+        assert!(medium.gflops < large.gflops);
+        assert!(large.gflops > 100.0);
+    }
+
+    #[test]
+    fn optimisation_ladder_reproduces_section_iii() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let gflops: Vec<f64> = OptimizationStage::ladder()
+            .iter()
+            .map(|&stage| {
+                let design = AcceleratorDesign::at_stage(7, &device, stage);
+                FpgaAccelerator::new(device.clone(), design)
+                    .estimate(4096)
+                    .gflops
+            })
+            .collect();
+        // 0.025 -> ~10 -> ~60 -> ~109 GFLOP/s: each rung must be a large
+        // multiple of the previous one, and the end points must be close to
+        // the paper's numbers.
+        assert!(gflops[0] < 0.1, "baseline {:.3}", gflops[0]);
+        assert!(gflops[1] / gflops[0] > 50.0, "local-memory jump");
+        assert!(gflops[2] / gflops[1] > 3.0, "II=1 jump");
+        assert!(gflops[3] > gflops[2], "banking jump");
+        assert!((gflops[3] - 109.0).abs() < 15.0, "final {:.1}", gflops[3]);
+    }
+
+    #[test]
+    fn execute_matches_the_reference_kernel() {
+        let degree = 5;
+        let mesh = BoxMesh::unit_cube(degree, 2);
+        let geo = GeometricFactors::from_mesh(&mesh);
+        let device = FpgaDevice::stratix10_gx2800();
+        let acc = FpgaAccelerator::for_degree(degree, &device);
+        let u = mesh.evaluate(|x, y, z| (2.0 * x).sin() + y * z);
+        let (w, report) = acc.execute(&u, &geo);
+
+        let dm = DerivativeMatrix::new(degree);
+        let mut w_ref = vec![0.0; u.len()];
+        sem_kernel::reference::ax_reference(u.as_slice(), &mut w_ref, geo.interleaved(), &dm);
+        for (a, b) in w.as_slice().iter().zip(&w_ref) {
+            assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()));
+        }
+        assert_eq!(report.num_elements, 8);
+        assert!(report.seconds > 0.0);
+        assert!(report.gflops_per_watt > 0.0);
+    }
+
+    #[test]
+    fn power_efficiency_beats_two_gflops_per_watt_at_degree_15() {
+        // Table I: 2.12 GFLOP/s/W at N = 15.
+        let device = FpgaDevice::stratix10_gx2800();
+        let acc = FpgaAccelerator::for_degree(15, &device);
+        let est = acc.estimate(4096);
+        assert!(
+            est.gflops_per_watt > 1.8 && est.gflops_per_watt < 2.5,
+            "efficiency {}",
+            est.gflops_per_watt
+        );
+    }
+}

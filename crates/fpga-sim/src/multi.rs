@@ -1,0 +1,128 @@
+//! Multi-board scaling estimates.
+//!
+//! The paper evaluates a single Bittware 520N, but its host application
+//! (Nek5000/Nekbone) is an MPI code that partitions elements across ranks;
+//! the natural deployment of the accelerator is therefore one board per rank.
+//! This module estimates how the simulated accelerator scales when the
+//! element set is block-partitioned across several boards, including the
+//! gather–scatter exchange traffic that the interface nodes generate over the
+//! host network.
+
+use crate::executor::FpgaAccelerator;
+use perf_model::FpgaDevice;
+use serde::{Deserialize, Serialize};
+
+/// Scaling estimate for a multi-board run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiBoardEstimate {
+    /// Polynomial degree.
+    pub degree: usize,
+    /// Total number of elements.
+    pub num_elements: usize,
+    /// Number of boards the elements are spread over.
+    pub boards: usize,
+    /// Elements on the most loaded board.
+    pub elements_per_board: usize,
+    /// Simulated kernel time of the most loaded board (seconds).
+    pub kernel_seconds: f64,
+    /// Estimated interface-exchange time per operator application (seconds).
+    pub exchange_seconds: f64,
+    /// Aggregate throughput in GFLOP/s including the exchange overhead.
+    pub gflops: f64,
+    /// Parallel efficiency against a single board.
+    pub parallel_efficiency: f64,
+}
+
+/// Estimate the scaling of the accelerator for `degree` over `boards` boards,
+/// assuming a block partition of `num_elements` elements and an
+/// `interconnect_gbs` GB/s host interconnect for the interface exchange.
+///
+/// # Panics
+/// Panics if `boards` is zero.
+#[must_use]
+pub fn estimate_scaling(
+    device: &FpgaDevice,
+    degree: usize,
+    num_elements: usize,
+    boards: usize,
+    interconnect_gbs: f64,
+) -> MultiBoardEstimate {
+    assert!(boards > 0, "need at least one board");
+    let accelerator = FpgaAccelerator::for_degree(degree, device);
+    let elements_per_board = num_elements.div_ceil(boards);
+    let local = accelerator.estimate(elements_per_board);
+
+    // Interface traffic: a block partition of a roughly cubic box exposes
+    // about 2·(E_local)^(2/3) faces per board; each face carries (N+1)^2
+    // doubles that must be exchanged and summed.
+    let nx = (degree + 1) as f64;
+    let faces = 2.0 * (elements_per_board as f64).powf(2.0 / 3.0);
+    let exchange_bytes = if boards == 1 {
+        0.0
+    } else {
+        faces * nx * nx * 8.0 * 2.0 // send + receive
+    };
+    let exchange_seconds = exchange_bytes / (interconnect_gbs * 1e9);
+
+    let flops =
+        sem_kernel::flops_per_dof(degree) as f64 * sem_basis::dofs_per_element(degree) as f64
+            * num_elements as f64;
+    let wall = local.seconds + exchange_seconds;
+    let gflops = flops / wall / 1e9;
+
+    let single = accelerator.estimate(num_elements);
+    let ideal_speedup = boards as f64;
+    let actual_speedup = single.seconds / wall;
+    MultiBoardEstimate {
+        degree,
+        num_elements,
+        boards,
+        elements_per_board,
+        kernel_seconds: local.seconds,
+        exchange_seconds,
+        gflops,
+        parallel_efficiency: (actual_speedup / ideal_speedup).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_board_matches_the_plain_estimate() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let est = estimate_scaling(&device, 7, 4096, 1, 12.0);
+        assert_eq!(est.elements_per_board, 4096);
+        assert_eq!(est.exchange_seconds, 0.0);
+        assert!((est.parallel_efficiency - 1.0).abs() < 1e-9);
+        let single = FpgaAccelerator::for_degree(7, &device).estimate(4096);
+        assert!((est.gflops - single.gflops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_boards_increase_aggregate_throughput() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let one = estimate_scaling(&device, 7, 8192, 1, 12.0);
+        let four = estimate_scaling(&device, 7, 8192, 4, 12.0);
+        let eight = estimate_scaling(&device, 7, 8192, 8, 12.0);
+        assert!(four.gflops > 2.0 * one.gflops);
+        assert!(eight.gflops > four.gflops);
+        assert!(eight.parallel_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn efficiency_degrades_when_boards_outnumber_the_work() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let few = estimate_scaling(&device, 7, 512, 2, 12.0);
+        let many = estimate_scaling(&device, 7, 512, 32, 12.0);
+        assert!(many.parallel_efficiency < few.parallel_efficiency);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn zero_boards_is_rejected() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let _ = estimate_scaling(&device, 7, 64, 0, 12.0);
+    }
+}

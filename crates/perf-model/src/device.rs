@@ -1,0 +1,181 @@
+//! FPGA device descriptions.
+//!
+//! Includes the evaluated Bittware 520N (Intel Stratix 10 GX2800) and the
+//! three devices projected in Section V-D: the Intel Agilex 027 coupled with
+//! ThunderX2-class memory, the Stratix 10M ASIC-prototyping device coupled
+//! with ~306 GB/s memory, and the hypothetical "ideal" FPGA that would rival
+//! an NVIDIA A100 on this kernel.
+
+use crate::resources::{FpuCost, ResourceVector};
+use serde::{Deserialize, Serialize};
+
+/// An FPGA board: reconfigurable fabric plus its external memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Human-readable device name.
+    pub name: String,
+    /// Total fabric resources.
+    pub resources: ResourceVector,
+    /// Per-FPU resource costs on this fabric.
+    pub fpu: FpuCost,
+    /// External memory bandwidth in GB/s.
+    pub memory_bandwidth_gbs: f64,
+    /// Number of external memory banks.
+    pub memory_banks: usize,
+    /// Memory-controller clock in MHz (the paper's controllers run at
+    /// 300 MHz delivering 512 bit per cycle per bank).
+    pub memory_clock_mhz: f64,
+    /// Maximum kernel clock the fabric can reach in MHz.
+    pub max_kernel_clock_mhz: f64,
+    /// Nominal board power budget (TDP) in watts.
+    pub tdp_watts: f64,
+    /// Year of release (0 for hypothetical devices).
+    pub release_year: u32,
+}
+
+impl FpgaDevice {
+    /// The evaluated device: Bittware 520N with a Stratix 10 GX2800 and four
+    /// banks of DDR4-2400 (76.8 GB/s aggregate).
+    #[must_use]
+    pub fn stratix10_gx2800() -> Self {
+        Self {
+            name: "Stratix 10 GX2800 (Bittware 520N)".to_string(),
+            resources: ResourceVector::new(933_120.0, 5_760.0, 11_721.0),
+            fpu: FpuCost::stratix10_double(),
+            memory_bandwidth_gbs: 76.8,
+            memory_banks: 4,
+            memory_clock_mhz: 300.0,
+            max_kernel_clock_mhz: 400.0,
+            tdp_watts: 225.0,
+            release_year: 2016,
+        }
+    }
+
+    /// Projection device 1: Intel Agilex 027 coupled with a 153.6 GB/s
+    /// external memory (ThunderX2-class, Section V-D).
+    #[must_use]
+    pub fn agilex_027() -> Self {
+        Self {
+            name: "Intel Agilex 027 (projected)".to_string(),
+            resources: ResourceVector::new(912_800.0, 8_528.0, 13_272.0),
+            fpu: FpuCost::stratix10_double(),
+            memory_bandwidth_gbs: 153.6,
+            memory_banks: 8,
+            memory_clock_mhz: 300.0,
+            max_kernel_clock_mhz: 500.0,
+            tdp_watts: 225.0,
+            release_year: 2021,
+        }
+    }
+
+    /// Projection device 2: Stratix 10M — an ASIC-prototyping part with 3.6×
+    /// the logic of the GX2800 but 40% fewer DSPs — coupled with a 306 GB/s
+    /// memory system (Section V-D).
+    #[must_use]
+    pub fn stratix10m() -> Self {
+        Self {
+            name: "Stratix 10M (projected)".to_string(),
+            resources: ResourceVector::new(3_359_232.0, 5_700.0, 12_950.0),
+            fpu: FpuCost::stratix10_double(),
+            memory_bandwidth_gbs: 306.0,
+            memory_banks: 8,
+            memory_clock_mhz: 300.0,
+            max_kernel_clock_mhz: 400.0,
+            tdp_watts: 250.0,
+            release_year: 2020,
+        }
+    }
+
+    /// Projection device 3: the hypothetical "ideal" CFD FPGA of Section V-D —
+    /// 6.2 M ALMs, 20 k DSPs, ~12.9 k BRAMs and a 1.2 TB/s memory system —
+    /// which the paper's model predicts would outperform an NVIDIA A100 on
+    /// this kernel.
+    #[must_use]
+    pub fn hypothetical_ideal() -> Self {
+        Self {
+            name: "Hypothetical ideal CFD FPGA".to_string(),
+            resources: ResourceVector::new(6_200_000.0, 20_000.0, 12_900.0),
+            fpu: FpuCost::stratix10_double(),
+            memory_bandwidth_gbs: 1_200.0,
+            memory_banks: 16,
+            memory_clock_mhz: 300.0,
+            max_kernel_clock_mhz: 400.0,
+            tdp_watts: 300.0,
+            release_year: 0,
+        }
+    }
+
+    /// Stratix 10M variant with 8.7 k DSPs and 600 GB/s memory — the "what if
+    /// Intel built it" device the paper notes would rival a P100/V100.
+    #[must_use]
+    pub fn stratix10m_plus() -> Self {
+        let mut d = Self::stratix10m();
+        d.name = "Stratix 10M + 8.7k DSPs + 600 GB/s (projected)".to_string();
+        d.resources.dsps = 8_700.0;
+        d.memory_bandwidth_gbs = 600.0;
+        d
+    }
+
+    /// All catalogue devices in presentation order.
+    #[must_use]
+    pub fn catalogue() -> Vec<Self> {
+        vec![
+            Self::stratix10_gx2800(),
+            Self::agilex_027(),
+            Self::stratix10m(),
+            Self::stratix10m_plus(),
+            Self::hypothetical_ideal(),
+        ]
+    }
+
+    /// Bytes per cycle one memory bank can deliver (512 bit = 64 B for the
+    /// DDR4 controllers of the evaluated board).
+    #[must_use]
+    pub fn bank_bytes_per_cycle(&self) -> f64 {
+        let total_bytes_per_cycle = self.memory_bandwidth_gbs * 1e9 / (self.memory_clock_mhz * 1e6);
+        total_bytes_per_cycle / self.memory_banks as f64
+    }
+
+    /// Peak external bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.memory_bandwidth_gbs * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gx2800_matches_table2_row() {
+        let d = FpgaDevice::stratix10_gx2800();
+        assert_eq!(d.memory_banks, 4);
+        assert!((d.memory_bandwidth_gbs - 76.8).abs() < 1e-12);
+        assert_eq!(d.release_year, 2016);
+        // 76.8 GB/s over 4 banks at 300 MHz is 64 B per bank per cycle,
+        // i.e. the 512-bit controllers of Section V-B.
+        assert!((d.bank_bytes_per_cycle() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_devices_scale_as_described() {
+        let gx = FpgaDevice::stratix10_gx2800();
+        let s10m = FpgaDevice::stratix10m();
+        assert!((s10m.resources.alms / gx.resources.alms - 3.6).abs() < 0.01);
+        assert!(s10m.resources.dsps < gx.resources.dsps);
+        let ideal = FpgaDevice::hypothetical_ideal();
+        assert!(ideal.resources.alms / gx.resources.alms > 6.0);
+        assert!((ideal.resources.dsps / gx.resources.dsps - 3.47).abs() < 0.1);
+        assert!(ideal.memory_bandwidth_gbs < 1_555.0, "less than the A100");
+    }
+
+    #[test]
+    fn catalogue_contains_all_devices() {
+        let names: Vec<String> = FpgaDevice::catalogue().into_iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 5);
+        assert!(names.iter().any(|n| n.contains("GX2800")));
+        assert!(names.iter().any(|n| n.contains("Agilex")));
+        assert!(names.iter().any(|n| n.contains("ideal") || n.contains("Ideal")));
+    }
+}

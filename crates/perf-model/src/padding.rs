@@ -1,0 +1,129 @@
+//! Host-side padding analysis (Section III-E and the padding term of
+//! Section IV).
+//!
+//! When `N + 1` is not divisible by the unroll factor the accelerator either
+//! suffers BRAM arbitration (halving the throughput) or the host pads each
+//! element up to the next size `N_2 + 1` that the wider kernel supports.
+//! Padding buys a larger unroll factor `T_2` but inflates the work by
+//! `((N_2 + 1)/(N + 1))^3`, so the paper's net gain is
+//!
+//! \[\text{gain} = \frac{T_2}{T_1} \left(\frac{N + 1}{N + 1 + p}\right)^3\]
+//!
+//! with `p` the number of padded points per direction.
+
+use crate::throughput::{constrain_throughput, ArbitrationPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a padding analysis for one degree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaddingAnalysis {
+    /// Original polynomial degree.
+    pub degree: usize,
+    /// Points per direction after padding.
+    pub padded_points: usize,
+    /// Padded points added per direction (`p`).
+    pub padding: usize,
+    /// Throughput achievable without padding (subject to the divisor rule).
+    pub unpadded_throughput: f64,
+    /// Throughput of the padded kernel.
+    pub padded_throughput: f64,
+    /// Work inflation factor `((N+1+p)/(N+1))^3 >= 1`.
+    pub work_inflation: f64,
+    /// Net speedup of padding over not padding (`> 1` means padding pays).
+    pub net_gain: f64,
+}
+
+/// Efficiency factor of padding: the fraction of padded work that is useful,
+/// `((N+1)/(N+1+p))^3`.
+#[must_use]
+pub fn padding_efficiency(degree: usize, padded_points: usize) -> f64 {
+    let n1 = (degree + 1) as f64;
+    let np = padded_points as f64;
+    assert!(np >= n1, "padding cannot shrink the element");
+    (n1 / np).powi(3)
+}
+
+/// The smallest number of points `>= N+1` divisible by `target_unroll`.
+#[must_use]
+pub fn padded_points_for_unroll(degree: usize, target_unroll: usize) -> usize {
+    assert!(target_unroll >= 1);
+    let n1 = degree + 1;
+    n1.div_ceil(target_unroll) * target_unroll
+}
+
+/// Analyse whether padding degree `degree` up to an unroll factor of
+/// `target_unroll` pays off, given the hardware could sustain at most
+/// `max_throughput` DOFs/cycle if arbitration were no issue.
+#[must_use]
+pub fn analyse_padding(degree: usize, target_unroll: usize, max_throughput: f64) -> PaddingAnalysis {
+    let unpadded =
+        constrain_throughput(max_throughput, degree, ArbitrationPolicy::PowerOfTwoDivisor);
+    let padded_points = padded_points_for_unroll(degree, target_unroll);
+    let padding = padded_points - (degree + 1);
+    let padded_throughput = (target_unroll as f64).min(max_throughput);
+    let work_inflation = 1.0 / padding_efficiency(degree, padded_points);
+    let net_gain = (padded_throughput / unpadded) / work_inflation;
+    PaddingAnalysis {
+        degree,
+        padded_points,
+        padding,
+        unpadded_throughput: unpadded,
+        padded_throughput,
+        work_inflation,
+        net_gain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisible_degrees_need_no_padding() {
+        let a = analyse_padding(7, 4, 4.0);
+        assert_eq!(a.padding, 0);
+        assert!((a.net_gain - 1.0).abs() < 1e-12);
+        assert!((a.work_inflation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_degrees_lose_from_padding() {
+        // N = 1 (2 points) padded to 4 points quadruples the work per
+        // direction cubed (8x) while only doubling the throughput.
+        let a = analyse_padding(1, 4, 4.0);
+        assert_eq!(a.padded_points, 4);
+        assert_eq!(a.padding, 2);
+        assert!(a.net_gain < 1.0, "net gain {}", a.net_gain);
+    }
+
+    #[test]
+    fn moderate_degrees_can_roughly_break_even() {
+        // N = 13 (14 points) padded to 16 points: work inflation
+        // (16/14)^3 ≈ 1.49, throughput gain 2 -> net ≈ 1.34: padding helps a
+        // bit, which is why the paper explored it, but the gain is modest and
+        // vanishes once host-side cost is considered.
+        let a = analyse_padding(13, 4, 4.0);
+        assert_eq!(a.padded_points, 16);
+        assert!(a.net_gain > 1.0 && a.net_gain < 1.6, "net gain {}", a.net_gain);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_padding() {
+        assert!(padding_efficiency(9, 10) > padding_efficiency(9, 12));
+        assert_eq!(padding_efficiency(9, 10), 1.0);
+    }
+
+    #[test]
+    fn padded_points_round_up_to_multiples() {
+        assert_eq!(padded_points_for_unroll(9, 4), 12);
+        assert_eq!(padded_points_for_unroll(7, 4), 8);
+        assert_eq!(padded_points_for_unroll(5, 8), 8);
+        assert_eq!(padded_points_for_unroll(12, 4), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn padding_cannot_shrink() {
+        let _ = padding_efficiency(9, 8);
+    }
+}

@@ -1,0 +1,225 @@
+//! FPGA resource accounting.
+//!
+//! The paper's resource measure is
+//!
+//! \[R_{tot} = R_{base}(N) + R_{comp}(N) , \qquad
+//!   R_{comp}(N) = T \cdot (C_{add}(N) R_{add} + C_{mul}(N) R_{mul})\]
+//!
+//! where `T` is the throughput in DOFs per cycle and `R_add`, `R_mul` are
+//! the resources needed to instantiate one double-precision adder or
+//! multiplier.  Resources are tracked along three axes: adaptive logic
+//! modules (ALMs), DSP blocks and M20K BRAM blocks.
+
+use crate::cost::KernelCost;
+use serde::{Deserialize, Serialize};
+
+/// A vector of FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResourceVector {
+    /// Adaptive logic modules.
+    pub alms: f64,
+    /// DSP blocks.
+    pub dsps: f64,
+    /// M20K block RAMs.
+    pub brams: f64,
+}
+
+impl ResourceVector {
+    /// Create a resource vector.
+    #[must_use]
+    pub fn new(alms: f64, dsps: f64, brams: f64) -> Self {
+        Self { alms, dsps, brams }
+    }
+
+    /// Element-wise addition.
+    #[must_use]
+    pub fn plus(&self, other: &Self) -> Self {
+        Self {
+            alms: self.alms + other.alms,
+            dsps: self.dsps + other.dsps,
+            brams: self.brams + other.brams,
+        }
+    }
+
+    /// Element-wise subtraction, clamped at zero.
+    #[must_use]
+    pub fn saturating_minus(&self, other: &Self) -> Self {
+        Self {
+            alms: (self.alms - other.alms).max(0.0),
+            dsps: (self.dsps - other.dsps).max(0.0),
+            brams: (self.brams - other.brams).max(0.0),
+        }
+    }
+
+    /// Scale every component.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            alms: self.alms * factor,
+            dsps: self.dsps * factor,
+            brams: self.brams * factor,
+        }
+    }
+
+    /// Whether every component of `self` fits within `capacity`.
+    #[must_use]
+    pub fn fits_within(&self, capacity: &Self) -> bool {
+        self.alms <= capacity.alms && self.dsps <= capacity.dsps && self.brams <= capacity.brams
+    }
+
+    /// Utilisation fractions of `self` relative to a capacity vector
+    /// (components with zero capacity report zero utilisation).
+    #[must_use]
+    pub fn utilisation(&self, capacity: &Self) -> Self {
+        let frac = |used: f64, cap: f64| if cap > 0.0 { used / cap } else { 0.0 };
+        Self {
+            alms: frac(self.alms, capacity.alms),
+            dsps: frac(self.dsps, capacity.dsps),
+            brams: frac(self.brams, capacity.brams),
+        }
+    }
+}
+
+/// Resources needed to instantiate one double-precision floating-point unit.
+///
+/// The defaults reflect Intel Stratix 10 style devices where the DSP blocks
+/// natively support single precision only: a double-precision multiplier
+/// consumes several 18×19 DSP slices plus correction logic, and a
+/// double-precision adder is built almost entirely out of ALMs — which is why
+/// the paper's accelerator ends up *logic bound*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpuCost {
+    /// ALMs per double-precision adder.
+    pub add_alms: f64,
+    /// DSPs per double-precision adder.
+    pub add_dsps: f64,
+    /// ALMs per double-precision multiplier.
+    pub mult_alms: f64,
+    /// DSPs per double-precision multiplier.
+    pub mult_dsps: f64,
+}
+
+impl Default for FpuCost {
+    fn default() -> Self {
+        Self::stratix10_double()
+    }
+}
+
+impl FpuCost {
+    /// Empirical double-precision FPU costs on Stratix 10-class devices.
+    #[must_use]
+    pub fn stratix10_double() -> Self {
+        Self {
+            add_alms: 700.0,
+            add_dsps: 0.0,
+            mult_alms: 300.0,
+            mult_dsps: 4.0,
+        }
+    }
+
+    /// A hypothetical device with DSP blocks hardened for double precision
+    /// (the final remark of Section V-D): multiplications and additions map
+    /// almost entirely to DSPs, relieving the logic pressure.
+    #[must_use]
+    pub fn hardened_double_dsp() -> Self {
+        Self {
+            add_alms: 80.0,
+            add_dsps: 0.5,
+            mult_alms: 60.0,
+            mult_dsps: 1.0,
+        }
+    }
+
+    /// Resources required to sustain `throughput` DOFs per cycle at degree
+    /// `degree`: the paper's `R_comp(N) = T (C_add R_add + C_mul R_mul)`.
+    #[must_use]
+    pub fn compute_resources(&self, degree: usize, throughput: f64) -> ResourceVector {
+        let c = KernelCost::new(degree);
+        ResourceVector {
+            alms: throughput * (c.adds as f64 * self.add_alms + c.mults as f64 * self.mult_alms),
+            dsps: throughput * (c.adds as f64 * self.add_dsps + c.mults as f64 * self.mult_dsps),
+            brams: 0.0,
+        }
+    }
+
+    /// The largest throughput (DOFs/cycle) the available compute resources
+    /// can sustain at degree `degree` — the element-wise division
+    /// `R_max / R_comp-per-unit-T` of the paper, taking the minimum over the
+    /// resource types that are actually consumed.
+    #[must_use]
+    pub fn max_throughput(&self, degree: usize, available: &ResourceVector) -> f64 {
+        let per_unit = self.compute_resources(degree, 1.0);
+        let mut t = f64::INFINITY;
+        if per_unit.alms > 0.0 {
+            t = t.min(available.alms / per_unit.alms);
+        }
+        if per_unit.dsps > 0.0 {
+            t = t.min(available.dsps / per_unit.dsps);
+        }
+        if per_unit.brams > 0.0 {
+            t = t.min(available.brams / per_unit.brams);
+        }
+        t.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = ResourceVector::new(10.0, 2.0, 1.0);
+        let b = ResourceVector::new(4.0, 5.0, 0.5);
+        let sum = a.plus(&b);
+        assert_eq!(sum.alms, 14.0);
+        let diff = a.saturating_minus(&b);
+        assert_eq!(diff.dsps, 0.0);
+        assert!(a.scaled(2.0).alms == 20.0);
+        assert!(b.fits_within(&ResourceVector::new(5.0, 6.0, 1.0)));
+        assert!(!a.fits_within(&b));
+        let u = a.utilisation(&ResourceVector::new(20.0, 4.0, 0.0));
+        assert!((u.alms - 0.5).abs() < 1e-12);
+        assert_eq!(u.brams, 0.0);
+    }
+
+    #[test]
+    fn compute_resources_scale_linearly_with_throughput() {
+        let fpu = FpuCost::stratix10_double();
+        let r1 = fpu.compute_resources(7, 1.0);
+        let r4 = fpu.compute_resources(7, 4.0);
+        assert!((r4.alms - 4.0 * r1.alms).abs() < 1e-9);
+        assert!((r4.dsps - 4.0 * r1.dsps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stratix_double_precision_is_logic_heavy() {
+        // The defining observation of the paper: per unit throughput the ALM
+        // demand dominates relative to the device's ALM/DSP ratio (~162 on
+        // the GX2800), so the design is logic bound.
+        let fpu = FpuCost::stratix10_double();
+        let r = fpu.compute_resources(7, 1.0);
+        assert!(r.alms / r.dsps > 933_120.0 / 5_760.0);
+    }
+
+    #[test]
+    fn hardened_dsp_flips_the_bottleneck() {
+        let fpu = FpuCost::hardened_double_dsp();
+        let r = fpu.compute_resources(7, 1.0);
+        assert!(r.alms / r.dsps < 933_120.0 / 5_760.0);
+    }
+
+    #[test]
+    fn max_throughput_respects_the_scarcest_resource() {
+        let fpu = FpuCost::stratix10_double();
+        let per_unit = fpu.compute_resources(7, 1.0);
+        // Plenty of DSPs, little logic: ALMs limit.
+        let avail = ResourceVector::new(per_unit.alms * 3.0, per_unit.dsps * 100.0, 0.0);
+        let t = fpu.max_throughput(7, &avail);
+        assert!((t - 3.0).abs() < 1e-9);
+        // Plenty of logic, few DSPs: DSPs limit.
+        let avail = ResourceVector::new(per_unit.alms * 100.0, per_unit.dsps * 2.0, 0.0);
+        let t = fpu.max_throughput(7, &avail);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sensitivity analysis of the performance model.
+//!
+//! Section V-D asks which resource an FPGA vendor should invest in for this
+//! class of computation (more logic? more DSPs? more bandwidth?).  This
+//! module answers that systematically: it sweeps one device parameter at a
+//! time and reports where the binding constraint flips and how much
+//! performance each increment buys — the ablation study behind the paper's
+//! "higher logic-to-DSP ratio" recommendation.
+
+use crate::device::FpgaDevice;
+use crate::projection::calibrated_base;
+use crate::throughput::{predict, ArbitrationPolicy, ThroughputPrediction};
+use serde::{Deserialize, Serialize};
+
+/// Which device parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepParameter {
+    /// Multiply the ALM count.
+    Logic,
+    /// Multiply the DSP count.
+    Dsp,
+    /// Multiply the external memory bandwidth.
+    Bandwidth,
+}
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The multiplier applied to the swept parameter.
+    pub factor: f64,
+    /// The resulting prediction.
+    pub prediction: ThroughputPrediction,
+}
+
+/// Result of sweeping one parameter for one degree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivitySweep {
+    /// Base device name.
+    pub device: String,
+    /// Swept parameter.
+    pub parameter: SweepParameter,
+    /// Polynomial degree.
+    pub degree: usize,
+    /// The sweep points, in increasing factor order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SensitivitySweep {
+    /// The smallest factor at which the binding constraint differs from the
+    /// constraint at factor 1.0 (i.e. where additional investment stops
+    /// paying), if any.
+    #[must_use]
+    pub fn saturation_factor(&self) -> Option<f64> {
+        let baseline = self.points.first()?.prediction.bound;
+        self.points
+            .iter()
+            .find(|p| p.prediction.bound != baseline)
+            .map(|p| p.factor)
+    }
+
+    /// Performance gain of the largest factor relative to the smallest.
+    #[must_use]
+    pub fn total_gain(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(first), Some(last)) if first.prediction.gflops > 0.0 => {
+                last.prediction.gflops / first.prediction.gflops
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+fn scaled_device(device: &FpgaDevice, parameter: SweepParameter, factor: f64) -> FpgaDevice {
+    let mut d = device.clone();
+    match parameter {
+        SweepParameter::Logic => d.resources.alms *= factor,
+        SweepParameter::Dsp => d.resources.dsps *= factor,
+        SweepParameter::Bandwidth => d.memory_bandwidth_gbs *= factor,
+    }
+    d
+}
+
+/// Sweep `parameter` over `factors` for `degree` on `device` at the given
+/// clock, using the future-HLS (power-of-two) arbitration policy.
+#[must_use]
+pub fn sweep(
+    device: &FpgaDevice,
+    parameter: SweepParameter,
+    degree: usize,
+    factors: &[f64],
+    frequency_mhz: f64,
+) -> SensitivitySweep {
+    let base = calibrated_base(degree);
+    let points = factors
+        .iter()
+        .map(|&factor| SweepPoint {
+            factor,
+            prediction: predict(
+                &scaled_device(device, parameter, factor),
+                degree,
+                &base,
+                frequency_mhz,
+                ArbitrationPolicy::PowerOfTwo,
+            ),
+        })
+        .collect();
+    SensitivitySweep {
+        device: device.name.clone(),
+        parameter,
+        degree,
+        points,
+    }
+}
+
+/// The default sweep factors (1x … 16x).
+#[must_use]
+pub fn default_factors() -> Vec<f64> {
+    vec![1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0]
+}
+
+/// For a device and degree, rank the three parameters by the performance gain
+/// a 4x investment in each would buy — the "what should the vendor build"
+/// question of Section V-D.
+#[must_use]
+pub fn investment_ranking(
+    device: &FpgaDevice,
+    degree: usize,
+    frequency_mhz: f64,
+) -> Vec<(SweepParameter, f64)> {
+    let factors = [1.0, 4.0];
+    let mut gains: Vec<(SweepParameter, f64)> = [
+        SweepParameter::Logic,
+        SweepParameter::Dsp,
+        SweepParameter::Bandwidth,
+    ]
+    .into_iter()
+    .map(|p| {
+        let s = sweep(device, p, degree, &factors, frequency_mhz);
+        (p, s.total_gain())
+    })
+    .collect();
+    gains.sort_by(|a, b| b.1.total_cmp(&a.1));
+    gains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::PerformanceBound;
+
+    #[test]
+    fn bandwidth_is_the_best_investment_on_the_evaluated_board() {
+        // The GX2800 design is bandwidth-bound at 300 MHz (T_B = 4 < T_R), so
+        // more bandwidth must rank first — consistent with the paper coupling
+        // every projected device with a faster memory system.
+        let ranking = investment_ranking(&FpgaDevice::stratix10_gx2800(), 7, 300.0);
+        assert_eq!(ranking[0].0, SweepParameter::Bandwidth);
+        assert!(ranking[0].1 > 1.5);
+    }
+
+    #[test]
+    fn logic_becomes_the_constraint_once_bandwidth_is_plentiful() {
+        // Sweep bandwidth on the GX2800: performance saturates once the
+        // bandwidth bound passes the logic bound, and the binding constraint
+        // flips from memory to a fabric resource.
+        let s = sweep(
+            &FpgaDevice::stratix10_gx2800(),
+            SweepParameter::Bandwidth,
+            11,
+            &default_factors(),
+            300.0,
+        );
+        assert_eq!(s.points.first().unwrap().prediction.bound, PerformanceBound::Bandwidth);
+        let last = s.points.last().unwrap().prediction;
+        assert_ne!(last.bound, PerformanceBound::Bandwidth);
+        assert!(s.saturation_factor().is_some());
+    }
+
+    #[test]
+    fn dsp_investment_alone_buys_nothing_on_a_bandwidth_bound_design() {
+        let s = sweep(
+            &FpgaDevice::stratix10_gx2800(),
+            SweepParameter::Dsp,
+            7,
+            &default_factors(),
+            300.0,
+        );
+        assert!((s.total_gain() - 1.0).abs() < 1e-9);
+        assert!(s.saturation_factor().is_none());
+    }
+
+    #[test]
+    fn sweeps_are_monotone_in_the_invested_resource() {
+        for parameter in [SweepParameter::Logic, SweepParameter::Dsp, SweepParameter::Bandwidth] {
+            let s = sweep(
+                &FpgaDevice::stratix10_gx2800(),
+                parameter,
+                15,
+                &default_factors(),
+                300.0,
+            );
+            for pair in s.points.windows(2) {
+                assert!(
+                    pair[1].prediction.gflops + 1e-9 >= pair[0].prediction.gflops,
+                    "{parameter:?}"
+                );
+            }
+        }
+    }
+}

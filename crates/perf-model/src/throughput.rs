@@ -1,0 +1,276 @@
+//! Throughput and peak-performance prediction (the core of Section IV).
+//!
+//! The accelerator processes `T` degrees of freedom per cycle.  `T` is bounded
+//! by three things:
+//!
+//! 1. **Bandwidth**: each DOF needs 8 double words from/to external memory,
+//!    so `T_B = B / (64 · f)`;
+//! 2. **Resources**: the fabric left over after the base design
+//!    (`R_max = R_tot − R_base`) must hold `T` copies of the per-DOF FPUs,
+//!    `T_R = min over resource types of R_max / (C_add R_add + C_mul R_mul)`;
+//! 3. **Arbitration**: the HLS tool only produces stall-free BRAM access if
+//!    the unroll factor is a power of two that divides `N + 1`
+//!    (`T = 2^k`, `(N+1) mod T = 0`).
+//!
+//! Peak performance is then `P_max(N) = (12(N+1) + 15) · T_max · f`.
+
+use crate::cost::{bytes_per_dof, flops_per_dof};
+use crate::device::FpgaDevice;
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// Which constraint ends up limiting the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerformanceBound {
+    /// External memory bandwidth is the binding constraint.
+    Bandwidth,
+    /// Adaptive logic (ALMs) is the binding constraint.
+    Logic,
+    /// DSP blocks are the binding constraint.
+    Dsp,
+    /// Block RAM is the binding constraint.
+    Bram,
+}
+
+/// How the unroll factor is constrained (Section IV / Section V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ArbitrationPolicy {
+    /// The as-built HLS behaviour: `T` must be a power of two **and** divide
+    /// `N + 1`, otherwise BRAM arbitration destroys the pipeline.
+    #[default]
+    PowerOfTwoDivisor,
+    /// Future-HLS assumption used for the Agilex / Stratix 10M projections:
+    /// `T` must still be a power of two but no longer needs to divide `N+1`.
+    PowerOfTwo,
+    /// No constraint at all (used for the "ideal FPGA" projection, which is
+    /// sized so that memory bandwidth is the only limit).
+    Unconstrained,
+}
+
+/// The model's prediction for one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPrediction {
+    /// Polynomial degree.
+    pub degree: usize,
+    /// Kernel clock used for the prediction, MHz.
+    pub frequency_mhz: f64,
+    /// Bandwidth-limited throughput `T_B` in DOFs/cycle.
+    pub bandwidth_limit: f64,
+    /// Resource-limited throughput `T_R` in DOFs/cycle.
+    pub resource_limit: f64,
+    /// `min(T_B, T_R)` before the arbitration constraint.
+    pub unconstrained: f64,
+    /// Final throughput after the arbitration policy.
+    pub dofs_per_cycle: f64,
+    /// Whether the arbitration/unroll constraint reduced the throughput.
+    pub arbitration_limited: bool,
+    /// The binding constraint (before arbitration).
+    pub bound: PerformanceBound,
+    /// Predicted performance `P_max` in GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Bandwidth-limited throughput `T_B = B / (bytes_per_dof · f)` in DOFs/cycle.
+#[must_use]
+pub fn bandwidth_throughput(bandwidth_gbs: f64, degree: usize, frequency_mhz: f64) -> f64 {
+    if frequency_mhz <= 0.0 {
+        return 0.0;
+    }
+    bandwidth_gbs * 1e9 / (bytes_per_dof(degree) * frequency_mhz * 1e6)
+}
+
+/// Apply an arbitration policy to an unconstrained throughput value.
+#[must_use]
+pub fn constrain_throughput(unconstrained: f64, degree: usize, policy: ArbitrationPolicy) -> f64 {
+    match policy {
+        ArbitrationPolicy::Unconstrained => unconstrained,
+        ArbitrationPolicy::PowerOfTwo => largest_power_of_two_at_most(unconstrained),
+        ArbitrationPolicy::PowerOfTwoDivisor => {
+            let n1 = degree + 1;
+            let mut best = 1.0_f64;
+            let mut t = 1_usize;
+            while (t as f64) <= unconstrained {
+                if n1 % t == 0 {
+                    best = t as f64;
+                }
+                t *= 2;
+            }
+            best.min(unconstrained.max(1.0))
+        }
+    }
+}
+
+fn largest_power_of_two_at_most(x: f64) -> f64 {
+    if x < 1.0 {
+        return x.max(0.0);
+    }
+    let mut t = 1.0_f64;
+    while t * 2.0 <= x {
+        t *= 2.0;
+    }
+    t
+}
+
+/// Predict the throughput and performance of the accelerator for `degree` on
+/// `device`, given the empirically calibrated base utilisation `base` and the
+/// kernel clock `frequency_mhz`.
+#[must_use]
+pub fn predict(
+    device: &FpgaDevice,
+    degree: usize,
+    base: &ResourceVector,
+    frequency_mhz: f64,
+    policy: ArbitrationPolicy,
+) -> ThroughputPrediction {
+    let available = device.resources.saturating_minus(base);
+    let per_unit = device.fpu.compute_resources(degree, 1.0);
+
+    // Resource bound and which resource binds.
+    let mut resource_limit = f64::INFINITY;
+    let mut bound = PerformanceBound::Logic;
+    if per_unit.alms > 0.0 {
+        resource_limit = available.alms / per_unit.alms;
+        bound = PerformanceBound::Logic;
+    }
+    if per_unit.dsps > 0.0 {
+        let t = available.dsps / per_unit.dsps;
+        if t < resource_limit {
+            resource_limit = t;
+            bound = PerformanceBound::Dsp;
+        }
+    }
+    if per_unit.brams > 0.0 {
+        let t = available.brams / per_unit.brams;
+        if t < resource_limit {
+            resource_limit = t;
+            bound = PerformanceBound::Bram;
+        }
+    }
+
+    let bandwidth_limit = bandwidth_throughput(device.memory_bandwidth_gbs, degree, frequency_mhz);
+    let unconstrained = bandwidth_limit.min(resource_limit);
+    if bandwidth_limit <= resource_limit {
+        bound = PerformanceBound::Bandwidth;
+    }
+    let dofs_per_cycle = constrain_throughput(unconstrained, degree, policy);
+    let arbitration_limited = dofs_per_cycle + 1e-12 < largest_power_of_two_at_most(unconstrained);
+
+    let gflops = flops_per_dof(degree) * dofs_per_cycle * frequency_mhz * 1e6 / 1e9;
+
+    ThroughputPrediction {
+        degree,
+        frequency_mhz,
+        bandwidth_limit,
+        resource_limit,
+        unconstrained,
+        dofs_per_cycle,
+        arbitration_limited,
+        bound,
+        gflops,
+    }
+}
+
+/// Peak performance `P_max(N) = (12(N+1)+15) · T · f` in GFLOP/s.
+#[must_use]
+pub fn peak_gflops(degree: usize, dofs_per_cycle: f64, frequency_mhz: f64) -> f64 {
+    flops_per_dof(degree) * dofs_per_cycle * frequency_mhz * 1e6 / 1e9
+}
+
+/// Relative model error in percent, `|model − measured| / measured · 100`,
+/// computed on the throughput per cycle as in Table I.
+#[must_use]
+pub fn model_error_percent(modelled_dofs_per_cycle: f64, measured_dofs_per_cycle: f64) -> f64 {
+    if measured_dofs_per_cycle == 0.0 {
+        return f64::INFINITY;
+    }
+    ((modelled_dofs_per_cycle - measured_dofs_per_cycle) / measured_dofs_per_cycle).abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_bound_matches_the_papers_tmax_of_four() {
+        // 76.8 GB/s at a 300 MHz memory clock gives T_B = 4 DOFs/cycle.
+        let t = bandwidth_throughput(76.8, 7, 300.0);
+        assert!((t - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbitration_constraint_per_degree() {
+        // N+1 = 8: can unroll by 4 (or 8 if allowed by the other limits).
+        assert_eq!(constrain_throughput(4.0, 7, ArbitrationPolicy::PowerOfTwoDivisor), 4.0);
+        assert_eq!(constrain_throughput(7.9, 7, ArbitrationPolicy::PowerOfTwoDivisor), 4.0);
+        // N+1 = 10: only 2 divides it among the powers of two <= 4.
+        assert_eq!(constrain_throughput(4.0, 9, ArbitrationPolicy::PowerOfTwoDivisor), 2.0);
+        // N+1 = 6 with T up to 4: only 2.
+        assert_eq!(constrain_throughput(4.0, 5, ArbitrationPolicy::PowerOfTwoDivisor), 2.0);
+        // N+1 = 12 with T up to 15.9: 4 under the divisor policy, 8 without it.
+        assert_eq!(constrain_throughput(15.9, 11, ArbitrationPolicy::PowerOfTwoDivisor), 4.0);
+        assert_eq!(constrain_throughput(15.9, 11, ArbitrationPolicy::PowerOfTwo), 8.0);
+        // Unconstrained passes through.
+        assert_eq!(constrain_throughput(62.5, 15, ArbitrationPolicy::Unconstrained), 62.5);
+    }
+
+    #[test]
+    fn gx2800_prediction_reproduces_table1_peaks() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let base = ResourceVector::new(450_000.0, 100.0, 2_000.0);
+        // N = 7 at the measured 274 MHz clock: T = 4, P ≈ 111 · 4 · 274 MHz ≈ 122 GF;
+        // at the 300 MHz memory clock the model gives 133 GF — the paper's
+        // Fig. 3 "modeled 300 MHz" curve.  The bandwidth bound is 4 either way.
+        let p = predict(&device, 7, &base, 274.0, ArbitrationPolicy::PowerOfTwoDivisor);
+        assert_eq!(p.dofs_per_cycle, 4.0);
+        assert_eq!(p.bound, PerformanceBound::Bandwidth);
+        assert!((p.gflops - 111.0 * 4.0 * 274e6 / 1e9).abs() < 1e-6);
+
+        // N = 9: the divisor constraint halves the throughput.
+        let p9 = predict(&device, 9, &base, 233.0, ArbitrationPolicy::PowerOfTwoDivisor);
+        assert_eq!(p9.dofs_per_cycle, 2.0);
+        assert!(p9.arbitration_limited);
+    }
+
+    #[test]
+    fn agilex_projection_matches_section_vd() {
+        // The Agilex 027 coupled with 153.6 GB/s at 300 MHz: the paper
+        // projects 266, 191 and 248 GFLOP/s for N = 7, 11, 15.
+        let device = FpgaDevice::agilex_027();
+        for (degree, base_alms, expected) in
+            [(7_usize, 452_000.0, 266.4), (11, 328_000.0, 190.8), (15, 251_000.0, 248.4)]
+        {
+            let base = ResourceVector::new(base_alms, 0.0, 0.0);
+            let p = predict(&device, degree, &base, 300.0, ArbitrationPolicy::PowerOfTwo);
+            assert!(
+                (p.gflops - expected).abs() < 0.12 * expected,
+                "degree {degree}: {} vs {expected}",
+                p.gflops
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_fpga_is_memory_bound_and_beats_two_tflops() {
+        let device = FpgaDevice::hypothetical_ideal();
+        let base = ResourceVector::new(450_000.0, 100.0, 2_000.0);
+        let p7 = predict(&device, 7, &base, 300.0, ArbitrationPolicy::Unconstrained);
+        assert!(p7.gflops > 2_000.0, "N=7 projection {}", p7.gflops);
+        assert_eq!(p7.bound, PerformanceBound::Bandwidth);
+        let p11 = predict(&device, 11, &base, 300.0, ArbitrationPolicy::Unconstrained);
+        assert!(p11.gflops > 2_800.0, "N=11 projection {}", p11.gflops);
+    }
+
+    #[test]
+    fn model_error_is_symmetric_in_sign() {
+        assert!((model_error_percent(4.0, 3.58) - 11.73).abs() < 0.1);
+        assert!((model_error_percent(3.2, 3.58) - 10.61).abs() < 0.1);
+        assert_eq!(model_error_percent(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn peak_formula_matches_measured_identity() {
+        // 111 FLOP/DOF · 3.96 DOF/cycle · 216 MHz ≈ 136 GFLOP/s (Table I, N = 11).
+        let p = peak_gflops(11, 3.96, 216.0);
+        assert!((p - 136.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Backend auto-tuning.
+//!
+//! Given a problem (degree, element count) and a set of candidate backends,
+//! pick the one the models/measurements expect to be fastest — the decision a
+//! production host code faces when it has both CPUs and accelerator boards
+//! available.  For FPGA backends the candidate set also considers host-side
+//! padding up to the next synthesised width when the degree's GLL count is
+//! not unroll-friendly (Section III-E).
+
+use crate::backend::Backend;
+use crate::report::{PerfSource, PerfSummary};
+use crate::system::SemSystem;
+use fpga_sim::{AcceleratorDesign, FpgaAccelerator, FpgaDevice};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningCandidate {
+    /// Human-readable description of the configuration.
+    pub label: String,
+    /// Expected (measured or simulated) performance.
+    pub gflops: f64,
+    /// Whether the figure is a simulation or a host measurement.
+    pub simulated: bool,
+    /// Whether host-side padding is involved.
+    pub padded: bool,
+}
+
+/// Result of an auto-tuning pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningReport {
+    /// Polynomial degree of the problem.
+    pub degree: usize,
+    /// Number of elements of the problem.
+    pub num_elements: usize,
+    /// Every candidate that was evaluated, best first.
+    pub candidates: Vec<TuningCandidate>,
+}
+
+impl TuningReport {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    /// Panics if no candidates were evaluated (cannot happen through
+    /// [`autotune`]).
+    #[must_use]
+    pub fn best(&self) -> &TuningCandidate {
+        self.candidates.first().expect("at least one candidate")
+    }
+}
+
+/// Evaluate the CPU backend (measured) and the simulated FPGA backend
+/// (with and, where it applies, without host padding) for a problem, and
+/// rank them by expected throughput.
+#[must_use]
+pub fn autotune(degree: usize, elements: [usize; 3], device: &FpgaDevice) -> TuningReport {
+    let num_elements = elements[0] * elements[1] * elements[2];
+    let mut candidates = Vec::new();
+
+    // Host CPU (parallel kernel), measured on a few repetitions.
+    let cpu = SemSystem::builder()
+        .degree(degree)
+        .elements(elements)
+        .backend(Backend::cpu_parallel())
+        .build();
+    let cpu_perf: PerfSummary = cpu.benchmark_operator(3);
+    candidates.push(TuningCandidate {
+        label: "CPU (Rayon-parallel kernel)".to_string(),
+        gflops: cpu_perf.gflops,
+        simulated: cpu_perf.source == PerfSource::Simulated,
+        padded: false,
+    });
+
+    // Simulated FPGA, native degree.
+    let native = FpgaAccelerator::for_degree(degree, device).estimate(num_elements);
+    candidates.push(TuningCandidate {
+        label: format!("FPGA bitstream N={degree} (unroll {})",
+            AcceleratorDesign::for_degree(degree, device).unroll),
+        gflops: native.gflops,
+        simulated: true,
+        padded: false,
+    });
+
+    // Simulated FPGA with host padding to an unroll of four, when the native
+    // design could not unroll that far.
+    let native_design = AcceleratorDesign::for_degree(degree, device);
+    if native_design.unroll < 4 {
+        let mut padded_design = native_design;
+        padded_design.unroll = 4;
+        padded_design.host_padding = true;
+        let padded_nx = padded_design.points_per_direction();
+        let accelerator = FpgaAccelerator::new(device.clone(), padded_design);
+        let report = accelerator.estimate(num_elements);
+        // The padded kernel does more work per element; only the fraction
+        // corresponding to the original element size is useful.
+        let inflation = (padded_nx as f64 / (degree + 1) as f64).powi(3);
+        let effective_gflops = report.gflops / inflation;
+        candidates.push(TuningCandidate {
+            label: format!("FPGA padded to {padded_nx} points (unroll 4)"),
+            gflops: effective_gflops,
+            simulated: true,
+            padded: true,
+        });
+    }
+
+    candidates.sort_by(|a, b| b.gflops.total_cmp(&a.gflops));
+    TuningReport {
+        degree,
+        num_elements,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unroll_friendly_degrees_have_two_candidates() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let report = autotune(7, [2, 2, 2], &device);
+        assert_eq!(report.candidates.len(), 2);
+        assert!(report.candidates.iter().all(|c| c.gflops > 0.0));
+        assert!(!report.best().label.is_empty());
+    }
+
+    #[test]
+    fn arbitration_limited_degrees_also_consider_padding() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let report = autotune(9, [2, 2, 2], &device);
+        assert_eq!(report.candidates.len(), 3);
+        assert!(report.candidates.iter().any(|c| c.padded));
+    }
+
+    #[test]
+    fn candidates_are_sorted_best_first() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let report = autotune(5, [2, 2, 2], &device);
+        for pair in report.candidates.windows(2) {
+            assert!(pair[0].gflops >= pair[1].gflops);
+        }
+    }
+
+    #[test]
+    fn large_problems_favour_the_accelerator() {
+        // At 512 elements and N = 7 the simulated FPGA should beat the CPU
+        // of this container comfortably.
+        let device = FpgaDevice::stratix10_gx2800();
+        let report = autotune(7, [8, 8, 8], &device);
+        assert!(report.best().simulated, "best: {}", report.best().label);
+    }
+}

@@ -1,0 +1,85 @@
+//! Execution backends.
+
+use fpga_sim::FpgaDevice;
+use sem_kernel::AxImplementation;
+use serde::{Deserialize, Serialize};
+
+/// Where the `Ax` kernel runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Backend {
+    /// Native CPU execution with the selected kernel implementation.
+    Cpu(AxImplementation),
+    /// The simulated FPGA accelerator on the given device.
+    FpgaSimulated(FpgaDevice),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Self::Cpu(AxImplementation::Parallel)
+    }
+}
+
+impl Backend {
+    /// Native CPU, reference (Listing 1) kernel.
+    #[must_use]
+    pub fn cpu_reference() -> Self {
+        Self::Cpu(AxImplementation::Reference)
+    }
+
+    /// Native CPU, optimised sequential kernel.
+    #[must_use]
+    pub fn cpu_optimized() -> Self {
+        Self::Cpu(AxImplementation::Optimized)
+    }
+
+    /// Native CPU, Rayon-parallel kernel.
+    #[must_use]
+    pub fn cpu_parallel() -> Self {
+        Self::Cpu(AxImplementation::Parallel)
+    }
+
+    /// Simulated FPGA on the evaluated Stratix 10 GX2800 board.
+    #[must_use]
+    pub fn fpga_simulated() -> Self {
+        Self::FpgaSimulated(FpgaDevice::stratix10_gx2800())
+    }
+
+    /// Simulated FPGA on an arbitrary device from the catalogue.
+    #[must_use]
+    pub fn fpga_on(device: FpgaDevice) -> Self {
+        Self::FpgaSimulated(device)
+    }
+
+    /// Short human-readable label (used in reports and benches).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Cpu(AxImplementation::Reference) => "cpu-reference".to_string(),
+            Self::Cpu(AxImplementation::Optimized) => "cpu-optimized".to_string(),
+            Self::Cpu(AxImplementation::Parallel) => "cpu-parallel".to_string(),
+            Self::FpgaSimulated(device) => format!("fpga-sim ({})", device.name),
+        }
+    }
+
+    /// Whether timing figures from this backend are wall-clock measurements
+    /// (CPU) or simulator estimates (FPGA).
+    #[must_use]
+    pub fn is_simulated(&self) -> bool {
+        matches!(self, Self::FpgaSimulated(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(Backend::cpu_reference().label(), "cpu-reference");
+        assert!(!Backend::cpu_parallel().is_simulated());
+        let fpga = Backend::fpga_simulated();
+        assert!(fpga.is_simulated());
+        assert!(fpga.label().contains("GX2800"));
+        assert_eq!(Backend::default(), Backend::cpu_parallel());
+    }
+}

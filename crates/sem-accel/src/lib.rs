@@ -1,0 +1,37 @@
+//! High-level SEM acceleration API.
+//!
+//! This crate is the public face of the workspace: it binds a spectral
+//! element problem (mesh + operator + solver) to an execution *backend* —
+//! one of the native CPU kernels or the simulated FPGA accelerator — the way
+//! the paper's Fortran host binds Nekbone to either its CPU kernel or the
+//! OpenCL bitstream.
+//!
+//! ```
+//! use sem_accel::{Backend, SemSystem};
+//!
+//! // A degree-7 box of 2x2x2 elements evaluated on the simulated FPGA.
+//! let system = SemSystem::builder()
+//!     .degree(7)
+//!     .elements([2, 2, 2])
+//!     .backend(Backend::fpga_simulated())
+//!     .build();
+//! let u = system.mesh().evaluate(|x, y, z| x * y * z);
+//! let (w, report) = system.apply_operator(&u);
+//! assert_eq!(w.len(), u.len());
+//! assert!(report.gflops > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod autotune;
+pub mod backend;
+pub mod offload;
+pub mod report;
+pub mod system;
+
+pub use autotune::{autotune, TuningCandidate, TuningReport};
+pub use backend::Backend;
+pub use offload::OffloadPlan;
+pub use report::{PerfSource, PerfSummary};
+pub use system::{SemSystem, SemSystemBuilder};

@@ -1,0 +1,123 @@
+//! Host-side offload planning.
+//!
+//! Mirrors the host responsibilities of the paper's OpenCL flow: lay the
+//! geometric factors out as six separate buffers (Section III-B), distribute
+//! the eight data regions over the four external banks (Section III-D),
+//! optionally pad elements up to the synthesised width (Section III-E), and
+//! account for the PCIe transfer volume that the evaluation deliberately
+//! excludes from its timings.
+
+use fpga_sim::{AcceleratorDesign, FpgaDevice};
+use serde::{Deserialize, Serialize};
+
+/// A plan for moving one problem's data to and from the accelerator board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadPlan {
+    /// Polynomial degree of the kernel bitstream.
+    pub degree: usize,
+    /// Number of elements to process.
+    pub num_elements: usize,
+    /// Whether host-side padding to the synthesised width is required.
+    pub padded: bool,
+    /// Points per direction actually sent to the device.
+    pub device_points_per_direction: usize,
+    /// Bytes transferred host → device (operand + geometric factors + the two
+    /// derivative matrices).
+    pub bytes_to_device: u64,
+    /// Bytes transferred device → host (the result field).
+    pub bytes_from_device: u64,
+    /// Number of distinct device buffers (data regions) allocated.
+    pub device_buffers: usize,
+    /// Number of external memory banks the buffers are spread over.
+    pub memory_banks: usize,
+}
+
+impl OffloadPlan {
+    /// Build the plan for running `num_elements` elements through `design` on
+    /// `device`.
+    #[must_use]
+    pub fn new(design: &AcceleratorDesign, device: &FpgaDevice, num_elements: usize) -> Self {
+        let n1 = design.degree + 1;
+        let device_nx = design.points_per_direction();
+        let padded = device_nx != n1;
+        let dofs = (device_nx * device_nx * device_nx) as u64 * num_elements as u64;
+        let dbl = std::mem::size_of::<f64>() as u64;
+        // u + 6 geometric factor planes in, w out, plus the two (N+1)^2
+        // derivative matrices.
+        let bytes_to_device = dofs * dbl * 7 + 2 * (device_nx * device_nx) as u64 * dbl;
+        let bytes_from_device = dofs * dbl;
+        Self {
+            degree: design.degree,
+            num_elements,
+            padded,
+            device_points_per_direction: device_nx,
+            bytes_to_device,
+            bytes_from_device,
+            // u, w, 6 gxyz planes: the "eight different data regions" of §III-D.
+            device_buffers: 8,
+            memory_banks: device.memory_banks,
+        }
+    }
+
+    /// Total PCIe traffic in bytes.
+    #[must_use]
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.bytes_to_device + self.bytes_from_device
+    }
+
+    /// Transfer time in seconds over a link of `gbytes_per_sec` (the paper
+    /// excludes this from kernel timings; exposed for end-to-end studies).
+    #[must_use]
+    pub fn transfer_seconds(&self, gbytes_per_sec: f64) -> f64 {
+        self.total_transfer_bytes() as f64 / (gbytes_per_sec * 1e9)
+    }
+
+    /// Buffers per memory bank under the banked allocation.
+    #[must_use]
+    pub fn buffers_per_bank(&self) -> usize {
+        self.device_buffers.div_ceil(self.memory_banks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpadded_plan_accounts_for_eight_words_per_dof() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let design = AcceleratorDesign::for_degree(7, &device);
+        let plan = OffloadPlan::new(&design, &device, 4096);
+        assert!(!plan.padded);
+        assert_eq!(plan.device_points_per_direction, 8);
+        let dofs = 512_u64 * 4096;
+        assert_eq!(plan.bytes_from_device, dofs * 8);
+        assert_eq!(plan.bytes_to_device, dofs * 8 * 7 + 2 * 64 * 8);
+        assert_eq!(plan.total_transfer_bytes(), dofs * 64 + 2 * 64 * 8);
+        assert_eq!(plan.device_buffers, 8);
+        assert_eq!(plan.buffers_per_bank(), 2);
+    }
+
+    #[test]
+    fn padded_plan_inflates_the_transfers() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let mut design = AcceleratorDesign::for_degree(9, &device);
+        let unpadded = OffloadPlan::new(&design, &device, 64);
+        design.unroll = 4;
+        design.host_padding = true;
+        let padded = OffloadPlan::new(&design, &device, 64);
+        assert!(padded.padded);
+        assert_eq!(padded.device_points_per_direction, 12);
+        assert!(padded.bytes_to_device > unpadded.bytes_to_device);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely_with_link_speed() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let design = AcceleratorDesign::for_degree(7, &device);
+        let plan = OffloadPlan::new(&design, &device, 1024);
+        let slow = plan.transfer_seconds(8.0);
+        let fast = plan.transfer_seconds(16.0);
+        assert!((slow / fast - 2.0).abs() < 1e-12);
+    }
+}

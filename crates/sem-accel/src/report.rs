@@ -1,0 +1,66 @@
+//! Performance summaries returned by the system API.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a timing figure was measured on the host or produced by the
+/// accelerator simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerfSource {
+    /// Wall-clock measurement of native execution.
+    Measured,
+    /// Cycle-model estimate from the FPGA simulator.
+    Simulated,
+}
+
+/// A summary of one kernel evaluation (or a batch of evaluations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfSummary {
+    /// Polynomial degree.
+    pub degree: usize,
+    /// Number of elements.
+    pub num_elements: usize,
+    /// Number of operator applications the figures cover.
+    pub applications: usize,
+    /// Total wall (or simulated) time in seconds.
+    pub seconds: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Degrees of freedom processed per second.
+    pub dofs_per_second: f64,
+    /// Power estimate in watts (simulated backends only).
+    pub power_watts: Option<f64>,
+    /// Power efficiency in GFLOP/s/W, when power is known.
+    pub gflops_per_watt: Option<f64>,
+    /// Provenance of the timing.
+    pub source: PerfSource,
+}
+
+impl PerfSummary {
+    /// Throughput in millions of DOFs per second — the DOF-rate metric the
+    /// paper argues makes cross-degree comparisons easier.
+    #[must_use]
+    pub fn mdofs_per_second(&self) -> f64 {
+        self.dofs_per_second / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dof_rate_conversion() {
+        let s = PerfSummary {
+            degree: 7,
+            num_elements: 64,
+            applications: 1,
+            seconds: 0.5,
+            gflops: 10.0,
+            dofs_per_second: 2.5e8,
+            power_watts: None,
+            gflops_per_watt: None,
+            source: PerfSource::Measured,
+        };
+        assert!((s.mdofs_per_second() - 250.0).abs() < 1e-9);
+    }
+}

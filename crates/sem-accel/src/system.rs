@@ -1,0 +1,330 @@
+//! The [`SemSystem`]: a spectral element problem bound to an execution
+//! backend.
+
+use crate::backend::Backend;
+use crate::offload::OffloadPlan;
+use crate::report::{PerfSource, PerfSummary};
+use fpga_sim::{ExecutionReport, FpgaAccelerator};
+use sem_kernel::{AxImplementation, PoissonOperator};
+use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
+use sem_solver::{CgOptions, PoissonProblem, PoissonSolution};
+use std::time::Instant;
+
+/// Builder for [`SemSystem`].
+#[derive(Debug, Clone)]
+pub struct SemSystemBuilder {
+    degree: usize,
+    elements: [usize; 3],
+    lengths: [f64; 3],
+    deformation: MeshDeformation,
+    backend: Backend,
+}
+
+impl Default for SemSystemBuilder {
+    fn default() -> Self {
+        Self {
+            degree: 7,
+            elements: [4, 4, 4],
+            lengths: [1.0; 3],
+            deformation: MeshDeformation::None,
+            backend: Backend::default(),
+        }
+    }
+}
+
+impl SemSystemBuilder {
+    /// Polynomial degree `N`.
+    #[must_use]
+    pub fn degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Elements per direction.
+    #[must_use]
+    pub fn elements(mut self, elements: [usize; 3]) -> Self {
+        self.elements = elements;
+        self
+    }
+
+    /// Domain edge lengths.
+    #[must_use]
+    pub fn lengths(mut self, lengths: [f64; 3]) -> Self {
+        self.lengths = lengths;
+        self
+    }
+
+    /// Mesh deformation.
+    #[must_use]
+    pub fn deformation(mut self, deformation: MeshDeformation) -> Self {
+        self.deformation = deformation;
+        self
+    }
+
+    /// Execution backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Build the system (meshes the domain, precomputes geometric factors,
+    /// and — for FPGA backends — synthesises the simulated accelerator).
+    #[must_use]
+    pub fn build(self) -> SemSystem {
+        let mesh = BoxMesh::new(self.degree, self.elements, self.lengths, self.deformation);
+        let implementation = match &self.backend {
+            Backend::Cpu(imp) => *imp,
+            // The FPGA path still needs a host operator for setup, RHS
+            // assembly and verification; use the optimised CPU kernel.
+            Backend::FpgaSimulated(_) => AxImplementation::Optimized,
+        };
+        let operator = PoissonOperator::new(&mesh, implementation);
+        let gather_scatter = GatherScatter::from_mesh(&mesh);
+        let mask = DirichletMask::from_mesh(&mesh);
+        let accelerator = match &self.backend {
+            Backend::FpgaSimulated(device) => Some(FpgaAccelerator::for_degree(self.degree, device)),
+            Backend::Cpu(_) => None,
+        };
+        SemSystem {
+            backend: self.backend,
+            mesh,
+            operator,
+            gather_scatter,
+            mask,
+            accelerator,
+        }
+    }
+}
+
+/// A spectral element Poisson problem bound to an execution backend.
+pub struct SemSystem {
+    backend: Backend,
+    mesh: BoxMesh,
+    operator: PoissonOperator,
+    gather_scatter: GatherScatter,
+    mask: DirichletMask,
+    accelerator: Option<FpgaAccelerator>,
+}
+
+impl SemSystem {
+    /// Start building a system.
+    #[must_use]
+    pub fn builder() -> SemSystemBuilder {
+        SemSystemBuilder::default()
+    }
+
+    /// The backend in use.
+    #[must_use]
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The mesh.
+    #[must_use]
+    pub fn mesh(&self) -> &BoxMesh {
+        &self.mesh
+    }
+
+    /// The matrix-free operator (host side).
+    #[must_use]
+    pub fn operator(&self) -> &PoissonOperator {
+        &self.operator
+    }
+
+    /// The gather–scatter operator.
+    #[must_use]
+    pub fn gather_scatter(&self) -> &GatherScatter {
+        &self.gather_scatter
+    }
+
+    /// The Dirichlet mask.
+    #[must_use]
+    pub fn mask(&self) -> &DirichletMask {
+        &self.mask
+    }
+
+    /// The simulated accelerator, if the backend is an FPGA.
+    #[must_use]
+    pub fn accelerator(&self) -> Option<&FpgaAccelerator> {
+        self.accelerator.as_ref()
+    }
+
+    /// The offload plan for this problem, if the backend is an FPGA.
+    #[must_use]
+    pub fn offload_plan(&self) -> Option<OffloadPlan> {
+        self.accelerator.as_ref().map(|acc| {
+            OffloadPlan::new(acc.design(), acc.device(), self.mesh.num_elements())
+        })
+    }
+
+    /// Apply the local Poisson operator once, returning the result and a
+    /// performance summary (wall-clock for CPU backends, simulated for FPGA).
+    #[must_use]
+    pub fn apply_operator(&self, u: &ElementField) -> (ElementField, PerfSummary) {
+        match &self.accelerator {
+            Some(acc) => {
+                let (w, report) = acc.execute(u, self.operator.geometry());
+                (w, self.summary_from_simulation(&report, 1))
+            }
+            None => {
+                let start = Instant::now();
+                let w = self.operator.apply(u);
+                let seconds = start.elapsed().as_secs_f64().max(1e-12);
+                (w, self.summary_from_measurement(seconds, 1))
+            }
+        }
+    }
+
+    /// Apply the operator `applications` times (for steadier timing) and
+    /// report the aggregate performance.
+    #[must_use]
+    pub fn benchmark_operator(&self, applications: usize) -> PerfSummary {
+        assert!(applications > 0, "need at least one application");
+        let u = self.mesh.evaluate(|x, y, z| (x + 0.3) * (y - 0.7) * (z + 0.11));
+        match &self.accelerator {
+            Some(acc) => {
+                let report = acc.estimate(self.mesh.num_elements());
+                self.summary_from_simulation(&report, applications)
+            }
+            None => {
+                let mut w = ElementField::zeros(self.mesh.degree(), self.mesh.num_elements());
+                let start = Instant::now();
+                for _ in 0..applications {
+                    self.operator.apply_into(&u, &mut w);
+                }
+                let seconds = start.elapsed().as_secs_f64().max(1e-12);
+                self.summary_from_measurement(seconds, applications)
+            }
+        }
+    }
+
+    /// Solve the manufactured-solution Poisson problem on this system's mesh
+    /// with the host CG solver (the FPGA backend accelerates the operator in
+    /// spirit; the solve itself always runs on the host in this API).
+    #[must_use]
+    pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
+        let implementation = self.operator.implementation();
+        let problem = PoissonProblem::new(self.mesh.clone(), implementation);
+        problem.solve_manufactured(options, use_jacobi)
+    }
+
+    fn summary_from_measurement(&self, seconds: f64, applications: usize) -> PerfSummary {
+        let flops = self.operator.flops_per_application() as f64 * applications as f64;
+        let dofs = self.operator.dofs_per_application() as f64 * applications as f64;
+        PerfSummary {
+            degree: self.mesh.degree(),
+            num_elements: self.mesh.num_elements(),
+            applications,
+            seconds,
+            gflops: flops / seconds / 1e9,
+            dofs_per_second: dofs / seconds,
+            power_watts: None,
+            gflops_per_watt: None,
+            source: PerfSource::Measured,
+        }
+    }
+
+    fn summary_from_simulation(&self, report: &ExecutionReport, applications: usize) -> PerfSummary {
+        let seconds = report.seconds * applications as f64;
+        let dofs = self.operator.dofs_per_application() as f64 * applications as f64;
+        PerfSummary {
+            degree: self.mesh.degree(),
+            num_elements: self.mesh.num_elements(),
+            applications,
+            seconds,
+            gflops: report.gflops,
+            dofs_per_second: dofs / seconds,
+            power_watts: Some(report.power_watts),
+            gflops_per_watt: Some(report.gflops_per_watt),
+            source: PerfSource::Simulated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_sim::AcceleratorDesign;
+
+    #[test]
+    fn cpu_and_fpga_backends_agree_numerically() {
+        let cpu = SemSystem::builder()
+            .degree(4)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_reference())
+            .build();
+        let fpga = SemSystem::builder()
+            .degree(4)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+        let u = cpu.mesh().evaluate(|x, y, z| (3.0 * x).sin() * y + z * z);
+        let (w_cpu, s_cpu) = cpu.apply_operator(&u);
+        let (w_fpga, s_fpga) = fpga.apply_operator(&u);
+        for (a, b) in w_cpu.as_slice().iter().zip(w_fpga.as_slice()) {
+            assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()));
+        }
+        assert_eq!(s_cpu.source, PerfSource::Measured);
+        assert_eq!(s_fpga.source, PerfSource::Simulated);
+        assert!(s_fpga.power_watts.is_some());
+    }
+
+    #[test]
+    fn benchmark_reports_scaled_totals() {
+        let system = SemSystem::builder()
+            .degree(3)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_optimized())
+            .build();
+        let s = system.benchmark_operator(5);
+        assert_eq!(s.applications, 5);
+        assert!(s.gflops > 0.0);
+        assert!(s.mdofs_per_second() > 0.0);
+    }
+
+    #[test]
+    fn offload_plan_only_exists_for_fpga_backends() {
+        let cpu = SemSystem::builder().backend(Backend::cpu_parallel()).build();
+        assert!(cpu.offload_plan().is_none());
+        let fpga = SemSystem::builder()
+            .degree(7)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+        let plan = fpga.offload_plan().unwrap();
+        assert_eq!(plan.num_elements, 8);
+        assert!(!plan.padded);
+    }
+
+    #[test]
+    fn manufactured_solve_converges_through_the_facade() {
+        let system = SemSystem::builder()
+            .degree(6)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_optimized())
+            .build();
+        let sol = system.solve_manufactured(
+            CgOptions {
+                max_iterations: 2000,
+                tolerance: 1e-11,
+                record_history: false,
+            },
+            true,
+        );
+        assert!(sol.cg.converged);
+        assert!(sol.max_error < 1e-5, "error {}", sol.max_error);
+    }
+
+    #[test]
+    fn accelerator_design_matches_degree() {
+        let system = SemSystem::builder()
+            .degree(11)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+        let design: &AcceleratorDesign = system.accelerator().unwrap().design();
+        assert_eq!(design.degree, 11);
+        assert_eq!(design.unroll, 4);
+    }
+}

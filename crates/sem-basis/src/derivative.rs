@@ -1,0 +1,213 @@
+//! The spectral differentiation matrix on GLL points.
+//!
+//! In the paper's kernel (Listing 1) the arrays `dx` and `dxt` hold the
+//! one-dimensional differentiation matrix `D` and its transpose `Dᵀ`:
+//! applying `D` along each of the three tensor directions yields the local
+//! gradient of a field on the reference element.
+//!
+//! The entries on the GLL points \(\xi_i\) of degree \(N\) have the classical
+//! closed form
+//!
+//! \[D_{ij} = \frac{L_N(\xi_i)}{L_N(\xi_j)} \frac{1}{\xi_i - \xi_j}, \quad i \ne j\]
+//! \[D_{00} = -\frac{N(N+1)}{4}, \qquad D_{NN} = +\frac{N(N+1)}{4}, \qquad D_{ii} = 0 \text{ otherwise.}\]
+
+use crate::legendre::legendre;
+use crate::matrix::DenseMatrix;
+use crate::quadrature::{gauss_lobatto_legendre, Quadrature};
+
+/// The differentiation operator for a single polynomial degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivativeMatrix {
+    degree: usize,
+    quadrature: Quadrature,
+    d: DenseMatrix,
+    dt: DenseMatrix,
+}
+
+impl DerivativeMatrix {
+    /// Build the GLL differentiation matrix for polynomial degree `degree`.
+    ///
+    /// # Panics
+    /// Panics if `degree == 0` (a constant basis has no meaningful
+    /// differentiation matrix in the SEM setting).
+    #[must_use]
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 1, "degree must be at least 1");
+        let n = degree + 1;
+        let quadrature = gauss_lobatto_legendre(n);
+        let xi = &quadrature.nodes;
+        let nf = degree as f64;
+        let corner = nf * (nf + 1.0) / 4.0;
+
+        let mut d = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    d[(i, j)] = if i == 0 {
+                        -corner
+                    } else if i == n - 1 {
+                        corner
+                    } else {
+                        0.0
+                    };
+                } else {
+                    let li = legendre(degree, xi[i]);
+                    let lj = legendre(degree, xi[j]);
+                    d[(i, j)] = (li / lj) / (xi[i] - xi[j]);
+                }
+            }
+        }
+        let dt = d.transpose();
+        Self {
+            degree,
+            quadrature,
+            d,
+            dt,
+        }
+    }
+
+    /// The polynomial degree `N`.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of GLL points, `N + 1`.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.degree + 1
+    }
+
+    /// The GLL quadrature rule the matrix lives on.
+    #[must_use]
+    pub fn quadrature(&self) -> &Quadrature {
+        &self.quadrature
+    }
+
+    /// The differentiation matrix `D` (row-major, `D[(i, j)] = l_j'(ξ_i)`).
+    #[must_use]
+    pub fn d(&self) -> &DenseMatrix {
+        &self.d
+    }
+
+    /// The transposed matrix `Dᵀ`.
+    #[must_use]
+    pub fn dt(&self) -> &DenseMatrix {
+        &self.dt
+    }
+
+    /// Flattened row-major copy of `D`, in the layout the kernels consume
+    /// (`dx[l + i*(N+1)]` in the paper's Listing 1 indexing).
+    #[must_use]
+    pub fn d_flat(&self) -> Vec<f64> {
+        self.d.as_slice().to_vec()
+    }
+
+    /// Flattened row-major copy of `Dᵀ`.
+    #[must_use]
+    pub fn dt_flat(&self) -> Vec<f64> {
+        self.dt.as_slice().to_vec()
+    }
+
+    /// Differentiate nodal values of a 1-D function sampled on the GLL points.
+    #[must_use]
+    pub fn differentiate(&self, values: &[f64]) -> Vec<f64> {
+        self.d.matvec(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrange::LagrangeBasis;
+
+    #[test]
+    fn rows_sum_to_zero() {
+        // Differentiating a constant gives zero: every row of D sums to 0.
+        for degree in 1..=15 {
+            let dm = DerivativeMatrix::new(degree);
+            for i in 0..dm.num_points() {
+                let s: f64 = dm.d().row(i).iter().sum();
+                assert!(s.abs() < 1e-10, "degree {degree} row {i}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn differentiates_monomials_exactly() {
+        for degree in 2..=12 {
+            let dm = DerivativeMatrix::new(degree);
+            let xi = &dm.quadrature().nodes;
+            // d/dx x^k is exact for k <= N.
+            for k in 0..=degree {
+                let values: Vec<f64> = xi.iter().map(|&x| x.powi(k as i32)).collect();
+                let deriv = dm.differentiate(&values);
+                for (i, &x) in xi.iter().enumerate() {
+                    let exact = if k == 0 {
+                        0.0
+                    } else {
+                        k as f64 * x.powi(k as i32 - 1)
+                    };
+                    assert!(
+                        (deriv[i] - exact).abs() < 1e-8 * (1.0 + exact.abs()),
+                        "degree {degree}, x^{k} at node {i}: {} vs {exact}",
+                        deriv[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_entries_match_closed_form() {
+        for degree in 1..=12 {
+            let dm = DerivativeMatrix::new(degree);
+            let corner = degree as f64 * (degree as f64 + 1.0) / 4.0;
+            assert!((dm.d()[(0, 0)] + corner).abs() < 1e-12);
+            assert!((dm.d()[(degree, degree)] - corner).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_lagrange_cardinal_derivatives() {
+        for degree in 1..=9 {
+            let dm = DerivativeMatrix::new(degree);
+            let basis = LagrangeBasis::new(&dm.quadrature().nodes);
+            let n = dm.num_points();
+            for i in 0..n {
+                for j in 0..n {
+                    // D[(i, j)] = l_j'(xi_i)
+                    let expect = basis.cardinal_derivative_at_node(j, i);
+                    assert!(
+                        (dm.d()[(i, j)] - expect).abs() < 1e-9,
+                        "degree {degree} ({i},{j}): {} vs {expect}",
+                        dm.d()[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let dm = DerivativeMatrix::new(7);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(dm.d()[(i, j)], dm.dt()[(j, i)]);
+            }
+        }
+        assert_eq!(dm.d_flat().len(), 64);
+        assert_eq!(dm.dt_flat().len(), 64);
+    }
+
+    #[test]
+    fn negative_sum_antisymmetry_of_spectrum() {
+        // D is similar to a nilpotent-plus-boundary operator; a cheap sanity
+        // check is that the trace equals D_00 + D_NN = 0.
+        for degree in 1..=14 {
+            let dm = DerivativeMatrix::new(degree);
+            let trace: f64 = (0..dm.num_points()).map(|i| dm.d()[(i, i)]).sum();
+            assert!(trace.abs() < 1e-10);
+        }
+    }
+}

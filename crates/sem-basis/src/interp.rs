@@ -1,0 +1,93 @@
+//! Interpolation operators between nodal sets.
+//!
+//! These are used for over-integration (interpolating GLL data onto a finer
+//! Gauss rule), for building prolongation/restriction operators between
+//! polynomial degrees, and for the host-side padding path of the accelerator
+//! (interpolating a degree-N element onto the padded degree the bitstream was
+//! synthesised for).
+
+use crate::lagrange::LagrangeBasis;
+use crate::matrix::DenseMatrix;
+
+/// Build the interpolation matrix `J` that maps nodal values on `from_nodes`
+/// to values on `to_nodes`: `u_to = J * u_from`.
+///
+/// `J` has shape `(to_nodes.len(), from_nodes.len())` and each row sums to 1
+/// (it reproduces constants exactly).
+#[must_use]
+pub fn interpolation_matrix(from_nodes: &[f64], to_nodes: &[f64]) -> DenseMatrix {
+    let basis = LagrangeBasis::new(from_nodes);
+    DenseMatrix::from_fn(to_nodes.len(), from_nodes.len(), |i, j| {
+        basis.eval_cardinal(j, to_nodes[i])
+    })
+}
+
+/// Prolongation operator from polynomial degree `from_degree` to
+/// `to_degree >= from_degree` on GLL points (exact for polynomials of degree
+/// `from_degree`).
+#[must_use]
+pub fn degree_prolongation(from_degree: usize, to_degree: usize) -> DenseMatrix {
+    assert!(to_degree >= from_degree, "prolongation must not lose order");
+    let from = crate::quadrature::gauss_lobatto_legendre(from_degree + 1);
+    let to = crate::quadrature::gauss_lobatto_legendre(to_degree + 1);
+    interpolation_matrix(&from.nodes, &to.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::{gauss_legendre, gauss_lobatto_legendre};
+
+    #[test]
+    fn rows_sum_to_one() {
+        let from = gauss_lobatto_legendre(8);
+        let to = gauss_legendre(12);
+        let j = interpolation_matrix(&from.nodes, &to.nodes);
+        for i in 0..j.rows() {
+            let s: f64 = j.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_when_nodes_match() {
+        let q = gauss_lobatto_legendre(6);
+        let j = interpolation_matrix(&q.nodes, &q.nodes);
+        let id = DenseMatrix::identity(q.len());
+        assert!(j.frobenius_distance(&id) < 1e-12);
+    }
+
+    #[test]
+    fn exact_for_polynomials_below_degree() {
+        let from = gauss_lobatto_legendre(6); // degree 5
+        let to = gauss_legendre(9);
+        let j = interpolation_matrix(&from.nodes, &to.nodes);
+        let poly = |x: f64| 1.0 - x + 2.0 * x.powi(3) + 0.25 * x.powi(5);
+        let coarse: Vec<f64> = from.nodes.iter().map(|&x| poly(x)).collect();
+        let fine = j.matvec(&coarse);
+        for (i, &x) in to.nodes.iter().enumerate() {
+            assert!((fine[i] - poly(x)).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn prolongation_then_sampling_is_exact() {
+        let p = degree_prolongation(3, 7);
+        assert_eq!(p.rows(), 8);
+        assert_eq!(p.cols(), 4);
+        let coarse_nodes = gauss_lobatto_legendre(4).nodes;
+        let fine_nodes = gauss_lobatto_legendre(8).nodes;
+        let poly = |x: f64| 0.5 + 2.0 * x - x.powi(3);
+        let coarse: Vec<f64> = coarse_nodes.iter().map(|&x| poly(x)).collect();
+        let fine = p.matvec(&coarse);
+        for (i, &x) in fine_nodes.iter().enumerate() {
+            assert!((fine[i] - poly(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not lose order")]
+    fn prolongation_to_lower_degree_panics() {
+        let _ = degree_prolongation(7, 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Lagrange interpolation through an arbitrary set of distinct nodes, using
+//! barycentric weights for numerically stable evaluation.
+//!
+//! The SEM basis functions \(l_i(\xi)\) of the paper are exactly the Lagrange
+//! cardinal functions on the GLL points: \(l_i(\xi_j) = \delta_{ij}\).
+
+/// A Lagrange basis on a fixed set of distinct nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagrangeBasis {
+    nodes: Vec<f64>,
+    /// Barycentric weights \(w_i = 1 / \prod_{j \ne i} (x_i - x_j)\).
+    bary: Vec<f64>,
+}
+
+impl LagrangeBasis {
+    /// Build the basis from a node set.
+    ///
+    /// # Panics
+    /// Panics if fewer than one node is supplied or if two nodes coincide.
+    #[must_use]
+    pub fn new(nodes: &[f64]) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        let n = nodes.len();
+        let mut bary = vec![1.0_f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let d = nodes[i] - nodes[j];
+                    assert!(d != 0.0, "nodes must be distinct");
+                    bary[i] /= d;
+                }
+            }
+        }
+        Self {
+            nodes: nodes.to_vec(),
+            bary,
+        }
+    }
+
+    /// The interpolation nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Number of basis functions (== number of nodes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the basis is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluate the `i`-th cardinal function at `x`.
+    #[must_use]
+    pub fn eval_cardinal(&self, i: usize, x: f64) -> f64 {
+        // Exact hit on a node: cardinal property.
+        for (j, &xj) in self.nodes.iter().enumerate() {
+            if x == xj {
+                return if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        // Barycentric second form.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (j, (&xj, &wj)) in self.nodes.iter().zip(&self.bary).enumerate() {
+            let t = wj / (x - xj);
+            den += t;
+            if j == i {
+                num = t;
+            }
+        }
+        num / den
+    }
+
+    /// Interpolate nodal values `values` (one per node) at point `x`.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the number of nodes.
+    #[must_use]
+    pub fn interpolate(&self, values: &[f64], x: f64) -> f64 {
+        assert_eq!(values.len(), self.nodes.len());
+        for (j, &xj) in self.nodes.iter().enumerate() {
+            if x == xj {
+                return values[j];
+            }
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for ((&xj, &wj), &fj) in self.nodes.iter().zip(&self.bary).zip(values) {
+            let t = wj / (x - xj);
+            num += t * fj;
+            den += t;
+        }
+        num / den
+    }
+
+    /// Evaluate the derivative of the `i`-th cardinal function at node `j`.
+    ///
+    /// This is the entry \(D_{ji} = l_i'(x_j)\) of the differentiation matrix;
+    /// exposed here mainly for cross-checking [`crate::derivative`].
+    #[must_use]
+    pub fn cardinal_derivative_at_node(&self, i: usize, j: usize) -> f64 {
+        let n = self.nodes.len();
+        assert!(i < n && j < n);
+        if i == j {
+            // D_jj = -sum_{k != j} D_jk, enforced by the negative sum trick.
+            let mut acc = 0.0;
+            for k in 0..n {
+                if k != j {
+                    acc += self.cardinal_derivative_at_node(k, j);
+                }
+            }
+            -acc
+        } else {
+            (self.bary[i] / self.bary[j]) / (self.nodes[j] - self.nodes[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::gauss_lobatto_legendre;
+
+    #[test]
+    fn cardinal_property() {
+        let q = gauss_lobatto_legendre(8);
+        let basis = LagrangeBasis::new(&q.nodes);
+        for i in 0..8 {
+            for j in 0..8 {
+                let v = basis.eval_cardinal(i, q.nodes[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        let q = gauss_lobatto_legendre(10);
+        let basis = LagrangeBasis::new(&q.nodes);
+        for &x in &[-0.95, -0.3, 0.0, 0.123, 0.87_f64] {
+            let sum: f64 = (0..basis.len()).map(|i| basis.eval_cardinal(i, x)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reproduces_polynomials_exactly() {
+        // Interpolation on N+1 nodes reproduces polynomials up to degree N.
+        let q = gauss_lobatto_legendre(6);
+        let basis = LagrangeBasis::new(&q.nodes);
+        let poly = |x: f64| 3.0 - 2.0 * x + 0.5 * x.powi(3) - 1.25 * x.powi(5);
+        let values: Vec<f64> = q.nodes.iter().map(|&x| poly(x)).collect();
+        for &x in &[-0.77, -0.2, 0.05, 0.4, 0.99_f64] {
+            assert!((basis.interpolate(&values, x) - poly(x)).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn interpolate_at_node_returns_value() {
+        let nodes = [-1.0, -0.3, 0.4, 1.0];
+        let basis = LagrangeBasis::new(&nodes);
+        let vals = [2.0, -1.0, 0.5, 7.0];
+        for (i, &x) in nodes.iter().enumerate() {
+            assert_eq!(basis.interpolate(&vals, x), vals[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_nodes_panic() {
+        let _ = LagrangeBasis::new(&[0.0, 0.5, 0.5]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Legendre polynomials and their derivatives.
+//!
+//! The SEM basis of the paper is built on the Nth order Legendre polynomial
+//! \(L_N\): the GLL points are the roots of \((1 - \xi^2) L_N'(\xi)\) and the
+//! Lagrange basis functions are expressed through \(L_N\) (Section II of the
+//! paper).  We evaluate \(P_n\) with the Bonnet three-term recurrence
+//!
+//! \[(n+1) P_{n+1}(x) = (2n+1) x P_n(x) - n P_{n-1}(x)\]
+//!
+//! which is numerically stable on \([-1, 1]\).
+
+/// Evaluate the Legendre polynomial \(P_n(x)\).
+///
+/// # Examples
+/// ```
+/// use sem_basis::legendre;
+/// assert!((legendre(0, 0.3) - 1.0).abs() < 1e-15);
+/// assert!((legendre(1, 0.3) - 0.3).abs() < 1e-15);
+/// // P_2(x) = (3x^2 - 1)/2
+/// assert!((legendre(2, 0.3) - (3.0 * 0.09 - 1.0) / 2.0).abs() < 1e-15);
+/// ```
+#[must_use]
+pub fn legendre(n: usize, x: f64) -> f64 {
+    legendre_pair(n, x).0
+}
+
+/// Evaluate the derivative \(P_n'(x)\) of the Legendre polynomial.
+///
+/// Uses the standard relation
+/// \((x^2 - 1) P_n'(x) = n (x P_n(x) - P_{n-1}(x))\) away from the endpoints
+/// and the exact endpoint values \(P_n'(\pm 1) = (\pm 1)^{n-1} n(n+1)/2\).
+#[must_use]
+pub fn legendre_derivative(n: usize, x: f64) -> f64 {
+    legendre_pair(n, x).1
+}
+
+/// Evaluate \((P_n(x), P_n'(x))\) together.
+///
+/// Returns the pair so that callers needing both (Newton iterations on the
+/// GLL points, derivative matrices) only run the recurrence once.
+#[must_use]
+pub fn legendre_pair(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    if n == 1 {
+        return (x, 1.0);
+    }
+    // Bonnet recurrence for the values, running derivative via
+    // P'_{k+1} = P'_{k-1} + (2k+1) P_k.
+    let mut p_prev = 1.0_f64; // P_0
+    let mut p_curr = x; // P_1
+    let mut d_prev = 0.0_f64; // P_0'
+    let mut d_curr = 1.0_f64; // P_1'
+    for k in 1..n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf + 1.0) * x * p_curr - kf * p_prev) / (kf + 1.0);
+        let d_next = d_prev + (2.0 * kf + 1.0) * p_curr;
+        p_prev = p_curr;
+        p_curr = p_next;
+        d_prev = d_curr;
+        d_curr = d_next;
+    }
+    (p_curr, d_curr)
+}
+
+/// Evaluate the "q" combination \(q(x) = P_{n+1}(x) - P_{n-1}(x)\) and its
+/// derivative, used for locating the interior GLL nodes (the roots of
+/// \(P_n'\), which are the roots of `q` up to a constant factor).
+#[must_use]
+pub fn legendre_q(n: usize, x: f64) -> (f64, f64) {
+    let (p_np1, d_np1) = legendre_pair(n + 1, x);
+    let (p_nm1, d_nm1) = legendre_pair(n - 1, x);
+    (p_np1 - p_nm1, d_np1 - d_nm1)
+}
+
+/// The L2 norm squared of \(P_n\) over \([-1, 1]\): \(2 / (2n + 1)\).
+#[inline]
+#[must_use]
+pub fn legendre_norm_sq(n: usize) -> f64 {
+    2.0 / (2.0 * n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{a} != {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn low_order_closed_forms() {
+        for &x in &[-1.0, -0.7, -0.2, 0.0, 0.33, 0.8, 1.0_f64] {
+            assert_close(legendre(0, x), 1.0, 1e-15);
+            assert_close(legendre(1, x), x, 1e-15);
+            assert_close(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
+            assert_close(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
+            assert_close(
+                legendre(4, x),
+                (35.0 * x.powi(4) - 30.0 * x * x + 3.0) / 8.0,
+                1e-13,
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_closed_forms() {
+        for &x in &[-0.9, -0.3, 0.1, 0.5, 0.95_f64] {
+            assert_close(legendre_derivative(1, x), 1.0, 1e-15);
+            assert_close(legendre_derivative(2, x), 3.0 * x, 1e-14);
+            assert_close(legendre_derivative(3, x), 0.5 * (15.0 * x * x - 3.0), 1e-14);
+        }
+    }
+
+    #[test]
+    fn endpoint_values() {
+        for n in 0..20 {
+            // P_n(1) = 1, P_n(-1) = (-1)^n
+            assert_close(legendre(n, 1.0), 1.0, 1e-13);
+            let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert_close(legendre(n, -1.0), sign, 1e-13);
+            // P_n'(1) = n(n+1)/2
+            let expect = n as f64 * (n as f64 + 1.0) / 2.0;
+            assert_close(legendre_derivative(n, 1.0), expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for n in 2..16 {
+            for &x in &[-0.8, -0.25, 0.0, 0.4, 0.77_f64] {
+                let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+                assert_close(legendre_derivative(n, x), fd, 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_squared_by_quadrature() {
+        // Validate ||P_n||^2 = 2/(2n+1) with a fine trapezoid rule.
+        let m = 200_000;
+        for n in 0..8 {
+            let mut acc = 0.0;
+            for i in 0..=m {
+                let x = -1.0 + 2.0 * i as f64 / m as f64;
+                let w = if i == 0 || i == m { 0.5 } else { 1.0 };
+                let p = legendre(n, x);
+                acc += w * p * p;
+            }
+            acc *= 2.0 / m as f64;
+            assert_close(acc, legendre_norm_sq(n), 1e-6);
+        }
+    }
+
+    #[test]
+    fn q_combination_consistent() {
+        for n in 2..12 {
+            for &x in &[-0.6, 0.1, 0.73_f64] {
+                let (q, _) = legendre_q(n, x);
+                let expect = legendre(n + 1, x) - legendre(n - 1, x);
+                assert_close(q, expect, 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Gauss–Legendre and Gauss–Lobatto–Legendre quadrature rules.
+//!
+//! The GLL points \(\xi_0 = -1 < \xi_1 < \dots < \xi_N = 1\) are the
+//! collocation points of the SEM basis (Section II of the paper).  They are
+//! the roots of \((1-\xi^2) L_N'(\xi)\) and carry the quadrature weights
+//! \(w_i = \frac{2}{N(N+1)} \frac{1}{L_N(\xi_i)^2}\).
+
+use crate::legendre::{legendre, legendre_pair};
+
+/// A one-dimensional quadrature rule: nodes in `[-1, 1]` and matching weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quadrature {
+    /// Quadrature nodes, sorted ascending in `[-1, 1]`.
+    pub nodes: Vec<f64>,
+    /// Quadrature weights, positive, summing to 2 (the length of `[-1, 1]`).
+    pub weights: Vec<f64>,
+}
+
+impl Quadrature {
+    /// Number of points in the rule.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the rule is empty (never true for the constructors here).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Integrate a function over `[-1, 1]` with this rule.
+    #[must_use]
+    pub fn integrate<F: Fn(f64) -> f64>(&self, f: F) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+/// Maximum Newton iterations when locating quadrature nodes.
+const MAX_NEWTON_ITERS: usize = 100;
+/// Convergence tolerance for the node search.
+const NEWTON_TOL: f64 = 1e-15;
+
+/// Gauss–Lobatto–Legendre rule with `n` points (`n >= 2`), i.e. polynomial
+/// degree `N = n - 1`.  Exact for polynomials up to degree `2N - 1`.
+///
+/// # Panics
+/// Panics if `n < 2`; a Lobatto rule always contains both endpoints.
+#[must_use]
+pub fn gauss_lobatto_legendre(n: usize) -> Quadrature {
+    assert!(n >= 2, "a GLL rule needs at least the two endpoints");
+    let degree = n - 1; // polynomial degree N
+    let nf = degree as f64;
+    let mut nodes = vec![0.0_f64; n];
+    let mut weights = vec![0.0_f64; n];
+
+    nodes[0] = -1.0;
+    nodes[n - 1] = 1.0;
+
+    // Interior nodes are the roots of P_N'(x).  Start from the
+    // Chebyshev–Gauss–Lobatto points, which interlace them closely, and
+    // polish with Newton on q(x) = P_{N+1}(x) - P_{N-1}(x) whose roots
+    // coincide with those of (1 - x^2) P_N'(x) in the interior.
+    for i in 1..n - 1 {
+        let theta = std::f64::consts::PI * i as f64 / nf;
+        let mut x = -(theta.cos());
+        // Newton iteration on f(x) = P_N'(x) using
+        // P_N''(x) = (2x P_N'(x) - N(N+1) P_N(x)) / (1 - x^2).
+        for _ in 0..MAX_NEWTON_ITERS {
+            let (p, dp) = legendre_pair(degree, x);
+            let d2p = (2.0 * x * dp - nf * (nf + 1.0) * p) / (1.0 - x * x);
+            let step = dp / d2p;
+            x -= step;
+            if step.abs() < NEWTON_TOL {
+                break;
+            }
+        }
+        nodes[i] = x;
+    }
+    nodes.sort_by(|a, b| a.partial_cmp(b).expect("nodes are finite"));
+
+    let scale = 2.0 / (nf * (nf + 1.0));
+    for i in 0..n {
+        let p = legendre(degree, nodes[i]);
+        weights[i] = scale / (p * p);
+    }
+
+    Quadrature { nodes, weights }
+}
+
+/// Gauss–Legendre rule with `n` points (`n >= 1`).  Exact for polynomials up
+/// to degree `2n - 1`.  Used for over-integration and as an independent
+/// cross-check of the GLL rule in tests.
+#[must_use]
+pub fn gauss_legendre(n: usize) -> Quadrature {
+    assert!(n >= 1, "a Gauss rule needs at least one point");
+    let mut nodes = vec![0.0_f64; n];
+    let mut weights = vec![0.0_f64; n];
+    let nf = n as f64;
+    for i in 0..n {
+        // Standard initial guess (roots of Chebyshev polynomial).
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (nf + 0.5)).cos();
+        for _ in 0..MAX_NEWTON_ITERS {
+            let (p, dp) = legendre_pair(n, x);
+            let step = p / dp;
+            x -= step;
+            if step.abs() < NEWTON_TOL {
+                break;
+            }
+        }
+        let (_, dp) = legendre_pair(n, x);
+        nodes[i] = x;
+        weights[i] = 2.0 / ((1.0 - x * x) * dp * dp);
+    }
+    // Newton above produces descending order; sort ascending with weights.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("finite"));
+    let nodes_sorted: Vec<f64> = idx.iter().map(|&i| nodes[i]).collect();
+    let weights_sorted: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+    Quadrature {
+        nodes: nodes_sorted,
+        weights: weights_sorted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two endpoints")]
+    fn gll_requires_two_points() {
+        let _ = gauss_lobatto_legendre(1);
+    }
+
+    #[test]
+    fn gll_known_values_degree_2() {
+        // N = 2: points -1, 0, 1 with weights 1/3, 4/3, 1/3.
+        let q = gauss_lobatto_legendre(3);
+        assert_close(q.nodes[0], -1.0, 1e-15);
+        assert_close(q.nodes[1], 0.0, 1e-15);
+        assert_close(q.nodes[2], 1.0, 1e-15);
+        assert_close(q.weights[0], 1.0 / 3.0, 1e-14);
+        assert_close(q.weights[1], 4.0 / 3.0, 1e-14);
+        assert_close(q.weights[2], 1.0 / 3.0, 1e-14);
+    }
+
+    #[test]
+    fn gll_known_values_degree_3() {
+        // N = 3: interior points +-1/sqrt(5), weights 1/6, 5/6.
+        let q = gauss_lobatto_legendre(4);
+        assert_close(q.nodes[1], -(1.0 / 5.0_f64.sqrt()), 1e-13);
+        assert_close(q.nodes[2], 1.0 / 5.0_f64.sqrt(), 1e-13);
+        assert_close(q.weights[0], 1.0 / 6.0, 1e-13);
+        assert_close(q.weights[1], 5.0 / 6.0, 1e-13);
+    }
+
+    #[test]
+    fn gll_weights_sum_to_two() {
+        for n in 2..=20 {
+            let q = gauss_lobatto_legendre(n);
+            let sum: f64 = q.weights.iter().sum();
+            assert_close(sum, 2.0, 1e-12);
+            assert!(q.weights.iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn gll_nodes_symmetric_and_sorted() {
+        for n in 2..=17 {
+            let q = gauss_lobatto_legendre(n);
+            for i in 1..n {
+                assert!(q.nodes[i] > q.nodes[i - 1]);
+            }
+            for i in 0..n {
+                assert_close(q.nodes[i], -q.nodes[n - 1 - i], 1e-13);
+                assert_close(q.weights[i], q.weights[n - 1 - i], 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gll_exactness() {
+        // A GLL rule with n points integrates polynomials of degree 2n-3 exactly.
+        for n in 2..=12 {
+            let q = gauss_lobatto_legendre(n);
+            let max_deg = 2 * n - 3;
+            for d in 0..=max_deg {
+                let approx = q.integrate(|x| x.powi(d as i32));
+                let exact = if d % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (d as f64 + 1.0)
+                };
+                assert_close(approx, exact, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gl_exactness() {
+        for n in 1..=12 {
+            let q = gauss_legendre(n);
+            let max_deg = 2 * n - 1;
+            for d in 0..=max_deg {
+                let approx = q.integrate(|x| x.powi(d as i32));
+                let exact = if d % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (d as f64 + 1.0)
+                };
+                assert_close(approx, exact, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gl_and_gll_agree_on_smooth_function() {
+        let f = |x: f64| (3.0 * x).sin() + x * x;
+        let a = gauss_legendre(24).integrate(f);
+        let b = gauss_lobatto_legendre(24).integrate(f);
+        assert_close(a, b, 1e-12);
+    }
+
+    #[test]
+    fn gll_interior_nodes_are_extrema_of_legendre() {
+        use crate::legendre::legendre_derivative;
+        for n in 3..=16 {
+            let q = gauss_lobatto_legendre(n);
+            for i in 1..n - 1 {
+                let d = legendre_derivative(n - 1, q.nodes[i]);
+                assert!(d.abs() < 1e-9, "P'_N({}) = {d}", q.nodes[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the spectral basis building blocks.
+
+use proptest::prelude::*;
+use sem_basis::{
+    gauss_legendre, gauss_lobatto_legendre, interpolation_matrix, legendre, legendre_derivative,
+    DerivativeMatrix, LagrangeBasis,
+};
+
+proptest! {
+    /// |P_n(x)| <= 1 on [-1, 1] for every n.
+    #[test]
+    fn legendre_bounded_on_interval(n in 0usize..40, x in -1.0f64..=1.0) {
+        let v = legendre(n, x);
+        prop_assert!(v.abs() <= 1.0 + 1e-12, "P_{n}({x}) = {v}");
+    }
+
+    /// Legendre parity: P_n(-x) = (-1)^n P_n(x).
+    #[test]
+    fn legendre_parity(n in 0usize..30, x in -1.0f64..=1.0) {
+        let a = legendre(n, x);
+        let b = legendre(n, -x);
+        let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
+        prop_assert!((a - sign * b).abs() < 1e-11);
+    }
+
+    /// The derivative recurrence matches a central finite difference.
+    #[test]
+    fn legendre_derivative_consistent(n in 1usize..20, x in -0.99f64..=0.99) {
+        let h = 1e-6;
+        let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+        let an = legendre_derivative(n, x);
+        prop_assert!((fd - an).abs() < 1e-5 * (1.0 + an.abs()));
+    }
+
+    /// GLL weights are positive, symmetric and sum to 2 for any degree.
+    #[test]
+    fn gll_weights_well_formed(degree in 1usize..=24) {
+        let q = gauss_lobatto_legendre(degree + 1);
+        let sum: f64 = q.weights.iter().sum();
+        prop_assert!((sum - 2.0).abs() < 1e-11);
+        for (i, &w) in q.weights.iter().enumerate() {
+            prop_assert!(w > 0.0);
+            prop_assert!((w - q.weights[q.len() - 1 - i]).abs() < 1e-11);
+        }
+    }
+
+    /// GLL quadrature integrates random polynomials of degree <= 2N-1 exactly.
+    #[test]
+    fn gll_exact_on_random_polynomials(
+        degree in 2usize..=12,
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 1..8),
+    ) {
+        let q = gauss_lobatto_legendre(degree + 1);
+        // Keep the polynomial degree within the exactness range 2N - 1.
+        let max_terms = (2 * degree).saturating_sub(1).min(coeffs.len());
+        let coeffs = &coeffs[..max_terms.max(1)];
+        let f = |x: f64| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * x.powi(k as i32))
+                .sum::<f64>()
+        };
+        let exact: f64 = coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+            .sum();
+        prop_assert!((q.integrate(f) - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+
+    /// Gauss and Gauss-Lobatto rules agree on smooth integrands once both are fine enough.
+    #[test]
+    fn gauss_and_lobatto_agree(freq in 0.5f64..4.0) {
+        let f = |x: f64| (freq * x).cos() + 0.3 * (2.0 * x).sin();
+        let a = gauss_legendre(30).integrate(f);
+        let b = gauss_lobatto_legendre(30).integrate(f);
+        prop_assert!((a - b).abs() < 1e-10);
+    }
+
+    /// Lagrange interpolation on GLL points reproduces random polynomials of the same degree.
+    #[test]
+    fn lagrange_reproduces_polynomials(
+        degree in 1usize..=10,
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 1..11),
+        x in -1.0f64..=1.0,
+    ) {
+        let q = gauss_lobatto_legendre(degree + 1);
+        let basis = LagrangeBasis::new(&q.nodes);
+        let coeffs = &coeffs[..coeffs.len().min(degree + 1)];
+        let poly = |x: f64| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * x.powi(k as i32))
+                .sum::<f64>()
+        };
+        let nodal: Vec<f64> = q.nodes.iter().map(|&x| poly(x)).collect();
+        let interp = basis.interpolate(&nodal, x);
+        prop_assert!((interp - poly(x)).abs() < 1e-9 * (1.0 + poly(x).abs()));
+    }
+
+    /// The differentiation matrix annihilates constants and differentiates
+    /// random polynomials of degree <= N exactly at every node.
+    #[test]
+    fn derivative_matrix_exact(
+        degree in 1usize..=12,
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 1..13),
+    ) {
+        let dm = DerivativeMatrix::new(degree);
+        let xi = dm.quadrature().nodes.clone();
+        let coeffs = &coeffs[..coeffs.len().min(degree + 1)];
+        let poly = |x: f64| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * x.powi(k as i32))
+                .sum::<f64>()
+        };
+        let dpoly = |x: f64| {
+            coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| c * k as f64 * x.powi(k as i32 - 1))
+                .sum::<f64>()
+        };
+        let nodal: Vec<f64> = xi.iter().map(|&x| poly(x)).collect();
+        let deriv = dm.differentiate(&nodal);
+        for (i, &x) in xi.iter().enumerate() {
+            prop_assert!(
+                (deriv[i] - dpoly(x)).abs() < 1e-7 * (1.0 + dpoly(x).abs()),
+                "degree {degree} node {i}"
+            );
+        }
+    }
+
+    /// Interpolation matrices reproduce constants (rows sum to one) for any
+    /// source/target degree combination.
+    #[test]
+    fn interpolation_reproduces_constants(from_deg in 1usize..=10, to_deg in 1usize..=10) {
+        let from = gauss_lobatto_legendre(from_deg + 1);
+        let to = gauss_lobatto_legendre(to_deg + 1);
+        let j = interpolation_matrix(&from.nodes, &to.nodes);
+        for i in 0..j.rows() {
+            let s: f64 = j.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+}

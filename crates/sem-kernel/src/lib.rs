@@ -1,0 +1,38 @@
+//! The matrix-free local Poisson operator (`Ax`, CEED "bake-off kernel" BK5).
+//!
+//! This crate implements the computational core of the paper: the
+//! per-element, matrix-free evaluation
+//!
+//! \[w^e = A^e u^e = D^T G^e D\, u^e\]
+//!
+//! where `D` holds the one-dimensional GLL differentiation matrix applied
+//! along the three tensor directions and `G^e` are the six geometric factors
+//! per node (see `sem-mesh`).  Three CPU implementations are provided:
+//!
+//! * [`reference`] — a line-by-line port of the paper's Listing 1, operating
+//!   on the interleaved `gxyz` layout.  This is the semantic ground truth.
+//! * [`optimized`] — the layout the optimised accelerator uses: `gxyz` split
+//!   into six planes, loop structure reorganised for locality (the
+//!   Section III-B transformations expressed on a CPU).
+//! * [`parallel`] — the optimised kernel dispatched over elements with Rayon,
+//!   the multi-core CPU baseline of the evaluation.
+//!
+//! [`ops`] provides the FLOP / byte / DOF accounting used by every
+//! benchmark, matching the closed forms of Section IV, and [`assemble`]
+//! builds dense element matrices and operator diagonals for verification and
+//! preconditioning.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod assemble;
+pub mod helmholtz;
+pub mod operator;
+pub mod ops;
+pub mod optimized;
+pub mod parallel;
+pub mod reference;
+
+pub use helmholtz::{HelmholtzCost, HelmholtzOperator};
+pub use operator::{AxImplementation, PoissonOperator};
+pub use ops::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};

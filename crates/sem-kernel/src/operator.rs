@@ -1,0 +1,217 @@
+//! High-level handle for the local Poisson operator on a mesh.
+//!
+//! [`PoissonOperator`] owns the per-mesh data (differentiation matrix and
+//! geometric factors in both layouts) and dispatches to one of the three CPU
+//! implementations.  The FPGA path lives in the `fpga-sim`/`sem-accel`
+//! crates and reuses the same data through this type.
+
+use crate::ops;
+use crate::optimized::ax_optimized;
+use crate::parallel::ax_parallel;
+use crate::reference::ax_reference;
+use sem_basis::DerivativeMatrix;
+use sem_mesh::{BoxMesh, ElementField, GeometricFactors};
+use serde::{Deserialize, Serialize};
+
+/// Which CPU implementation of the kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AxImplementation {
+    /// Listing-1 port on the interleaved layout (ground truth).
+    Reference,
+    /// Split-layout, cache-blocked kernel.
+    #[default]
+    Optimized,
+    /// Split-layout kernel parallelised over elements with Rayon.
+    Parallel,
+}
+
+/// The matrix-free local Poisson operator bound to a mesh.
+#[derive(Debug, Clone)]
+pub struct PoissonOperator {
+    degree: usize,
+    num_elements: usize,
+    derivative: DerivativeMatrix,
+    geometry: GeometricFactors,
+    split_planes: [Vec<f64>; 6],
+    implementation: AxImplementation,
+}
+
+impl PoissonOperator {
+    /// Build the operator for a mesh, precomputing geometric factors.
+    #[must_use]
+    pub fn new(mesh: &BoxMesh, implementation: AxImplementation) -> Self {
+        let geometry = GeometricFactors::from_mesh(mesh);
+        Self::from_parts(mesh.degree(), mesh.num_elements(), geometry, implementation)
+    }
+
+    /// Build the operator from precomputed geometric factors.
+    #[must_use]
+    pub fn from_parts(
+        degree: usize,
+        num_elements: usize,
+        geometry: GeometricFactors,
+        implementation: AxImplementation,
+    ) -> Self {
+        assert_eq!(geometry.degree(), degree);
+        assert_eq!(geometry.num_elements(), num_elements);
+        let derivative = DerivativeMatrix::new(degree);
+        let split_planes = geometry.split();
+        Self {
+            degree,
+            num_elements,
+            derivative,
+            geometry,
+            split_planes,
+            implementation,
+        }
+    }
+
+    /// Polynomial degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// The implementation currently selected.
+    #[must_use]
+    pub fn implementation(&self) -> AxImplementation {
+        self.implementation
+    }
+
+    /// Switch implementation (e.g. reference for verification, parallel for
+    /// throughput runs).
+    pub fn set_implementation(&mut self, implementation: AxImplementation) {
+        self.implementation = implementation;
+    }
+
+    /// The differentiation matrix.
+    #[must_use]
+    pub fn derivative(&self) -> &DerivativeMatrix {
+        &self.derivative
+    }
+
+    /// The geometric factors (interleaved canonical copy).
+    #[must_use]
+    pub fn geometry(&self) -> &GeometricFactors {
+        &self.geometry
+    }
+
+    /// The split geometric-factor planes.
+    #[must_use]
+    pub fn split_planes(&self) -> &[Vec<f64>; 6] {
+        &self.split_planes
+    }
+
+    /// Apply the operator: `w = A u`, element by element.
+    ///
+    /// # Panics
+    /// Panics if `u` does not match the operator's mesh dimensions.
+    #[must_use]
+    pub fn apply(&self, u: &ElementField) -> ElementField {
+        assert_eq!(u.degree(), self.degree, "degree mismatch");
+        assert_eq!(u.num_elements(), self.num_elements, "element count mismatch");
+        let mut w = ElementField::zeros(self.degree, self.num_elements);
+        self.apply_into(u, &mut w);
+        w
+    }
+
+    /// Apply the operator into an existing output field (no allocation).
+    pub fn apply_into(&self, u: &ElementField, w: &mut ElementField) {
+        assert_eq!(u.len(), w.len(), "output field size mismatch");
+        match self.implementation {
+            AxImplementation::Reference => ax_reference(
+                u.as_slice(),
+                w.as_mut_slice(),
+                self.geometry.interleaved(),
+                &self.derivative,
+            ),
+            AxImplementation::Optimized => ax_optimized(
+                u.as_slice(),
+                w.as_mut_slice(),
+                &self.split_planes,
+                &self.derivative,
+            ),
+            AxImplementation::Parallel => ax_parallel(
+                u.as_slice(),
+                w.as_mut_slice(),
+                &self.split_planes,
+                &self.derivative,
+            ),
+        }
+    }
+
+    /// FLOPs for one full operator application on this mesh.
+    #[must_use]
+    pub fn flops_per_application(&self) -> u64 {
+        ops::total_flops(self.degree, self.num_elements)
+    }
+
+    /// Degrees of freedom processed per application.
+    #[must_use]
+    pub fn dofs_per_application(&self) -> u64 {
+        ops::total_dofs(self.degree, self.num_elements)
+    }
+
+    /// Bytes of compulsory global traffic per application.
+    #[must_use]
+    pub fn bytes_per_application(&self) -> u64 {
+        ops::total_bytes(self.degree, self.num_elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn all_implementations_agree() {
+        let mesh = BoxMesh::unit_cube(4, 2);
+        let mut op = PoissonOperator::new(&mesh, AxImplementation::Reference);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut u = ElementField::zeros(4, 8);
+        u.as_mut_slice()
+            .iter_mut()
+            .for_each(|v| *v = rng.gen_range(-1.0..1.0));
+
+        let w_ref = op.apply(&u);
+        op.set_implementation(AxImplementation::Optimized);
+        let w_opt = op.apply(&u);
+        op.set_implementation(AxImplementation::Parallel);
+        let w_par = op.apply(&u);
+
+        for ((a, b), c) in w_ref
+            .as_slice()
+            .iter()
+            .zip(w_opt.as_slice())
+            .zip(w_par.as_slice())
+        {
+            assert!((a - b).abs() < 1e-11 * (1.0 + a.abs()));
+            assert_eq!(b, c, "optimized and parallel are bitwise identical");
+        }
+    }
+
+    #[test]
+    fn accounting_matches_closed_forms() {
+        let mesh = BoxMesh::unit_cube(7, 2);
+        let op = PoissonOperator::new(&mesh, AxImplementation::Optimized);
+        assert_eq!(op.dofs_per_application(), 8 * 512);
+        assert_eq!(op.flops_per_application(), 8 * 512 * 111);
+        assert_eq!(op.bytes_per_application(), 8 * 512 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree mismatch")]
+    fn rejects_wrong_degree_field() {
+        let mesh = BoxMesh::unit_cube(3, 1);
+        let op = PoissonOperator::new(&mesh, AxImplementation::Optimized);
+        let u = ElementField::zeros(4, 1);
+        let _ = op.apply(&u);
+    }
+}

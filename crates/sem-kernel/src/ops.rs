@@ -1,0 +1,170 @@
+//! Operation, traffic and intensity accounting for the `Ax` kernel.
+//!
+//! These are the closed forms of Section IV of the paper:
+//!
+//! * cost per degree of freedom
+//!   `C(N) = (adds, mults) = (6(N+1) + 6, 6(N+1) + 9)`,
+//! * global-memory traffic per degree of freedom
+//!   `Q(N) = (loads, writes) = (7, 1)` double words,
+//! * operational intensity
+//!   `I(N) = (12(N+1) + 15) / (8 · sizeof(double))` FLOP per byte.
+//!
+//! Every benchmark and both the analytic model and the FPGA simulator pull
+//! their FLOP counts from here so the numbers cannot drift apart.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one double-precision word in bytes.
+pub const DOUBLE_BYTES: usize = 8;
+
+/// Floating-point cost of the kernel per degree of freedom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Double-precision additions per DOF.
+    pub adds: usize,
+    /// Double-precision multiplications per DOF.
+    pub mults: usize,
+}
+
+impl KernelCost {
+    /// The paper's cost measure `C(N)`.
+    #[must_use]
+    pub fn for_degree(degree: usize) -> Self {
+        let n1 = degree + 1;
+        Self {
+            adds: 6 * n1 + 6,
+            mults: 6 * n1 + 9,
+        }
+    }
+
+    /// Total floating-point operations per DOF.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.adds + self.mults
+    }
+}
+
+/// Global-memory traffic of the kernel per degree of freedom, in
+/// double-precision words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelTraffic {
+    /// Words loaded from global memory per DOF (six geometric factors plus
+    /// the operand value itself — all reuse of `u` within the element is
+    /// already exploited on chip).
+    pub loads: usize,
+    /// Words written back per DOF (the result `w`).
+    pub writes: usize,
+}
+
+impl KernelTraffic {
+    /// The paper's access measure `Q(N)` (degree-independent).
+    #[must_use]
+    pub fn for_degree(_degree: usize) -> Self {
+        Self { loads: 7, writes: 1 }
+    }
+
+    /// Total words moved per DOF.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.loads + self.writes
+    }
+
+    /// Total bytes moved per DOF.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.total() * DOUBLE_BYTES
+    }
+}
+
+/// Total floating-point operations per DOF, `12(N+1) + 15`.
+#[inline]
+#[must_use]
+pub fn flops_per_dof(degree: usize) -> usize {
+    KernelCost::for_degree(degree).total()
+}
+
+/// Bytes of global-memory traffic per DOF (8 words of 8 bytes).
+#[inline]
+#[must_use]
+pub fn bytes_per_dof(degree: usize) -> usize {
+    KernelTraffic::for_degree(degree).total_bytes()
+}
+
+/// Operational intensity `I(N)` in FLOP per byte.
+#[inline]
+#[must_use]
+pub fn operational_intensity(degree: usize) -> f64 {
+    flops_per_dof(degree) as f64 / bytes_per_dof(degree) as f64
+}
+
+/// Total FLOPs for evaluating the operator on `num_elements` elements.
+#[inline]
+#[must_use]
+pub fn total_flops(degree: usize, num_elements: usize) -> u64 {
+    flops_per_dof(degree) as u64
+        * sem_basis::dofs_per_element(degree) as u64
+        * num_elements as u64
+}
+
+/// Total degrees of freedom for `num_elements` elements.
+#[inline]
+#[must_use]
+pub fn total_dofs(degree: usize, num_elements: usize) -> u64 {
+    sem_basis::dofs_per_element(degree) as u64 * num_elements as u64
+}
+
+/// Total bytes of global traffic for `num_elements` elements.
+#[inline]
+#[must_use]
+pub fn total_bytes(degree: usize, num_elements: usize) -> u64 {
+    bytes_per_dof(degree) as u64
+        * sem_basis::dofs_per_element(degree) as u64
+        * num_elements as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matches_paper_closed_form() {
+        // Spot values quoted implicitly by the paper: N = 7 gives
+        // 12*8 + 15 = 111 FLOP/DOF; N = 15 gives 207; N = 11 gives 159.
+        assert_eq!(flops_per_dof(7), 111);
+        assert_eq!(flops_per_dof(11), 159);
+        assert_eq!(flops_per_dof(15), 207);
+        let c = KernelCost::for_degree(7);
+        assert_eq!(c.adds, 54);
+        assert_eq!(c.mults, 57);
+    }
+
+    #[test]
+    fn traffic_is_eight_words_per_dof() {
+        for n in 1..=15 {
+            let q = KernelTraffic::for_degree(n);
+            assert_eq!(q.loads, 7);
+            assert_eq!(q.writes, 1);
+            assert_eq!(q.total_bytes(), 64);
+        }
+    }
+
+    #[test]
+    fn intensity_grows_with_degree() {
+        let mut prev = 0.0;
+        for n in 1..=15 {
+            let i = operational_intensity(n);
+            assert!(i > prev);
+            prev = i;
+        }
+        // I(7) = 111/64.
+        assert!((operational_intensity(7) - 111.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_scale_linearly_with_elements() {
+        assert_eq!(total_dofs(7, 4096), 512 * 4096);
+        assert_eq!(total_flops(7, 2), 2 * 512 * 111);
+        assert_eq!(total_bytes(7, 3), 3 * 512 * 64);
+        assert_eq!(total_flops(7, 4096), 2 * total_flops(7, 2048));
+    }
+}

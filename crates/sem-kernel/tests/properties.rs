@@ -1,0 +1,107 @@
+//! Property-based tests of the matrix-free operator.
+
+use proptest::prelude::*;
+use sem_kernel::{AxImplementation, PoissonOperator};
+use sem_mesh::{BoxMesh, ElementField, MeshDeformation};
+
+fn random_field(degree: usize, elems: usize, values: &[f64]) -> ElementField {
+    let mut f = ElementField::zeros(degree, elems);
+    let n = f.len();
+    for (i, v) in f.as_mut_slice().iter_mut().enumerate() {
+        *v = values[i % values.len()] * ((i % 17) as f64 / 17.0 - 0.5);
+    }
+    assert_eq!(f.len(), n);
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The operator is linear: A(a u + b v) = a A u + b A v.
+    #[test]
+    fn operator_is_linear(
+        degree in 1usize..=5,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        seed in proptest::collection::vec(-1.0f64..1.0, 8..32),
+    ) {
+        let mesh = BoxMesh::unit_cube(degree, 2);
+        let op = PoissonOperator::new(&mesh, AxImplementation::Optimized);
+        let u = random_field(degree, 8, &seed);
+        let mut v = random_field(degree, 8, &seed);
+        v.as_mut_slice().iter_mut().for_each(|x| *x = x.cos());
+        let mut combo = u.clone();
+        combo.as_mut_slice().iter_mut().zip(v.as_slice()).for_each(|(x, &y)| *x = a * *x + b * y);
+        let lhs = op.apply(&combo);
+        let au = op.apply(&u);
+        let av = op.apply(&v);
+        for i in 0..lhs.len() {
+            let expect = a * au.as_slice()[i] + b * av.as_slice()[i];
+            prop_assert!((lhs.as_slice()[i] - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// Symmetry of the bilinear form: v^T A u == u^T A v.
+    #[test]
+    fn operator_is_symmetric(
+        degree in 1usize..=5,
+        seed_u in proptest::collection::vec(-1.0f64..1.0, 8..32),
+        seed_v in proptest::collection::vec(-1.0f64..1.0, 8..32),
+        amplitude in 0.0f64..0.05,
+    ) {
+        let mesh = BoxMesh::new(
+            degree,
+            [2, 1, 1],
+            [1.0, 1.3, 0.8],
+            MeshDeformation::Sinusoidal { amplitude },
+        );
+        let op = PoissonOperator::new(&mesh, AxImplementation::Optimized);
+        let u = random_field(degree, 2, &seed_u);
+        let v = random_field(degree, 2, &seed_v);
+        let au = op.apply(&u);
+        let av = op.apply(&v);
+        let vau = v.dot(&au);
+        let uav = u.dot(&av);
+        prop_assert!((vau - uav).abs() < 1e-8 * (1.0 + vau.abs()));
+    }
+
+    /// Non-negative energy: u^T A u >= 0 for any nodal vector.
+    #[test]
+    fn operator_is_positive_semidefinite(
+        degree in 1usize..=5,
+        seed in proptest::collection::vec(-2.0f64..2.0, 8..64),
+    ) {
+        let mesh = BoxMesh::unit_cube(degree, 2);
+        let op = PoissonOperator::new(&mesh, AxImplementation::Parallel);
+        let u = random_field(degree, 8, &seed);
+        let au = op.apply(&u);
+        prop_assert!(u.dot(&au) >= -1e-9);
+    }
+
+    /// Reference and optimised kernels agree on deformed meshes of any degree.
+    #[test]
+    fn implementations_agree(
+        degree in 1usize..=6,
+        amplitude in 0.0f64..0.06,
+        seed in proptest::collection::vec(-1.0f64..1.0, 8..32),
+    ) {
+        let mesh = BoxMesh::new(
+            degree,
+            [2, 2, 1],
+            [1.0; 3],
+            MeshDeformation::Sinusoidal { amplitude },
+        );
+        let mut op = PoissonOperator::new(&mesh, AxImplementation::Reference);
+        let u = random_field(degree, 4, &seed);
+        let w_ref = op.apply(&u);
+        op.set_implementation(AxImplementation::Optimized);
+        let w_opt = op.apply(&u);
+        op.set_implementation(AxImplementation::Parallel);
+        let w_par = op.apply(&u);
+        for i in 0..u.len() {
+            prop_assert!((w_ref.as_slice()[i] - w_opt.as_slice()[i]).abs()
+                < 1e-10 * (1.0 + w_ref.as_slice()[i].abs()));
+            prop_assert_eq!(w_opt.as_slice()[i], w_par.as_slice()[i]);
+        }
+    }
+}

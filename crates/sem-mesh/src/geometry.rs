@@ -1,0 +1,349 @@
+//! Geometric factors of the local Poisson operator.
+//!
+//! For every GLL node of every element the operator needs the six independent
+//! entries of the symmetric 3×3 tensor
+//!
+//! \[G = J \; w_i w_j w_k \; (\nabla_x r)(\nabla_x r)^T\]
+//!
+//! where `J` is the Jacobian determinant of the reference-to-physical map,
+//! `w` are the GLL quadrature weights and `∇_x r` is the inverse Jacobian.
+//! These are the `gxyz` values of the paper's Listing 1, stored in the order
+//! `[G_rr, G_rs, G_rt, G_ss, G_st, G_tt]` so that
+//!
+//! ```text
+//! shur = g0*ur + g1*us + g2*ut
+//! shus = g1*ur + g3*us + g4*ut
+//! shut = g2*ur + g4*us + g5*ut
+//! ```
+//!
+//! Two memory layouts are provided, matching the two accelerator variants the
+//! paper discusses: the *interleaved* layout (`g[c + 6*node + 6*npts*e]`,
+//! used by the baseline kernel) and the *split* layout (six separate planes,
+//! the Section III-B optimisation that removes BRAM arbitration).
+
+use crate::field::ElementField;
+use crate::mesh::BoxMesh;
+use sem_basis::{gauss_lobatto_legendre, DerivativeMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Number of independent entries of the symmetric geometric-factor tensor.
+pub const NUM_GEOMETRIC_FACTORS: usize = 6;
+
+/// Memory layout of the geometric factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeometryLayout {
+    /// `g[c + 6*node + 6*npts*element]` — the layout of Listing 1.
+    Interleaved,
+    /// Six separate element-major planes — the layout of the optimised
+    /// accelerator (one BRAM per component, no arbitration).
+    Split,
+}
+
+/// Geometric factors plus the diagonal mass matrix for a mesh.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeometricFactors {
+    degree: usize,
+    num_elements: usize,
+    /// Interleaved storage, the canonical copy.
+    interleaved: Vec<f64>,
+    /// Diagonal of the mass matrix, `B = J w_i w_j w_k` per node.
+    mass: ElementField,
+    /// Smallest Jacobian determinant encountered (mesh validity indicator).
+    min_jacobian: f64,
+}
+
+impl GeometricFactors {
+    /// Compute the geometric factors of every element of `mesh`.
+    ///
+    /// # Panics
+    /// Panics if the mesh mapping is degenerate (non-positive Jacobian), which
+    /// indicates an invalid or overly deformed mesh.
+    #[must_use]
+    pub fn from_mesh(mesh: &BoxMesh) -> Self {
+        let degree = mesh.degree();
+        let nx = degree + 1;
+        let npts = nx * nx * nx;
+        let num_elements = mesh.num_elements();
+        let gll = gauss_lobatto_legendre(nx);
+        let dm = DerivativeMatrix::new(degree);
+        let d = dm.d();
+
+        let [xs, ys, zs] = mesh.coordinates();
+        let mut interleaved = vec![0.0_f64; NUM_GEOMETRIC_FACTORS * npts * num_elements];
+        let mut mass = ElementField::zeros(degree, num_elements);
+        let mut min_jacobian = f64::INFINITY;
+
+        // Scratch: derivatives of the three coordinates w.r.t. the three
+        // reference directions at one node.
+        for e in 0..num_elements {
+            let xe = xs.element(e);
+            let ye = ys.element(e);
+            let ze = zs.element(e);
+            for k in 0..nx {
+                for j in 0..nx {
+                    for i in 0..nx {
+                        let node = i + nx * (j + nx * k);
+                        // dX/dr, dX/ds, dX/dt for X in {x, y, z}.
+                        let mut jac = [[0.0_f64; 3]; 3]; // jac[a][b] = d x_a / d r_b
+                        for l in 0..nx {
+                            let dr = d[(i, l)];
+                            let ds = d[(j, l)];
+                            let dt = d[(k, l)];
+                            let idx_r = l + nx * (j + nx * k);
+                            let idx_s = i + nx * (l + nx * k);
+                            let idx_t = i + nx * (j + nx * l);
+                            jac[0][0] += dr * xe[idx_r];
+                            jac[1][0] += dr * ye[idx_r];
+                            jac[2][0] += dr * ze[idx_r];
+                            jac[0][1] += ds * xe[idx_s];
+                            jac[1][1] += ds * ye[idx_s];
+                            jac[2][1] += ds * ze[idx_s];
+                            jac[0][2] += dt * xe[idx_t];
+                            jac[1][2] += dt * ye[idx_t];
+                            jac[2][2] += dt * ze[idx_t];
+                        }
+                        let det = det3(&jac);
+                        assert!(
+                            det > 0.0,
+                            "degenerate element {e}: non-positive Jacobian {det}"
+                        );
+                        min_jacobian = min_jacobian.min(det);
+                        let inv = inv3(&jac, det); // inv[b][a] = d r_b / d x_a
+                        let w = gll.weights[i] * gll.weights[j] * gll.weights[k];
+                        let scale = det * w;
+                        // G_ab = scale * sum_c dr_a/dx_c * dr_b/dx_c
+                        let mut g = [0.0_f64; NUM_GEOMETRIC_FACTORS];
+                        let pairs = [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)];
+                        for (slot, &(a, b)) in pairs.iter().enumerate() {
+                            let mut acc = 0.0;
+                            for c in 0..3 {
+                                acc += inv[a][c] * inv[b][c];
+                            }
+                            g[slot] = scale * acc;
+                        }
+                        let base = NUM_GEOMETRIC_FACTORS * (node + npts * e);
+                        interleaved[base..base + NUM_GEOMETRIC_FACTORS].copy_from_slice(&g);
+                        mass.element_mut(e)[node] = scale;
+                    }
+                }
+            }
+        }
+
+        Self {
+            degree,
+            num_elements,
+            interleaved,
+            mass,
+            min_jacobian,
+        }
+    }
+
+    /// Polynomial degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Nodes per element.
+    #[must_use]
+    pub fn nodes_per_element(&self) -> usize {
+        sem_basis::dofs_per_element(self.degree)
+    }
+
+    /// Smallest Jacobian determinant over the mesh.
+    #[must_use]
+    pub fn min_jacobian(&self) -> f64 {
+        self.min_jacobian
+    }
+
+    /// The interleaved (`Listing 1`) storage: `g[c + 6*node + 6*npts*e]`.
+    #[must_use]
+    pub fn interleaved(&self) -> &[f64] {
+        &self.interleaved
+    }
+
+    /// Factor `c ∈ 0..6` at element `e`, node index `node`.
+    #[must_use]
+    pub fn at(&self, e: usize, node: usize, c: usize) -> f64 {
+        let npts = self.nodes_per_element();
+        self.interleaved[c + NUM_GEOMETRIC_FACTORS * (node + npts * e)]
+    }
+
+    /// Convert to the split layout: six element-major planes, each of length
+    /// `E * (N+1)^3` (the Section III-B optimisation).
+    #[must_use]
+    pub fn split(&self) -> [Vec<f64>; NUM_GEOMETRIC_FACTORS] {
+        let npts = self.nodes_per_element();
+        let total = npts * self.num_elements;
+        let mut planes: [Vec<f64>; NUM_GEOMETRIC_FACTORS] = Default::default();
+        for plane in &mut planes {
+            plane.resize(total, 0.0);
+        }
+        for e in 0..self.num_elements {
+            for node in 0..npts {
+                for (c, plane) in planes.iter_mut().enumerate() {
+                    plane[node + npts * e] = self.at(e, node, c);
+                }
+            }
+        }
+        planes
+    }
+
+    /// The diagonal mass matrix `B = J w` as an element-major field.
+    #[must_use]
+    pub fn mass(&self) -> &ElementField {
+        &self.mass
+    }
+
+    /// Total bytes of geometric-factor data (what the accelerator must stream
+    /// from external memory for `gxyz`).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.interleaved.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[inline]
+fn det3(m: &[[f64; 3]; 3]) -> f64 {
+    m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+}
+
+/// Inverse of a 3×3 matrix given its determinant; returns `inv[b][a] = (M^{-1})_{ba}`.
+#[inline]
+fn inv3(m: &[[f64; 3]; 3], det: f64) -> [[f64; 3]; 3] {
+    let inv_det = 1.0 / det;
+    let mut out = [[0.0_f64; 3]; 3];
+    out[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+    out[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+    out[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+    out[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+    out[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+    out[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+    out[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+    out[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+    out[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::MeshDeformation;
+
+    #[test]
+    fn unit_cube_affine_factors_are_diagonal() {
+        // For an axis-aligned brick of size h^3, dr/dx = 2/h, J = h^3/8 and
+        // G_rr = G_ss = G_tt = (2/h)^2 * h^3/8 * w = h/2 * w, off-diagonals 0.
+        let degree = 4;
+        let mesh = BoxMesh::unit_cube(degree, 2); // h = 0.5
+        let geo = GeometricFactors::from_mesh(&mesh);
+        let gll = gauss_lobatto_legendre(degree + 1);
+        let nx = degree + 1;
+        let h = 0.5_f64;
+        for e in 0..mesh.num_elements() {
+            for k in 0..nx {
+                for j in 0..nx {
+                    for i in 0..nx {
+                        let node = i + nx * (j + nx * k);
+                        let w = gll.weights[i] * gll.weights[j] * gll.weights[k];
+                        let expect = h / 2.0 * w;
+                        assert!((geo.at(e, node, 0) - expect).abs() < 1e-12);
+                        assert!((geo.at(e, node, 3) - expect).abs() < 1e-12);
+                        assert!((geo.at(e, node, 5) - expect).abs() < 1e-12);
+                        assert!(geo.at(e, node, 1).abs() < 1e-12);
+                        assert!(geo.at(e, node, 2).abs() < 1e-12);
+                        assert!(geo.at(e, node, 4).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mass_sums_to_domain_volume() {
+        // Sum of B over all local nodes equals the domain volume because the
+        // quadrature weights of each element integrate 1 over the element.
+        for deformation in [
+            MeshDeformation::None,
+            MeshDeformation::Sinusoidal { amplitude: 0.03 },
+        ] {
+            let mesh = BoxMesh::new(5, [2, 2, 2], [1.0, 2.0, 0.5], deformation);
+            let geo = GeometricFactors::from_mesh(&mesh);
+            let vol: f64 = geo.mass().as_slice().iter().sum();
+            assert!(
+                (vol - 1.0 * 2.0 * 0.5).abs() < 1e-9,
+                "volume {vol} for {deformation:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_layout_matches_interleaved() {
+        let mesh = BoxMesh::new(
+            3,
+            [2, 1, 1],
+            [1.0; 3],
+            MeshDeformation::Sinusoidal { amplitude: 0.02 },
+        );
+        let geo = GeometricFactors::from_mesh(&mesh);
+        let planes = geo.split();
+        let npts = geo.nodes_per_element();
+        for e in 0..geo.num_elements() {
+            for node in 0..npts {
+                for c in 0..NUM_GEOMETRIC_FACTORS {
+                    assert_eq!(planes[c][node + npts * e], geo.at(e, node, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deformed_mesh_has_nonzero_cross_terms_and_positive_jacobian() {
+        let mesh = BoxMesh::new(
+            4,
+            [2, 2, 2],
+            [1.0; 3],
+            MeshDeformation::Sinusoidal { amplitude: 0.05 },
+        );
+        let geo = GeometricFactors::from_mesh(&mesh);
+        assert!(geo.min_jacobian() > 0.0);
+        let max_cross = (0..geo.num_elements())
+            .flat_map(|e| (0..geo.nodes_per_element()).map(move |n| (e, n)))
+            .map(|(e, n)| geo.at(e, n, 1).abs().max(geo.at(e, n, 2).abs()))
+            .fold(0.0_f64, f64::max);
+        assert!(max_cross > 1e-6, "deformation must create cross terms");
+    }
+
+    #[test]
+    fn diagonal_factors_are_positive() {
+        let mesh = BoxMesh::new(
+            3,
+            [2, 2, 1],
+            [1.0, 1.0, 2.0],
+            MeshDeformation::Sinusoidal { amplitude: 0.04 },
+        );
+        let geo = GeometricFactors::from_mesh(&mesh);
+        for e in 0..geo.num_elements() {
+            for node in 0..geo.nodes_per_element() {
+                assert!(geo.at(e, node, 0) > 0.0);
+                assert!(geo.at(e, node, 3) > 0.0);
+                assert!(geo.at(e, node, 5) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mesh = BoxMesh::unit_cube(7, 2);
+        let geo = GeometricFactors::from_mesh(&mesh);
+        assert_eq!(geo.size_bytes(), 8 * 6 * 512 * 8);
+    }
+}

@@ -1,0 +1,30 @@
+//! Hexahedral spectral element meshes.
+//!
+//! This crate provides the mesh-level substrate the paper's kernel operates
+//! on: element-major nodal fields, structured box meshes with (optionally
+//! deformed) hexahedral elements, the six packed geometric factors `G` of the
+//! local Poisson operator, the gather–scatter (direct stiffness summation)
+//! operator that glues elements together, and Dirichlet boundary masks.
+//!
+//! The data layouts intentionally mirror Nekbone / the paper's Listing 1:
+//!
+//! * nodal fields are stored element-major (`ele * (N+1)^3 + ijk`),
+//! * geometric factors are stored either interleaved
+//!   (`gxyz[c + 6*ijk + 6*(N+1)^3*ele]`, the layout of the baseline kernel)
+//!   or split into six separate planes (the layout of the optimised
+//!   accelerator, Section III-B of the paper).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod field;
+pub mod gather_scatter;
+pub mod geometry;
+pub mod mask;
+pub mod mesh;
+
+pub use field::ElementField;
+pub use gather_scatter::GatherScatter;
+pub use geometry::{GeometricFactors, GeometryLayout};
+pub use mask::DirichletMask;
+pub use mesh::{BoxMesh, MeshDeformation};

@@ -1,0 +1,142 @@
+//! Dirichlet boundary masks.
+//!
+//! The homogeneous Poisson problem of the paper (Section II) imposes `u = 0`
+//! on the domain boundary.  In the local/matrix-free formulation this is done
+//! by zeroing the boundary degrees of freedom of residuals and search
+//! directions — the "mask" of Nekbone.
+
+use crate::field::ElementField;
+use crate::mesh::BoxMesh;
+use serde::{Deserialize, Serialize};
+
+/// A 0/1 mask over the local degrees of freedom (0 on the Dirichlet boundary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirichletMask {
+    degree: usize,
+    num_elements: usize,
+    mask: Vec<f64>,
+}
+
+impl DirichletMask {
+    /// Build the mask for the whole boundary of a box mesh.
+    #[must_use]
+    pub fn from_mesh(mesh: &BoxMesh) -> Self {
+        let nx = mesh.points_per_direction();
+        let mut mask = Vec::with_capacity(mesh.num_local_dofs());
+        for e in 0..mesh.num_elements() {
+            for k in 0..nx {
+                for j in 0..nx {
+                    for i in 0..nx {
+                        mask.push(if mesh.is_boundary_node(e, i, j, k) {
+                            0.0
+                        } else {
+                            1.0
+                        });
+                    }
+                }
+            }
+        }
+        Self {
+            degree: mesh.degree(),
+            num_elements: mesh.num_elements(),
+            mask,
+        }
+    }
+
+    /// A mask that keeps every degree of freedom (no Dirichlet boundary), for
+    /// pure-Neumann or periodic experiments.
+    #[must_use]
+    pub fn none(degree: usize, num_elements: usize) -> Self {
+        Self {
+            degree,
+            num_elements,
+            mask: vec![1.0; sem_basis::dofs_per_element(degree) * num_elements],
+        }
+    }
+
+    /// Apply the mask in place: boundary values are zeroed.
+    pub fn apply(&self, field: &mut ElementField) {
+        assert_eq!(field.len(), self.mask.len(), "field size mismatch");
+        for (v, &m) in field.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+    }
+
+    /// The raw mask values (1 = free, 0 = constrained).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.mask
+    }
+
+    /// The mask as an [`ElementField`].
+    #[must_use]
+    pub fn as_field(&self) -> ElementField {
+        ElementField::from_vec(self.degree, self.num_elements, self.mask.clone())
+    }
+
+    /// Number of constrained (boundary) local degrees of freedom.
+    #[must_use]
+    pub fn num_constrained(&self) -> usize {
+        self.mask.iter().filter(|&&m| m == 0.0).count()
+    }
+
+    /// Number of free local degrees of freedom.
+    #[must_use]
+    pub fn num_free(&self) -> usize {
+        self.mask.len() - self.num_constrained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_mask_keeps_only_interior() {
+        let mesh = BoxMesh::unit_cube(4, 1);
+        let mask = DirichletMask::from_mesh(&mesh);
+        // Interior points per direction: N - 1 = 3, so 27 free nodes.
+        assert_eq!(mask.num_free(), 27);
+        assert_eq!(mask.num_constrained(), 125 - 27);
+    }
+
+    #[test]
+    fn apply_zeroes_the_boundary() {
+        let mesh = BoxMesh::unit_cube(3, 2);
+        let mask = DirichletMask::from_mesh(&mesh);
+        let mut f = ElementField::constant(3, 8, 2.5);
+        mask.apply(&mut f);
+        let nx = 4;
+        for e in 0..8 {
+            for k in 0..nx {
+                for j in 0..nx {
+                    for i in 0..nx {
+                        let expect = if mesh.is_boundary_node(e, i, j, k) {
+                            0.0
+                        } else {
+                            2.5
+                        };
+                        assert_eq!(f.at(e, i, j, k), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn none_mask_is_identity() {
+        let mut f = ElementField::constant(2, 4, 3.0);
+        let mask = DirichletMask::none(2, 4);
+        mask.apply(&mut f);
+        assert!(f.as_slice().iter().all(|&v| v == 3.0));
+        assert_eq!(mask.num_constrained(), 0);
+    }
+
+    #[test]
+    fn free_count_matches_interior_global_nodes_for_unit_multiplicity() {
+        // For one element the free local nodes equal the interior global nodes.
+        let mesh = BoxMesh::unit_cube(5, 1);
+        let mask = DirichletMask::from_mesh(&mesh);
+        assert_eq!(mask.num_free(), (5 - 1) * (5 - 1) * (5 - 1));
+    }
+}

@@ -1,0 +1,285 @@
+//! Preconditioned conjugate gradients on element-local storage.
+//!
+//! The iteration mirrors Nekbone: fields stay in element-local (discontinuous)
+//! storage, every operator application is followed by direct stiffness
+//! summation and Dirichlet masking, and all inner products are weighted by the
+//! inverse node multiplicity so each unique grid point is counted once.
+
+use sem_kernel::PoissonOperator;
+use sem_mesh::{DirichletMask, ElementField, GatherScatter};
+use serde::{Deserialize, Serialize};
+
+/// Stopping criteria and iteration limits for the CG solver.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CgOptions {
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Relative residual tolerance (‖r‖ / ‖b‖).
+    pub tolerance: f64,
+    /// Record the residual norm of every iteration.
+    pub record_history: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-10,
+            record_history: true,
+        }
+    }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgOutcome {
+    /// The solution in element-local storage (continuous across elements).
+    pub solution: ElementField,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Residual norm per iteration (if requested).
+    pub residual_history: Vec<f64>,
+    /// Whether the tolerance was reached within the iteration limit.
+    pub converged: bool,
+    /// Total floating-point operations spent in operator applications.
+    pub operator_flops: u64,
+}
+
+/// A preconditioner maps a residual to a search-direction correction.
+pub trait Preconditioner {
+    /// Apply `z = M^{-1} r`.
+    fn apply(&self, r: &ElementField) -> ElementField;
+}
+
+/// The identity preconditioner (plain CG).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &ElementField) -> ElementField {
+        r.clone()
+    }
+}
+
+/// Conjugate-gradient solver bound to an operator, gather–scatter and mask.
+pub struct CgSolver<'a> {
+    operator: &'a PoissonOperator,
+    gather_scatter: &'a GatherScatter,
+    mask: &'a DirichletMask,
+    inverse_multiplicity: ElementField,
+    options: CgOptions,
+}
+
+impl<'a> CgSolver<'a> {
+    /// Create a solver.
+    #[must_use]
+    pub fn new(
+        operator: &'a PoissonOperator,
+        gather_scatter: &'a GatherScatter,
+        mask: &'a DirichletMask,
+        options: CgOptions,
+    ) -> Self {
+        let inverse_multiplicity = gather_scatter.inverse_multiplicity();
+        Self {
+            operator,
+            gather_scatter,
+            mask,
+            inverse_multiplicity,
+            options,
+        }
+    }
+
+    /// The options in use.
+    #[must_use]
+    pub fn options(&self) -> CgOptions {
+        self.options
+    }
+
+    /// Weighted global inner product of two local fields.
+    #[must_use]
+    pub fn inner_product(&self, a: &ElementField, b: &ElementField) -> f64 {
+        a.dot_weighted(b, &self.inverse_multiplicity)
+    }
+
+    /// One full "masked continuous operator" application:
+    /// `w = mask(QQᵀ (A u))`.
+    #[must_use]
+    pub fn apply_operator(&self, u: &ElementField) -> ElementField {
+        let mut w = self.operator.apply(u);
+        self.gather_scatter.direct_stiffness_sum(&mut w);
+        self.mask.apply(&mut w);
+        w
+    }
+
+    /// Solve `A x = b` with an optional preconditioner.
+    ///
+    /// `rhs` must already be continuous (direct-stiffness-summed) and masked;
+    /// [`crate::poisson::PoissonProblem`] produces it in that form.
+    #[must_use]
+    pub fn solve<P: Preconditioner>(&self, rhs: &ElementField, precond: &P) -> CgOutcome {
+        let degree = self.operator.degree();
+        let nelems = self.operator.num_elements();
+        assert_eq!(rhs.degree(), degree, "rhs degree mismatch");
+        assert_eq!(rhs.num_elements(), nelems, "rhs element count mismatch");
+
+        let mut x = ElementField::zeros(degree, nelems);
+        let mut r = rhs.clone();
+        self.mask.apply(&mut r);
+
+        let b_norm = self.inner_product(&r, &r).sqrt();
+        let mut history = Vec::new();
+        if b_norm == 0.0 {
+            return CgOutcome {
+                solution: x,
+                iterations: 0,
+                relative_residual: 0.0,
+                residual_history: history,
+                converged: true,
+                operator_flops: 0,
+            };
+        }
+
+        let mut z = precond.apply(&r);
+        self.mask.apply(&mut z);
+        let mut p = z.clone();
+        let mut rz = self.inner_product(&r, &z);
+        let mut operator_flops = 0_u64;
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut rel_res = 1.0;
+
+        for iter in 0..self.options.max_iterations {
+            iterations = iter + 1;
+            let w = self.apply_operator(&p);
+            operator_flops += self.operator.flops_per_application();
+            let pw = self.inner_product(&p, &w);
+            // A breakdown (pw <= 0) can only occur through rounding on a
+            // semi-definite system; bail out with what we have.
+            if pw <= 0.0 {
+                break;
+            }
+            let alpha = rz / pw;
+            x.axpy(alpha, &p);
+            r.axpy(-alpha, &w);
+
+            let r_norm = self.inner_product(&r, &r).sqrt();
+            rel_res = r_norm / b_norm;
+            if self.options.record_history {
+                history.push(rel_res);
+            }
+            if rel_res < self.options.tolerance {
+                converged = true;
+                break;
+            }
+
+            let mut z_new = precond.apply(&r);
+            self.mask.apply(&mut z_new);
+            let rz_new = self.inner_product(&r, &z_new);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            z = z_new;
+            // p = z + beta p
+            p.scale_add(beta, &z);
+        }
+
+        CgOutcome {
+            solution: x,
+            iterations,
+            relative_residual: rel_res,
+            residual_history: history,
+            converged,
+            operator_flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_kernel::AxImplementation;
+    use sem_mesh::BoxMesh;
+
+    fn make_problem(
+        degree: usize,
+        elems: usize,
+    ) -> (BoxMesh, PoissonOperator, GatherScatter, DirichletMask) {
+        let mesh = BoxMesh::unit_cube(degree, elems);
+        let op = PoissonOperator::new(&mesh, AxImplementation::Optimized);
+        let gs = GatherScatter::from_mesh(&mesh);
+        let mask = DirichletMask::from_mesh(&mesh);
+        (mesh, op, gs, mask)
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution_immediately() {
+        let (_, op, gs, mask) = make_problem(3, 2);
+        let solver = CgSolver::new(&op, &gs, &mask, CgOptions::default());
+        let rhs = ElementField::zeros(3, 8);
+        let out = solver.solve(&rhs, &IdentityPreconditioner);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert!(out.solution.max_abs() == 0.0);
+    }
+
+    #[test]
+    fn solves_a_manufactured_system() {
+        // Build b = A x_exact for a random-ish continuous masked x_exact and
+        // recover it with CG.
+        let (mesh, op, gs, mask) = make_problem(4, 2);
+        let mut x_exact = mesh.evaluate(|x, y, z| (x * (1.0 - x)) * (y * (1.0 - y)) * z.sin());
+        mask.apply(&mut x_exact);
+        let solver = CgSolver::new(
+            &op,
+            &gs,
+            &mask,
+            CgOptions {
+                max_iterations: 500,
+                tolerance: 1e-12,
+                record_history: true,
+            },
+        );
+        let rhs = solver.apply_operator(&x_exact);
+        let out = solver.solve(&rhs, &IdentityPreconditioner);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        let mut diff = out.solution.clone();
+        diff.axpy(-1.0, &x_exact);
+        assert!(
+            diff.max_abs() < 1e-7 * (1.0 + x_exact.max_abs()),
+            "max error {}",
+            diff.max_abs()
+        );
+        assert!(out.operator_flops > 0);
+    }
+
+    #[test]
+    fn residual_history_is_monotonically_bounded() {
+        let (mesh, op, gs, mask) = make_problem(3, 2);
+        let mut x_exact = mesh.evaluate(|x, y, z| (3.0 * x).sin() * y * (1.0 - z));
+        mask.apply(&mut x_exact);
+        let solver = CgSolver::new(&op, &gs, &mask, CgOptions::default());
+        let rhs = solver.apply_operator(&x_exact);
+        let out = solver.solve(&rhs, &IdentityPreconditioner);
+        // CG residuals are not strictly monotone, but the final residual must
+        // be far below the initial one and the history non-empty.
+        assert!(!out.residual_history.is_empty());
+        assert!(out.relative_residual < 1e-8);
+    }
+
+    #[test]
+    fn solution_is_continuous_and_masked() {
+        let (mesh, op, gs, mask) = make_problem(3, 3);
+        let mut x_exact = mesh.evaluate(|x, y, z| x * y * z * (1.0 - x));
+        mask.apply(&mut x_exact);
+        let solver = CgSolver::new(&op, &gs, &mask, CgOptions::default());
+        let rhs = solver.apply_operator(&x_exact);
+        let out = solver.solve(&rhs, &IdentityPreconditioner);
+        assert!(gs.is_continuous(&out.solution, 1e-8));
+        let mut masked = out.solution.clone();
+        mask.apply(&mut masked);
+        let mut diff = masked;
+        diff.axpy(-1.0, &out.solution);
+        assert!(diff.max_abs() < 1e-14, "boundary values must stay zero");
+    }
+}

@@ -1,0 +1,37 @@
+//! Sweep the polynomial degree and problem size on both backends and print a
+//! compact Fig. 1-style panel: CPU (measured) vs simulated FPGA vs the A100
+//! machine model.
+//!
+//! Run with `cargo run --example degree_sweep --release`.
+
+use semfpga::accel::{Backend, SemSystem};
+use semfpga::archdb::machine_model::calibrated_model;
+use semfpga::fpga::{FpgaAccelerator, FpgaDevice};
+
+fn main() {
+    let device = FpgaDevice::stratix10_gx2800();
+    let a100 = calibrated_model("A100").expect("A100 model exists");
+    println!(
+        "{:>3} {:>10} {:>16} {:>16} {:>16}",
+        "N", "#elements", "CPU (GFLOP/s)", "FPGA-sim (GF/s)", "A100 model (GF/s)"
+    );
+    for &degree in &[3_usize, 7, 11] {
+        for &per_side in &[2_usize, 4] {
+            let elements = per_side * per_side * per_side;
+            let cpu = SemSystem::builder()
+                .degree(degree)
+                .elements([per_side; 3])
+                .backend(Backend::cpu_parallel())
+                .build();
+            let cpu_perf = cpu.benchmark_operator(10);
+            let fpga = FpgaAccelerator::for_degree(degree, &device).estimate(elements);
+            let gpu = a100.achieved_gflops(degree, elements);
+            println!(
+                "{:>3} {:>10} {:>16.2} {:>16.2} {:>16.2}",
+                degree, elements, cpu_perf.gflops, fpga.gflops, gpu
+            );
+        }
+    }
+    println!("\n(The CPU column is a real measurement on this host; the FPGA and A100 columns");
+    println!(" come from the calibrated simulator/models — see EXPERIMENTS.md.)");
+}

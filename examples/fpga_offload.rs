@@ -1,0 +1,62 @@
+//! Explore the simulated FPGA accelerator: synthesise the per-degree designs
+//! of Table I, run the kernel through the simulator and print synthesis,
+//! performance, power and offload details — including the Section III
+//! optimisation ladder for one degree.
+//!
+//! Run with `cargo run --example fpga_offload --release -- [degree]`.
+
+use semfpga::fpga::{
+    synthesize, AcceleratorDesign, FpgaAccelerator, FpgaDevice, OptimizationStage,
+};
+use semfpga::mesh::{BoxMesh, GeometricFactors};
+
+fn main() {
+    let degree: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let device = FpgaDevice::stratix10_gx2800();
+    println!("Device: {}\n", device.name);
+
+    // Synthesis view of the production design.
+    let design = AcceleratorDesign::for_degree(degree, &device);
+    let report = synthesize(&design, &device);
+    println!("Production design for N = {degree}:");
+    println!("  unroll (DOFs/cycle) : {}", design.unroll);
+    println!("  initiation interval : {}", design.initiation_interval);
+    println!("  kernel clock        : {:.0} MHz", report.fmax_mhz);
+    println!(
+        "  utilisation         : {:.0}% logic, {:.0}% DSP, {:.0}% BRAM",
+        report.utilisation.alms * 100.0,
+        report.utilisation.dsps * 100.0,
+        report.utilisation.brams * 100.0
+    );
+
+    // Functional execution on a real mesh (results verified against the CPU
+    // reference in the test suite).
+    let mesh = BoxMesh::unit_cube(degree, 2);
+    let geo = GeometricFactors::from_mesh(&mesh);
+    let acc = FpgaAccelerator::new(device.clone(), design);
+    let u = mesh.evaluate(|x, y, z| (3.0 * x).sin() * y + z);
+    let (_w, exec) = acc.execute(&u, &geo);
+    println!("\nFunctional run on {} elements:", mesh.num_elements());
+    println!("  simulated time      : {:.3} µs", exec.seconds * 1e6);
+    println!("  throughput          : {:.2} DOFs/cycle", exec.dofs_per_cycle);
+
+    // Large-problem performance (the Table I operating point).
+    let big = acc.estimate(4096);
+    println!("\nAt 4096 elements (Table I operating point):");
+    println!("  performance         : {:.1} GFLOP/s", big.gflops);
+    println!("  DOFs per cycle      : {:.2}", big.dofs_per_cycle);
+    println!("  effective bandwidth : {:.1} GB/s", big.effective_bandwidth_gbs);
+    println!("  board power         : {:.1} W", big.power_watts);
+    println!("  power efficiency    : {:.2} GFLOP/s/W", big.gflops_per_watt);
+
+    // The Section III optimisation ladder.
+    println!("\nOptimisation ladder (Section III), 4096 elements:");
+    for stage in OptimizationStage::ladder() {
+        let d = AcceleratorDesign::at_stage(degree, &device, stage);
+        let est = FpgaAccelerator::new(device.clone(), d).estimate(4096);
+        println!("  {:28} {:>10.3} GFLOP/s", format!("{stage:?}"), est.gflops);
+    }
+}

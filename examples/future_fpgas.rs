@@ -1,0 +1,74 @@
+//! Reproduce the Section V-D discussion: project the SEM accelerator onto the
+//! Agilex 027, the Stratix 10M and the hypothetical "ideal" FPGA, compare
+//! against the A100 kernel model, and answer "what would it take to beat the
+//! Ampere-100?".
+//!
+//! Run with `cargo run --example future_fpgas --release`.
+
+use semfpga::archdb::machine_model::calibrated_model;
+use semfpga::model::projection::{design_fpga_for_targets, project_device};
+use semfpga::model::throughput::ArbitrationPolicy;
+use semfpga::model::{FpgaDevice, FpuCost};
+
+fn main() {
+    let degrees = [7_usize, 11, 15];
+    let a100 = calibrated_model("A100").expect("A100 model exists");
+
+    println!("Projected SEM-accelerator performance at 300 MHz (GFLOP/s):\n");
+    println!("{:<42} {:>8} {:>8} {:>8}", "device", "N=7", "N=11", "N=15");
+    let devices = [
+        (FpgaDevice::stratix10_gx2800(), ArbitrationPolicy::PowerOfTwoDivisor),
+        (FpgaDevice::agilex_027(), ArbitrationPolicy::PowerOfTwo),
+        (FpgaDevice::stratix10m(), ArbitrationPolicy::PowerOfTwo),
+        (FpgaDevice::stratix10m_plus(), ArbitrationPolicy::PowerOfTwo),
+        (FpgaDevice::hypothetical_ideal(), ArbitrationPolicy::Unconstrained),
+    ];
+    for (device, policy) in &devices {
+        let out = project_device(device, &degrees, 300.0, *policy);
+        println!(
+            "{:<42} {:>8.0} {:>8.0} {:>8.0}",
+            device.name,
+            out.for_degree(7).unwrap().prediction.gflops,
+            out.for_degree(11).unwrap().prediction.gflops,
+            out.for_degree(15).unwrap().prediction.gflops,
+        );
+    }
+    println!(
+        "{:<42} {:>8.0} {:>8.0} {:>8.0}   (calibrated GPU kernel model)",
+        "NVIDIA A100 PCIe",
+        a100.achieved_gflops(7, 4096),
+        a100.achieved_gflops(11, 4096),
+        a100.achieved_gflops(15, 4096),
+    );
+
+    // Inverse design: what fabric + memory would match the paper's A100 targets?
+    let designed = design_fpga_for_targets(
+        &[(7, 2_100.0), (11, 3_000.0), (15, 3_970.0)],
+        300.0,
+        FpuCost::stratix10_double(),
+    );
+    let gx = FpgaDevice::stratix10_gx2800();
+    println!("\nFPGA required to match the A100 on this kernel (model answer):");
+    println!(
+        "  {:.1} M ALMs ({:.1}x GX2800), {:.0} DSPs ({:.1}x), {:.0} GB/s external memory",
+        designed.resources.alms / 1e6,
+        designed.resources.alms / gx.resources.alms,
+        designed.resources.dsps,
+        designed.resources.dsps / gx.resources.dsps,
+        designed.memory_bandwidth_gbs
+    );
+    println!("  Paper's answer: 6.2 M ALMs (6x), 20 k DSPs (4x), 1.2 TB/s.");
+
+    // The "hardened double-precision DSP" thought experiment that closes V-D.
+    let hardened = design_fpga_for_targets(
+        &[(7, 2_100.0), (11, 3_000.0), (15, 3_970.0)],
+        300.0,
+        FpuCost::hardened_double_dsp(),
+    );
+    println!(
+        "\nWith DSPs hardened for double precision the same targets need only {:.1} M ALMs and {:.0} DSPs —",
+        hardened.resources.alms / 1e6,
+        hardened.resources.dsps
+    );
+    println!("the computation becomes memory-bound, comparable to the GPUs (final remark of Section V-D).");
+}

@@ -1,0 +1,38 @@
+//! Nekbone-style proxy run: a fixed number of CG iterations over a box of
+//! elements, reporting the achieved operator FLOP rate — the workload the
+//! paper's CPU baselines run.
+//!
+//! Run with `cargo run --example nekbone_proxy --release -- [degree] [elements_per_side] [iterations]`.
+
+use semfpga::kernel::AxImplementation;
+use semfpga::solver::ProxyConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let degree: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let per_side: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let iterations: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
+
+    let config = ProxyConfig {
+        degree,
+        elements: [per_side, per_side, per_side],
+        cg_iterations: iterations,
+        implementation: AxImplementation::Parallel,
+        use_jacobi: true,
+    };
+    println!(
+        "Nekbone proxy: N = {degree}, {} elements, {} CG iterations (Jacobi preconditioned)\n",
+        config.num_elements(),
+        iterations
+    );
+    let result = config.run();
+    println!("local DOFs          : {}", result.num_dofs);
+    println!("wall time           : {:.3} s", result.seconds);
+    println!("operator FLOPs      : {:.3e}", result.operator_flops as f64);
+    println!("operator throughput : {:.2} GFLOP/s", result.gflops);
+    println!(
+        "DOF throughput      : {:.1} MDOF/s",
+        result.num_dofs as f64 * result.iterations as f64 / result.seconds / 1e6
+    );
+    println!("final rel. residual : {:.3e}", result.relative_residual);
+}

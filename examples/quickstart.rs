@@ -1,0 +1,81 @@
+//! Quickstart: assemble a spectral element Poisson problem, solve it with
+//! preconditioned conjugate gradients, and print the discretisation error and
+//! achieved kernel performance on the CPU and on the simulated FPGA.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use semfpga::accel::{Backend, SemSystem};
+use semfpga::solver::CgOptions;
+
+fn main() {
+    let degree = 7;
+    let elements = [4, 4, 4];
+    println!("SEM Poisson quickstart: degree N = {degree}, {}x{}x{} elements\n", elements[0], elements[1], elements[2]);
+
+    // 1. Solve the manufactured Poisson problem on the CPU.
+    let cpu = SemSystem::builder()
+        .degree(degree)
+        .elements(elements)
+        .backend(Backend::cpu_parallel())
+        .build();
+    let solution = cpu.solve_manufactured(
+        CgOptions {
+            max_iterations: 2000,
+            tolerance: 1e-10,
+            record_history: false,
+        },
+        true,
+    );
+    println!(
+        "CG solve     : {} iterations, relative residual {:.2e}",
+        solution.cg.iterations, solution.cg.relative_residual
+    );
+    println!(
+        "Discretisation error vs exact solution: max {:.3e}, L2 {:.3e}",
+        solution.max_error, solution.l2_error
+    );
+
+    // 2. Benchmark the raw Ax kernel on the CPU backend.
+    let cpu_perf = cpu.benchmark_operator(20);
+    println!(
+        "\nCPU kernel   : {:8.2} GFLOP/s ({:.1} MDOF/s) [{}]",
+        cpu_perf.gflops,
+        cpu_perf.mdofs_per_second(),
+        cpu.backend().label()
+    );
+
+    // 3. The same problem offloaded to the simulated FPGA accelerator.
+    let fpga = SemSystem::builder()
+        .degree(degree)
+        .elements(elements)
+        .backend(Backend::fpga_simulated())
+        .build();
+    let fpga_perf = fpga.benchmark_operator(20);
+    println!(
+        "FPGA (sim)   : {:8.2} GFLOP/s ({:.1} MDOF/s), {:.1} W, {:.2} GFLOP/s/W",
+        fpga_perf.gflops,
+        fpga_perf.mdofs_per_second(),
+        fpga_perf.power_watts.unwrap_or(0.0),
+        fpga_perf.gflops_per_watt.unwrap_or(0.0)
+    );
+    let plan = fpga.offload_plan().expect("fpga backend has an offload plan");
+    println!(
+        "Offload plan : {} buffers over {} banks, {:.2} MB to device, {:.2} MB back",
+        plan.device_buffers,
+        plan.memory_banks,
+        plan.bytes_to_device as f64 / 1e6,
+        plan.bytes_from_device as f64 / 1e6
+    );
+
+    // 4. Numerical agreement between the two backends.
+    let u = cpu.mesh().evaluate(|x, y, z| (x * y * z).sin());
+    let (w_cpu, _) = cpu.apply_operator(&u);
+    let (w_fpga, _) = fpga.apply_operator(&u);
+    let max_diff = w_cpu
+        .as_slice()
+        .iter()
+        .zip(w_fpga.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    println!("\nCPU vs simulated-FPGA kernel results agree to {max_diff:.3e}");
+}

@@ -1,0 +1,55 @@
+//! `semfpga` — a Rust reproduction of *"High-Performance Spectral Element
+//! Methods on Field-Programmable Gate Arrays"* (Karp et al., IPDPS 2021).
+//!
+//! This facade crate re-exports the whole workspace so applications can pull
+//! in a single dependency:
+//!
+//! * [`basis`] — Legendre polynomials, GLL quadrature, differentiation
+//!   matrices (`sem-basis`);
+//! * [`mesh`] — hexahedral box meshes, geometric factors, gather–scatter,
+//!   Dirichlet masks (`sem-mesh`);
+//! * [`kernel`] — the matrix-free local Poisson operator `Ax` / CEED BK5
+//!   (`sem-kernel`);
+//! * [`solver`] — preconditioned conjugate gradients and the Nekbone-style
+//!   proxy driver (`sem-solver`);
+//! * [`fpga`] — the cycle-approximate accelerator simulator, device
+//!   catalogue, synthesis and power models (`fpga-sim`);
+//! * [`model`] — the paper's Section IV analytical performance model and the
+//!   Section V-D projections (`perf-model`);
+//! * [`archdb`] — the Table II architecture catalogue and calibrated CPU/GPU
+//!   machine models (`arch-db`);
+//! * [`accel`] — the high-level backend-selection API (`sem-accel`).
+//!
+//! See the `examples/` directory for runnable entry points and the `bench`
+//! crate for the binaries regenerating every table and figure of the paper.
+//!
+//! ```
+//! use semfpga::accel::{Backend, SemSystem};
+//!
+//! let system = SemSystem::builder()
+//!     .degree(7)
+//!     .elements([2, 2, 2])
+//!     .backend(Backend::fpga_simulated())
+//!     .build();
+//! let summary = system.benchmark_operator(1);
+//! assert!(summary.gflops > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use arch_db as archdb;
+pub use fpga_sim as fpga;
+pub use perf_model as model;
+pub use sem_accel as accel;
+pub use sem_basis as basis;
+pub use sem_kernel as kernel;
+pub use sem_mesh as mesh;
+pub use sem_solver as solver;
+
+/// The degrees the paper synthesised accelerators for (Table I).
+pub const PAPER_DEGREES: [usize; 8] = [1, 3, 5, 7, 9, 11, 13, 15];
+
+/// The problem size (number of elements) used for the paper's peak
+/// comparisons (Table I, Fig. 2, Fig. 3).
+pub const PAPER_REFERENCE_ELEMENTS: usize = 4096;
