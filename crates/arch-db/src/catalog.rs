@@ -1,5 +1,7 @@
-//! Table II: the architectures used in the evaluation.
+//! Table II: the architectures used in the evaluation, plus the registry of
+//! simulatable FPGA devices that execution backends resolve by slug.
 
+use perf_model::FpgaDevice;
 use serde::{Deserialize, Serialize};
 
 /// Broad class of a machine.
@@ -42,6 +44,7 @@ impl Architecture {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one argument per Table II column
 fn arch(
     name: &str,
     class: MachineClass,
@@ -71,15 +74,96 @@ fn arch(
 #[must_use]
 pub fn table2() -> Vec<Architecture> {
     vec![
-        arch("Stratix 10 GX2800 (520N)", MachineClass::Fpga, 14, 500.0, 76.8, 225.0, 400.0, 2016),
-        arch("Intel Xeon Gold 6130", MachineClass::Cpu, 14, 1_075.0, 128.0, 125.0, 2_100.0, 2017),
-        arch("Intel i9-10920X", MachineClass::Cpu, 14, 921.0, 76.8, 165.0, 3_500.0, 2019),
-        arch("Marvell ThunderX2", MachineClass::Cpu, 16, 512.0, 170.0, 180.0, 2_000.0, 2018),
-        arch("NVIDIA Tesla K80", MachineClass::Gpu, 28, 1_371.0, 240.0, 300.0, 562.0, 2014),
-        arch("NVIDIA Tesla P100 SXM2", MachineClass::Gpu, 16, 5_304.0, 732.2, 300.0, 1_328.0, 2016),
-        arch("NVIDIA RTX 2060 Super", MachineClass::Gpu, 12, 224.4, 448.0, 175.0, 1_470.0, 2019),
-        arch("NVIDIA Tesla V100 PCIe", MachineClass::Gpu, 12, 7_066.0, 897.0, 250.0, 1_245.0, 2017),
-        arch("NVIDIA A100 PCIe", MachineClass::Gpu, 7, 9_746.0, 1_555.0, 250.0, 765.0, 2020),
+        arch(
+            "Stratix 10 GX2800 (520N)",
+            MachineClass::Fpga,
+            14,
+            500.0,
+            76.8,
+            225.0,
+            400.0,
+            2016,
+        ),
+        arch(
+            "Intel Xeon Gold 6130",
+            MachineClass::Cpu,
+            14,
+            1_075.0,
+            128.0,
+            125.0,
+            2_100.0,
+            2017,
+        ),
+        arch(
+            "Intel i9-10920X",
+            MachineClass::Cpu,
+            14,
+            921.0,
+            76.8,
+            165.0,
+            3_500.0,
+            2019,
+        ),
+        arch(
+            "Marvell ThunderX2",
+            MachineClass::Cpu,
+            16,
+            512.0,
+            170.0,
+            180.0,
+            2_000.0,
+            2018,
+        ),
+        arch(
+            "NVIDIA Tesla K80",
+            MachineClass::Gpu,
+            28,
+            1_371.0,
+            240.0,
+            300.0,
+            562.0,
+            2014,
+        ),
+        arch(
+            "NVIDIA Tesla P100 SXM2",
+            MachineClass::Gpu,
+            16,
+            5_304.0,
+            732.2,
+            300.0,
+            1_328.0,
+            2016,
+        ),
+        arch(
+            "NVIDIA RTX 2060 Super",
+            MachineClass::Gpu,
+            12,
+            224.4,
+            448.0,
+            175.0,
+            1_470.0,
+            2019,
+        ),
+        arch(
+            "NVIDIA Tesla V100 PCIe",
+            MachineClass::Gpu,
+            12,
+            7_066.0,
+            897.0,
+            250.0,
+            1_245.0,
+            2017,
+        ),
+        arch(
+            "NVIDIA A100 PCIe",
+            MachineClass::Gpu,
+            7,
+            9_746.0,
+            1_555.0,
+            250.0,
+            765.0,
+            2020,
+        ),
     ]
 }
 
@@ -92,6 +176,36 @@ pub fn find(name_fragment: &str) -> Option<Architecture> {
         .find(|a| a.name.to_lowercase().contains(&needle))
 }
 
+/// The registry slugs of every simulatable FPGA device, in catalogue order.
+///
+/// These are the `<device>` part of `sem-accel`'s `fpga:<device>` backend
+/// names; each resolves through [`fpga_device`].
+#[must_use]
+pub fn fpga_device_slugs() -> Vec<&'static str> {
+    vec![
+        "stratix10-gx2800",
+        "agilex-027",
+        "stratix10m",
+        "stratix10m-plus",
+        "ideal",
+    ]
+}
+
+/// Resolve an FPGA device slug (see [`fpga_device_slugs`]) to its full
+/// description, case-insensitively.  The evaluated Bittware 520N also
+/// answers to its board name `520n`.
+#[must_use]
+pub fn fpga_device(slug: &str) -> Option<FpgaDevice> {
+    match slug.to_lowercase().as_str() {
+        "stratix10-gx2800" | "520n" | "gx2800" => Some(FpgaDevice::stratix10_gx2800()),
+        "agilex-027" => Some(FpgaDevice::agilex_027()),
+        "stratix10m" => Some(FpgaDevice::stratix10m()),
+        "stratix10m-plus" => Some(FpgaDevice::stratix10m_plus()),
+        "ideal" => Some(FpgaDevice::hypothetical_ideal()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,7 +216,10 @@ mod tests {
         assert_eq!(t.len(), 9);
         assert_eq!(t.iter().filter(|a| a.class == MachineClass::Cpu).count(), 3);
         assert_eq!(t.iter().filter(|a| a.class == MachineClass::Gpu).count(), 5);
-        assert_eq!(t.iter().filter(|a| a.class == MachineClass::Fpga).count(), 1);
+        assert_eq!(
+            t.iter().filter(|a| a.class == MachineClass::Fpga).count(),
+            1
+        );
     }
 
     #[test]
@@ -128,8 +245,14 @@ mod tests {
     #[test]
     fn the_a100_has_the_highest_bandwidth_and_the_fpga_the_lowest() {
         let t = table2();
-        let max = t.iter().max_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs)).unwrap();
-        let min = t.iter().min_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs)).unwrap();
+        let max = t
+            .iter()
+            .max_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs))
+            .unwrap();
+        let min = t
+            .iter()
+            .min_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs))
+            .unwrap();
         assert!(max.name.contains("A100"));
         assert!(min.class == MachineClass::Fpga || min.name.contains("i9"));
         assert!((min.bandwidth_gbs - 76.8).abs() < 1e-9);
@@ -139,5 +262,17 @@ mod tests {
     fn lookup_is_case_insensitive_and_total() {
         assert!(find("thunderx2").is_some());
         assert!(find("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn every_fpga_slug_resolves_to_a_device() {
+        for slug in fpga_device_slugs() {
+            let device = fpga_device(slug)
+                .unwrap_or_else(|| panic!("slug `{slug}` must resolve to a device"));
+            assert!(device.memory_bandwidth_gbs > 0.0, "{slug}");
+        }
+        assert_eq!(fpga_device_slugs().len(), FpgaDevice::catalogue().len());
+        assert!(fpga_device("520N").is_some(), "board alias resolves");
+        assert!(fpga_device("no-such-device").is_none());
     }
 }

@@ -163,14 +163,30 @@ mod tests {
         // ThunderX2 (×2.34) and K80 (×1.87), is ~0.86× the RTX 2060, and is
         // beaten by P100/V100/A100 by 4.3×/6.4×/8.4×.
         let fpga = 211.3;
-        let xeon = calibrated_model("Xeon").unwrap().achieved_gflops(15, ELEMENTS);
-        let i9 = calibrated_model("i9").unwrap().achieved_gflops(15, ELEMENTS);
-        let tx2 = calibrated_model("ThunderX2").unwrap().achieved_gflops(15, ELEMENTS);
-        let k80 = calibrated_model("K80").unwrap().achieved_gflops(15, ELEMENTS);
-        let rtx = calibrated_model("RTX").unwrap().achieved_gflops(15, ELEMENTS);
-        let p100 = calibrated_model("P100").unwrap().achieved_gflops(15, ELEMENTS);
-        let v100 = calibrated_model("V100").unwrap().achieved_gflops(15, ELEMENTS);
-        let a100 = calibrated_model("A100").unwrap().achieved_gflops(15, ELEMENTS);
+        let xeon = calibrated_model("Xeon")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let i9 = calibrated_model("i9")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let tx2 = calibrated_model("ThunderX2")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let k80 = calibrated_model("K80")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let rtx = calibrated_model("RTX")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let p100 = calibrated_model("P100")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let v100 = calibrated_model("V100")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
+        let a100 = calibrated_model("A100")
+            .unwrap()
+            .achieved_gflops(15, ELEMENTS);
 
         assert!(fpga > xeon && fpga > i9 && fpga > tx2 && fpga > k80);
         assert!(rtx > fpga * 0.8 && rtx < fpga * 1.4, "RTX {rtx}");
@@ -178,7 +194,11 @@ mod tests {
         assert!(v100 > 4.5 * fpga && v100 < 8.0 * fpga, "V100 {v100}");
         assert!(a100 > 6.5 * fpga && a100 < 10.5 * fpga, "A100 {a100}");
         // Ratios against the CPUs within ~25% of the quoted factors.
-        assert!((fpga / xeon - 1.17).abs() < 0.3, "Xeon ratio {}", fpga / xeon);
+        assert!(
+            (fpga / xeon - 1.17).abs() < 0.3,
+            "Xeon ratio {}",
+            fpga / xeon
+        );
         assert!((fpga / i9 - 1.89).abs() < 0.45, "i9 ratio {}", fpga / i9);
         assert!((fpga / tx2 - 2.34).abs() < 0.6, "TX2 ratio {}", fpga / tx2);
     }
@@ -194,9 +214,21 @@ mod tests {
                 .map(|n| m.achieved_gflops(n, ELEMENTS))
                 .fold(0.0_f64, f64::max)
         };
-        assert!((best(&p100) - 1_300.0).abs() < 450.0, "P100 {}", best(&p100));
-        assert!((best(&v100) - 1_900.0).abs() < 500.0, "V100 {}", best(&v100));
-        assert!((best(&a100) - 2_300.0).abs() < 800.0, "A100 {}", best(&a100));
+        assert!(
+            (best(&p100) - 1_300.0).abs() < 450.0,
+            "P100 {}",
+            best(&p100)
+        );
+        assert!(
+            (best(&v100) - 1_900.0).abs() < 500.0,
+            "V100 {}",
+            best(&v100)
+        );
+        assert!(
+            (best(&a100) - 2_300.0).abs() < 800.0,
+            "A100 {}",
+            best(&a100)
+        );
     }
 
     #[test]
@@ -231,13 +263,19 @@ mod tests {
         // 2.7-4.5x better.
         let fpga_eff = 2.12;
         for name in ["Xeon", "i9", "ThunderX2", "K80"] {
-            let eff = calibrated_model(name).unwrap().gflops_per_watt(15, ELEMENTS);
+            let eff = calibrated_model(name)
+                .unwrap()
+                .gflops_per_watt(15, ELEMENTS);
             assert!(eff < fpga_eff, "{name}: {eff}");
         }
-        let rtx = calibrated_model("RTX").unwrap().gflops_per_watt(15, ELEMENTS);
+        let rtx = calibrated_model("RTX")
+            .unwrap()
+            .gflops_per_watt(15, ELEMENTS);
         assert!((rtx - fpga_eff).abs() < 0.8, "RTX efficiency {rtx}");
         for name in ["P100", "V100", "A100"] {
-            let eff = calibrated_model(name).unwrap().gflops_per_watt(15, ELEMENTS);
+            let eff = calibrated_model(name)
+                .unwrap()
+                .gflops_per_watt(15, ELEMENTS);
             assert!(eff > 2.0 * fpga_eff, "{name}: {eff}");
         }
     }

@@ -19,9 +19,11 @@ fn bench_fpga_sim(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("execute", degree), &degree, |b, _| {
             b.iter(|| acc.execute(std::hint::black_box(&u), &geo))
         });
-        group.bench_with_input(BenchmarkId::new("estimate_4096", degree), &degree, |b, _| {
-            b.iter(|| acc.estimate(std::hint::black_box(4096)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("estimate_4096", degree),
+            &degree,
+            |b, _| b.iter(|| acc.estimate(std::hint::black_box(4096))),
+        );
     }
     group.finish();
 }

@@ -19,7 +19,12 @@ fn main() {
         ("+banked memory", Some(109.0)),
     ];
 
-    let mut table = TableWriter::new(vec!["Stage", "GFLOP/s (sim)", "GFLOP/s (paper, N=7)", "Speedup vs baseline"]);
+    let mut table = TableWriter::new(vec![
+        "Stage",
+        "GFLOP/s (sim)",
+        "GFLOP/s (paper, N=7)",
+        "Speedup vs baseline",
+    ]);
     let baseline = ladder[0].1;
     for (i, (label, gflops)) in ladder.iter().enumerate() {
         let paper = if degree == 7 {

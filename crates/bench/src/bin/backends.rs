@@ -1,0 +1,70 @@
+//! Sweep the execution-backend registry: instantiate every registered
+//! backend for one problem, run the manufactured-solution CG solve *through*
+//! each backend, and print a comparison table (time, throughput, power,
+//! transfer overhead).
+//!
+//! Run with `cargo run --release -p bench --bin backends -- [degree] [elements_per_side]`.
+
+use bench::table::{fmt, TableWriter};
+use sem_accel::{Backend, PerfSource, SemSystem};
+use sem_solver::CgOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let degree: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let per_side: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!(
+        "Backend registry sweep: N = {degree}, {0}x{0}x{0} elements, manufactured Poisson solve\n",
+        per_side
+    );
+    let mut table = TableWriter::new(vec![
+        "backend",
+        "source",
+        "iters",
+        "op time (ms)",
+        "GFLOP/s",
+        "xfer (ms)",
+        "power (W)",
+        "max error",
+    ]);
+
+    for name in Backend::registry_names() {
+        let config = Backend::from_name(&name).expect("registry names resolve");
+        let system = SemSystem::builder()
+            .degree(degree)
+            .elements([per_side; 3])
+            .backend(config)
+            .build();
+        let report = system.solve(
+            CgOptions {
+                max_iterations: 2000,
+                tolerance: 1e-10,
+                record_history: false,
+            },
+            true,
+        );
+        table.row(vec![
+            name,
+            match report.source {
+                PerfSource::Measured => "measured".to_string(),
+                PerfSource::Simulated => "simulated".to_string(),
+            },
+            report.iterations().to_string(),
+            fmt(report.operator.seconds * 1e3, 3),
+            fmt(report.operator.gflops, 1),
+            fmt(report.transfer_seconds * 1e3, 3),
+            report
+                .operator
+                .power_watts
+                .map_or_else(|| "-".to_string(), |w| fmt(w, 0)),
+            format!("{:.2e}", report.solution.max_error),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(CPU rows are wall-clock measurements on this host; FPGA rows are the\n\
+         calibrated simulator's kernel + exchange time, with one PCIe round trip\n\
+         charged in the transfer column.)"
+    );
+}

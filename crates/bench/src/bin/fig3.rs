@@ -26,6 +26,8 @@ fn main() {
             fmt(row.model_error_percent, 2),
         ]);
     }
-    println!("Fig. 3 — measured vs modelled SEM-accelerator performance, 4096 elements (GFLOP/s)\n");
+    println!(
+        "Fig. 3 — measured vs modelled SEM-accelerator performance, 4096 elements (GFLOP/s)\n"
+    );
     table.print();
 }

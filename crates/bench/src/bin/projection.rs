@@ -23,11 +23,17 @@ fn bound_label(b: PerformanceBound) -> &'static str {
 fn main() {
     let degrees = [7_usize, 11, 15];
     let devices = [
-        (FpgaDevice::stratix10_gx2800(), ArbitrationPolicy::PowerOfTwoDivisor),
+        (
+            FpgaDevice::stratix10_gx2800(),
+            ArbitrationPolicy::PowerOfTwoDivisor,
+        ),
         (FpgaDevice::agilex_027(), ArbitrationPolicy::PowerOfTwo),
         (FpgaDevice::stratix10m(), ArbitrationPolicy::PowerOfTwo),
         (FpgaDevice::stratix10m_plus(), ArbitrationPolicy::PowerOfTwo),
-        (FpgaDevice::hypothetical_ideal(), ArbitrationPolicy::Unconstrained),
+        (
+            FpgaDevice::hypothetical_ideal(),
+            ArbitrationPolicy::Unconstrained,
+        ),
     ];
 
     let mut table = TableWriter::new(vec![

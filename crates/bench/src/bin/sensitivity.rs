@@ -15,7 +15,13 @@ fn main() {
     let degrees = [7_usize, 11, 15];
 
     println!("Performance gain from a 4x investment in one resource (GX2800 base, 300 MHz):\n");
-    let mut table = TableWriter::new(vec!["N", "4x bandwidth", "4x logic", "4x DSPs", "best investment"]);
+    let mut table = TableWriter::new(vec![
+        "N",
+        "4x bandwidth",
+        "4x logic",
+        "4x DSPs",
+        "best investment",
+    ]);
     for &degree in &degrees {
         let ranking = investment_ranking(&device, degree, 300.0);
         let gain_of = |p: SweepParameter| {
@@ -53,8 +59,12 @@ fn main() {
     }
     table.print();
     if let Some(f) = s.saturation_factor() {
-        println!("\nThe memory system stops being the bottleneck at ~{f:.1}x the current bandwidth;");
-        println!("beyond that the double-precision logic (ALM) demand limits the design — the paper's");
+        println!(
+            "\nThe memory system stops being the bottleneck at ~{f:.1}x the current bandwidth;"
+        );
+        println!(
+            "beyond that the double-precision logic (ALM) demand limits the design — the paper's"
+        );
         println!("core argument for a higher logic-to-DSP ratio in future devices.");
     }
 }

@@ -46,6 +46,8 @@ fn main() {
     }
 
     println!("Table I — SEM-accelerator synthesis and performance (4096 elements)");
-    println!("simulated GX2800 designs vs. the paper's measured values ('dev%' = |sim-paper|/paper)\n");
+    println!(
+        "simulated GX2800 designs vs. the paper's measured values ('dev%' = |sim-paper|/paper)\n"
+    );
     table.print();
 }

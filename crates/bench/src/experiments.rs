@@ -6,7 +6,9 @@
 //! `EXPERIMENTS.md`.
 
 use arch_db::{calibrated_models, MachineModel};
-use fpga_sim::{AcceleratorDesign, ExecutionReport, FpgaAccelerator, FpgaDevice, OptimizationStage};
+use fpga_sim::{
+    AcceleratorDesign, ExecutionReport, FpgaAccelerator, FpgaDevice, OptimizationStage,
+};
 use perf_model::projection::{calibrated_base, project_device};
 use perf_model::throughput::{predict, ArbitrationPolicy};
 use perf_model::{measured_table1, roofline_gflops};
@@ -159,7 +161,10 @@ pub fn fig2_rows() -> Vec<Fig2Row> {
     let projections = [
         (FpgaDevice::agilex_027(), ArbitrationPolicy::PowerOfTwo),
         (FpgaDevice::stratix10m(), ArbitrationPolicy::PowerOfTwo),
-        (FpgaDevice::hypothetical_ideal(), ArbitrationPolicy::Unconstrained),
+        (
+            FpgaDevice::hypothetical_ideal(),
+            ArbitrationPolicy::Unconstrained,
+        ),
     ];
     for (device, policy) in projections {
         let out = project_device(&device, &FIG2_DEGREES, 300.0, policy);
@@ -212,8 +217,20 @@ pub fn fig3_rows() -> Vec<Fig3Row> {
         .map(|&degree| {
             let measured = fpga_performance(degree, REFERENCE_ELEMENTS);
             let base = calibrated_base(degree);
-            let m300 = predict(&device, degree, &base, 300.0, ArbitrationPolicy::PowerOfTwoDivisor);
-            let m210 = predict(&device, degree, &base, 210.0, ArbitrationPolicy::PowerOfTwoDivisor);
+            let m300 = predict(
+                &device,
+                degree,
+                &base,
+                300.0,
+                ArbitrationPolicy::PowerOfTwoDivisor,
+            );
+            let m210 = predict(
+                &device,
+                degree,
+                &base,
+                210.0,
+                ArbitrationPolicy::PowerOfTwoDivisor,
+            );
             let roofline = roofline_gflops(
                 500.0,
                 device.memory_bandwidth_gbs,

@@ -105,12 +105,9 @@ impl AcceleratorDesign {
             device.memory_clock_mhz,
         );
         let unconstrained = resource_limit.min(bandwidth_limit);
-        let unroll = constrain_throughput(
-            unconstrained,
-            degree,
-            ArbitrationPolicy::PowerOfTwoDivisor,
-        )
-        .max(1.0) as usize;
+        let unroll =
+            constrain_throughput(unconstrained, degree, ArbitrationPolicy::PowerOfTwoDivisor)
+                .max(1.0) as usize;
         Self {
             degree,
             unroll,
@@ -157,7 +154,7 @@ impl AcceleratorDesign {
     /// BRAM accesses are arbitration-free (Section III-B).
     #[must_use]
     pub fn arbitration_free(&self) -> bool {
-        self.points_per_direction() % self.unroll == 0
+        self.points_per_direction().is_multiple_of(self.unroll)
     }
 }
 

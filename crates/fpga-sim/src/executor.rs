@@ -103,7 +103,10 @@ impl FpgaAccelerator {
     /// The production accelerator for `degree` on `device`.
     #[must_use]
     pub fn for_degree(degree: usize, device: &FpgaDevice) -> Self {
-        Self::new(device.clone(), AcceleratorDesign::for_degree(degree, device))
+        Self::new(
+            device.clone(),
+            AcceleratorDesign::for_degree(degree, device),
+        )
     }
 
     /// The synthesised design.
@@ -207,7 +210,23 @@ impl FpgaAccelerator {
         u: &ElementField,
         geometry: &GeometricFactors,
     ) -> (ElementField, ExecutionReport) {
-        assert_eq!(u.degree(), self.design.degree, "field degree mismatch");
+        let mut w = ElementField::zeros(u.degree(), u.num_elements());
+        let report = self.execute_into(u, geometry, &mut w);
+        (w, report)
+    }
+
+    /// Execute the kernel into a preallocated output field (the
+    /// allocation-free path used by backend-routed solver iterations).
+    ///
+    /// # Panics
+    /// Panics if the fields and geometric factors do not match the design's
+    /// degree and each other.
+    pub fn execute_into(
+        &self,
+        u: &ElementField,
+        geometry: &GeometricFactors,
+        w: &mut ElementField,
+    ) -> ExecutionReport {
         assert_eq!(
             geometry.degree(),
             self.design.degree,
@@ -218,20 +237,36 @@ impl FpgaAccelerator {
             geometry.num_elements(),
             "element count mismatch"
         );
-        let mut w = ElementField::zeros(u.degree(), u.num_elements());
+        self.execute_planes_into(u, &geometry.split(), w)
+    }
+
+    /// Like [`FpgaAccelerator::execute_into`], but on pre-split
+    /// geometric-factor planes, so callers that apply the operator
+    /// repeatedly (e.g. a backend inside a CG iteration) can split the
+    /// geometry once instead of re-allocating the planes per application.
+    ///
+    /// # Panics
+    /// Panics if the fields and planes do not match the design's degree and
+    /// each other.
+    pub fn execute_planes_into(
+        &self,
+        u: &ElementField,
+        planes: &[Vec<f64>; 6],
+        w: &mut ElementField,
+    ) -> ExecutionReport {
+        assert_eq!(u.degree(), self.design.degree, "field degree mismatch");
+        assert_eq!(u.len(), w.len(), "output field size mismatch");
         // The datapath evaluates the same split-layout dataflow as the
         // optimised host kernel; results agree with the reference kernel to
         // rounding (the real accelerator reorders operations too, via
         // -ffp-reassoc).
-        let planes = geometry.split();
         sem_kernel::optimized::ax_optimized(
             u.as_slice(),
             w.as_mut_slice(),
-            &planes,
+            planes,
             &self.derivative,
         );
-        let report = self.estimate(u.num_elements());
-        (w, report)
+        self.estimate(u.num_elements())
     }
 }
 
@@ -252,7 +287,11 @@ mod tests {
             let acc = FpgaAccelerator::for_degree(row.degree, &device);
             let est = acc.estimate(4096);
             let rel = (est.gflops - row.gflops).abs() / row.gflops;
-            let tol = if matches!(row.degree, 7 | 11 | 15) { 0.12 } else { 0.45 };
+            let tol = if matches!(row.degree, 7 | 11 | 15) {
+                0.12
+            } else {
+                0.45
+            };
             assert!(
                 rel < tol,
                 "degree {}: simulated {:.1} vs measured {:.1} GFLOP/s ({:.0}%)",

@@ -39,7 +39,7 @@ pub mod synthesis;
 pub use design::{AcceleratorDesign, MemoryAllocation, OptimizationStage};
 pub use executor::{ExecutionReport, FpgaAccelerator};
 pub use memory::MemorySystem;
-pub use multi::MultiBoardEstimate;
+pub use multi::{MultiBoardAccelerator, MultiBoardEstimate};
 pub use perf_model::FpgaDevice;
 pub use stream::{stream_sweep, StreamKernel, StreamPoint};
 pub use synthesis::{synthesize, SynthesisReport};

@@ -106,8 +106,14 @@ mod tests {
         let small = mem.effective_bandwidth(64.0 * 512.0 * 10.0); // 10 elements at N = 7
         let large = mem.effective_bandwidth(64.0 * 512.0 * 4096.0); // 4096 elements
         assert!(small < large);
-        assert!(large > 0.9 * 76.8e9, "large transfers approach peak: {large}");
-        assert!(small < 0.5 * 76.8e9, "small transfers are latency bound: {small}");
+        assert!(
+            large > 0.9 * 76.8e9,
+            "large transfers approach peak: {large}"
+        );
+        assert!(
+            small < 0.5 * 76.8e9,
+            "small transfers are latency bound: {small}"
+        );
     }
 
     #[test]

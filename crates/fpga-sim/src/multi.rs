@@ -10,6 +10,9 @@
 
 use crate::executor::FpgaAccelerator;
 use perf_model::FpgaDevice;
+use sem_basis::DerivativeMatrix;
+use sem_kernel::optimized::ax_optimized_slices;
+use sem_mesh::{ElementField, GeometricFactors};
 use serde::{Deserialize, Serialize};
 
 /// Scaling estimate for a multi-board run.
@@ -64,9 +67,9 @@ pub fn estimate_scaling(
     };
     let exchange_seconds = exchange_bytes / (interconnect_gbs * 1e9);
 
-    let flops =
-        sem_kernel::flops_per_dof(degree) as f64 * sem_basis::dofs_per_element(degree) as f64
-            * num_elements as f64;
+    let flops = sem_kernel::flops_per_dof(degree) as f64
+        * sem_basis::dofs_per_element(degree) as f64
+        * num_elements as f64;
     let wall = local.seconds + exchange_seconds;
     let gflops = flops / wall / 1e9;
 
@@ -82,6 +85,158 @@ pub fn estimate_scaling(
         exchange_seconds,
         gflops,
         parallel_efficiency: (actual_speedup / ideal_speedup).min(1.0),
+    }
+}
+
+/// A set of identical simulated accelerator boards with the element set
+/// block-partitioned across them, one partition per board — the
+/// one-board-per-MPI-rank deployment the paper's host application implies.
+///
+/// Unlike [`estimate_scaling`], which only produces timing numbers, this
+/// type also *executes* the kernel functionally: each board evaluates its
+/// own contiguous block of elements (numerically on the host, standing in
+/// for the per-board datapath), so a solver can iterate through a
+/// multi-board backend and obtain bit-identical results to the single-board
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct MultiBoardAccelerator {
+    accelerator: FpgaAccelerator,
+    derivative: DerivativeMatrix,
+    boards: usize,
+    interconnect_gbs: f64,
+}
+
+impl MultiBoardAccelerator {
+    /// Synthesise the per-degree production design onto `boards` copies of
+    /// `device`, exchanging interface data over an `interconnect_gbs` GB/s
+    /// host interconnect.
+    ///
+    /// # Panics
+    /// Panics if `boards` is zero or the design does not fit on the device.
+    #[must_use]
+    pub fn new(degree: usize, device: &FpgaDevice, boards: usize, interconnect_gbs: f64) -> Self {
+        assert!(boards > 0, "need at least one board");
+        Self {
+            accelerator: FpgaAccelerator::for_degree(degree, device),
+            derivative: DerivativeMatrix::new(degree),
+            boards,
+            interconnect_gbs,
+        }
+    }
+
+    /// Number of boards.
+    #[must_use]
+    pub fn boards(&self) -> usize {
+        self.boards
+    }
+
+    /// The per-board accelerator (identical design on every board).
+    #[must_use]
+    pub fn accelerator(&self) -> &FpgaAccelerator {
+        &self.accelerator
+    }
+
+    /// The device every board carries.
+    #[must_use]
+    pub fn device(&self) -> &FpgaDevice {
+        self.accelerator.device()
+    }
+
+    /// Elements on the most loaded board for a block partition of
+    /// `num_elements`.
+    #[must_use]
+    pub fn elements_per_board(&self, num_elements: usize) -> usize {
+        num_elements.div_ceil(self.boards)
+    }
+
+    /// Timing estimate for one operator application over `num_elements`
+    /// block-partitioned elements (kernel time of the most loaded board plus
+    /// the interface exchange).
+    #[must_use]
+    pub fn estimate(&self, num_elements: usize) -> MultiBoardEstimate {
+        estimate_scaling(
+            self.device(),
+            self.accelerator.design().degree,
+            num_elements,
+            self.boards,
+            self.interconnect_gbs,
+        )
+    }
+
+    /// Execute `w = A u`: every board evaluates its contiguous element block
+    /// with the same split-layout dataflow as the single-board simulator, so
+    /// results are bitwise identical to [`FpgaAccelerator::execute`].
+    ///
+    /// # Panics
+    /// Panics if the fields and geometric factors do not match the design's
+    /// degree and each other.
+    pub fn execute_into(
+        &self,
+        u: &ElementField,
+        geometry: &GeometricFactors,
+        w: &mut ElementField,
+    ) -> MultiBoardEstimate {
+        let degree = self.accelerator.design().degree;
+        assert_eq!(geometry.degree(), degree, "geometry degree mismatch");
+        assert_eq!(
+            u.num_elements(),
+            geometry.num_elements(),
+            "element count mismatch"
+        );
+        self.execute_planes_into(u, &geometry.split(), w)
+    }
+
+    /// Like [`MultiBoardAccelerator::execute_into`], but on pre-split
+    /// geometric-factor planes, so repeated applications (e.g. inside a CG
+    /// iteration) split the geometry once.
+    ///
+    /// # Panics
+    /// Panics if the fields and planes do not match the design's degree and
+    /// each other.
+    pub fn execute_planes_into(
+        &self,
+        u: &ElementField,
+        planes: &[Vec<f64>; 6],
+        w: &mut ElementField,
+    ) -> MultiBoardEstimate {
+        let degree = self.accelerator.design().degree;
+        assert_eq!(u.degree(), degree, "field degree mismatch");
+        assert_eq!(u.len(), w.len(), "output field size mismatch");
+        for plane in planes {
+            assert_eq!(plane.len(), u.len(), "geometric plane length mismatch");
+        }
+
+        let num_elements = u.num_elements();
+        let npts = u.dofs_per_element();
+        let per_board = self.elements_per_board(num_elements);
+
+        // Each board runs the shared split-layout element loop on its own
+        // contiguous block, so results are bitwise identical to a single
+        // board evaluating everything.
+        let u_data = u.as_slice();
+        let w_data = w.as_mut_slice();
+        for board in 0..self.boards {
+            let first = board * per_board;
+            let last = ((board + 1) * per_board).min(num_elements);
+            if first >= last {
+                break;
+            }
+            let range = first * npts..last * npts;
+            ax_optimized_slices(
+                &u_data[range.clone()],
+                &mut w_data[range.clone()],
+                [
+                    &planes[0][range.clone()],
+                    &planes[1][range.clone()],
+                    &planes[2][range.clone()],
+                    &planes[3][range.clone()],
+                    &planes[4][range.clone()],
+                    &planes[5][range.clone()],
+                ],
+                &self.derivative,
+            );
+        }
+        self.estimate(num_elements)
     }
 }
 
@@ -124,5 +279,49 @@ mod tests {
     fn zero_boards_is_rejected() {
         let device = FpgaDevice::stratix10_gx2800();
         let _ = estimate_scaling(&device, 7, 64, 0, 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn accelerator_rejects_zero_boards() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let _ = MultiBoardAccelerator::new(7, &device, 0, 12.0);
+    }
+
+    #[test]
+    fn multi_board_execution_is_bitwise_identical_to_single_board() {
+        use sem_mesh::BoxMesh;
+        let degree = 5;
+        let device = FpgaDevice::stratix10_gx2800();
+        let mesh = BoxMesh::unit_cube(degree, 2); // 8 elements
+        let geometry = GeometricFactors::from_mesh(&mesh);
+        let u = mesh.evaluate(|x, y, z| (3.0 * x).sin() * (y + 0.2) + z * z);
+
+        let single = FpgaAccelerator::for_degree(degree, &device);
+        let (w_single, _) = single.execute(&u, &geometry);
+
+        for boards in [1, 2, 3, 4] {
+            let multi = MultiBoardAccelerator::new(degree, &device, boards, 12.0);
+            let mut w_multi = ElementField::zeros(degree, mesh.num_elements());
+            let est = multi.execute_into(&u, &geometry, &mut w_multi);
+            assert_eq!(
+                w_single.as_slice(),
+                w_multi.as_slice(),
+                "{boards} boards: partitioned execution must not change results"
+            );
+            assert_eq!(est.boards, boards);
+            assert!(est.kernel_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_board_estimates_match_the_free_function() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let multi = MultiBoardAccelerator::new(7, &device, 4, 12.0);
+        let a = multi.estimate(4096);
+        let b = estimate_scaling(&device, 7, 4096, 4, 12.0);
+        assert_eq!(a, b);
+        assert_eq!(multi.elements_per_board(4096), 1024);
+        assert_eq!(multi.boards(), 4);
     }
 }

@@ -116,7 +116,10 @@ mod tests {
         let last = triad.last().unwrap();
         assert!(last.fraction_of_peak > 0.9 && last.fraction_of_peak <= 1.0);
         let first = triad.first().unwrap();
-        assert!(first.fraction_of_peak < 0.5, "small transfers are latency bound");
+        assert!(
+            first.fraction_of_peak < 0.5,
+            "small transfers are latency bound"
+        );
     }
 
     #[test]

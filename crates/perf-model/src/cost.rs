@@ -48,7 +48,10 @@ impl KernelTraffic {
     /// Evaluate `Q(N)` (degree-independent: `(7, 1)`).
     #[must_use]
     pub fn new(_degree: usize) -> Self {
-        Self { loads: 7, writes: 1 }
+        Self {
+            loads: 7,
+            writes: 1,
+        }
     }
 
     /// Total words per DOF.

@@ -172,10 +172,15 @@ mod tests {
 
     #[test]
     fn catalogue_contains_all_devices() {
-        let names: Vec<String> = FpgaDevice::catalogue().into_iter().map(|d| d.name).collect();
+        let names: Vec<String> = FpgaDevice::catalogue()
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
         assert_eq!(names.len(), 5);
         assert!(names.iter().any(|n| n.contains("GX2800")));
         assert!(names.iter().any(|n| n.contains("Agilex")));
-        assert!(names.iter().any(|n| n.contains("ideal") || n.contains("Ideal")));
+        assert!(names
+            .iter()
+            .any(|n| n.contains("ideal") || n.contains("Ideal")));
     }
 }

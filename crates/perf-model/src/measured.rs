@@ -48,14 +48,110 @@ pub struct Table1Row {
 #[must_use]
 pub fn measured_table1() -> Vec<Table1Row> {
     vec![
-        Table1Row { degree: 1, fmax_mhz: 391.0, logic_fraction: 0.31, registers: 539_409, bram_fraction: 0.04, dsp_fraction: 0.06, power_watts: 81.05, gflops: 22.1, gflops_per_watt: 0.27, dofs_per_cycle: 1.45, model_error_percent: 27.61 },
-        Table1Row { degree: 3, fmax_mhz: 292.0, logic_fraction: 0.50, registers: 1_031_880, bram_fraction: 0.09, dsp_fraction: 0.14, power_watts: 84.38, gflops: 62.2, gflops_per_watt: 0.78, dofs_per_cycle: 3.28, model_error_percent: 17.99 },
-        Table1Row { degree: 5, fmax_mhz: 243.0, logic_fraction: 0.46, registers: 968_793, bram_fraction: 0.10, dsp_fraction: 0.05, power_watts: 77.52, gflops: 31.4, gflops_per_watt: 0.41, dofs_per_cycle: 1.48, model_error_percent: 25.89 },
-        Table1Row { degree: 7, fmax_mhz: 274.0, logic_fraction: 0.72, registers: 1_464_437, bram_fraction: 0.18, dsp_fraction: 0.24, power_watts: 90.38, gflops: 109.0, gflops_per_watt: 1.21, dofs_per_cycle: 3.58, model_error_percent: 10.05 },
-        Table1Row { degree: 9, fmax_mhz: 233.0, logic_fraction: 0.59, registers: 1_350_551, bram_fraction: 0.27, dsp_fraction: 0.21, power_watts: 84.31, gflops: 62.4, gflops_per_watt: 0.74, dofs_per_cycle: 1.98, model_error_percent: 0.82 },
-        Table1Row { degree: 11, fmax_mhz: 216.0, logic_fraction: 0.69, registers: 1_511_613, bram_fraction: 0.34, dsp_fraction: 0.17, power_watts: 90.65, gflops: 136.4, gflops_per_watt: 1.50, dofs_per_cycle: 3.96, model_error_percent: 1.02 },
-        Table1Row { degree: 13, fmax_mhz: 170.0, logic_fraction: 0.70, registers: 1_644_011, bram_fraction: 0.53, dsp_fraction: 0.10, power_watts: 83.37, gflops: 62.14, gflops_per_watt: 0.74, dofs_per_cycle: 1.99, model_error_percent: 0.31 },
-        Table1Row { degree: 15, fmax_mhz: 266.0, logic_fraction: 0.71, registers: 1_705_581, bram_fraction: 0.39, dsp_fraction: 0.22, power_watts: 99.65, gflops: 211.3, gflops_per_watt: 2.12, dofs_per_cycle: 3.83, model_error_percent: 4.30 },
+        Table1Row {
+            degree: 1,
+            fmax_mhz: 391.0,
+            logic_fraction: 0.31,
+            registers: 539_409,
+            bram_fraction: 0.04,
+            dsp_fraction: 0.06,
+            power_watts: 81.05,
+            gflops: 22.1,
+            gflops_per_watt: 0.27,
+            dofs_per_cycle: 1.45,
+            model_error_percent: 27.61,
+        },
+        Table1Row {
+            degree: 3,
+            fmax_mhz: 292.0,
+            logic_fraction: 0.50,
+            registers: 1_031_880,
+            bram_fraction: 0.09,
+            dsp_fraction: 0.14,
+            power_watts: 84.38,
+            gflops: 62.2,
+            gflops_per_watt: 0.78,
+            dofs_per_cycle: 3.28,
+            model_error_percent: 17.99,
+        },
+        Table1Row {
+            degree: 5,
+            fmax_mhz: 243.0,
+            logic_fraction: 0.46,
+            registers: 968_793,
+            bram_fraction: 0.10,
+            dsp_fraction: 0.05,
+            power_watts: 77.52,
+            gflops: 31.4,
+            gflops_per_watt: 0.41,
+            dofs_per_cycle: 1.48,
+            model_error_percent: 25.89,
+        },
+        Table1Row {
+            degree: 7,
+            fmax_mhz: 274.0,
+            logic_fraction: 0.72,
+            registers: 1_464_437,
+            bram_fraction: 0.18,
+            dsp_fraction: 0.24,
+            power_watts: 90.38,
+            gflops: 109.0,
+            gflops_per_watt: 1.21,
+            dofs_per_cycle: 3.58,
+            model_error_percent: 10.05,
+        },
+        Table1Row {
+            degree: 9,
+            fmax_mhz: 233.0,
+            logic_fraction: 0.59,
+            registers: 1_350_551,
+            bram_fraction: 0.27,
+            dsp_fraction: 0.21,
+            power_watts: 84.31,
+            gflops: 62.4,
+            gflops_per_watt: 0.74,
+            dofs_per_cycle: 1.98,
+            model_error_percent: 0.82,
+        },
+        Table1Row {
+            degree: 11,
+            fmax_mhz: 216.0,
+            logic_fraction: 0.69,
+            registers: 1_511_613,
+            bram_fraction: 0.34,
+            dsp_fraction: 0.17,
+            power_watts: 90.65,
+            gflops: 136.4,
+            gflops_per_watt: 1.50,
+            dofs_per_cycle: 3.96,
+            model_error_percent: 1.02,
+        },
+        Table1Row {
+            degree: 13,
+            fmax_mhz: 170.0,
+            logic_fraction: 0.70,
+            registers: 1_644_011,
+            bram_fraction: 0.53,
+            dsp_fraction: 0.10,
+            power_watts: 83.37,
+            gflops: 62.14,
+            gflops_per_watt: 0.74,
+            dofs_per_cycle: 1.99,
+            model_error_percent: 0.31,
+        },
+        Table1Row {
+            degree: 15,
+            fmax_mhz: 266.0,
+            logic_fraction: 0.71,
+            registers: 1_705_581,
+            bram_fraction: 0.39,
+            dsp_fraction: 0.22,
+            power_watts: 99.65,
+            gflops: 211.3,
+            gflops_per_watt: 2.12,
+            dofs_per_cycle: 3.83,
+            model_error_percent: 4.30,
+        },
     ]
 }
 
@@ -93,8 +189,7 @@ mod tests {
         // percent for every measured row (it is how the paper computes the
         // column), and GFLOP/s/W = GFLOP/s / power.
         for row in measured_table1() {
-            let implied =
-                flops_per_dof(row.degree) * row.dofs_per_cycle * row.fmax_mhz * 1e6 / 1e9;
+            let implied = flops_per_dof(row.degree) * row.dofs_per_cycle * row.fmax_mhz * 1e6 / 1e9;
             let rel = (implied - row.gflops).abs() / row.gflops;
             assert!(
                 rel < 0.03,

@@ -55,7 +55,11 @@ pub fn padded_points_for_unroll(degree: usize, target_unroll: usize) -> usize {
 /// `target_unroll` pays off, given the hardware could sustain at most
 /// `max_throughput` DOFs/cycle if arbitration were no issue.
 #[must_use]
-pub fn analyse_padding(degree: usize, target_unroll: usize, max_throughput: f64) -> PaddingAnalysis {
+pub fn analyse_padding(
+    degree: usize,
+    target_unroll: usize,
+    max_throughput: f64,
+) -> PaddingAnalysis {
     let unpadded =
         constrain_throughput(max_throughput, degree, ArbitrationPolicy::PowerOfTwoDivisor);
     let padded_points = padded_points_for_unroll(degree, target_unroll);
@@ -104,7 +108,11 @@ mod tests {
         // vanishes once host-side cost is considered.
         let a = analyse_padding(13, 4, 4.0);
         assert_eq!(a.padded_points, 16);
-        assert!(a.net_gain > 1.0 && a.net_gain < 1.6, "net gain {}", a.net_gain);
+        assert!(
+            a.net_gain > 1.0 && a.net_gain < 1.6,
+            "net gain {}",
+            a.net_gain
+        );
     }
 
     #[test]

@@ -11,9 +11,7 @@
 use crate::device::FpgaDevice;
 use crate::measured::{measured_row, measured_table1};
 use crate::resources::{FpuCost, ResourceVector};
-use crate::throughput::{
-    constrain_throughput, predict, ArbitrationPolicy, ThroughputPrediction,
-};
+use crate::throughput::{constrain_throughput, predict, ArbitrationPolicy, ThroughputPrediction};
 use serde::{Deserialize, Serialize};
 
 /// Projection for one polynomial degree.
@@ -204,7 +202,10 @@ mod tests {
         );
         // Paper: peaks at ~382 GFLOP/s (N = 11).
         let got = s10m.for_degree(11).unwrap().prediction.gflops;
-        assert!((got - 382.0).abs() < 0.15 * 382.0, "Stratix 10M N=11: {got}");
+        assert!(
+            (got - 382.0).abs() < 0.15 * 382.0,
+            "Stratix 10M N=11: {got}"
+        );
         assert!(s10m.peak_gflops() >= got);
     }
 

@@ -170,7 +170,10 @@ mod tests {
             &default_factors(),
             300.0,
         );
-        assert_eq!(s.points.first().unwrap().prediction.bound, PerformanceBound::Bandwidth);
+        assert_eq!(
+            s.points.first().unwrap().prediction.bound,
+            PerformanceBound::Bandwidth
+        );
         let last = s.points.last().unwrap().prediction;
         assert_ne!(last.bound, PerformanceBound::Bandwidth);
         assert!(s.saturation_factor().is_some());
@@ -191,7 +194,11 @@ mod tests {
 
     #[test]
     fn sweeps_are_monotone_in_the_invested_resource() {
-        for parameter in [SweepParameter::Logic, SweepParameter::Dsp, SweepParameter::Bandwidth] {
+        for parameter in [
+            SweepParameter::Logic,
+            SweepParameter::Dsp,
+            SweepParameter::Bandwidth,
+        ] {
             let s = sweep(
                 &FpgaDevice::stratix10_gx2800(),
                 parameter,

@@ -90,7 +90,7 @@ pub fn constrain_throughput(unconstrained: f64, degree: usize, policy: Arbitrati
             let mut best = 1.0_f64;
             let mut t = 1_usize;
             while (t as f64) <= unconstrained {
-                if n1 % t == 0 {
+                if n1.is_multiple_of(t) {
                     best = t as f64;
                 }
                 t *= 2;
@@ -200,17 +200,38 @@ mod tests {
     #[test]
     fn arbitration_constraint_per_degree() {
         // N+1 = 8: can unroll by 4 (or 8 if allowed by the other limits).
-        assert_eq!(constrain_throughput(4.0, 7, ArbitrationPolicy::PowerOfTwoDivisor), 4.0);
-        assert_eq!(constrain_throughput(7.9, 7, ArbitrationPolicy::PowerOfTwoDivisor), 4.0);
+        assert_eq!(
+            constrain_throughput(4.0, 7, ArbitrationPolicy::PowerOfTwoDivisor),
+            4.0
+        );
+        assert_eq!(
+            constrain_throughput(7.9, 7, ArbitrationPolicy::PowerOfTwoDivisor),
+            4.0
+        );
         // N+1 = 10: only 2 divides it among the powers of two <= 4.
-        assert_eq!(constrain_throughput(4.0, 9, ArbitrationPolicy::PowerOfTwoDivisor), 2.0);
+        assert_eq!(
+            constrain_throughput(4.0, 9, ArbitrationPolicy::PowerOfTwoDivisor),
+            2.0
+        );
         // N+1 = 6 with T up to 4: only 2.
-        assert_eq!(constrain_throughput(4.0, 5, ArbitrationPolicy::PowerOfTwoDivisor), 2.0);
+        assert_eq!(
+            constrain_throughput(4.0, 5, ArbitrationPolicy::PowerOfTwoDivisor),
+            2.0
+        );
         // N+1 = 12 with T up to 15.9: 4 under the divisor policy, 8 without it.
-        assert_eq!(constrain_throughput(15.9, 11, ArbitrationPolicy::PowerOfTwoDivisor), 4.0);
-        assert_eq!(constrain_throughput(15.9, 11, ArbitrationPolicy::PowerOfTwo), 8.0);
+        assert_eq!(
+            constrain_throughput(15.9, 11, ArbitrationPolicy::PowerOfTwoDivisor),
+            4.0
+        );
+        assert_eq!(
+            constrain_throughput(15.9, 11, ArbitrationPolicy::PowerOfTwo),
+            8.0
+        );
         // Unconstrained passes through.
-        assert_eq!(constrain_throughput(62.5, 15, ArbitrationPolicy::Unconstrained), 62.5);
+        assert_eq!(
+            constrain_throughput(62.5, 15, ArbitrationPolicy::Unconstrained),
+            62.5
+        );
     }
 
     #[test]
@@ -220,13 +241,25 @@ mod tests {
         // N = 7 at the measured 274 MHz clock: T = 4, P ≈ 111 · 4 · 274 MHz ≈ 122 GF;
         // at the 300 MHz memory clock the model gives 133 GF — the paper's
         // Fig. 3 "modeled 300 MHz" curve.  The bandwidth bound is 4 either way.
-        let p = predict(&device, 7, &base, 274.0, ArbitrationPolicy::PowerOfTwoDivisor);
+        let p = predict(
+            &device,
+            7,
+            &base,
+            274.0,
+            ArbitrationPolicy::PowerOfTwoDivisor,
+        );
         assert_eq!(p.dofs_per_cycle, 4.0);
         assert_eq!(p.bound, PerformanceBound::Bandwidth);
         assert!((p.gflops - 111.0 * 4.0 * 274e6 / 1e9).abs() < 1e-6);
 
         // N = 9: the divisor constraint halves the throughput.
-        let p9 = predict(&device, 9, &base, 233.0, ArbitrationPolicy::PowerOfTwoDivisor);
+        let p9 = predict(
+            &device,
+            9,
+            &base,
+            233.0,
+            ArbitrationPolicy::PowerOfTwoDivisor,
+        );
         assert_eq!(p9.dofs_per_cycle, 2.0);
         assert!(p9.arbitration_limited);
     }
@@ -236,9 +269,11 @@ mod tests {
         // The Agilex 027 coupled with 153.6 GB/s at 300 MHz: the paper
         // projects 266, 191 and 248 GFLOP/s for N = 7, 11, 15.
         let device = FpgaDevice::agilex_027();
-        for (degree, base_alms, expected) in
-            [(7_usize, 452_000.0, 266.4), (11, 328_000.0, 190.8), (15, 251_000.0, 248.4)]
-        {
+        for (degree, base_alms, expected) in [
+            (7_usize, 452_000.0, 266.4),
+            (11, 328_000.0, 190.8),
+            (15, 251_000.0, 248.4),
+        ] {
             let base = ResourceVector::new(base_alms, 0.0, 0.0);
             let p = predict(&device, degree, &base, 300.0, ArbitrationPolicy::PowerOfTwo);
             assert!(

@@ -74,8 +74,10 @@ pub fn autotune(degree: usize, elements: [usize; 3], device: &FpgaDevice) -> Tun
     // Simulated FPGA, native degree.
     let native = FpgaAccelerator::for_degree(degree, device).estimate(num_elements);
     candidates.push(TuningCandidate {
-        label: format!("FPGA bitstream N={degree} (unroll {})",
-            AcceleratorDesign::for_degree(degree, device).unroll),
+        label: format!(
+            "FPGA bitstream N={degree} (unroll {})",
+            AcceleratorDesign::for_degree(degree, device).unroll
+        ),
         gflops: native.gflops,
         simulated: true,
         padded: false,

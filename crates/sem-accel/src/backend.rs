@@ -1,16 +1,48 @@
-//! Execution backends.
+//! Backend *configuration*: a serde-friendly description of where the `Ax`
+//! kernel should run, and the registry of backend names.
+//!
+//! [`Backend`] is plain data — it can be stored in a config file, sent over
+//! the wire, or written as a registry name like `"cpu:parallel"`,
+//! `"fpga:stratix10-gx2800"` or `"multi:4x520n"`.  Execution happens through
+//! the open [`crate::exec::AxBackend`] trait: [`Backend::instantiate`]
+//! resolves the configuration against a mesh into a live
+//! `Box<dyn AxBackend>`.  FPGA device slugs resolve through the `arch-db`
+//! catalogue ([`arch_db::fpga_device`]), so new catalogue devices plug in by
+//! name without touching this crate.
 
+use crate::exec::{AxBackend, CpuBackend, FpgaSimBackend, MultiFpgaBackend};
 use fpga_sim::FpgaDevice;
 use sem_kernel::AxImplementation;
+use sem_mesh::BoxMesh;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// Host-interconnect bandwidth (GB/s) assumed for multi-board interface
+/// exchanges when a configuration does not specify one (PCIe 3.0 x16-class).
+pub const DEFAULT_INTERCONNECT_GBS: f64 = 12.0;
 
 /// Where the `Ax` kernel runs.
+///
+/// This is configuration, not execution: it is cheap to clone, serializes
+/// through serde, round-trips through [`Backend::name`] /
+/// [`Backend::from_name`], and becomes a live engine via
+/// [`Backend::instantiate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Backend {
     /// Native CPU execution with the selected kernel implementation.
     Cpu(AxImplementation),
     /// The simulated FPGA accelerator on the given device.
     FpgaSimulated(FpgaDevice),
+    /// The element set block-partitioned over several simulated boards.
+    MultiFpga {
+        /// The device every board carries.
+        device: FpgaDevice,
+        /// Number of boards.
+        boards: usize,
+        /// Host-interconnect bandwidth for the interface exchange (GB/s).
+        interconnect_gbs: f64,
+    },
 }
 
 impl Default for Backend {
@@ -50,14 +82,38 @@ impl Backend {
         Self::FpgaSimulated(device)
     }
 
-    /// Short human-readable label (used in reports and benches).
+    /// `boards` simulated 520N boards over the default interconnect.
     #[must_use]
-    pub fn label(&self) -> String {
+    pub fn multi_fpga(boards: usize) -> Self {
+        Self::MultiFpga {
+            device: FpgaDevice::stratix10_gx2800(),
+            boards,
+            interconnect_gbs: DEFAULT_INTERCONNECT_GBS,
+        }
+    }
+
+    /// `boards` simulated boards of `device` over `interconnect_gbs` GB/s.
+    #[must_use]
+    pub fn multi_fpga_on(device: FpgaDevice, boards: usize, interconnect_gbs: f64) -> Self {
+        Self::MultiFpga {
+            device,
+            boards,
+            interconnect_gbs,
+        }
+    }
+
+    /// Short human-readable label (used in reports and benches).  Borrowed
+    /// for CPU backends; allocating only when a device name is embedded.
+    #[must_use]
+    pub fn label(&self) -> Cow<'static, str> {
+        // Shared with the engines in `exec`, so a configuration's label
+        // always matches the label of the engine it instantiates.
         match self {
-            Self::Cpu(AxImplementation::Reference) => "cpu-reference".to_string(),
-            Self::Cpu(AxImplementation::Optimized) => "cpu-optimized".to_string(),
-            Self::Cpu(AxImplementation::Parallel) => "cpu-parallel".to_string(),
-            Self::FpgaSimulated(device) => format!("fpga-sim ({})", device.name),
+            Self::Cpu(implementation) => Cow::Borrowed(CpuBackend::label_of(*implementation)),
+            Self::FpgaSimulated(device) => Cow::Owned(crate::exec::fpga_sim_label(device)),
+            Self::MultiFpga { device, boards, .. } => {
+                Cow::Owned(crate::exec::multi_fpga_label(*boards, device))
+            }
         }
     }
 
@@ -65,8 +121,132 @@ impl Backend {
     /// (CPU) or simulator estimates (FPGA).
     #[must_use]
     pub fn is_simulated(&self) -> bool {
-        matches!(self, Self::FpgaSimulated(_))
+        matches!(self, Self::FpgaSimulated(_) | Self::MultiFpga { .. })
     }
+
+    /// The canonical registry name of this configuration, when it has one
+    /// (`cpu:parallel`, `fpga:agilex-027`, `multi:4x520n`, ...).
+    ///
+    /// A name exists only when `Backend::from_name(name)` reconstructs this
+    /// exact configuration: custom devices outside the `arch-db` catalogue
+    /// have no name, and neither do multi-board configurations with a
+    /// non-default interconnect (the name syntax cannot carry it — use
+    /// serde for those).
+    #[must_use]
+    pub fn name(&self) -> Option<String> {
+        match self {
+            Self::Cpu(AxImplementation::Reference) => Some("cpu:reference".to_string()),
+            Self::Cpu(AxImplementation::Optimized) => Some("cpu:optimized".to_string()),
+            Self::Cpu(AxImplementation::Parallel) => Some("cpu:parallel".to_string()),
+            Self::FpgaSimulated(device) => device_slug(device).map(|slug| format!("fpga:{slug}")),
+            Self::MultiFpga {
+                device,
+                boards,
+                interconnect_gbs,
+            } => {
+                if *interconnect_gbs != DEFAULT_INTERCONNECT_GBS {
+                    return None;
+                }
+                let slug = device_slug(device)?;
+                // The evaluated board keeps its short name in multi specs.
+                let slug = if slug == "stratix10-gx2800" {
+                    "520n"
+                } else {
+                    slug
+                };
+                Some(format!("multi:{boards}x{slug}"))
+            }
+        }
+    }
+
+    /// Resolve a registry name (`cpu:<impl>`, `fpga:<device>`,
+    /// `multi:<n>x<device>`) to a configuration.  Device slugs come from the
+    /// `arch-db` catalogue ([`arch_db::fpga_device_slugs`]).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        let (kind, spec) = name.split_once(':')?;
+        match kind {
+            "cpu" => match spec {
+                "reference" => Some(Self::cpu_reference()),
+                "optimized" => Some(Self::cpu_optimized()),
+                "parallel" => Some(Self::cpu_parallel()),
+                _ => None,
+            },
+            "fpga" => arch_db::fpga_device(spec).map(Self::FpgaSimulated),
+            "multi" => {
+                let (boards, slug) = spec.split_once('x')?;
+                let boards: usize = boards.parse().ok()?;
+                if boards == 0 {
+                    return None;
+                }
+                let device = arch_db::fpga_device(slug)?;
+                Some(Self::MultiFpga {
+                    device,
+                    boards,
+                    interconnect_gbs: DEFAULT_INTERCONNECT_GBS,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Every registered backend name: the three CPU kernels, one `fpga:` entry
+    /// per catalogue device, and the canonical multi-board configurations.
+    #[must_use]
+    pub fn registry_names() -> Vec<String> {
+        let mut names = vec![
+            "cpu:reference".to_string(),
+            "cpu:optimized".to_string(),
+            "cpu:parallel".to_string(),
+        ];
+        names.extend(
+            arch_db::fpga_device_slugs()
+                .into_iter()
+                .map(|slug| format!("fpga:{slug}")),
+        );
+        names.extend([
+            "multi:2x520n".to_string(),
+            "multi:4x520n".to_string(),
+            "multi:8x520n".to_string(),
+        ]);
+        names
+    }
+
+    /// Build the live execution engine for this configuration on `mesh`.
+    ///
+    /// # Panics
+    /// Panics if an FPGA design does not fit on the configured device, or if
+    /// a multi-board configuration has zero boards.
+    #[must_use]
+    pub fn instantiate(&self, mesh: &BoxMesh) -> Box<dyn AxBackend> {
+        match self {
+            Self::Cpu(implementation) => Box::new(CpuBackend::new(mesh, *implementation)),
+            Self::FpgaSimulated(device) => Box::new(FpgaSimBackend::new(mesh, device.clone())),
+            Self::MultiFpga {
+                device,
+                boards,
+                interconnect_gbs,
+            } => Box::new(MultiFpgaBackend::new(
+                mesh,
+                device.clone(),
+                *boards,
+                *interconnect_gbs,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Reverse lookup: the catalogue slug of a device, by exact name match.
+fn device_slug(device: &FpgaDevice) -> Option<&'static str> {
+    arch_db::fpga_device_slugs()
+        .into_iter()
+        .find(|slug| arch_db::fpga_device(slug).is_some_and(|d| d.name == device.name))
 }
 
 #[cfg(test)]
@@ -81,5 +261,117 @@ mod tests {
         assert!(fpga.is_simulated());
         assert!(fpga.label().contains("GX2800"));
         assert_eq!(Backend::default(), Backend::cpu_parallel());
+        let multi = Backend::multi_fpga(4);
+        assert!(multi.is_simulated());
+        assert!(multi.label().contains("4 x"));
+        // Display mirrors the label.
+        assert_eq!(format!("{}", Backend::cpu_optimized()), "cpu-optimized");
+    }
+
+    #[test]
+    fn cpu_labels_do_not_allocate() {
+        for backend in [
+            Backend::cpu_reference(),
+            Backend::cpu_optimized(),
+            Backend::cpu_parallel(),
+        ] {
+            assert!(matches!(backend.label(), Cow::Borrowed(_)));
+        }
+    }
+
+    #[test]
+    fn every_registry_name_resolves_and_round_trips() {
+        for name in Backend::registry_names() {
+            let backend = Backend::from_name(&name)
+                .unwrap_or_else(|| panic!("registry name `{name}` must resolve"));
+            let canonical = backend
+                .name()
+                .unwrap_or_else(|| panic!("resolved backend for `{name}` must have a name"));
+            assert_eq!(canonical, name, "canonical name must round-trip");
+            assert_eq!(
+                Backend::from_name(&canonical),
+                Some(backend),
+                "name `{name}` must round-trip to the same configuration"
+            );
+        }
+    }
+
+    #[test]
+    fn unnameable_configurations_return_none_instead_of_a_lossy_name() {
+        // A custom interconnect cannot be carried by the name syntax; a lossy
+        // name would silently reconstruct a different configuration.
+        let custom = Backend::multi_fpga_on(FpgaDevice::stratix10_gx2800(), 4, 25.0);
+        assert_eq!(custom.name(), None);
+        // The default interconnect round-trips.
+        let named = Backend::multi_fpga(4);
+        assert_eq!(
+            Backend::from_name(&named.name().unwrap()),
+            Some(named),
+            "default-interconnect multi config must survive name round-trip"
+        );
+        // Off-catalogue devices have no name either.
+        let mut bespoke = FpgaDevice::stratix10_gx2800();
+        bespoke.name = "bespoke prototype".to_string();
+        assert_eq!(Backend::fpga_on(bespoke).name(), None);
+    }
+
+    #[test]
+    fn config_labels_match_instantiated_engine_labels() {
+        let mesh = BoxMesh::unit_cube(3, 2);
+        for config in [
+            Backend::cpu_parallel(),
+            Backend::fpga_simulated(),
+            Backend::multi_fpga(2),
+        ] {
+            assert_eq!(config.label(), config.instantiate(&mesh).label());
+        }
+    }
+
+    #[test]
+    fn malformed_names_are_rejected() {
+        for name in [
+            "cpu",
+            "cpu:avx512",
+            "fpga:unknown-device",
+            "multi:4",
+            "multi:0x520n",
+            "multi:twox520n",
+            "gpu:a100",
+            "",
+        ] {
+            assert!(
+                Backend::from_name(name).is_none(),
+                "`{name}` must not resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_every_variant() {
+        let backends = [
+            Backend::cpu_reference(),
+            Backend::cpu_parallel(),
+            Backend::fpga_simulated(),
+            Backend::fpga_on(FpgaDevice::agilex_027()),
+            Backend::multi_fpga(4),
+            Backend::multi_fpga_on(FpgaDevice::stratix10m(), 8, 25.0),
+        ];
+        for backend in backends {
+            let json = serde::json::to_string(&backend);
+            let back: Backend =
+                serde::json::from_str(&json).unwrap_or_else(|e| panic!("{json} must parse: {e}"));
+            assert_eq!(back, backend, "serde round trip must be lossless");
+        }
+    }
+
+    #[test]
+    fn json_config_text_resolves_to_the_same_backend() {
+        // JSON in → same backend out, including through instantiate().
+        let json = serde::json::to_string(&Backend::multi_fpga(2));
+        let config: Backend = serde::json::from_str(&json).unwrap();
+        let mesh = BoxMesh::unit_cube(3, 2);
+        let engine = config.instantiate(&mesh);
+        assert_eq!(engine.num_elements(), 8);
+        assert!(engine.label().contains("2 x"));
     }
 }

@@ -1,0 +1,464 @@
+//! Execution backends: the open, trait-based seam every operator
+//! application in the workspace runs through.
+//!
+//! [`AxBackend`] is the object-safe contract an execution engine has to
+//! satisfy: apply the element-local `Ax` kernel into a preallocated output,
+//! and account for what one application costs (FLOPs, seconds, watts).
+//! Three engines ship with the workspace:
+//!
+//! * [`CpuBackend`] — the native host kernels (reference / optimised /
+//!   Rayon-parallel), timed with wall clocks;
+//! * [`FpgaSimBackend`] — one simulated accelerator board
+//!   ([`fpga_sim::FpgaAccelerator`]), reporting simulated kernel seconds and
+//!   board power;
+//! * [`MultiFpgaBackend`] — the element set block-partitioned over several
+//!   simulated boards ([`fpga_sim::MultiBoardAccelerator`]), including the
+//!   interface-exchange overhead.
+//!
+//! `dyn AxBackend` also implements [`sem_solver::LocalOperator`], so a
+//! [`sem_solver::CgSolver`] iterates through any backend unchanged — that is
+//! how [`crate::SemSystem::solve`] runs the full CG solve on the accelerator
+//! instead of beside it.  Configuration (which backend to build, from serde
+//! data or a registry name) lives in [`crate::backend::Backend`].
+
+use crate::offload::OffloadPlan;
+use crate::report::PerfSource;
+use fpga_sim::{FpgaAccelerator, FpgaDevice, MultiBoardAccelerator};
+use sem_kernel::{ops, AxImplementation, PoissonOperator};
+use sem_mesh::{BoxMesh, ElementField, GeometricFactors};
+use sem_solver::LocalOperator;
+use std::borrow::Cow;
+
+/// An execution engine for the matrix-free `Ax` kernel.
+///
+/// The trait is object-safe and implementations are `Send + Sync`, so a
+/// `Box<dyn AxBackend>` can be selected at runtime (see
+/// [`crate::backend::Backend::instantiate`]) and shared across threads.
+pub trait AxBackend: Send + Sync {
+    /// Short human-readable label (used in reports and benches).
+    fn label(&self) -> Cow<'static, str>;
+
+    /// Polynomial degree `N` the backend was built for.
+    fn degree(&self) -> usize;
+
+    /// Number of elements the backend was built for.
+    fn num_elements(&self) -> usize;
+
+    /// Apply the element-local operator: `w = A u` (no direct stiffness
+    /// summation, no masking).
+    ///
+    /// # Panics
+    /// Panics if the fields do not match the backend's degree and element
+    /// count.
+    fn apply_into(&self, u: &ElementField, w: &mut ElementField);
+
+    /// Floating-point operations of one application.
+    fn flops_per_application(&self) -> u64;
+
+    /// Degrees of freedom processed by one application.
+    fn dofs_per_application(&self) -> u64;
+
+    /// Whether this backend's timings are wall-clock measurements or model
+    /// estimates.
+    fn perf_source(&self) -> PerfSource;
+
+    /// Seconds one application costs according to the backend's own model
+    /// (simulated kernel time plus any exchange overhead).  `None` for
+    /// natively-executed backends, whose cost is measured instead.
+    fn simulated_seconds_per_application(&self) -> Option<f64>;
+
+    /// Estimated power draw while running the kernel, when the backend has a
+    /// power model.
+    fn power_watts(&self) -> Option<f64> {
+        None
+    }
+
+    /// The host↔device transfer plan, for backends with external memory.
+    fn offload_plan(&self) -> Option<OffloadPlan> {
+        None
+    }
+
+    /// The underlying simulated accelerator, for single-board FPGA backends.
+    fn fpga_accelerator(&self) -> Option<&FpgaAccelerator> {
+        None
+    }
+}
+
+/// Every execution backend is a [`LocalOperator`], so the CG solver iterates
+/// through `dyn AxBackend` directly.
+impl LocalOperator for dyn AxBackend {
+    fn degree(&self) -> usize {
+        AxBackend::degree(self)
+    }
+
+    fn num_elements(&self) -> usize {
+        AxBackend::num_elements(self)
+    }
+
+    fn apply_local_into(&self, u: &ElementField, w: &mut ElementField) {
+        AxBackend::apply_into(self, u, w);
+    }
+
+    fn flops_per_application(&self) -> u64 {
+        AxBackend::flops_per_application(self)
+    }
+
+    fn seconds_per_application(&self) -> Option<f64> {
+        AxBackend::simulated_seconds_per_application(self)
+    }
+}
+
+/// Native CPU execution with one of the host kernels.
+pub struct CpuBackend {
+    operator: PoissonOperator,
+}
+
+impl CpuBackend {
+    /// Build the backend for `mesh` with the selected kernel implementation.
+    #[must_use]
+    pub fn new(mesh: &BoxMesh, implementation: AxImplementation) -> Self {
+        Self {
+            operator: PoissonOperator::new(mesh, implementation),
+        }
+    }
+
+    /// The host operator the backend dispatches to.
+    #[must_use]
+    pub fn operator(&self) -> &PoissonOperator {
+        &self.operator
+    }
+
+    /// The static label of a CPU implementation.
+    #[must_use]
+    pub fn label_of(implementation: AxImplementation) -> &'static str {
+        match implementation {
+            AxImplementation::Reference => "cpu-reference",
+            AxImplementation::Optimized => "cpu-optimized",
+            AxImplementation::Parallel => "cpu-parallel",
+        }
+    }
+}
+
+impl AxBackend for CpuBackend {
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed(Self::label_of(self.operator.implementation()))
+    }
+
+    fn degree(&self) -> usize {
+        self.operator.degree()
+    }
+
+    fn num_elements(&self) -> usize {
+        self.operator.num_elements()
+    }
+
+    fn apply_into(&self, u: &ElementField, w: &mut ElementField) {
+        self.operator.apply_into(u, w);
+    }
+
+    fn flops_per_application(&self) -> u64 {
+        self.operator.flops_per_application()
+    }
+
+    fn dofs_per_application(&self) -> u64 {
+        self.operator.dofs_per_application()
+    }
+
+    fn perf_source(&self) -> PerfSource {
+        PerfSource::Measured
+    }
+
+    fn simulated_seconds_per_application(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The display label of a single-board simulated-FPGA backend on `device`
+/// (shared by [`FpgaSimBackend`] and `Backend::label`).
+#[must_use]
+pub fn fpga_sim_label(device: &FpgaDevice) -> String {
+    format!("fpga-sim ({})", device.name)
+}
+
+/// The display label of a `boards`-board simulated-FPGA backend on `device`
+/// (shared by [`MultiFpgaBackend`] and `Backend::label`).
+#[must_use]
+pub fn multi_fpga_label(boards: usize, device: &FpgaDevice) -> String {
+    format!("multi-fpga ({boards} x {})", device.name)
+}
+
+/// One simulated FPGA accelerator board.
+pub struct FpgaSimBackend {
+    accelerator: FpgaAccelerator,
+    /// Geometric factors pre-split into the accelerator's plane layout, so
+    /// repeated applications (every CG iteration) do not re-split them.
+    planes: [Vec<f64>; 6],
+    num_elements: usize,
+    seconds_per_application: f64,
+    label: String,
+}
+
+impl FpgaSimBackend {
+    /// Synthesise the production design for `mesh.degree()` onto `device`
+    /// and bind it to the mesh's geometry.
+    ///
+    /// # Panics
+    /// Panics if the design does not fit on the device.
+    #[must_use]
+    pub fn new(mesh: &BoxMesh, device: FpgaDevice) -> Self {
+        let accelerator = FpgaAccelerator::for_degree(mesh.degree(), &device);
+        let planes = GeometricFactors::from_mesh(mesh).split();
+        let num_elements = mesh.num_elements();
+        let seconds_per_application = accelerator.estimate(num_elements).seconds;
+        let label = fpga_sim_label(accelerator.device());
+        Self {
+            accelerator,
+            planes,
+            num_elements,
+            seconds_per_application,
+            label,
+        }
+    }
+
+    /// The underlying accelerator.
+    #[must_use]
+    pub fn accelerator(&self) -> &FpgaAccelerator {
+        &self.accelerator
+    }
+}
+
+impl AxBackend for FpgaSimBackend {
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Owned(self.label.clone())
+    }
+
+    fn degree(&self) -> usize {
+        self.accelerator.design().degree
+    }
+
+    fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    fn apply_into(&self, u: &ElementField, w: &mut ElementField) {
+        let _ = self.accelerator.execute_planes_into(u, &self.planes, w);
+    }
+
+    fn flops_per_application(&self) -> u64 {
+        ops::total_flops(self.degree(), self.num_elements)
+    }
+
+    fn dofs_per_application(&self) -> u64 {
+        ops::total_dofs(self.degree(), self.num_elements)
+    }
+
+    fn perf_source(&self) -> PerfSource {
+        PerfSource::Simulated
+    }
+
+    fn simulated_seconds_per_application(&self) -> Option<f64> {
+        Some(self.seconds_per_application)
+    }
+
+    fn power_watts(&self) -> Option<f64> {
+        Some(self.accelerator.power_watts())
+    }
+
+    fn offload_plan(&self) -> Option<OffloadPlan> {
+        Some(OffloadPlan::new(
+            self.accelerator.design(),
+            self.accelerator.device(),
+            self.num_elements,
+        ))
+    }
+
+    fn fpga_accelerator(&self) -> Option<&FpgaAccelerator> {
+        Some(&self.accelerator)
+    }
+}
+
+/// Several simulated FPGA boards with the elements block-partitioned across
+/// them (one board per rank, Nek5000-style).
+pub struct MultiFpgaBackend {
+    multi: MultiBoardAccelerator,
+    /// Geometric factors pre-split into the accelerator's plane layout, so
+    /// repeated applications (every CG iteration) do not re-split them.
+    planes: [Vec<f64>; 6],
+    num_elements: usize,
+    seconds_per_application: f64,
+    label: String,
+}
+
+impl MultiFpgaBackend {
+    /// Synthesise the per-degree design onto `boards` copies of `device`,
+    /// exchanging interface data over `interconnect_gbs` GB/s.
+    ///
+    /// # Panics
+    /// Panics if `boards` is zero or the design does not fit on the device.
+    #[must_use]
+    pub fn new(mesh: &BoxMesh, device: FpgaDevice, boards: usize, interconnect_gbs: f64) -> Self {
+        let multi = MultiBoardAccelerator::new(mesh.degree(), &device, boards, interconnect_gbs);
+        let planes = GeometricFactors::from_mesh(mesh).split();
+        let num_elements = mesh.num_elements();
+        let estimate = multi.estimate(num_elements);
+        let seconds_per_application = estimate.kernel_seconds + estimate.exchange_seconds;
+        let label = multi_fpga_label(boards, multi.device());
+        Self {
+            multi,
+            planes,
+            num_elements,
+            seconds_per_application,
+            label,
+        }
+    }
+
+    /// The underlying multi-board accelerator.
+    #[must_use]
+    pub fn multi_board(&self) -> &MultiBoardAccelerator {
+        &self.multi
+    }
+}
+
+impl AxBackend for MultiFpgaBackend {
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Owned(self.label.clone())
+    }
+
+    fn degree(&self) -> usize {
+        self.multi.accelerator().design().degree
+    }
+
+    fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    fn apply_into(&self, u: &ElementField, w: &mut ElementField) {
+        let _ = self.multi.execute_planes_into(u, &self.planes, w);
+    }
+
+    fn flops_per_application(&self) -> u64 {
+        ops::total_flops(self.degree(), self.num_elements)
+    }
+
+    fn dofs_per_application(&self) -> u64 {
+        ops::total_dofs(self.degree(), self.num_elements)
+    }
+
+    fn perf_source(&self) -> PerfSource {
+        PerfSource::Simulated
+    }
+
+    fn simulated_seconds_per_application(&self) -> Option<f64> {
+        Some(self.seconds_per_application)
+    }
+
+    fn power_watts(&self) -> Option<f64> {
+        // All boards draw power while the partitioned kernel runs.
+        Some(self.multi.accelerator().power_watts() * self.multi.boards() as f64)
+    }
+
+    fn offload_plan(&self) -> Option<OffloadPlan> {
+        // Each board uploads its own block; the aggregate traffic equals one
+        // plan over the full element set.
+        Some(OffloadPlan::new(
+            self.multi.accelerator().design(),
+            self.multi.device(),
+            self.num_elements,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_solver::LocalOperator;
+
+    fn test_mesh(degree: usize) -> BoxMesh {
+        BoxMesh::unit_cube(degree, 2)
+    }
+
+    #[test]
+    fn cpu_backend_matches_the_operator_it_wraps() {
+        let mesh = test_mesh(4);
+        let backend = CpuBackend::new(&mesh, AxImplementation::Optimized);
+        let u = mesh.evaluate(|x, y, z| x * y + z);
+        let mut w = ElementField::zeros(4, 8);
+        backend.apply_into(&u, &mut w);
+        let expect = backend.operator().apply(&u);
+        assert_eq!(w.as_slice(), expect.as_slice());
+        assert_eq!(backend.label(), "cpu-optimized");
+        assert_eq!(backend.perf_source(), PerfSource::Measured);
+        assert!(backend.simulated_seconds_per_application().is_none());
+        assert!(backend.power_watts().is_none());
+        assert!(backend.offload_plan().is_none());
+    }
+
+    #[test]
+    fn fpga_backend_reports_simulated_cost_and_power() {
+        let mesh = test_mesh(7);
+        let backend = FpgaSimBackend::new(&mesh, FpgaDevice::stratix10_gx2800());
+        assert_eq!(backend.perf_source(), PerfSource::Simulated);
+        let seconds = backend.simulated_seconds_per_application().unwrap();
+        assert!(seconds > 0.0);
+        assert!(backend.power_watts().unwrap() > 50.0);
+        assert!(backend.offload_plan().unwrap().num_elements == 8);
+        assert!(backend.fpga_accelerator().is_some());
+        assert!(backend.label().contains("GX2800"));
+    }
+
+    #[test]
+    fn all_backends_agree_numerically_through_the_trait_object() {
+        let mesh = test_mesh(5);
+        let device = FpgaDevice::stratix10_gx2800();
+        let backends: Vec<Box<dyn AxBackend>> = vec![
+            Box::new(CpuBackend::new(&mesh, AxImplementation::Reference)),
+            Box::new(CpuBackend::new(&mesh, AxImplementation::Parallel)),
+            Box::new(FpgaSimBackend::new(&mesh, device.clone())),
+            Box::new(MultiFpgaBackend::new(&mesh, device, 3, 12.0)),
+        ];
+        let u = mesh.evaluate(|x, y, z| (2.0 * x).sin() * y + z * z);
+        let mut reference: Option<ElementField> = None;
+        for backend in &backends {
+            let mut w = ElementField::zeros(5, 8);
+            backend.apply_into(&u, &mut w);
+            match &reference {
+                None => reference = Some(w),
+                Some(r) => {
+                    let scale = r.max_abs();
+                    for (a, b) in r.as_slice().iter().zip(w.as_slice()) {
+                        assert!(
+                            (a - b).abs() < 1e-10 * (1.0 + scale),
+                            "{}: {a} vs {b}",
+                            backend.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_backend_is_a_local_operator() {
+        let mesh = test_mesh(3);
+        let backend: Box<dyn AxBackend> =
+            Box::new(FpgaSimBackend::new(&mesh, FpgaDevice::stratix10_gx2800()));
+        let op: &dyn AxBackend = backend.as_ref();
+        assert_eq!(LocalOperator::degree(op), 3);
+        assert_eq!(LocalOperator::num_elements(op), 8);
+        assert!(LocalOperator::seconds_per_application(op).unwrap() > 0.0);
+        assert_eq!(
+            LocalOperator::flops_per_application(op),
+            AxBackend::flops_per_application(op)
+        );
+    }
+
+    #[test]
+    fn multi_fpga_power_scales_with_boards() {
+        let mesh = test_mesh(7);
+        let device = FpgaDevice::stratix10_gx2800();
+        let two = MultiFpgaBackend::new(&mesh, device.clone(), 2, 12.0);
+        let four = MultiFpgaBackend::new(&mesh, device, 4, 12.0);
+        assert!((four.power_watts().unwrap() / two.power_watts().unwrap() - 2.0).abs() < 1e-9);
+        assert!(four.label().contains("4 x"));
+    }
+}

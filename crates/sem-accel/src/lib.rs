@@ -1,10 +1,19 @@
 //! High-level SEM acceleration API.
 //!
 //! This crate is the public face of the workspace: it binds a spectral
-//! element problem (mesh + operator + solver) to an execution *backend* —
-//! one of the native CPU kernels or the simulated FPGA accelerator — the way
-//! the paper's Fortran host binds Nekbone to either its CPU kernel or the
-//! OpenCL bitstream.
+//! element problem (mesh + operator + solver) to an execution *backend* the
+//! way the paper's Fortran host binds Nekbone to either its CPU kernel or
+//! the OpenCL bitstream — except that the backend is an open, trait-based
+//! seam ([`AxBackend`]) and the **entire CG solve runs through it**, not
+//! beside it.
+//!
+//! * [`backend::Backend`] — serde-friendly configuration with a string
+//!   registry (`cpu:parallel`, `fpga:stratix10-gx2800`, `multi:4x520n`);
+//! * [`exec`] — the [`AxBackend`] trait plus the shipped engines
+//!   ([`CpuBackend`], [`FpgaSimBackend`], [`MultiFpgaBackend`]);
+//! * [`system::SemSystem`] — a problem bound to a backend, with
+//!   [`SemSystem::solve`] reporting measured wall-clock on CPUs and
+//!   simulated kernel + transfer time on accelerators.
 //!
 //! ```
 //! use sem_accel::{Backend, SemSystem};
@@ -26,12 +35,14 @@
 
 pub mod autotune;
 pub mod backend;
+pub mod exec;
 pub mod offload;
 pub mod report;
 pub mod system;
 
 pub use autotune::{autotune, TuningCandidate, TuningReport};
 pub use backend::Backend;
+pub use exec::{AxBackend, CpuBackend, FpgaSimBackend, MultiFpgaBackend};
 pub use offload::OffloadPlan;
 pub use report::{PerfSource, PerfSummary};
-pub use system::{SemSystem, SemSystemBuilder};
+pub use system::{SemSystem, SemSystemBuilder, SolveReport};

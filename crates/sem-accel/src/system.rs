@@ -1,14 +1,24 @@
 //! The [`SemSystem`]: a spectral element problem bound to an execution
 //! backend.
+//!
+//! Unlike the original API, in which the backend only affected standalone
+//! operator calls while solves silently ran on the host, *every* operator
+//! application here — including each CG iteration of [`SemSystem::solve`] —
+//! goes through the system's [`AxBackend`].
 
 use crate::backend::Backend;
+use crate::exec::AxBackend;
 use crate::offload::OffloadPlan;
 use crate::report::{PerfSource, PerfSummary};
-use fpga_sim::{ExecutionReport, FpgaAccelerator};
+use fpga_sim::FpgaAccelerator;
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
 use sem_solver::{CgOptions, PoissonProblem, PoissonSolution};
 use std::time::Instant;
+
+/// PCIe-class link speed (GB/s) assumed when charging host↔device transfer
+/// time to a solve.
+pub const HOST_LINK_GBS: f64 = 12.0;
 
 /// Builder for [`SemSystem`].
 #[derive(Debug, Clone)]
@@ -61,11 +71,24 @@ impl SemSystemBuilder {
         self
     }
 
-    /// Execution backend.
+    /// Execution backend configuration.
     #[must_use]
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Execution backend by registry name (`cpu:parallel`,
+    /// `fpga:stratix10-gx2800`, `multi:4x520n`, ...).
+    ///
+    /// # Panics
+    /// Panics if the name is not in the registry (see
+    /// [`Backend::registry_names`]).
+    #[must_use]
+    pub fn backend_named(self, name: &str) -> Self {
+        let backend =
+            Backend::from_name(name).unwrap_or_else(|| panic!("unknown backend name `{name}`"));
+        self.backend(backend)
     }
 
     /// Build the system (meshes the domain, precomputes geometric factors,
@@ -73,38 +96,74 @@ impl SemSystemBuilder {
     #[must_use]
     pub fn build(self) -> SemSystem {
         let mesh = BoxMesh::new(self.degree, self.elements, self.lengths, self.deformation);
+        let execution = self.backend.instantiate(&mesh);
         let implementation = match &self.backend {
-            Backend::Cpu(imp) => *imp,
-            // The FPGA path still needs a host operator for setup, RHS
-            // assembly and verification; use the optimised CPU kernel.
-            Backend::FpgaSimulated(_) => AxImplementation::Optimized,
+            Backend::Cpu(implementation) => *implementation,
+            // Accelerator backends still need a host operator for RHS
+            // assembly, preconditioning and verification; use the optimised
+            // CPU kernel there.
+            Backend::FpgaSimulated(_) | Backend::MultiFpga { .. } => AxImplementation::Optimized,
         };
-        let operator = PoissonOperator::new(&mesh, implementation);
-        let gather_scatter = GatherScatter::from_mesh(&mesh);
-        let mask = DirichletMask::from_mesh(&mesh);
-        let accelerator = match &self.backend {
-            Backend::FpgaSimulated(device) => Some(FpgaAccelerator::for_degree(self.degree, device)),
-            Backend::Cpu(_) => None,
-        };
+        let problem = PoissonProblem::new(mesh, implementation);
         SemSystem {
-            backend: self.backend,
-            mesh,
-            operator,
-            gather_scatter,
-            mask,
-            accelerator,
+            config: self.backend,
+            execution,
+            problem,
         }
     }
 }
 
 /// A spectral element Poisson problem bound to an execution backend.
 pub struct SemSystem {
-    backend: Backend,
-    mesh: BoxMesh,
-    operator: PoissonOperator,
-    gather_scatter: GatherScatter,
-    mask: DirichletMask,
-    accelerator: Option<FpgaAccelerator>,
+    config: Backend,
+    execution: Box<dyn AxBackend>,
+    problem: PoissonProblem,
+}
+
+/// Outcome of a backend-routed solve: the solution with its error metrics,
+/// plus the time/energy accounting of the backend that produced it.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The solution and its error metrics (including raw CG statistics —
+    /// iteration counts, residuals, per-application operator seconds).
+    pub solution: PoissonSolution,
+    /// Label of the backend that executed the operator applications.
+    pub backend: String,
+    /// Provenance of the operator timing below.
+    pub source: PerfSource,
+    /// Aggregate performance of the operator applications inside CG:
+    /// measured wall-clock for CPU backends, simulated kernel (plus
+    /// exchange) seconds for FPGA backends.
+    pub operator: PerfSummary,
+    /// Host↔device transfer time charged to the solve (one upload of the
+    /// operand and geometric factors plus one download of the result over a
+    /// [`HOST_LINK_GBS`] link); zero for host backends.
+    pub transfer_seconds: f64,
+    /// Wall-clock seconds the whole solve took on this host (for simulated
+    /// backends this is simulator time, not accelerator time).
+    pub host_wall_seconds: f64,
+}
+
+impl SolveReport {
+    /// CG iterations performed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.solution.cg.iterations
+    }
+
+    /// Whether CG reached its tolerance.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.solution.cg.converged
+    }
+
+    /// The backend-attributed time of the whole solve: operator seconds plus
+    /// transfer time.  For CPU backends this is measured; for FPGA backends
+    /// it is the modelled end-to-end accelerator time.
+    #[must_use]
+    pub fn modeled_seconds(&self) -> f64 {
+        self.operator.seconds + self.transfer_seconds
+    }
 }
 
 impl SemSystem {
@@ -114,130 +173,156 @@ impl SemSystem {
         SemSystemBuilder::default()
     }
 
-    /// The backend in use.
+    /// The backend configuration in use.
     #[must_use]
     pub fn backend(&self) -> &Backend {
-        &self.backend
+        &self.config
+    }
+
+    /// The live execution engine the configuration resolved to.
+    #[must_use]
+    pub fn execution(&self) -> &dyn AxBackend {
+        self.execution.as_ref()
     }
 
     /// The mesh.
     #[must_use]
     pub fn mesh(&self) -> &BoxMesh {
-        &self.mesh
+        self.problem.mesh()
     }
 
-    /// The matrix-free operator (host side).
+    /// The matrix-free operator (host side; RHS assembly, preconditioning
+    /// and verification run against it).
     #[must_use]
     pub fn operator(&self) -> &PoissonOperator {
-        &self.operator
+        self.problem.operator()
     }
 
     /// The gather–scatter operator.
     #[must_use]
     pub fn gather_scatter(&self) -> &GatherScatter {
-        &self.gather_scatter
+        self.problem.gather_scatter()
     }
 
     /// The Dirichlet mask.
     #[must_use]
     pub fn mask(&self) -> &DirichletMask {
-        &self.mask
+        self.problem.mask()
     }
 
-    /// The simulated accelerator, if the backend is an FPGA.
+    /// The simulated accelerator, if the backend is a single FPGA board.
     #[must_use]
     pub fn accelerator(&self) -> Option<&FpgaAccelerator> {
-        self.accelerator.as_ref()
+        self.execution.fpga_accelerator()
     }
 
-    /// The offload plan for this problem, if the backend is an FPGA.
+    /// The offload plan for this problem, if the backend has external
+    /// device memory.
     #[must_use]
     pub fn offload_plan(&self) -> Option<OffloadPlan> {
-        self.accelerator.as_ref().map(|acc| {
-            OffloadPlan::new(acc.design(), acc.device(), self.mesh.num_elements())
-        })
+        self.execution.offload_plan()
     }
 
-    /// Apply the local Poisson operator once, returning the result and a
-    /// performance summary (wall-clock for CPU backends, simulated for FPGA).
+    /// Apply the local operator once through the backend, returning the
+    /// result and a performance summary (wall-clock for CPU backends,
+    /// simulated for FPGA).
     #[must_use]
     pub fn apply_operator(&self, u: &ElementField) -> (ElementField, PerfSummary) {
-        match &self.accelerator {
-            Some(acc) => {
-                let (w, report) = acc.execute(u, self.operator.geometry());
-                (w, self.summary_from_simulation(&report, 1))
+        let mut w = ElementField::zeros(self.mesh().degree(), self.mesh().num_elements());
+        let summary = match self.execution.simulated_seconds_per_application() {
+            Some(seconds) => {
+                self.execution.apply_into(u, &mut w);
+                self.summary(seconds, 1)
             }
             None => {
                 let start = Instant::now();
-                let w = self.operator.apply(u);
-                let seconds = start.elapsed().as_secs_f64().max(1e-12);
-                (w, self.summary_from_measurement(seconds, 1))
+                self.execution.apply_into(u, &mut w);
+                self.summary(start.elapsed().as_secs_f64().max(1e-12), 1)
             }
-        }
+        };
+        (w, summary)
     }
 
     /// Apply the operator `applications` times (for steadier timing) and
     /// report the aggregate performance.
+    ///
+    /// # Panics
+    /// Panics if `applications` is zero.
     #[must_use]
     pub fn benchmark_operator(&self, applications: usize) -> PerfSummary {
         assert!(applications > 0, "need at least one application");
-        let u = self.mesh.evaluate(|x, y, z| (x + 0.3) * (y - 0.7) * (z + 0.11));
-        match &self.accelerator {
-            Some(acc) => {
-                let report = acc.estimate(self.mesh.num_elements());
-                self.summary_from_simulation(&report, applications)
-            }
+        match self.execution.simulated_seconds_per_application() {
+            Some(seconds) => self.summary(seconds * applications as f64, applications),
             None => {
-                let mut w = ElementField::zeros(self.mesh.degree(), self.mesh.num_elements());
+                let u = self
+                    .mesh()
+                    .evaluate(|x, y, z| (x + 0.3) * (y - 0.7) * (z + 0.11));
+                let mut w = ElementField::zeros(self.mesh().degree(), self.mesh().num_elements());
                 let start = Instant::now();
                 for _ in 0..applications {
-                    self.operator.apply_into(&u, &mut w);
+                    self.execution.apply_into(&u, &mut w);
                 }
                 let seconds = start.elapsed().as_secs_f64().max(1e-12);
-                self.summary_from_measurement(seconds, applications)
+                self.summary(seconds, applications)
             }
         }
     }
 
-    /// Solve the manufactured-solution Poisson problem on this system's mesh
-    /// with the host CG solver (the FPGA backend accelerates the operator in
-    /// spirit; the solve itself always runs on the host in this API).
+    /// Solve the manufactured-solution Poisson problem, running **every CG
+    /// operator application through the backend**, and report both the
+    /// solution quality and the backend's time/energy accounting.
     #[must_use]
-    pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
-        let implementation = self.operator.implementation();
-        let problem = PoissonProblem::new(self.mesh.clone(), implementation);
-        problem.solve_manufactured(options, use_jacobi)
-    }
+    pub fn solve(&self, options: CgOptions, use_jacobi: bool) -> SolveReport {
+        let start = Instant::now();
+        let solution =
+            self.problem
+                .solve_manufactured_through(self.execution.as_ref(), options, use_jacobi);
+        let host_wall_seconds = start.elapsed().as_secs_f64();
 
-    fn summary_from_measurement(&self, seconds: f64, applications: usize) -> PerfSummary {
-        let flops = self.operator.flops_per_application() as f64 * applications as f64;
-        let dofs = self.operator.dofs_per_application() as f64 * applications as f64;
-        PerfSummary {
-            degree: self.mesh.degree(),
-            num_elements: self.mesh.num_elements(),
-            applications,
-            seconds,
-            gflops: flops / seconds / 1e9,
-            dofs_per_second: dofs / seconds,
-            power_watts: None,
-            gflops_per_watt: None,
-            source: PerfSource::Measured,
+        let cg = &solution.cg;
+        let operator = self.summary(
+            cg.operator_seconds.max(1e-12),
+            cg.operator_applications.max(1),
+        );
+        let transfer_seconds = self
+            .execution
+            .offload_plan()
+            .map_or(0.0, |plan| plan.transfer_seconds(HOST_LINK_GBS));
+        SolveReport {
+            backend: self.execution.label().into_owned(),
+            source: self.execution.perf_source(),
+            operator,
+            transfer_seconds,
+            host_wall_seconds,
+            solution,
         }
     }
 
-    fn summary_from_simulation(&self, report: &ExecutionReport, applications: usize) -> PerfSummary {
-        let seconds = report.seconds * applications as f64;
-        let dofs = self.operator.dofs_per_application() as f64 * applications as f64;
+    /// Solve the manufactured-solution Poisson problem and return only the
+    /// solution (every operator application still runs through the
+    /// backend; use [`SemSystem::solve`] for the full report).
+    #[must_use]
+    pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
+        self.solve(options, use_jacobi).solution
+    }
+
+    /// Aggregate a per-application cost into a [`PerfSummary`] using the
+    /// backend's accounting.
+    fn summary(&self, seconds: f64, applications: usize) -> PerfSummary {
+        let flops = self.execution.flops_per_application() as f64 * applications as f64;
+        let dofs = self.execution.dofs_per_application() as f64 * applications as f64;
+        let gflops = flops / seconds / 1e9;
+        let power_watts = self.execution.power_watts();
         PerfSummary {
-            degree: self.mesh.degree(),
-            num_elements: self.mesh.num_elements(),
+            degree: self.mesh().degree(),
+            num_elements: self.mesh().num_elements(),
             applications,
             seconds,
-            gflops: report.gflops,
+            gflops,
             dofs_per_second: dofs / seconds,
-            power_watts: Some(report.power_watts),
-            gflops_per_watt: Some(report.gflops_per_watt),
-            source: PerfSource::Simulated,
+            power_watts,
+            gflops_per_watt: power_watts.map(|watts| gflops / watts),
+            source: self.execution.perf_source(),
         }
     }
 }
@@ -285,7 +370,9 @@ mod tests {
 
     #[test]
     fn offload_plan_only_exists_for_fpga_backends() {
-        let cpu = SemSystem::builder().backend(Backend::cpu_parallel()).build();
+        let cpu = SemSystem::builder()
+            .backend(Backend::cpu_parallel())
+            .build();
         assert!(cpu.offload_plan().is_none());
         let fpga = SemSystem::builder()
             .degree(7)
@@ -326,5 +413,103 @@ mod tests {
         let design: &AcceleratorDesign = system.accelerator().unwrap().design();
         assert_eq!(design.degree, 11);
         assert_eq!(design.unroll, 4);
+    }
+
+    #[test]
+    fn solve_runs_through_the_simulated_backend() {
+        let options = CgOptions {
+            max_iterations: 2000,
+            tolerance: 1e-11,
+            record_history: false,
+        };
+        let cpu = SemSystem::builder()
+            .degree(5)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_optimized())
+            .build();
+        let fpga = SemSystem::builder()
+            .degree(5)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+
+        let cpu_report = cpu.solve(options, true);
+        let fpga_report = fpga.solve(options, true);
+
+        // The FPGA solve is accounted in simulated seconds with power...
+        assert_eq!(fpga_report.source, PerfSource::Simulated);
+        assert!(fpga_report.operator.seconds > 0.0);
+        assert!(fpga_report.operator.power_watts.unwrap() > 50.0);
+        assert!(fpga_report.transfer_seconds > 0.0);
+        assert!(fpga_report.modeled_seconds() > fpga_report.operator.seconds);
+        // ...the CPU solve in measured wall-clock without power...
+        assert_eq!(cpu_report.source, PerfSource::Measured);
+        assert!(cpu_report.operator.power_watts.is_none());
+        assert_eq!(cpu_report.transfer_seconds, 0.0);
+        // ...and both converge to the same solution (the FPGA datapath is the
+        // optimised kernel, so the iterates are bitwise identical).
+        assert!(cpu_report.converged() && fpga_report.converged());
+        assert_eq!(cpu_report.iterations(), fpga_report.iterations());
+        let scale = cpu_report.solution.solution.max_abs();
+        for (a, b) in cpu_report
+            .solution
+            .solution
+            .as_slice()
+            .iter()
+            .zip(fpga_report.solution.solution.as_slice())
+        {
+            assert!((a - b).abs() < 1e-10 * (1.0 + scale));
+        }
+        // The operator summary reflects the CG application count.
+        assert_eq!(
+            fpga_report.operator.applications,
+            fpga_report.solution.cg.operator_applications
+        );
+        assert!(fpga_report.operator.applications >= fpga_report.iterations());
+    }
+
+    #[test]
+    fn multi_fpga_backend_solves_and_scales_the_simulated_time() {
+        let options = CgOptions {
+            max_iterations: 1500,
+            tolerance: 1e-10,
+            record_history: false,
+        };
+        let one = SemSystem::builder()
+            .degree(4)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+        let four = SemSystem::builder()
+            .degree(4)
+            .elements([2, 2, 2])
+            .backend(Backend::multi_fpga(4))
+            .build();
+        let r1 = one.solve(options, true);
+        let r4 = four.solve(options, true);
+        assert!(r1.converged() && r4.converged());
+        assert_eq!(r1.iterations(), r4.iterations());
+        // Partitioning shrinks the per-application kernel time even after
+        // the exchange overhead (8 elements over 4 boards is 2 per board).
+        assert!(r4.operator.seconds < r1.operator.seconds);
+        // Four boards burn more power.
+        assert!(r4.operator.power_watts.unwrap() > 3.0 * r1.operator.power_watts.unwrap());
+    }
+
+    #[test]
+    fn builder_accepts_registry_names() {
+        let system = SemSystem::builder()
+            .degree(3)
+            .elements([2, 2, 2])
+            .backend_named("multi:2x520n")
+            .build();
+        assert!(system.execution().label().contains("2 x"));
+        assert_eq!(system.backend(), &Backend::multi_fpga(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend name")]
+    fn builder_rejects_unknown_registry_names() {
+        let _ = SemSystem::builder().backend_named("tpu:v4");
     }
 }

@@ -65,7 +65,7 @@ pub fn gauss_lobatto_legendre(n: usize) -> Quadrature {
     // Chebyshev–Gauss–Lobatto points, which interlace them closely, and
     // polish with Newton on q(x) = P_{N+1}(x) - P_{N-1}(x) whose roots
     // coincide with those of (1 - x^2) P_N'(x) in the interior.
-    for i in 1..n - 1 {
+    for (i, node) in nodes.iter_mut().enumerate().take(n - 1).skip(1) {
         let theta = std::f64::consts::PI * i as f64 / nf;
         let mut x = -(theta.cos());
         // Newton iteration on f(x) = P_N'(x) using
@@ -79,14 +79,14 @@ pub fn gauss_lobatto_legendre(n: usize) -> Quadrature {
                 break;
             }
         }
-        nodes[i] = x;
+        *node = x;
     }
     nodes.sort_by(|a, b| a.partial_cmp(b).expect("nodes are finite"));
 
     let scale = 2.0 / (nf * (nf + 1.0));
-    for i in 0..n {
-        let p = legendre(degree, nodes[i]);
-        weights[i] = scale / (p * p);
+    for (weight, &node) in weights.iter_mut().zip(&nodes) {
+        let p = legendre(degree, node);
+        *weight = scale / (p * p);
     }
 
     Quadrature { nodes, weights }

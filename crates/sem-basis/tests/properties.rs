@@ -1,55 +1,92 @@
-//! Property-based tests for the spectral basis building blocks.
+//! Property-style tests for the spectral basis building blocks.
+//!
+//! The offline build cannot use `proptest`, so each property is exercised
+//! over a deterministic seeded sweep of random inputs instead of a shrinking
+//! search — same invariants, reproducible cases.
 
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use sem_basis::{
     gauss_legendre, gauss_lobatto_legendre, interpolation_matrix, legendre, legendre_derivative,
     DerivativeMatrix, LagrangeBasis,
 };
 
-proptest! {
-    /// |P_n(x)| <= 1 on [-1, 1] for every n.
-    #[test]
-    fn legendre_bounded_on_interval(n in 0usize..40, x in -1.0f64..=1.0) {
-        let v = legendre(n, x);
-        prop_assert!(v.abs() <= 1.0 + 1e-12, "P_{n}({x}) = {v}");
-    }
+fn random_coeffs(rng: &mut StdRng, len: usize, scale: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-scale..scale)).collect()
+}
 
-    /// Legendre parity: P_n(-x) = (-1)^n P_n(x).
-    #[test]
-    fn legendre_parity(n in 0usize..30, x in -1.0f64..=1.0) {
+/// |P_n(x)| <= 1 on [-1, 1] for every n.
+#[test]
+fn legendre_bounded_on_interval() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..200 {
+        let n = rng.gen_range(0usize..40);
+        let x = rng.gen_range(-1.0..1.0);
+        let v = legendre(n, x);
+        assert!(v.abs() <= 1.0 + 1e-12, "P_{n}({x}) = {v}");
+    }
+    // Include the end points the open range cannot hit.
+    for n in 0..40 {
+        assert!(legendre(n, 1.0).abs() <= 1.0 + 1e-12);
+        assert!(legendre(n, -1.0).abs() <= 1.0 + 1e-12);
+    }
+}
+
+/// Legendre parity: P_n(-x) = (-1)^n P_n(x).
+#[test]
+fn legendre_parity() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..200 {
+        let n = rng.gen_range(0usize..30);
+        let x = rng.gen_range(-1.0..1.0);
         let a = legendre(n, x);
         let b = legendre(n, -x);
         let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
-        prop_assert!((a - sign * b).abs() < 1e-11);
+        assert!((a - sign * b).abs() < 1e-11, "n = {n}, x = {x}");
     }
+}
 
-    /// The derivative recurrence matches a central finite difference.
-    #[test]
-    fn legendre_derivative_consistent(n in 1usize..20, x in -0.99f64..=0.99) {
+/// The derivative recurrence matches a central finite difference.
+#[test]
+fn legendre_derivative_consistent() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..20);
+        let x = rng.gen_range(-0.99..0.99);
         let h = 1e-6;
         let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
         let an = legendre_derivative(n, x);
-        prop_assert!((fd - an).abs() < 1e-5 * (1.0 + an.abs()));
+        assert!(
+            (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+            "n = {n}, x = {x}"
+        );
     }
+}
 
-    /// GLL weights are positive, symmetric and sum to 2 for any degree.
-    #[test]
-    fn gll_weights_well_formed(degree in 1usize..=24) {
+/// GLL weights are positive, symmetric and sum to 2 for any degree.
+#[test]
+fn gll_weights_well_formed() {
+    for degree in 1usize..=24 {
         let q = gauss_lobatto_legendre(degree + 1);
         let sum: f64 = q.weights.iter().sum();
-        prop_assert!((sum - 2.0).abs() < 1e-11);
+        assert!((sum - 2.0).abs() < 1e-11, "degree {degree}: sum {sum}");
         for (i, &w) in q.weights.iter().enumerate() {
-            prop_assert!(w > 0.0);
-            prop_assert!((w - q.weights[q.len() - 1 - i]).abs() < 1e-11);
+            assert!(w > 0.0, "degree {degree}, weight {i}");
+            assert!(
+                (w - q.weights[q.len() - 1 - i]).abs() < 1e-11,
+                "degree {degree}, weight {i} not symmetric"
+            );
         }
     }
+}
 
-    /// GLL quadrature integrates random polynomials of degree <= 2N-1 exactly.
-    #[test]
-    fn gll_exact_on_random_polynomials(
-        degree in 2usize..=12,
-        coeffs in proptest::collection::vec(-2.0f64..2.0, 1..8),
-    ) {
+/// GLL quadrature integrates random polynomials of degree <= 2N-1 exactly.
+#[test]
+fn gll_exact_on_random_polynomials() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..100 {
+        let degree = rng.gen_range(2usize..=12);
+        let len = rng.gen_range(1usize..8);
+        let coeffs = random_coeffs(&mut rng, len, 2.0);
         let q = gauss_lobatto_legendre(degree + 1);
         // Keep the polynomial degree within the exactness range 2N - 1.
         let max_terms = (2 * degree).saturating_sub(1).min(coeffs.len());
@@ -64,27 +101,45 @@ proptest! {
         let exact: f64 = coeffs
             .iter()
             .enumerate()
-            .map(|(k, &c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+            .map(|(k, &c)| {
+                if k % 2 == 0 {
+                    2.0 * c / (k as f64 + 1.0)
+                } else {
+                    0.0
+                }
+            })
             .sum();
-        prop_assert!((q.integrate(f) - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        assert!(
+            (q.integrate(f) - exact).abs() < 1e-9 * (1.0 + exact.abs()),
+            "degree {degree}"
+        );
     }
+}
 
-    /// Gauss and Gauss-Lobatto rules agree on smooth integrands once both are fine enough.
-    #[test]
-    fn gauss_and_lobatto_agree(freq in 0.5f64..4.0) {
+/// Gauss and Gauss-Lobatto rules agree on smooth integrands once both are
+/// fine enough.
+#[test]
+fn gauss_and_lobatto_agree() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        let freq = rng.gen_range(0.5..4.0);
         let f = |x: f64| (freq * x).cos() + 0.3 * (2.0 * x).sin();
         let a = gauss_legendre(30).integrate(f);
         let b = gauss_lobatto_legendre(30).integrate(f);
-        prop_assert!((a - b).abs() < 1e-10);
+        assert!((a - b).abs() < 1e-10, "freq {freq}");
     }
+}
 
-    /// Lagrange interpolation on GLL points reproduces random polynomials of the same degree.
-    #[test]
-    fn lagrange_reproduces_polynomials(
-        degree in 1usize..=10,
-        coeffs in proptest::collection::vec(-3.0f64..3.0, 1..11),
-        x in -1.0f64..=1.0,
-    ) {
+/// Lagrange interpolation on GLL points reproduces random polynomials of the
+/// same degree.
+#[test]
+fn lagrange_reproduces_polynomials() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..100 {
+        let degree = rng.gen_range(1usize..=10);
+        let len = rng.gen_range(1usize..11);
+        let coeffs = random_coeffs(&mut rng, len, 3.0);
+        let x = rng.gen_range(-1.0..1.0);
         let q = gauss_lobatto_legendre(degree + 1);
         let basis = LagrangeBasis::new(&q.nodes);
         let coeffs = &coeffs[..coeffs.len().min(degree + 1)];
@@ -97,16 +152,22 @@ proptest! {
         };
         let nodal: Vec<f64> = q.nodes.iter().map(|&x| poly(x)).collect();
         let interp = basis.interpolate(&nodal, x);
-        prop_assert!((interp - poly(x)).abs() < 1e-9 * (1.0 + poly(x).abs()));
+        assert!(
+            (interp - poly(x)).abs() < 1e-9 * (1.0 + poly(x).abs()),
+            "degree {degree}, x {x}"
+        );
     }
+}
 
-    /// The differentiation matrix annihilates constants and differentiates
-    /// random polynomials of degree <= N exactly at every node.
-    #[test]
-    fn derivative_matrix_exact(
-        degree in 1usize..=12,
-        coeffs in proptest::collection::vec(-2.0f64..2.0, 1..13),
-    ) {
+/// The differentiation matrix annihilates constants and differentiates random
+/// polynomials of degree <= N exactly at every node.
+#[test]
+fn derivative_matrix_exact() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let degree = rng.gen_range(1usize..=12);
+        let len = rng.gen_range(1usize..13);
+        let coeffs = random_coeffs(&mut rng, len, 2.0);
         let dm = DerivativeMatrix::new(degree);
         let xi = dm.quadrature().nodes.clone();
         let coeffs = &coeffs[..coeffs.len().min(degree + 1)];
@@ -128,23 +189,30 @@ proptest! {
         let nodal: Vec<f64> = xi.iter().map(|&x| poly(x)).collect();
         let deriv = dm.differentiate(&nodal);
         for (i, &x) in xi.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 (deriv[i] - dpoly(x)).abs() < 1e-7 * (1.0 + dpoly(x).abs()),
                 "degree {degree} node {i}"
             );
         }
     }
+}
 
-    /// Interpolation matrices reproduce constants (rows sum to one) for any
-    /// source/target degree combination.
-    #[test]
-    fn interpolation_reproduces_constants(from_deg in 1usize..=10, to_deg in 1usize..=10) {
-        let from = gauss_lobatto_legendre(from_deg + 1);
-        let to = gauss_lobatto_legendre(to_deg + 1);
-        let j = interpolation_matrix(&from.nodes, &to.nodes);
-        for i in 0..j.rows() {
-            let s: f64 = j.row(i).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-10);
+/// Interpolation matrices reproduce constants (rows sum to one) for any
+/// source/target degree combination.
+#[test]
+fn interpolation_reproduces_constants() {
+    for from_deg in 1usize..=10 {
+        for to_deg in 1usize..=10 {
+            let from = gauss_lobatto_legendre(from_deg + 1);
+            let to = gauss_lobatto_legendre(to_deg + 1);
+            let j = interpolation_matrix(&from.nodes, &to.nodes);
+            for i in 0..j.rows() {
+                let s: f64 = j.row(i).iter().sum();
+                assert!(
+                    (s - 1.0).abs() < 1e-10,
+                    "{from_deg} -> {to_deg}, row {i}: {s}"
+                );
+            }
         }
     }
 }

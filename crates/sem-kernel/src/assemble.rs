@@ -101,7 +101,9 @@ mod tests {
         let a_ones = a.matvec(&ones);
         assert!(a_ones.iter().all(|&v| v.abs() < 1e-10));
         for s in 0..5 {
-            let x: Vec<f64> = (0..n).map(|i| ((i * 7 + s * 13) % 11) as f64 - 5.0).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + s * 13) % 11) as f64 - 5.0)
+                .collect();
             let ax = a.matvec(&x);
             let energy: f64 = x.iter().zip(&ax).map(|(a, b)| a * b).sum();
             assert!(energy >= -1e-9);

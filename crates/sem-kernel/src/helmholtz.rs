@@ -159,8 +159,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut u = ElementField::zeros(3, 8);
         let mut v = ElementField::zeros(3, 8);
-        u.as_mut_slice().iter_mut().for_each(|x| *x = rng.gen_range(-1.0..1.0));
-        v.as_mut_slice().iter_mut().for_each(|x| *x = rng.gen_range(-1.0..1.0));
+        u.as_mut_slice()
+            .iter_mut()
+            .for_each(|x| *x = rng.gen_range(-1.0..1.0));
+        v.as_mut_slice()
+            .iter_mut()
+            .for_each(|x| *x = rng.gen_range(-1.0..1.0));
         let au = op.apply(&u);
         let av = op.apply(&v);
         let vau = v.dot(&au);

@@ -115,7 +115,11 @@ impl PoissonOperator {
     #[must_use]
     pub fn apply(&self, u: &ElementField) -> ElementField {
         assert_eq!(u.degree(), self.degree, "degree mismatch");
-        assert_eq!(u.num_elements(), self.num_elements, "element count mismatch");
+        assert_eq!(
+            u.num_elements(),
+            self.num_elements,
+            "element count mismatch"
+        );
         let mut w = ElementField::zeros(self.degree, self.num_elements);
         self.apply_into(u, &mut w);
         w

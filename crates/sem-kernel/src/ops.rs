@@ -60,7 +60,10 @@ impl KernelTraffic {
     /// The paper's access measure `Q(N)` (degree-independent).
     #[must_use]
     pub fn for_degree(_degree: usize) -> Self {
-        Self { loads: 7, writes: 1 }
+        Self {
+            loads: 7,
+            writes: 1,
+        }
     }
 
     /// Total words moved per DOF.
@@ -101,9 +104,7 @@ pub fn operational_intensity(degree: usize) -> f64 {
 #[inline]
 #[must_use]
 pub fn total_flops(degree: usize, num_elements: usize) -> u64 {
-    flops_per_dof(degree) as u64
-        * sem_basis::dofs_per_element(degree) as u64
-        * num_elements as u64
+    flops_per_dof(degree) as u64 * sem_basis::dofs_per_element(degree) as u64 * num_elements as u64
 }
 
 /// Total degrees of freedom for `num_elements` elements.
@@ -117,9 +118,7 @@ pub fn total_dofs(degree: usize, num_elements: usize) -> u64 {
 #[inline]
 #[must_use]
 pub fn total_bytes(degree: usize, num_elements: usize) -> u64 {
-    bytes_per_dof(degree) as u64
-        * sem_basis::dofs_per_element(degree) as u64
-        * num_elements as u64
+    bytes_per_dof(degree) as u64 * sem_basis::dofs_per_element(degree) as u64 * num_elements as u64
 }
 
 #[cfg(test)]

@@ -56,6 +56,9 @@ impl AxScratch {
 /// * `g` — six slices, each one element's worth of a geometric-factor plane.
 /// * `d`, `dt` — the differentiation matrix and its transpose, row-major.
 #[allow(clippy::too_many_arguments)]
+// Index-based loops deliberately mirror the paper's Listing 1 structure and
+// keep the stride arithmetic explicit for the strength-reduced inner loops.
+#[allow(clippy::needless_range_loop)]
 pub fn ax_element_split(
     u: &[f64],
     w: &mut [f64],
@@ -184,6 +187,39 @@ pub fn ax_optimized(
     u: &[f64],
     w: &mut [f64],
     g_planes: &[Vec<f64>; 6],
+    derivative: &DerivativeMatrix,
+) {
+    for plane in g_planes {
+        assert_eq!(plane.len(), u.len(), "geometric plane length mismatch");
+    }
+    ax_optimized_slices(
+        u,
+        w,
+        [
+            &g_planes[0][..],
+            &g_planes[1][..],
+            &g_planes[2][..],
+            &g_planes[3][..],
+            &g_planes[4][..],
+            &g_planes[5][..],
+        ],
+        derivative,
+    );
+}
+
+/// [`ax_optimized`] on borrowed geometric-factor plane slices.
+///
+/// This is the shared element loop behind every split-layout execution path:
+/// the sequential CPU kernel, the simulated accelerator, and per-board
+/// partitions (which pass sub-slices of the full planes).
+///
+/// # Panics
+/// Panics if `u` and `w` differ in length, the length is not a multiple of
+/// `(N+1)^3`, or any plane slice does not match `u`.
+pub fn ax_optimized_slices(
+    u: &[f64],
+    w: &mut [f64],
+    g_planes: [&[f64]; 6],
     derivative: &DerivativeMatrix,
 ) {
     let nx = derivative.num_points();

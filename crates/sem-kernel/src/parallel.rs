@@ -31,23 +31,21 @@ pub fn ax_parallel(
     let d = derivative.d_flat();
     let dt = derivative.dt_flat();
 
-    w.par_chunks_mut(npts)
-        .enumerate()
-        .for_each_init(
-            || AxScratch::new(nx),
-            |scratch, (e, w_elem)| {
-                let range = e * npts..(e + 1) * npts;
-                let g = [
-                    &g_planes[0][range.clone()],
-                    &g_planes[1][range.clone()],
-                    &g_planes[2][range.clone()],
-                    &g_planes[3][range.clone()],
-                    &g_planes[4][range.clone()],
-                    &g_planes[5][range.clone()],
-                ];
-                ax_element_split(&u[range.clone()], w_elem, g, &d, &dt, nx, scratch);
-            },
-        );
+    w.par_chunks_mut(npts).enumerate().for_each_init(
+        || AxScratch::new(nx),
+        |scratch, (e, w_elem)| {
+            let range = e * npts..(e + 1) * npts;
+            let g = [
+                &g_planes[0][range.clone()],
+                &g_planes[1][range.clone()],
+                &g_planes[2][range.clone()],
+                &g_planes[3][range.clone()],
+                &g_planes[4][range.clone()],
+                &g_planes[5][range.clone()],
+            ];
+            ax_element_split(&u[range.clone()], w_elem, g, &d, &dt, nx, scratch);
+        },
+    );
 }
 
 #[cfg(test)]
@@ -77,7 +75,10 @@ mod tests {
             let mut w_par = vec![0.0; u.len()];
             ax_optimized(&u, &mut w_seq, &planes, &dm);
             ax_parallel(&u, &mut w_par, &planes, &dm);
-            assert_eq!(w_seq, w_par, "degree {degree}: parallel must be bitwise equal");
+            assert_eq!(
+                w_seq, w_par,
+                "degree {degree}: parallel must be bitwise equal"
+            );
         }
     }
 

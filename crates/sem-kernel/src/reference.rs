@@ -97,12 +97,7 @@ pub fn ax_reference_raw(
 /// Convenience wrapper that derives the differentiation arrays from a
 /// [`DerivativeMatrix`] with the correct conventions and applies the
 /// reference kernel.
-pub fn ax_reference(
-    u: &[f64],
-    w: &mut [f64],
-    gxyz: &[f64],
-    derivative: &DerivativeMatrix,
-) {
+pub fn ax_reference(u: &[f64], w: &mut [f64], gxyz: &[f64], derivative: &DerivativeMatrix) {
     let nx = derivative.num_points();
     // See module docs: `dxt` carries D row-major, `dx` carries D^T row-major.
     let dxt = derivative.d_flat();

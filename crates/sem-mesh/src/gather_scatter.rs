@@ -164,7 +164,9 @@ mod tests {
         // stronger, correct property: gather of a global vector is continuous
         // and dssum preserves continuity.
         let (mesh, gs) = setup(3, 2);
-        let global: Vec<f64> = (0..gs.num_global_dofs()).map(|i| (i as f64).sin()).collect();
+        let global: Vec<f64> = (0..gs.num_global_dofs())
+            .map(|i| (i as f64).sin())
+            .collect();
         let local = gs.gather(&global);
         assert!(gs.is_continuous(&local, 1e-14));
         let mut summed = local.clone();
@@ -198,8 +200,8 @@ mod tests {
     fn interior_nodes_have_multiplicity_one() {
         let (mesh, gs) = setup(4, 2);
         let nx = mesh.points_per_direction();
-        // A strictly interior node of an element is not shared.
-        let l = 0 * nx * nx * nx + (2 + nx * (2 + nx * 2));
+        // A strictly interior node of element 0 (offset zero) is not shared.
+        let l = 2 + nx * (2 + nx * 2);
         assert_eq!(gs.multiplicity()[l], 1.0);
     }
 
@@ -227,13 +229,7 @@ mod tests {
         let xs = &mesh.coordinates()[0];
         let global = gs.scatter_add(xs);
         let inv_mult = gs.inverse_multiplicity();
-        let mut averaged = gs.gather(
-            &global
-                .iter()
-                .enumerate()
-                .map(|(_, &v)| v)
-                .collect::<Vec<_>>(),
-        );
+        let mut averaged = gs.gather(&global);
         // averaged currently holds the sum; divide by multiplicity to recover x.
         averaged.pointwise_mul(&inv_mult);
         for (a, b) in averaged.as_slice().iter().zip(xs.as_slice()) {

@@ -115,10 +115,7 @@ impl GeometricFactors {
                         let mut g = [0.0_f64; NUM_GEOMETRIC_FACTORS];
                         let pairs = [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)];
                         for (slot, &(a, b)) in pairs.iter().enumerate() {
-                            let mut acc = 0.0;
-                            for c in 0..3 {
-                                acc += inv[a][c] * inv[b][c];
-                            }
+                            let acc: f64 = inv[a].iter().zip(&inv[b]).map(|(x, y)| x * y).sum();
                             g[slot] = scale * acc;
                         }
                         let base = NUM_GEOMETRIC_FACTORS * (node + npts * e);
@@ -298,8 +295,8 @@ mod tests {
         let npts = geo.nodes_per_element();
         for e in 0..geo.num_elements() {
             for node in 0..npts {
-                for c in 0..NUM_GEOMETRIC_FACTORS {
-                    assert_eq!(planes[c][node + npts * e], geo.at(e, node, c));
+                for (c, plane) in planes.iter().enumerate() {
+                    assert_eq!(plane[node + npts * e], geo.at(e, node, c));
                 }
             }
         }

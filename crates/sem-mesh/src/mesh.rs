@@ -379,7 +379,10 @@ mod tests {
                 }
             }
         }
-        assert!(interior_moved, "deformation must actually move the interior");
+        assert!(
+            interior_moved,
+            "deformation must actually move the interior"
+        );
     }
 
     #[test]

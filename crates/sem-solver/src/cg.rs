@@ -8,6 +8,57 @@
 use sem_kernel::PoissonOperator;
 use sem_mesh::{DirichletMask, ElementField, GatherScatter};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The element-local operator a Krylov solver iterates with.
+///
+/// This is the execution seam of the workspace: the solver only ever sees
+/// `w = A u` on element-local storage plus a little cost accounting, so the
+/// same CG iteration runs unchanged against a native CPU kernel, the
+/// simulated FPGA accelerator, a multi-board partition, or any future
+/// backend (`sem-accel` provides adapters for all of them).
+///
+/// The trait is object-safe: solvers accept `&dyn LocalOperator` so backends
+/// can be chosen at runtime.
+pub trait LocalOperator {
+    /// Polynomial degree `N`.
+    fn degree(&self) -> usize;
+
+    /// Number of elements.
+    fn num_elements(&self) -> usize;
+
+    /// Apply the element-local operator: `w = A u` (no direct stiffness
+    /// summation, no masking — the solver does both afterwards).
+    fn apply_local_into(&self, u: &ElementField, w: &mut ElementField);
+
+    /// Floating-point operations of one application.
+    fn flops_per_application(&self) -> u64;
+
+    /// Seconds one application costs according to the operator's own
+    /// accounting (e.g. simulated kernel time for an accelerator model).
+    /// `None` means the caller should measure wall-clock time instead.
+    fn seconds_per_application(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl LocalOperator for PoissonOperator {
+    fn degree(&self) -> usize {
+        self.degree()
+    }
+
+    fn num_elements(&self) -> usize {
+        self.num_elements()
+    }
+
+    fn apply_local_into(&self, u: &ElementField, w: &mut ElementField) {
+        self.apply_into(u, w);
+    }
+
+    fn flops_per_application(&self) -> u64 {
+        self.flops_per_application()
+    }
+}
 
 /// Stopping criteria and iteration limits for the CG solver.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -45,6 +96,26 @@ pub struct CgOutcome {
     pub converged: bool,
     /// Total floating-point operations spent in operator applications.
     pub operator_flops: u64,
+    /// Number of operator applications performed.
+    pub operator_applications: usize,
+    /// Seconds attributed to operator applications, accumulated per
+    /// application from the backend: wall-clock measurements for native
+    /// operators, the backend's own (e.g. simulated) accounting otherwise
+    /// (see [`LocalOperator::seconds_per_application`]).
+    pub operator_seconds: f64,
+}
+
+impl CgOutcome {
+    /// Achieved operator throughput in GFLOP/s over the accumulated
+    /// per-application cost (zero when nothing was applied).
+    #[must_use]
+    pub fn operator_gflops(&self) -> f64 {
+        if self.operator_seconds > 0.0 {
+            self.operator_flops as f64 / self.operator_seconds / 1e9
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A preconditioner maps a residual to a search-direction correction.
@@ -64,19 +135,24 @@ impl Preconditioner for IdentityPreconditioner {
 }
 
 /// Conjugate-gradient solver bound to an operator, gather–scatter and mask.
-pub struct CgSolver<'a> {
-    operator: &'a PoissonOperator,
+///
+/// The solver is generic over any [`LocalOperator`] (defaulting to the
+/// native [`PoissonOperator`] for backwards compatibility), including
+/// unsized `dyn LocalOperator` trait objects, so execution backends can be
+/// selected at runtime.
+pub struct CgSolver<'a, Op: LocalOperator + ?Sized = PoissonOperator> {
+    operator: &'a Op,
     gather_scatter: &'a GatherScatter,
     mask: &'a DirichletMask,
     inverse_multiplicity: ElementField,
     options: CgOptions,
 }
 
-impl<'a> CgSolver<'a> {
+impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
     /// Create a solver.
     #[must_use]
     pub fn new(
-        operator: &'a PoissonOperator,
+        operator: &'a Op,
         gather_scatter: &'a GatherScatter,
         mask: &'a DirichletMask,
         options: CgOptions,
@@ -107,10 +183,35 @@ impl<'a> CgSolver<'a> {
     /// `w = mask(QQᵀ (A u))`.
     #[must_use]
     pub fn apply_operator(&self, u: &ElementField) -> ElementField {
-        let mut w = self.operator.apply(u);
+        let mut w = ElementField::zeros(self.operator.degree(), self.operator.num_elements());
+        self.operator.apply_local_into(u, &mut w);
         self.gather_scatter.direct_stiffness_sum(&mut w);
         self.mask.apply(&mut w);
         w
+    }
+
+    /// Like [`CgSolver::apply_operator`], but into a preallocated output and
+    /// returning the seconds the application cost (measured wall-clock when
+    /// the operator has no accounting of its own).
+    fn apply_operator_into(&self, u: &ElementField, w: &mut ElementField) -> f64 {
+        match self.operator.seconds_per_application() {
+            Some(seconds) => {
+                self.operator.apply_local_into(u, w);
+                self.gather_scatter.direct_stiffness_sum(w);
+                self.mask.apply(w);
+                seconds
+            }
+            None => {
+                // Time only the local operator, not dssum/mask, so the
+                // accumulated seconds divide the operator FLOPs cleanly.
+                let start = Instant::now();
+                self.operator.apply_local_into(u, w);
+                let seconds = start.elapsed().as_secs_f64();
+                self.gather_scatter.direct_stiffness_sum(w);
+                self.mask.apply(w);
+                seconds
+            }
+        }
     }
 
     /// Solve `A x = b` with an optional preconditioner.
@@ -138,22 +239,28 @@ impl<'a> CgSolver<'a> {
                 residual_history: history,
                 converged: true,
                 operator_flops: 0,
+                operator_applications: 0,
+                operator_seconds: 0.0,
             };
         }
 
         let mut z = precond.apply(&r);
         self.mask.apply(&mut z);
         let mut p = z.clone();
+        let mut w = ElementField::zeros(degree, nelems);
         let mut rz = self.inner_product(&r, &z);
         let mut operator_flops = 0_u64;
+        let mut operator_applications = 0_usize;
+        let mut operator_seconds = 0.0_f64;
         let mut converged = false;
         let mut iterations = 0;
         let mut rel_res = 1.0;
 
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
-            let w = self.apply_operator(&p);
+            operator_seconds += self.apply_operator_into(&p, &mut w);
             operator_flops += self.operator.flops_per_application();
+            operator_applications += 1;
             let pw = self.inner_product(&p, &w);
             // A breakdown (pw <= 0) can only occur through rounding on a
             // semi-definite system; bail out with what we have.
@@ -191,6 +298,8 @@ impl<'a> CgSolver<'a> {
             residual_history: history,
             converged,
             operator_flops,
+            operator_applications,
+            operator_seconds,
         }
     }
 }

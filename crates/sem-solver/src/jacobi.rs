@@ -33,7 +33,11 @@ impl JacobiPreconditioner {
         {
             // Diagonal entries are strictly positive on valid meshes; guard
             // anyway so a degenerate input cannot produce infinities.
-            *inv = if d.abs() > f64::MIN_POSITIVE { 1.0 / d } else { 0.0 };
+            *inv = if d.abs() > f64::MIN_POSITIVE {
+                1.0 / d
+            } else {
+                0.0
+            };
         }
         // Masked (Dirichlet) nodes never participate in the solve.
         mask.apply(&mut inverse_diagonal);

@@ -6,7 +6,9 @@
 //! provides exactly that:
 //!
 //! * [`cg`] — (preconditioned) conjugate gradients on element-local fields,
-//!   with multiplicity-weighted inner products and Dirichlet masking;
+//!   with multiplicity-weighted inner products and Dirichlet masking; the
+//!   solver is generic over the [`cg::LocalOperator`] trait, the execution
+//!   seam through which accelerator backends (see `sem-accel`) plug in;
 //! * [`jacobi`] — the diagonal (Jacobi) preconditioner built from the exact
 //!   operator diagonal;
 //! * [`poisson`] — a complete "manufactured solution" Poisson problem:
@@ -25,7 +27,7 @@ pub mod jacobi;
 pub mod poisson;
 pub mod proxy;
 
-pub use cg::{CgOptions, CgOutcome, CgSolver};
+pub use cg::{CgOptions, CgOutcome, CgSolver, LocalOperator};
 pub use jacobi::JacobiPreconditioner;
 pub use poisson::{PoissonProblem, PoissonSolution};
 pub use proxy::{ProxyConfig, ProxyResult};

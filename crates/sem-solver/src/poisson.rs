@@ -7,7 +7,7 @@
 //! the degree grows is strong evidence that basis, geometry, kernel,
 //! gather–scatter and solver are all consistent.
 
-use crate::cg::{CgOptions, CgOutcome, CgSolver, IdentityPreconditioner};
+use crate::cg::{CgOptions, CgOutcome, CgSolver, IdentityPreconditioner, LocalOperator};
 use crate::jacobi::JacobiPreconditioner;
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter};
@@ -88,6 +88,24 @@ impl PoissonProblem {
     /// returning error metrics.
     #[must_use]
     pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
+        self.solve_manufactured_through(&self.operator, options, use_jacobi)
+    }
+
+    /// Solve the manufactured problem, routing every operator application of
+    /// the CG iteration through `operator` — any [`LocalOperator`], e.g. an
+    /// execution backend from `sem-accel` — while right-hand-side assembly
+    /// and preconditioning stay on the host discretisation.
+    ///
+    /// # Panics
+    /// Panics if `operator` does not match the problem's degree and element
+    /// count.
+    #[must_use]
+    pub fn solve_manufactured_through<Op: LocalOperator + ?Sized>(
+        &self,
+        operator: &Op,
+        options: CgOptions,
+        use_jacobi: bool,
+    ) -> PoissonSolution {
         let lengths = self.mesh.lengths();
         let pi = std::f64::consts::PI;
         let factor: f64 = lengths.iter().map(|&l| (pi / l) * (pi / l)).sum();
@@ -95,7 +113,7 @@ impl PoissonProblem {
             (pi * x / lengths[0]).sin() * (pi * y / lengths[1]).sin() * (pi * z / lengths[2]).sin()
         };
         let forcing = move |x: f64, y: f64, z: f64| factor * exact(x, y, z);
-        self.solve_with_exact(options, use_jacobi, forcing, exact)
+        self.solve_with_exact_through(operator, options, use_jacobi, forcing, exact)
     }
 
     /// Solve for an arbitrary forcing with a known exact solution and report
@@ -112,9 +130,41 @@ impl PoissonProblem {
         F: Fn(f64, f64, f64) -> f64,
         G: Fn(f64, f64, f64) -> f64,
     {
+        self.solve_with_exact_through(&self.operator, options, use_jacobi, forcing, exact)
+    }
+
+    /// Like [`PoissonProblem::solve_with_exact`], but iterating through an
+    /// arbitrary [`LocalOperator`] (an execution backend) instead of the
+    /// problem's own host operator.
+    ///
+    /// # Panics
+    /// Panics if `operator` does not match the problem's degree and element
+    /// count.
+    #[must_use]
+    pub fn solve_with_exact_through<Op, F, G>(
+        &self,
+        operator: &Op,
+        options: CgOptions,
+        use_jacobi: bool,
+        forcing: F,
+        exact: G,
+    ) -> PoissonSolution
+    where
+        Op: LocalOperator + ?Sized,
+        F: Fn(f64, f64, f64) -> f64,
+        G: Fn(f64, f64, f64) -> f64,
+    {
+        assert_eq!(operator.degree(), self.mesh.degree(), "degree mismatch");
+        assert_eq!(
+            operator.num_elements(),
+            self.mesh.num_elements(),
+            "element count mismatch"
+        );
         let rhs = self.right_hand_side(forcing);
-        let solver = CgSolver::new(&self.operator, &self.gather_scatter, &self.mask, options);
+        let solver = CgSolver::new(operator, &self.gather_scatter, &self.mask, options);
         let cg = if use_jacobi {
+            // The Jacobi diagonal comes from the host discretisation; it is a
+            // preconditioner, so this does not change what is being solved.
             let pc = JacobiPreconditioner::new(&self.operator, &self.gather_scatter, &self.mask);
             solver.solve(&rhs, &pc)
         } else {

@@ -84,9 +84,8 @@ impl ProxyConfig {
         let mask = DirichletMask::from_mesh(&mesh);
 
         let pi = std::f64::consts::PI;
-        let mut rhs = mesh.evaluate(|x, y, z| {
-            3.0 * pi * pi * (pi * x).sin() * (pi * y).sin() * (pi * z).sin()
-        });
+        let mut rhs = mesh
+            .evaluate(|x, y, z| 3.0 * pi * pi * (pi * x).sin() * (pi * y).sin() * (pi * z).sin());
         rhs.pointwise_mul(operator.geometry().mass());
         gather_scatter.direct_stiffness_sum(&mut rhs);
         mask.apply(&mut rhs);

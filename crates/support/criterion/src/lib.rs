@@ -1,0 +1,227 @@
+//! Vendored stand-in for the subset of `criterion` this workspace's benches
+//! use: benchmark groups, `bench_with_input`/`bench_function`, throughput
+//! annotation and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The offline build environment cannot fetch the real `criterion`.  This
+//! harness performs a short warm-up followed by a fixed number of timed
+//! samples per benchmark and prints median/min/max wall-clock times (plus
+//! derived element throughput when annotated).  It has no statistical
+//! machinery — it exists so `cargo bench` runs and reports something honest,
+//! and so the bench sources keep compiling unchanged against the real
+//! criterion API.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_samples(10, &mut f);
+        report(name, &result, None);
+        self
+    }
+}
+
+/// Work-rate annotation for a benchmark (per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (or FLOPs, DOFs, ...) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Build an id from a parameter display only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let result = run_samples(self.sample_size, &mut |b| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &result,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark `f` without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_samples(self.sample_size, &mut f);
+        report(&format!("{}/{id}", self.name), &result, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; call [`Bencher::iter`] with the
+/// routine to time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (the harness calls the closure once
+    /// per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = Some(start.elapsed());
+        black_box(out);
+    }
+}
+
+struct Samples {
+    times: Vec<Duration>,
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> Samples {
+    // Warm-up sample, discarded.
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let mut times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        times.push(bencher.elapsed.unwrap_or_default());
+    }
+    times.sort();
+    Samples { times }
+}
+
+fn report(name: &str, samples: &Samples, throughput: Option<Throughput>) {
+    let median = samples.times[samples.times.len() / 2];
+    let min = samples.times.first().copied().unwrap_or_default();
+    let max = samples.times.last().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  ({:.2} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  ({:.2} MB/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {name}: median {:?} (min {:?}, max {:?}){rate}",
+        median, min, max
+    );
+}
+
+/// Define a function running a list of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).throughput(Throughput::Elements(100));
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &41, |b, &x| {
+            runs += 1;
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus samples must run");
+    }
+}

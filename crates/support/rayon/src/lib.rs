@@ -1,0 +1,165 @@
+//! Vendored stand-in for the slice-parallelism subset of `rayon` that this
+//! workspace uses (`par_chunks_mut(..).enumerate().for_each_init(..)`).
+//!
+//! The offline build environment cannot fetch the real `rayon`, so this crate
+//! provides the same API backed by `std::thread::scope`: the chunk list is
+//! divided into contiguous runs, one per available core, and each worker
+//! thread owns a private `for_each_init` state.  Semantics match rayon where
+//! it matters for this workspace: every chunk is visited exactly once with
+//! its global index, chunk-local arithmetic is unchanged (so results are
+//! bitwise identical to sequential execution), and the closure requirements
+//! (`Sync` operations over `Send` data) are the same.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Rayon-style prelude: import the parallel-slice extension trait.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Extension trait adding parallel chunk iteration to mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split the slice into chunks of `chunk_size` (the last chunk may be
+    /// shorter) for parallel traversal.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    #[must_use]
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut(self)
+    }
+
+    /// Run `op` on every chunk in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate()
+            .for_each_init(|| (), |(), (_, chunk)| op(chunk));
+    }
+}
+
+/// An enumerated parallel chunk iterator.
+pub struct EnumeratedChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    /// Run `op` on every `(index, chunk)` pair in parallel, giving each
+    /// worker thread its own state created by `init`.
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, op: F)
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.0.chunk_size;
+        let slice = self.0.slice;
+        if slice.is_empty() {
+            return;
+        }
+        let num_chunks = slice.len().div_ceil(chunk_size);
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(num_chunks);
+
+        if threads <= 1 {
+            let mut state = init();
+            for (index, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+                op(&mut state, (index, chunk));
+            }
+            return;
+        }
+
+        let chunks_per_thread = num_chunks.div_ceil(threads);
+        let init = &init;
+        let op = &op;
+        std::thread::scope(|scope| {
+            let mut rest = slice;
+            let mut first_index = 0;
+            while !rest.is_empty() {
+                let take = (chunks_per_thread * chunk_size).min(rest.len());
+                let (run, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = first_index;
+                first_index += run.len().div_ceil(chunk_size);
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (offset, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                        op(&mut state, (base + offset, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_chunk_is_visited_once_with_its_global_index() {
+        let mut data = vec![0usize; 103]; // deliberately not a multiple of 4
+        data.as_mut_slice()
+            .par_chunks_mut(4)
+            .enumerate()
+            .for_each_init(
+                || (),
+                |(), (index, chunk)| {
+                    for v in chunk.iter_mut() {
+                        *v = index + 1;
+                    }
+                },
+            );
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 4 + 1);
+        }
+    }
+
+    #[test]
+    fn init_runs_at_most_once_per_thread() {
+        let inits = AtomicUsize::new(0);
+        let mut data = vec![0u8; 64];
+        data.as_mut_slice()
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each_init(
+                || inits.fetch_add(1, Ordering::SeqCst),
+                |_, (_, chunk)| chunk[0] = 1,
+            );
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(inits.load(Ordering::SeqCst) <= threads.min(64));
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn empty_slices_are_a_no_op() {
+        let mut data: Vec<f64> = Vec::new();
+        data.as_mut_slice()
+            .par_chunks_mut(8)
+            .for_each(|_| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,366 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` facade.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so the
+//! derive input is parsed directly from the compiler's `proc_macro` token
+//! trees.  The parser supports exactly the shapes this workspace uses:
+//! non-generic structs with named fields, and non-generic enums with unit,
+//! tuple and struct variants (serialized with serde's externally-tagged
+//! representation).  Anything else produces a `compile_error!` naming the
+//! unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Parsed {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = match (&parsed, mode) {
+        (Parsed::Struct { name, fields }, Mode::Serialize) => serialize_struct(name, fields),
+        (Parsed::Struct { name, fields }, Mode::Deserialize) => deserialize_struct(name, fields),
+        (Parsed::Enum { name, variants }, Mode::Serialize) => serialize_enum(name, variants),
+        (Parsed::Enum { name, variants }, Mode::Deserialize) => deserialize_enum(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+/// Skip `#[...]` attributes and visibility qualifiers starting at `i`,
+/// returning the index of the next meaningful token.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group is an attribute.
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive input must start with `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("expected a name after `{keyword}`")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "the vendored serde derive only supports braced {keyword} bodies (type `{name}`)"
+            ))
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Ok(Parsed::Struct {
+            name,
+            fields: parse_field_names(body)?,
+        }),
+        "enum" => Ok(Parsed::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Split a brace/paren group's tokens at top-level commas, tracking angle
+/// brackets so `Foo<A, B>` does not split a segment.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().unwrap().push(token);
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|segment| {
+            let i = skip_attrs_and_vis(&segment, 0);
+            match segment.get(i) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                _ => Err("expected a named field".to_string()),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|segment| {
+            let i = skip_attrs_and_vis(&segment, 0);
+            let name = match segment.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("expected a variant name".to_string()),
+            };
+            let kind = match segment.get(i + 1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_field_names(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    return Err(format!(
+                        "variant `{name}`: explicit discriminants are not supported"
+                    ))
+                }
+                _ => return Err(format!("variant `{name}` has an unsupported shape")),
+            };
+            Ok(Variant { name, kind })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: <_ as ::serde::Deserialize>::from_value(value.field({f:?})?)?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 ::core::result::Result::Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?})),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({vname:?}), ::serde::Serialize::to_value(f0))]),"
+                ),
+                VariantKind::Tuple(arity) => {
+                    let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                    let items: String = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), ::serde::Value::Array(::std::vec![{items}]))]),",
+                        binds = binders.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), ::serde::Value::Object(::std::vec![{entries}]))]),",
+                        binds = fields.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::core::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         <_ as ::serde::Deserialize>::from_value(inner)?)),"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let items: String = (0..*arity)
+                        .map(|i| {
+                            format!("<_ as ::serde::Deserialize>::from_value(&items[{i}])?,")
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                 ::core::result::Result::Ok({name}::{vname}({items})),\n\
+                             other => ::core::result::Result::Err(::serde::Error::new(\n\
+                                 format!(\"variant `{vname}` expects {arity} values, found {{}}\", other.kind()))),\n\
+                         }},"
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: <_ as ::serde::Deserialize>::from_value(inner.field({f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::core::result::Result::Err(::serde::Error::new(\n\
+                             format!(\"unknown unit variant `{{other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::core::result::Result::Err(::serde::Error::new(\n\
+                                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err(::serde::Error::new(\n\
+                         format!(\"expected a `{name}` variant, found {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

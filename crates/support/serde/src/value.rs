@@ -1,0 +1,80 @@
+//! The JSON-like value tree.
+
+use crate::Error;
+
+/// A JSON-like datum: the intermediate representation every serializable
+/// type converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, like JavaScript/JSON).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values (insertion order preserved so
+    /// output is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Look up a required object field, with a descriptive error.
+    ///
+    /// # Errors
+    /// Returns an [`Error`] if `self` is not an object or lacks the field.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(_) => self
+                .get(key)
+                .ok_or_else(|| Error::new(format!("missing field `{key}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The string content, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}

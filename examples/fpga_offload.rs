@@ -41,16 +41,25 @@ fn main() {
     let (_w, exec) = acc.execute(&u, &geo);
     println!("\nFunctional run on {} elements:", mesh.num_elements());
     println!("  simulated time      : {:.3} µs", exec.seconds * 1e6);
-    println!("  throughput          : {:.2} DOFs/cycle", exec.dofs_per_cycle);
+    println!(
+        "  throughput          : {:.2} DOFs/cycle",
+        exec.dofs_per_cycle
+    );
 
     // Large-problem performance (the Table I operating point).
     let big = acc.estimate(4096);
     println!("\nAt 4096 elements (Table I operating point):");
     println!("  performance         : {:.1} GFLOP/s", big.gflops);
     println!("  DOFs per cycle      : {:.2}", big.dofs_per_cycle);
-    println!("  effective bandwidth : {:.1} GB/s", big.effective_bandwidth_gbs);
+    println!(
+        "  effective bandwidth : {:.1} GB/s",
+        big.effective_bandwidth_gbs
+    );
     println!("  board power         : {:.1} W", big.power_watts);
-    println!("  power efficiency    : {:.2} GFLOP/s/W", big.gflops_per_watt);
+    println!(
+        "  power efficiency    : {:.2} GFLOP/s/W",
+        big.gflops_per_watt
+    );
 
     // The Section III optimisation ladder.
     println!("\nOptimisation ladder (Section III), 4096 elements:");

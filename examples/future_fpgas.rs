@@ -17,11 +17,17 @@ fn main() {
     println!("Projected SEM-accelerator performance at 300 MHz (GFLOP/s):\n");
     println!("{:<42} {:>8} {:>8} {:>8}", "device", "N=7", "N=11", "N=15");
     let devices = [
-        (FpgaDevice::stratix10_gx2800(), ArbitrationPolicy::PowerOfTwoDivisor),
+        (
+            FpgaDevice::stratix10_gx2800(),
+            ArbitrationPolicy::PowerOfTwoDivisor,
+        ),
         (FpgaDevice::agilex_027(), ArbitrationPolicy::PowerOfTwo),
         (FpgaDevice::stratix10m(), ArbitrationPolicy::PowerOfTwo),
         (FpgaDevice::stratix10m_plus(), ArbitrationPolicy::PowerOfTwo),
-        (FpgaDevice::hypothetical_ideal(), ArbitrationPolicy::Unconstrained),
+        (
+            FpgaDevice::hypothetical_ideal(),
+            ArbitrationPolicy::Unconstrained,
+        ),
     ];
     for (device, policy) in &devices {
         let out = project_device(device, &degrees, 300.0, *policy);

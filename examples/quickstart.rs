@@ -10,7 +10,10 @@ use semfpga::solver::CgOptions;
 fn main() {
     let degree = 7;
     let elements = [4, 4, 4];
-    println!("SEM Poisson quickstart: degree N = {degree}, {}x{}x{} elements\n", elements[0], elements[1], elements[2]);
+    println!(
+        "SEM Poisson quickstart: degree N = {degree}, {}x{}x{} elements\n",
+        elements[0], elements[1], elements[2]
+    );
 
     // 1. Solve the manufactured Poisson problem on the CPU.
     let cpu = SemSystem::builder()
@@ -58,7 +61,9 @@ fn main() {
         fpga_perf.power_watts.unwrap_or(0.0),
         fpga_perf.gflops_per_watt.unwrap_or(0.0)
     );
-    let plan = fpga.offload_plan().expect("fpga backend has an offload plan");
+    let plan = fpga
+        .offload_plan()
+        .expect("fpga backend has an offload plan");
     println!(
         "Offload plan : {} buffers over {} banks, {:.2} MB to device, {:.2} MB back",
         plan.device_buffers,
@@ -78,4 +83,40 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0_f64, f64::max);
     println!("\nCPU vs simulated-FPGA kernel results agree to {max_diff:.3e}");
+
+    // 5. The same solve, end to end, *through* the FPGA backend: every CG
+    //    operator application runs on the simulated accelerator, and the
+    //    report carries simulated kernel seconds, transfer time and power.
+    let report = fpga.solve(
+        CgOptions {
+            max_iterations: 2000,
+            tolerance: 1e-10,
+            record_history: false,
+        },
+        true,
+    );
+    println!(
+        "\nSolve on {} ({} iterations):",
+        report.backend,
+        report.iterations()
+    );
+    println!(
+        "  operator time  : {:.3} ms simulated over {} applications ({:.1} GFLOP/s)",
+        report.operator.seconds * 1e3,
+        report.operator.applications,
+        report.operator.gflops
+    );
+    println!(
+        "  transfer time  : {:.3} ms over the host link",
+        report.transfer_seconds * 1e3
+    );
+    println!(
+        "  board power    : {:.1} W ({:.2} GFLOP/s/W)",
+        report.operator.power_watts.unwrap_or(0.0),
+        report.operator.gflops_per_watt.unwrap_or(0.0)
+    );
+    println!(
+        "  solution error : max {:.3e} (same discretisation as the CPU solve)",
+        report.solution.max_error
+    );
 }

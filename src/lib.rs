@@ -23,16 +23,24 @@
 //! See the `examples/` directory for runnable entry points and the `bench`
 //! crate for the binaries regenerating every table and figure of the paper.
 //!
+//! Backends are selected by configuration (or registry name) and the entire
+//! CG solve runs through the selected backend:
+//!
 //! ```
-//! use semfpga::accel::{Backend, SemSystem};
+//! use semfpga::accel::{Backend, PerfSource, SemSystem};
+//! use semfpga::solver::CgOptions;
 //!
 //! let system = SemSystem::builder()
 //!     .degree(7)
 //!     .elements([2, 2, 2])
-//!     .backend(Backend::fpga_simulated())
+//!     .backend(Backend::fpga_simulated()) // or .backend_named("fpga:stratix10-gx2800")
 //!     .build();
-//! let summary = system.benchmark_operator(1);
-//! assert!(summary.gflops > 0.0);
+//! let report = system.solve(CgOptions::default(), true);
+//! assert!(report.converged());
+//! // The solve was executed (and accounted) by the simulated accelerator:
+//! assert_eq!(report.source, PerfSource::Simulated);
+//! assert!(report.operator.seconds > 0.0);
+//! assert!(report.operator.power_watts.is_some());
 //! ```
 
 #![deny(missing_docs)]

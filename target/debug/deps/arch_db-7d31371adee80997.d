@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arch_db-7d31371adee80997.d: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+/root/repo/target/debug/deps/libarch_db-7d31371adee80997.rlib: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+/root/repo/target/debug/deps/libarch_db-7d31371adee80997.rmeta: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+crates/arch-db/src/lib.rs:
+crates/arch-db/src/catalog.rs:
+crates/arch-db/src/machine_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_parity-5aeef408f97b1fe8.d: tests/backend_parity.rs
+
+/root/repo/target/debug/deps/backend_parity-5aeef408f97b1fe8: tests/backend_parity.rs
+
+tests/backend_parity.rs:

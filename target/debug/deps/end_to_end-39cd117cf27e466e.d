@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-39cd117cf27e466e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-39cd117cf27e466e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fpga_sim-206632728484f3da.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+/root/repo/target/debug/deps/libfpga_sim-206632728484f3da.rlib: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+/root/repo/target/debug/deps/libfpga_sim-206632728484f3da.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/bram.rs:
+crates/fpga-sim/src/design.rs:
+crates/fpga-sim/src/executor.rs:
+crates/fpga-sim/src/memory.rs:
+crates/fpga-sim/src/multi.rs:
+crates/fpga-sim/src/power.rs:
+crates/fpga-sim/src/stream.rs:
+crates/fpga-sim/src/synthesis.rs:

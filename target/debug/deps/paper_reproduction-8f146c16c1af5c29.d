@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_reproduction-8f146c16c1af5c29.d: tests/paper_reproduction.rs
+
+/root/repo/target/debug/deps/paper_reproduction-8f146c16c1af5c29: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

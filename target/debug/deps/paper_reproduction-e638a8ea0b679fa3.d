@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_reproduction-e638a8ea0b679fa3.d: tests/paper_reproduction.rs
+
+/root/repo/target/debug/deps/paper_reproduction-e638a8ea0b679fa3: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

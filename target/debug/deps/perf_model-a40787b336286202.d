@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/perf_model-a40787b336286202.d: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+/root/repo/target/debug/deps/libperf_model-a40787b336286202.rlib: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+/root/repo/target/debug/deps/libperf_model-a40787b336286202.rmeta: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+crates/perf-model/src/lib.rs:
+crates/perf-model/src/cost.rs:
+crates/perf-model/src/device.rs:
+crates/perf-model/src/measured.rs:
+crates/perf-model/src/padding.rs:
+crates/perf-model/src/projection.rs:
+crates/perf-model/src/resources.rs:
+crates/perf-model/src/roofline.rs:
+crates/perf-model/src/sensitivity.rs:
+crates/perf-model/src/throughput.rs:

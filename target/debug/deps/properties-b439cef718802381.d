@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b439cef718802381.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b439cef718802381: tests/properties.rs
+
+tests/properties.rs:

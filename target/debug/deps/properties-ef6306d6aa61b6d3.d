@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ef6306d6aa61b6d3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ef6306d6aa61b6d3: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-55fabb67a458666e.d: crates/support/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-55fabb67a458666e.rlib: crates/support/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-55fabb67a458666e.rmeta: crates/support/rand/src/lib.rs
+
+crates/support/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-7f0269007bccc4b2.d: crates/support/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-7f0269007bccc4b2.rlib: crates/support/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-7f0269007bccc4b2.rmeta: crates/support/rayon/src/lib.rs
+
+crates/support/rayon/src/lib.rs:

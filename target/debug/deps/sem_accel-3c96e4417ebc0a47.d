@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sem_accel-3c96e4417ebc0a47.d: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+/root/repo/target/debug/deps/libsem_accel-3c96e4417ebc0a47.rlib: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+/root/repo/target/debug/deps/libsem_accel-3c96e4417ebc0a47.rmeta: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+crates/sem-accel/src/lib.rs:
+crates/sem-accel/src/autotune.rs:
+crates/sem-accel/src/backend.rs:
+crates/sem-accel/src/offload.rs:
+crates/sem-accel/src/report.rs:
+crates/sem-accel/src/system.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sem_accel-8fcc2697935930e6.d: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+/root/repo/target/debug/deps/libsem_accel-8fcc2697935930e6.rlib: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+/root/repo/target/debug/deps/libsem_accel-8fcc2697935930e6.rmeta: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+crates/sem-accel/src/lib.rs:
+crates/sem-accel/src/autotune.rs:
+crates/sem-accel/src/backend.rs:
+crates/sem-accel/src/exec.rs:
+crates/sem-accel/src/offload.rs:
+crates/sem-accel/src/report.rs:
+crates/sem-accel/src/system.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sem_basis-850fbef5ec506b1a.d: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+/root/repo/target/debug/deps/libsem_basis-850fbef5ec506b1a.rlib: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+/root/repo/target/debug/deps/libsem_basis-850fbef5ec506b1a.rmeta: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+crates/sem-basis/src/lib.rs:
+crates/sem-basis/src/derivative.rs:
+crates/sem-basis/src/interp.rs:
+crates/sem-basis/src/lagrange.rs:
+crates/sem-basis/src/legendre.rs:
+crates/sem-basis/src/matrix.rs:
+crates/sem-basis/src/operators1d.rs:
+crates/sem-basis/src/quadrature.rs:

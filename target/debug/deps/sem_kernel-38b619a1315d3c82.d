@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sem_kernel-38b619a1315d3c82.d: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+/root/repo/target/debug/deps/libsem_kernel-38b619a1315d3c82.rlib: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+/root/repo/target/debug/deps/libsem_kernel-38b619a1315d3c82.rmeta: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+crates/sem-kernel/src/lib.rs:
+crates/sem-kernel/src/assemble.rs:
+crates/sem-kernel/src/helmholtz.rs:
+crates/sem-kernel/src/operator.rs:
+crates/sem-kernel/src/ops.rs:
+crates/sem-kernel/src/optimized.rs:
+crates/sem-kernel/src/parallel.rs:
+crates/sem-kernel/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sem_mesh-e78ad7791af53488.d: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+/root/repo/target/debug/deps/libsem_mesh-e78ad7791af53488.rlib: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+/root/repo/target/debug/deps/libsem_mesh-e78ad7791af53488.rmeta: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+crates/sem-mesh/src/lib.rs:
+crates/sem-mesh/src/field.rs:
+crates/sem-mesh/src/gather_scatter.rs:
+crates/sem-mesh/src/geometry.rs:
+crates/sem-mesh/src/mask.rs:
+crates/sem-mesh/src/mesh.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sem_solver-283fd31c6bc7394e.d: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+/root/repo/target/debug/deps/libsem_solver-283fd31c6bc7394e.rlib: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+/root/repo/target/debug/deps/libsem_solver-283fd31c6bc7394e.rmeta: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+crates/sem-solver/src/lib.rs:
+crates/sem-solver/src/cg.rs:
+crates/sem-solver/src/jacobi.rs:
+crates/sem-solver/src/poisson.rs:
+crates/sem-solver/src/proxy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semfpga-6aa0349489c9542f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemfpga-6aa0349489c9542f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemfpga-6aa0349489c9542f.rmeta: src/lib.rs
+
+src/lib.rs:

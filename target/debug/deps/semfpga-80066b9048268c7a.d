@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semfpga-80066b9048268c7a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemfpga-80066b9048268c7a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemfpga-80066b9048268c7a.rmeta: src/lib.rs
+
+src/lib.rs:

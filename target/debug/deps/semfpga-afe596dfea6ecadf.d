@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semfpga-afe596dfea6ecadf.d: src/lib.rs
+
+/root/repo/target/debug/deps/semfpga-afe596dfea6ecadf: src/lib.rs
+
+src/lib.rs:

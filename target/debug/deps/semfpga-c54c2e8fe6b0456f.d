@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semfpga-c54c2e8fe6b0456f.d: src/lib.rs
+
+/root/repo/target/debug/deps/semfpga-c54c2e8fe6b0456f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-cc23e46a86e06bc5.d: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-cc23e46a86e06bc5.rlib: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-cc23e46a86e06bc5.rmeta: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+crates/support/serde/src/lib.rs:
+crates/support/serde/src/json.rs:
+crates/support/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ad9eab4ea69df224.d: crates/support/serde-derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ad9eab4ea69df224.so: crates/support/serde-derive/src/lib.rs
+
+crates/support/serde-derive/src/lib.rs:

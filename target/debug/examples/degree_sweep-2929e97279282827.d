@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/degree_sweep-2929e97279282827.d: examples/degree_sweep.rs
+
+/root/repo/target/debug/examples/degree_sweep-2929e97279282827: examples/degree_sweep.rs
+
+examples/degree_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/degree_sweep-e7fa61d3e6c78e76.d: examples/degree_sweep.rs
+
+/root/repo/target/debug/examples/degree_sweep-e7fa61d3e6c78e76: examples/degree_sweep.rs
+
+examples/degree_sweep.rs:

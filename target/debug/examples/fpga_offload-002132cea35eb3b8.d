@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_offload-002132cea35eb3b8.d: examples/fpga_offload.rs
+
+/root/repo/target/debug/examples/fpga_offload-002132cea35eb3b8: examples/fpga_offload.rs
+
+examples/fpga_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_offload-8cf06f5b79fc30cb.d: examples/fpga_offload.rs
+
+/root/repo/target/debug/examples/fpga_offload-8cf06f5b79fc30cb: examples/fpga_offload.rs
+
+examples/fpga_offload.rs:

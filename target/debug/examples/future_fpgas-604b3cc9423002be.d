@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/future_fpgas-604b3cc9423002be.d: examples/future_fpgas.rs
+
+/root/repo/target/debug/examples/future_fpgas-604b3cc9423002be: examples/future_fpgas.rs
+
+examples/future_fpgas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/future_fpgas-efd851debdcba2ba.d: examples/future_fpgas.rs
+
+/root/repo/target/debug/examples/future_fpgas-efd851debdcba2ba: examples/future_fpgas.rs
+
+examples/future_fpgas.rs:

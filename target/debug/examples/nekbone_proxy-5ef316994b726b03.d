@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nekbone_proxy-5ef316994b726b03.d: examples/nekbone_proxy.rs
+
+/root/repo/target/debug/examples/nekbone_proxy-5ef316994b726b03: examples/nekbone_proxy.rs
+
+examples/nekbone_proxy.rs:

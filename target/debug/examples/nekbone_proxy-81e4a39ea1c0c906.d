@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nekbone_proxy-81e4a39ea1c0c906.d: examples/nekbone_proxy.rs
+
+/root/repo/target/debug/examples/nekbone_proxy-81e4a39ea1c0c906: examples/nekbone_proxy.rs
+
+examples/nekbone_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-066be510e631405f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-066be510e631405f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-25f07e6899982496.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-25f07e6899982496: examples/quickstart.rs
+
+examples/quickstart.rs:

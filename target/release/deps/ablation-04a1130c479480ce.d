@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-04a1130c479480ce.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-04a1130c479480ce: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

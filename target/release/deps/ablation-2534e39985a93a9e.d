@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-2534e39985a93a9e.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-2534e39985a93a9e.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

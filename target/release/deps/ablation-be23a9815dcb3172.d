@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-be23a9815dcb3172.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-be23a9815dcb3172: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/arch_db-20440f69d0ed5646.d: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+/root/repo/target/release/deps/libarch_db-20440f69d0ed5646.rlib: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+/root/repo/target/release/deps/libarch_db-20440f69d0ed5646.rmeta: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+crates/arch-db/src/lib.rs:
+crates/arch-db/src/catalog.rs:
+crates/arch-db/src/machine_model.rs:

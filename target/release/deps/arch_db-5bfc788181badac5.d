@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/arch_db-5bfc788181badac5.d: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs Cargo.toml
+
+/root/repo/target/release/deps/libarch_db-5bfc788181badac5.rmeta: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs Cargo.toml
+
+crates/arch-db/src/lib.rs:
+crates/arch-db/src/catalog.rs:
+crates/arch-db/src/machine_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arch_db-828acecfe0df032c.d: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+/root/repo/target/release/deps/arch_db-828acecfe0df032c: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs
+
+crates/arch-db/src/lib.rs:
+crates/arch-db/src/catalog.rs:
+crates/arch-db/src/machine_model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/arch_db-fc0ff5372f2453f6.d: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs Cargo.toml
+
+/root/repo/target/release/deps/libarch_db-fc0ff5372f2453f6.rmeta: crates/arch-db/src/lib.rs crates/arch-db/src/catalog.rs crates/arch-db/src/machine_model.rs Cargo.toml
+
+crates/arch-db/src/lib.rs:
+crates/arch-db/src/catalog.rs:
+crates/arch-db/src/machine_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/backend_parity-b8d6a7049dc37a1d.d: tests/backend_parity.rs Cargo.toml
+
+/root/repo/target/release/deps/libbackend_parity-b8d6a7049dc37a1d.rmeta: tests/backend_parity.rs Cargo.toml
+
+tests/backend_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

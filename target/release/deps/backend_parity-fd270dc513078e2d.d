@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backend_parity-fd270dc513078e2d.d: tests/backend_parity.rs
+
+/root/repo/target/release/deps/backend_parity-fd270dc513078e2d: tests/backend_parity.rs
+
+tests/backend_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/backends-35857f741ef00cc0.d: crates/bench/src/bin/backends.rs Cargo.toml
+
+/root/repo/target/release/deps/libbackends-35857f741ef00cc0.rmeta: crates/bench/src/bin/backends.rs Cargo.toml
+
+crates/bench/src/bin/backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

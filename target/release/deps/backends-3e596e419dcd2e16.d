@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backends-3e596e419dcd2e16.d: crates/bench/src/bin/backends.rs
+
+/root/repo/target/release/deps/backends-3e596e419dcd2e16: crates/bench/src/bin/backends.rs
+
+crates/bench/src/bin/backends.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/backends-a12523fe32acd5c6.d: crates/bench/src/bin/backends.rs Cargo.toml
+
+/root/repo/target/release/deps/libbackends-a12523fe32acd5c6.rmeta: crates/bench/src/bin/backends.rs Cargo.toml
+
+crates/bench/src/bin/backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backends-b9f68427e569e43e.d: crates/bench/src/bin/backends.rs
+
+/root/repo/target/release/deps/backends-b9f68427e569e43e: crates/bench/src/bin/backends.rs
+
+crates/bench/src/bin/backends.rs:

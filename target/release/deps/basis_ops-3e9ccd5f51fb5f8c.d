@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/basis_ops-3e9ccd5f51fb5f8c.d: crates/bench/benches/basis_ops.rs
+
+/root/repo/target/release/deps/basis_ops-3e9ccd5f51fb5f8c: crates/bench/benches/basis_ops.rs
+
+crates/bench/benches/basis_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/basis_ops-5edc2c8ea44b0130.d: crates/bench/benches/basis_ops.rs
+
+/root/repo/target/release/deps/basis_ops-5edc2c8ea44b0130: crates/bench/benches/basis_ops.rs
+
+crates/bench/benches/basis_ops.rs:

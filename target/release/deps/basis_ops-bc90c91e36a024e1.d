@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/basis_ops-bc90c91e36a024e1.d: crates/bench/benches/basis_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libbasis_ops-bc90c91e36a024e1.rmeta: crates/bench/benches/basis_ops.rs Cargo.toml
+
+crates/bench/benches/basis_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

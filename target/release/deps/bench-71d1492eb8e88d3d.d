@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-71d1492eb8e88d3d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbench-71d1492eb8e88d3d.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbench-71d1492eb8e88d3d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

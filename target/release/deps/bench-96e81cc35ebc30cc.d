@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-96e81cc35ebc30cc.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/bench-96e81cc35ebc30cc: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

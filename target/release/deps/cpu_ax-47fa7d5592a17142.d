@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cpu_ax-47fa7d5592a17142.d: crates/bench/benches/cpu_ax.rs
+
+/root/repo/target/release/deps/cpu_ax-47fa7d5592a17142: crates/bench/benches/cpu_ax.rs
+
+crates/bench/benches/cpu_ax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cpu_ax-57e02bf50ac0f927.d: crates/bench/benches/cpu_ax.rs Cargo.toml
+
+/root/repo/target/release/deps/libcpu_ax-57e02bf50ac0f927.rmeta: crates/bench/benches/cpu_ax.rs Cargo.toml
+
+crates/bench/benches/cpu_ax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cpu_ax-b6d3950881bf1824.d: crates/bench/benches/cpu_ax.rs
+
+/root/repo/target/release/deps/cpu_ax-b6d3950881bf1824: crates/bench/benches/cpu_ax.rs
+
+crates/bench/benches/cpu_ax.rs:

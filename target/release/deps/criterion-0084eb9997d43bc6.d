@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-0084eb9997d43bc6.d: crates/support/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-0084eb9997d43bc6.rmeta: crates/support/criterion/src/lib.rs Cargo.toml
+
+crates/support/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-6904aafa4df5f7fc.d: crates/support/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-6904aafa4df5f7fc: crates/support/criterion/src/lib.rs
+
+crates/support/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c16273c5ee65a015.d: crates/support/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c16273c5ee65a015.rlib: crates/support/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c16273c5ee65a015.rmeta: crates/support/criterion/src/lib.rs
+
+crates/support/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-61c612d0923429b1.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-61c612d0923429b1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-ddc2e9c466d03824.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-ddc2e9c466d03824: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-034850fa05250b33.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-034850fa05250b33: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

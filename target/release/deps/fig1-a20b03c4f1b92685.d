@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-a20b03c4f1b92685.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-a20b03c4f1b92685: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

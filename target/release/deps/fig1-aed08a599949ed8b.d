@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-aed08a599949ed8b.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-aed08a599949ed8b: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

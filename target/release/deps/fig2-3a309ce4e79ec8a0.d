@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-3a309ce4e79ec8a0.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-3a309ce4e79ec8a0: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-5a2d53b8d77eb9a6.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-5a2d53b8d77eb9a6: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

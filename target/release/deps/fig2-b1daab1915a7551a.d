@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-b1daab1915a7551a.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-b1daab1915a7551a: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

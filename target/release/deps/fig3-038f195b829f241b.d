@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-038f195b829f241b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-038f195b829f241b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-403b151fa6707d03.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-403b151fa6707d03: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

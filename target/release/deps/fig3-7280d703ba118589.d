@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-7280d703ba118589.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-7280d703ba118589: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fpga_ax-1123b16b5691bc0e.d: crates/bench/benches/fpga_ax.rs
+
+/root/repo/target/release/deps/fpga_ax-1123b16b5691bc0e: crates/bench/benches/fpga_ax.rs
+
+crates/bench/benches/fpga_ax.rs:

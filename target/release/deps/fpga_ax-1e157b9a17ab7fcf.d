@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fpga_ax-1e157b9a17ab7fcf.d: crates/bench/benches/fpga_ax.rs Cargo.toml
+
+/root/repo/target/release/deps/libfpga_ax-1e157b9a17ab7fcf.rmeta: crates/bench/benches/fpga_ax.rs Cargo.toml
+
+crates/bench/benches/fpga_ax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fpga_ax-7991d0ecc1254b11.d: crates/bench/benches/fpga_ax.rs
+
+/root/repo/target/release/deps/fpga_ax-7991d0ecc1254b11: crates/bench/benches/fpga_ax.rs
+
+crates/bench/benches/fpga_ax.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fpga_sim-14d3b617259c6f76.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs Cargo.toml
+
+/root/repo/target/release/deps/libfpga_sim-14d3b617259c6f76.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs Cargo.toml
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/bram.rs:
+crates/fpga-sim/src/design.rs:
+crates/fpga-sim/src/executor.rs:
+crates/fpga-sim/src/memory.rs:
+crates/fpga-sim/src/multi.rs:
+crates/fpga-sim/src/power.rs:
+crates/fpga-sim/src/stream.rs:
+crates/fpga-sim/src/synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

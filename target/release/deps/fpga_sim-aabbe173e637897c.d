@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fpga_sim-aabbe173e637897c.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+/root/repo/target/release/deps/fpga_sim-aabbe173e637897c: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/bram.rs:
+crates/fpga-sim/src/design.rs:
+crates/fpga-sim/src/executor.rs:
+crates/fpga-sim/src/memory.rs:
+crates/fpga-sim/src/multi.rs:
+crates/fpga-sim/src/power.rs:
+crates/fpga-sim/src/stream.rs:
+crates/fpga-sim/src/synthesis.rs:

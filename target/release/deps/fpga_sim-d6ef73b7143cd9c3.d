@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fpga_sim-d6ef73b7143cd9c3.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+/root/repo/target/release/deps/libfpga_sim-d6ef73b7143cd9c3.rlib: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+/root/repo/target/release/deps/libfpga_sim-d6ef73b7143cd9c3.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/bram.rs crates/fpga-sim/src/design.rs crates/fpga-sim/src/executor.rs crates/fpga-sim/src/memory.rs crates/fpga-sim/src/multi.rs crates/fpga-sim/src/power.rs crates/fpga-sim/src/stream.rs crates/fpga-sim/src/synthesis.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/bram.rs:
+crates/fpga-sim/src/design.rs:
+crates/fpga-sim/src/executor.rs:
+crates/fpga-sim/src/memory.rs:
+crates/fpga-sim/src/multi.rs:
+crates/fpga-sim/src/power.rs:
+crates/fpga-sim/src/stream.rs:
+crates/fpga-sim/src/synthesis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gather_scatter-522c3f2513a61c08.d: crates/bench/benches/gather_scatter.rs
+
+/root/repo/target/release/deps/gather_scatter-522c3f2513a61c08: crates/bench/benches/gather_scatter.rs
+
+crates/bench/benches/gather_scatter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gather_scatter-7e33ad9e59ecb99f.d: crates/bench/benches/gather_scatter.rs Cargo.toml
+
+/root/repo/target/release/deps/libgather_scatter-7e33ad9e59ecb99f.rmeta: crates/bench/benches/gather_scatter.rs Cargo.toml
+
+crates/bench/benches/gather_scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gather_scatter-f0e92c6bbeadf827.d: crates/bench/benches/gather_scatter.rs
+
+/root/repo/target/release/deps/gather_scatter-f0e92c6bbeadf827: crates/bench/benches/gather_scatter.rs
+
+crates/bench/benches/gather_scatter.rs:

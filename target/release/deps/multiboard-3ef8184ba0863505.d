@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multiboard-3ef8184ba0863505.d: crates/bench/src/bin/multiboard.rs Cargo.toml
+
+/root/repo/target/release/deps/libmultiboard-3ef8184ba0863505.rmeta: crates/bench/src/bin/multiboard.rs Cargo.toml
+
+crates/bench/src/bin/multiboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multiboard-55ab6ebd8cf4b29a.d: crates/bench/src/bin/multiboard.rs
+
+/root/repo/target/release/deps/multiboard-55ab6ebd8cf4b29a: crates/bench/src/bin/multiboard.rs
+
+crates/bench/src/bin/multiboard.rs:

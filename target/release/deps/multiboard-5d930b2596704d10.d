@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multiboard-5d930b2596704d10.d: crates/bench/src/bin/multiboard.rs
+
+/root/repo/target/release/deps/multiboard-5d930b2596704d10: crates/bench/src/bin/multiboard.rs
+
+crates/bench/src/bin/multiboard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multiboard-a938f7df9a911d4b.d: crates/bench/src/bin/multiboard.rs Cargo.toml
+
+/root/repo/target/release/deps/libmultiboard-a938f7df9a911d4b.rmeta: crates/bench/src/bin/multiboard.rs Cargo.toml
+
+crates/bench/src/bin/multiboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multiboard-d6159fa1bc972e2f.d: crates/bench/src/bin/multiboard.rs
+
+/root/repo/target/release/deps/multiboard-d6159fa1bc972e2f: crates/bench/src/bin/multiboard.rs
+
+crates/bench/src/bin/multiboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/padding-5c0d2eea154cad57.d: crates/bench/src/bin/padding.rs
+
+/root/repo/target/release/deps/padding-5c0d2eea154cad57: crates/bench/src/bin/padding.rs
+
+crates/bench/src/bin/padding.rs:

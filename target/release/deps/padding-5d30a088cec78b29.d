@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/padding-5d30a088cec78b29.d: crates/bench/src/bin/padding.rs
+
+/root/repo/target/release/deps/padding-5d30a088cec78b29: crates/bench/src/bin/padding.rs
+
+crates/bench/src/bin/padding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/padding-cb8772c2b0d3bcb2.d: crates/bench/src/bin/padding.rs Cargo.toml
+
+/root/repo/target/release/deps/libpadding-cb8772c2b0d3bcb2.rmeta: crates/bench/src/bin/padding.rs Cargo.toml
+
+crates/bench/src/bin/padding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

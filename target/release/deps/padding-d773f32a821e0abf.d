@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/padding-d773f32a821e0abf.d: crates/bench/src/bin/padding.rs
+
+/root/repo/target/release/deps/padding-d773f32a821e0abf: crates/bench/src/bin/padding.rs
+
+crates/bench/src/bin/padding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/padding-ee24c724ba74645a.d: crates/bench/src/bin/padding.rs Cargo.toml
+
+/root/repo/target/release/deps/libpadding-ee24c724ba74645a.rmeta: crates/bench/src/bin/padding.rs Cargo.toml
+
+crates/bench/src/bin/padding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_reproduction-46f0db679c3bb616.d: tests/paper_reproduction.rs
+
+/root/repo/target/release/deps/paper_reproduction-46f0db679c3bb616: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

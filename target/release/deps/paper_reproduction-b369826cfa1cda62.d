@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_reproduction-b369826cfa1cda62.d: tests/paper_reproduction.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_reproduction-b369826cfa1cda62.rmeta: tests/paper_reproduction.rs Cargo.toml
+
+tests/paper_reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

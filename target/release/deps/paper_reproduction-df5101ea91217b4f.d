@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_reproduction-df5101ea91217b4f.d: tests/paper_reproduction.rs
+
+/root/repo/target/release/deps/paper_reproduction-df5101ea91217b4f: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

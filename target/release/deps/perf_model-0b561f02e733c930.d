@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/perf_model-0b561f02e733c930.d: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libperf_model-0b561f02e733c930.rmeta: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs Cargo.toml
+
+crates/perf-model/src/lib.rs:
+crates/perf-model/src/cost.rs:
+crates/perf-model/src/device.rs:
+crates/perf-model/src/measured.rs:
+crates/perf-model/src/padding.rs:
+crates/perf-model/src/projection.rs:
+crates/perf-model/src/resources.rs:
+crates/perf-model/src/roofline.rs:
+crates/perf-model/src/sensitivity.rs:
+crates/perf-model/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/perf_model-882e7a406e6dba84.d: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+/root/repo/target/release/deps/perf_model-882e7a406e6dba84: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+crates/perf-model/src/lib.rs:
+crates/perf-model/src/cost.rs:
+crates/perf-model/src/device.rs:
+crates/perf-model/src/measured.rs:
+crates/perf-model/src/padding.rs:
+crates/perf-model/src/projection.rs:
+crates/perf-model/src/resources.rs:
+crates/perf-model/src/roofline.rs:
+crates/perf-model/src/sensitivity.rs:
+crates/perf-model/src/throughput.rs:

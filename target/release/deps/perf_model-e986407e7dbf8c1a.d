@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/perf_model-e986407e7dbf8c1a.d: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+/root/repo/target/release/deps/libperf_model-e986407e7dbf8c1a.rlib: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+/root/repo/target/release/deps/libperf_model-e986407e7dbf8c1a.rmeta: crates/perf-model/src/lib.rs crates/perf-model/src/cost.rs crates/perf-model/src/device.rs crates/perf-model/src/measured.rs crates/perf-model/src/padding.rs crates/perf-model/src/projection.rs crates/perf-model/src/resources.rs crates/perf-model/src/roofline.rs crates/perf-model/src/sensitivity.rs crates/perf-model/src/throughput.rs
+
+crates/perf-model/src/lib.rs:
+crates/perf-model/src/cost.rs:
+crates/perf-model/src/device.rs:
+crates/perf-model/src/measured.rs:
+crates/perf-model/src/padding.rs:
+crates/perf-model/src/projection.rs:
+crates/perf-model/src/resources.rs:
+crates/perf-model/src/roofline.rs:
+crates/perf-model/src/sensitivity.rs:
+crates/perf-model/src/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/projection-108c781c7037a91c.d: crates/bench/src/bin/projection.rs
+
+/root/repo/target/release/deps/projection-108c781c7037a91c: crates/bench/src/bin/projection.rs
+
+crates/bench/src/bin/projection.rs:

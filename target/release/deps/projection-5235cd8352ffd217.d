@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/projection-5235cd8352ffd217.d: crates/bench/src/bin/projection.rs
+
+/root/repo/target/release/deps/projection-5235cd8352ffd217: crates/bench/src/bin/projection.rs
+
+crates/bench/src/bin/projection.rs:

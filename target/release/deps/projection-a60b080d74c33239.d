@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/projection-a60b080d74c33239.d: crates/bench/src/bin/projection.rs Cargo.toml
+
+/root/repo/target/release/deps/libprojection-a60b080d74c33239.rmeta: crates/bench/src/bin/projection.rs Cargo.toml
+
+crates/bench/src/bin/projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

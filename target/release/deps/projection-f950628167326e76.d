@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/projection-f950628167326e76.d: crates/bench/src/bin/projection.rs
+
+/root/repo/target/release/deps/projection-f950628167326e76: crates/bench/src/bin/projection.rs
+
+crates/bench/src/bin/projection.rs:

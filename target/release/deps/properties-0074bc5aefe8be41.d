@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0074bc5aefe8be41.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-0074bc5aefe8be41: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-18e20aea5a6e2377.d: crates/sem-basis/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-18e20aea5a6e2377.rmeta: crates/sem-basis/tests/properties.rs Cargo.toml
+
+crates/sem-basis/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

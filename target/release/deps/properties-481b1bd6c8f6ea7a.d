@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-481b1bd6c8f6ea7a.d: crates/sem-kernel/tests/properties.rs
+
+/root/repo/target/release/deps/properties-481b1bd6c8f6ea7a: crates/sem-kernel/tests/properties.rs
+
+crates/sem-kernel/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-53fc76bb092b6085.d: crates/sem-kernel/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-53fc76bb092b6085.rmeta: crates/sem-kernel/tests/properties.rs Cargo.toml
+
+crates/sem-kernel/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

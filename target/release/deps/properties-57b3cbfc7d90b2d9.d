@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-57b3cbfc7d90b2d9.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-57b3cbfc7d90b2d9: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-9a0bb85c922a976b.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-9a0bb85c922a976b.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

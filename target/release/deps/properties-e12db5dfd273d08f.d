@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e12db5dfd273d08f.d: crates/sem-basis/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e12db5dfd273d08f: crates/sem-basis/tests/properties.rs
+
+crates/sem-basis/tests/properties.rs:

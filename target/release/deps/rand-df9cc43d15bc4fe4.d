@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-df9cc43d15bc4fe4.d: crates/support/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-df9cc43d15bc4fe4: crates/support/rand/src/lib.rs
+
+crates/support/rand/src/lib.rs:

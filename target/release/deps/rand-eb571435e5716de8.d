@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-eb571435e5716de8.d: crates/support/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-eb571435e5716de8.rlib: crates/support/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-eb571435e5716de8.rmeta: crates/support/rand/src/lib.rs
+
+crates/support/rand/src/lib.rs:

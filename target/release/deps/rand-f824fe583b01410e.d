@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-f824fe583b01410e.d: crates/support/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-f824fe583b01410e.rmeta: crates/support/rand/src/lib.rs Cargo.toml
+
+crates/support/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

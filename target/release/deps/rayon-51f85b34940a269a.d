@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-51f85b34940a269a.d: crates/support/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-51f85b34940a269a: crates/support/rayon/src/lib.rs
+
+crates/support/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-914bc073bb570a88.d: crates/support/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-914bc073bb570a88.rlib: crates/support/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-914bc073bb570a88.rmeta: crates/support/rayon/src/lib.rs
+
+crates/support/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-9c07493aad0e4646.d: crates/support/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-9c07493aad0e4646.rmeta: crates/support/rayon/src/lib.rs Cargo.toml
+
+crates/support/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sem_accel-51fb404153c6c130.d: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+/root/repo/target/release/deps/sem_accel-51fb404153c6c130: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+crates/sem-accel/src/lib.rs:
+crates/sem-accel/src/autotune.rs:
+crates/sem-accel/src/backend.rs:
+crates/sem-accel/src/offload.rs:
+crates/sem-accel/src/report.rs:
+crates/sem-accel/src/system.rs:

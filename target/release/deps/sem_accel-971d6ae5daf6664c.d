@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sem_accel-971d6ae5daf6664c.d: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs Cargo.toml
+
+/root/repo/target/release/deps/libsem_accel-971d6ae5daf6664c.rmeta: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs Cargo.toml
+
+crates/sem-accel/src/lib.rs:
+crates/sem-accel/src/autotune.rs:
+crates/sem-accel/src/backend.rs:
+crates/sem-accel/src/exec.rs:
+crates/sem-accel/src/offload.rs:
+crates/sem-accel/src/report.rs:
+crates/sem-accel/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sem_accel-a86238a6b7120880.d: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+/root/repo/target/release/deps/sem_accel-a86238a6b7120880: crates/sem-accel/src/lib.rs crates/sem-accel/src/autotune.rs crates/sem-accel/src/backend.rs crates/sem-accel/src/exec.rs crates/sem-accel/src/offload.rs crates/sem-accel/src/report.rs crates/sem-accel/src/system.rs
+
+crates/sem-accel/src/lib.rs:
+crates/sem-accel/src/autotune.rs:
+crates/sem-accel/src/backend.rs:
+crates/sem-accel/src/exec.rs:
+crates/sem-accel/src/offload.rs:
+crates/sem-accel/src/report.rs:
+crates/sem-accel/src/system.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sem_basis-8d0a3be628b5483e.d: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+/root/repo/target/release/deps/libsem_basis-8d0a3be628b5483e.rlib: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+/root/repo/target/release/deps/libsem_basis-8d0a3be628b5483e.rmeta: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+crates/sem-basis/src/lib.rs:
+crates/sem-basis/src/derivative.rs:
+crates/sem-basis/src/interp.rs:
+crates/sem-basis/src/lagrange.rs:
+crates/sem-basis/src/legendre.rs:
+crates/sem-basis/src/matrix.rs:
+crates/sem-basis/src/operators1d.rs:
+crates/sem-basis/src/quadrature.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sem_basis-bd6ec6f117a9efcc.d: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+/root/repo/target/release/deps/sem_basis-bd6ec6f117a9efcc: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs
+
+crates/sem-basis/src/lib.rs:
+crates/sem-basis/src/derivative.rs:
+crates/sem-basis/src/interp.rs:
+crates/sem-basis/src/lagrange.rs:
+crates/sem-basis/src/legendre.rs:
+crates/sem-basis/src/matrix.rs:
+crates/sem-basis/src/operators1d.rs:
+crates/sem-basis/src/quadrature.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sem_basis-de6cbb5776207217.d: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs Cargo.toml
+
+/root/repo/target/release/deps/libsem_basis-de6cbb5776207217.rmeta: crates/sem-basis/src/lib.rs crates/sem-basis/src/derivative.rs crates/sem-basis/src/interp.rs crates/sem-basis/src/lagrange.rs crates/sem-basis/src/legendre.rs crates/sem-basis/src/matrix.rs crates/sem-basis/src/operators1d.rs crates/sem-basis/src/quadrature.rs Cargo.toml
+
+crates/sem-basis/src/lib.rs:
+crates/sem-basis/src/derivative.rs:
+crates/sem-basis/src/interp.rs:
+crates/sem-basis/src/lagrange.rs:
+crates/sem-basis/src/legendre.rs:
+crates/sem-basis/src/matrix.rs:
+crates/sem-basis/src/operators1d.rs:
+crates/sem-basis/src/quadrature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sem_kernel-2db8c295fdf73962.d: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+/root/repo/target/release/deps/sem_kernel-2db8c295fdf73962: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+crates/sem-kernel/src/lib.rs:
+crates/sem-kernel/src/assemble.rs:
+crates/sem-kernel/src/helmholtz.rs:
+crates/sem-kernel/src/operator.rs:
+crates/sem-kernel/src/ops.rs:
+crates/sem-kernel/src/optimized.rs:
+crates/sem-kernel/src/parallel.rs:
+crates/sem-kernel/src/reference.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sem_kernel-ad0caa29f6307781.d: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs Cargo.toml
+
+/root/repo/target/release/deps/libsem_kernel-ad0caa29f6307781.rmeta: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs Cargo.toml
+
+crates/sem-kernel/src/lib.rs:
+crates/sem-kernel/src/assemble.rs:
+crates/sem-kernel/src/helmholtz.rs:
+crates/sem-kernel/src/operator.rs:
+crates/sem-kernel/src/ops.rs:
+crates/sem-kernel/src/optimized.rs:
+crates/sem-kernel/src/parallel.rs:
+crates/sem-kernel/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

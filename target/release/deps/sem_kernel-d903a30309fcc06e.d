@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sem_kernel-d903a30309fcc06e.d: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+/root/repo/target/release/deps/libsem_kernel-d903a30309fcc06e.rlib: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+/root/repo/target/release/deps/libsem_kernel-d903a30309fcc06e.rmeta: crates/sem-kernel/src/lib.rs crates/sem-kernel/src/assemble.rs crates/sem-kernel/src/helmholtz.rs crates/sem-kernel/src/operator.rs crates/sem-kernel/src/ops.rs crates/sem-kernel/src/optimized.rs crates/sem-kernel/src/parallel.rs crates/sem-kernel/src/reference.rs
+
+crates/sem-kernel/src/lib.rs:
+crates/sem-kernel/src/assemble.rs:
+crates/sem-kernel/src/helmholtz.rs:
+crates/sem-kernel/src/operator.rs:
+crates/sem-kernel/src/ops.rs:
+crates/sem-kernel/src/optimized.rs:
+crates/sem-kernel/src/parallel.rs:
+crates/sem-kernel/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sem_mesh-170c66123dad3d9f.d: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+/root/repo/target/release/deps/libsem_mesh-170c66123dad3d9f.rlib: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+/root/repo/target/release/deps/libsem_mesh-170c66123dad3d9f.rmeta: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+crates/sem-mesh/src/lib.rs:
+crates/sem-mesh/src/field.rs:
+crates/sem-mesh/src/gather_scatter.rs:
+crates/sem-mesh/src/geometry.rs:
+crates/sem-mesh/src/mask.rs:
+crates/sem-mesh/src/mesh.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sem_mesh-61575afd3ec0f107.d: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+/root/repo/target/release/deps/sem_mesh-61575afd3ec0f107: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs
+
+crates/sem-mesh/src/lib.rs:
+crates/sem-mesh/src/field.rs:
+crates/sem-mesh/src/gather_scatter.rs:
+crates/sem-mesh/src/geometry.rs:
+crates/sem-mesh/src/mask.rs:
+crates/sem-mesh/src/mesh.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sem_mesh-7cf1805f0b22d372.d: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs Cargo.toml
+
+/root/repo/target/release/deps/libsem_mesh-7cf1805f0b22d372.rmeta: crates/sem-mesh/src/lib.rs crates/sem-mesh/src/field.rs crates/sem-mesh/src/gather_scatter.rs crates/sem-mesh/src/geometry.rs crates/sem-mesh/src/mask.rs crates/sem-mesh/src/mesh.rs Cargo.toml
+
+crates/sem-mesh/src/lib.rs:
+crates/sem-mesh/src/field.rs:
+crates/sem-mesh/src/gather_scatter.rs:
+crates/sem-mesh/src/geometry.rs:
+crates/sem-mesh/src/mask.rs:
+crates/sem-mesh/src/mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

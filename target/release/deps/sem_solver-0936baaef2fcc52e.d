@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sem_solver-0936baaef2fcc52e.d: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs Cargo.toml
+
+/root/repo/target/release/deps/libsem_solver-0936baaef2fcc52e.rmeta: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs Cargo.toml
+
+crates/sem-solver/src/lib.rs:
+crates/sem-solver/src/cg.rs:
+crates/sem-solver/src/jacobi.rs:
+crates/sem-solver/src/poisson.rs:
+crates/sem-solver/src/proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sem_solver-110fdf9aaa740271.d: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+/root/repo/target/release/deps/sem_solver-110fdf9aaa740271: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+crates/sem-solver/src/lib.rs:
+crates/sem-solver/src/cg.rs:
+crates/sem-solver/src/jacobi.rs:
+crates/sem-solver/src/poisson.rs:
+crates/sem-solver/src/proxy.rs:

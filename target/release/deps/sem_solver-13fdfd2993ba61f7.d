@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sem_solver-13fdfd2993ba61f7.d: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+/root/repo/target/release/deps/libsem_solver-13fdfd2993ba61f7.rlib: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+/root/repo/target/release/deps/libsem_solver-13fdfd2993ba61f7.rmeta: crates/sem-solver/src/lib.rs crates/sem-solver/src/cg.rs crates/sem-solver/src/jacobi.rs crates/sem-solver/src/poisson.rs crates/sem-solver/src/proxy.rs
+
+crates/sem-solver/src/lib.rs:
+crates/sem-solver/src/cg.rs:
+crates/sem-solver/src/jacobi.rs:
+crates/sem-solver/src/poisson.rs:
+crates/sem-solver/src/proxy.rs:

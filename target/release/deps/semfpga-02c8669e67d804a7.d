@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semfpga-02c8669e67d804a7.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemfpga-02c8669e67d804a7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemfpga-02c8669e67d804a7.rmeta: src/lib.rs
+
+src/lib.rs:

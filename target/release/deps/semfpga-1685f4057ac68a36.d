@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/semfpga-1685f4057ac68a36.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsemfpga-1685f4057ac68a36.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semfpga-308646e7fa0b5eee.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemfpga-308646e7fa0b5eee.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemfpga-308646e7fa0b5eee.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semfpga-8928d5708407557f.d: src/lib.rs
+
+/root/repo/target/release/deps/semfpga-8928d5708407557f: src/lib.rs
+
+src/lib.rs:

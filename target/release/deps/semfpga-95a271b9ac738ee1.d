@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semfpga-95a271b9ac738ee1.d: src/lib.rs
+
+/root/repo/target/release/deps/semfpga-95a271b9ac738ee1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sensitivity-70c5d52f2b071de2.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/release/deps/libsensitivity-70c5d52f2b071de2.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

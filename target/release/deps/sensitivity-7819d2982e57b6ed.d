@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sensitivity-7819d2982e57b6ed.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/release/deps/libsensitivity-7819d2982e57b6ed.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

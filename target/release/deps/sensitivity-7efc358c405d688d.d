@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-7efc358c405d688d.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-7efc358c405d688d: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-9706afa868c8fd06.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-9706afa868c8fd06: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-c65f025e299d63f0.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-c65f025e299d63f0: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

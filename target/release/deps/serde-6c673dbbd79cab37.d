@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/serde-6c673dbbd79cab37.d: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-6c673dbbd79cab37.rmeta: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs Cargo.toml
+
+crates/support/serde/src/lib.rs:
+crates/support/serde/src/json.rs:
+crates/support/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

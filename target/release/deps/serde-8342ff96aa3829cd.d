@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8342ff96aa3829cd.d: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+/root/repo/target/release/deps/serde-8342ff96aa3829cd: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+crates/support/serde/src/lib.rs:
+crates/support/serde/src/json.rs:
+crates/support/serde/src/value.rs:

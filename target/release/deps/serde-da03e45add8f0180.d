@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/serde-da03e45add8f0180.d: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-da03e45add8f0180.rmeta: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs Cargo.toml
+
+crates/support/serde/src/lib.rs:
+crates/support/serde/src/json.rs:
+crates/support/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

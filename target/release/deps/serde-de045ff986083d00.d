@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-de045ff986083d00.d: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-de045ff986083d00.rlib: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-de045ff986083d00.rmeta: crates/support/serde/src/lib.rs crates/support/serde/src/json.rs crates/support/serde/src/value.rs
+
+crates/support/serde/src/lib.rs:
+crates/support/serde/src/json.rs:
+crates/support/serde/src/value.rs:

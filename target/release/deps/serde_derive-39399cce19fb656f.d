@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-39399cce19fb656f.d: crates/support/serde-derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-39399cce19fb656f.rmeta: crates/support/serde-derive/src/lib.rs Cargo.toml
+
+crates/support/serde-derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-5412a23d2f6a86d8.d: crates/support/serde-derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-5412a23d2f6a86d8.so: crates/support/serde-derive/src/lib.rs
+
+crates/support/serde-derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-88beec68cb97e3cb.d: crates/support/serde-derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-88beec68cb97e3cb: crates/support/serde-derive/src/lib.rs
+
+crates/support/serde-derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a227424a1dd76725.d: crates/support/serde-derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a227424a1dd76725.so: crates/support/serde-derive/src/lib.rs
+
+crates/support/serde-derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_cg-03d7761695653d25.d: crates/bench/benches/solver_cg.rs
+
+/root/repo/target/release/deps/solver_cg-03d7761695653d25: crates/bench/benches/solver_cg.rs
+
+crates/bench/benches/solver_cg.rs:

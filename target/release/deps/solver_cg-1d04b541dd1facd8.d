@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_cg-1d04b541dd1facd8.d: crates/bench/benches/solver_cg.rs
+
+/root/repo/target/release/deps/solver_cg-1d04b541dd1facd8: crates/bench/benches/solver_cg.rs
+
+crates/bench/benches/solver_cg.rs:

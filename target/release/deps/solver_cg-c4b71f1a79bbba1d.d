@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/solver_cg-c4b71f1a79bbba1d.d: crates/bench/benches/solver_cg.rs Cargo.toml
+
+/root/repo/target/release/deps/libsolver_cg-c4b71f1a79bbba1d.rmeta: crates/bench/benches/solver_cg.rs Cargo.toml
+
+crates/bench/benches/solver_cg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

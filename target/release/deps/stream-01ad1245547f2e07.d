@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-01ad1245547f2e07.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/release/deps/stream-01ad1245547f2e07: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-3b4f3b8135c14639.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/release/deps/stream-3b4f3b8135c14639: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-501d1eb010a06add.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/release/deps/stream-501d1eb010a06add: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stream-8b50efb6795bc8fb.d: crates/bench/src/bin/stream.rs Cargo.toml
+
+/root/repo/target/release/deps/libstream-8b50efb6795bc8fb.rmeta: crates/bench/src/bin/stream.rs Cargo.toml
+
+crates/bench/src/bin/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1ace8906738c8dc1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1ace8906738c8dc1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-266711a9d5831f36.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-266711a9d5831f36: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-498bb87d0d245036.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-498bb87d0d245036: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-102539f0d54ca863.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-102539f0d54ca863: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-13e9a56062e2905f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-13e9a56062e2905f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

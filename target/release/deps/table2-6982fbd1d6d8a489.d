@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-6982fbd1d6d8a489.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-6982fbd1d6d8a489: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/degree_sweep-5e7e98ad5206ce6a.d: examples/degree_sweep.rs
+
+/root/repo/target/release/examples/degree_sweep-5e7e98ad5206ce6a: examples/degree_sweep.rs
+
+examples/degree_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/degree_sweep-698cd3a105846586.d: examples/degree_sweep.rs
+
+/root/repo/target/release/examples/degree_sweep-698cd3a105846586: examples/degree_sweep.rs
+
+examples/degree_sweep.rs:

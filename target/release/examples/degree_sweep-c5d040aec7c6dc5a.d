@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/degree_sweep-c5d040aec7c6dc5a.d: examples/degree_sweep.rs Cargo.toml
+
+/root/repo/target/release/examples/libdegree_sweep-c5d040aec7c6dc5a.rmeta: examples/degree_sweep.rs Cargo.toml
+
+examples/degree_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fpga_offload-60eee243e6e73d81.d: examples/fpga_offload.rs
+
+/root/repo/target/release/examples/fpga_offload-60eee243e6e73d81: examples/fpga_offload.rs
+
+examples/fpga_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fpga_offload-851875bd50693667.d: examples/fpga_offload.rs
+
+/root/repo/target/release/examples/fpga_offload-851875bd50693667: examples/fpga_offload.rs
+
+examples/fpga_offload.rs:

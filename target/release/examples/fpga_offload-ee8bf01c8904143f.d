@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fpga_offload-ee8bf01c8904143f.d: examples/fpga_offload.rs Cargo.toml
+
+/root/repo/target/release/examples/libfpga_offload-ee8bf01c8904143f.rmeta: examples/fpga_offload.rs Cargo.toml
+
+examples/fpga_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

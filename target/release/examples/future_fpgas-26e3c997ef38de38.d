@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/future_fpgas-26e3c997ef38de38.d: examples/future_fpgas.rs Cargo.toml
+
+/root/repo/target/release/examples/libfuture_fpgas-26e3c997ef38de38.rmeta: examples/future_fpgas.rs Cargo.toml
+
+examples/future_fpgas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/future_fpgas-5178ffcebf863339.d: examples/future_fpgas.rs
+
+/root/repo/target/release/examples/future_fpgas-5178ffcebf863339: examples/future_fpgas.rs
+
+examples/future_fpgas.rs:

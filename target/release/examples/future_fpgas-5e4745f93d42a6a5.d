@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/future_fpgas-5e4745f93d42a6a5.d: examples/future_fpgas.rs
+
+/root/repo/target/release/examples/future_fpgas-5e4745f93d42a6a5: examples/future_fpgas.rs
+
+examples/future_fpgas.rs:

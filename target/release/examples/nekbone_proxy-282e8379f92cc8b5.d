@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nekbone_proxy-282e8379f92cc8b5.d: examples/nekbone_proxy.rs
+
+/root/repo/target/release/examples/nekbone_proxy-282e8379f92cc8b5: examples/nekbone_proxy.rs
+
+examples/nekbone_proxy.rs:

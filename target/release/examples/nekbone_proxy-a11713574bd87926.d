@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nekbone_proxy-a11713574bd87926.d: examples/nekbone_proxy.rs
+
+/root/repo/target/release/examples/nekbone_proxy-a11713574bd87926: examples/nekbone_proxy.rs
+
+examples/nekbone_proxy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/nekbone_proxy-c0c5bfee35a2030b.d: examples/nekbone_proxy.rs Cargo.toml
+
+/root/repo/target/release/examples/libnekbone_proxy-c0c5bfee35a2030b.rmeta: examples/nekbone_proxy.rs Cargo.toml
+
+examples/nekbone_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7d0b7fb98bfb8dd2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7d0b7fb98bfb8dd2: examples/quickstart.rs
+
+examples/quickstart.rs:

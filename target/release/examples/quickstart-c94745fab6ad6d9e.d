@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c94745fab6ad6d9e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c94745fab6ad6d9e: examples/quickstart.rs
+
+examples/quickstart.rs:

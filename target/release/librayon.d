@@ -1,0 +1,1 @@
+/root/repo/target/release/librayon.rlib: /root/repo/crates/support/rayon/src/lib.rs

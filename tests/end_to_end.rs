@@ -56,7 +56,10 @@ fn poisson_solves_converge_spectrally_on_deformed_meshes() {
         );
         previous = sol.max_error;
     }
-    assert!(previous < 1e-4, "degree 7 error should be small: {previous}");
+    assert!(
+        previous < 1e-4,
+        "degree 7 error should be small: {previous}"
+    );
 }
 
 #[test]
@@ -99,8 +102,10 @@ fn proxy_driver_uses_exactly_the_advertised_flops() {
         use_jacobi: false,
     };
     let result = config.run();
-    let expected =
-        7 * 8 * semfpga::basis::dofs_per_element(5) as u64 * semfpga::kernel::flops_per_dof(5) as u64;
+    let expected = 7
+        * 8
+        * semfpga::basis::dofs_per_element(5) as u64
+        * semfpga::kernel::flops_per_dof(5) as u64;
     assert_eq!(result.operator_flops, expected);
 }
 
