@@ -1,0 +1,151 @@
+//! Batched many-RHS serving sweep: for every registry backend, solve the
+//! manufactured problem at batch sizes {1, 4, 16, 64} through
+//! `SemSystem::solve_many` and record how the per-RHS cost falls as the
+//! offload transfer amortises and the CG scratch is reused.
+//!
+//! Writes `BENCH_batched.json` next to the working directory so successive
+//! PRs can track the batched-serving trajectory, and prints a summary table.
+//!
+//! Run with `cargo run --release -p bench --bin batched -- [degree] [elements_per_side]`
+//! (CI runs tiny sizes as a smoke step: `-- 3 2`).
+
+use bench::table::{fmt, TableWriter};
+use sem_accel::{Backend, PerfSource, SemSystem};
+use sem_solver::CgOptions;
+use serde::Serialize;
+
+/// Batch sizes of the sweep (the serving shapes the ROADMAP names).
+const BATCHES: [usize; 4] = [1, 4, 16, 64];
+
+/// One (backend, batch) point of the sweep.
+#[derive(Debug, Clone, Serialize)]
+struct BatchedRow {
+    backend: String,
+    simulated: bool,
+    batch: usize,
+    iterations: usize,
+    /// Operator (kernel) seconds attributed to one RHS.
+    per_rhs_operator_seconds: f64,
+    /// Amortised host↔device transfer seconds attributed to one RHS.
+    per_rhs_transfer_seconds: f64,
+    /// What one RHS would pay without batching (one full offload round trip).
+    unbatched_transfer_seconds: f64,
+    /// Relative drop of the per-RHS transfer share versus sequential solves.
+    transfer_drop_percent: f64,
+    /// Modelled per-RHS end-to-end seconds (operator + amortised transfer).
+    per_rhs_modeled_seconds: f64,
+    /// Heap allocations the pre-scratch solver would have performed for this
+    /// batch and that the reusable `CgScratch` + CSR dssum path eliminates
+    /// (modelled: per solve, two setup clones, one work field, one
+    /// preconditioned residual per iteration and one global dssum vector per
+    /// operator application, minus the batch's single five-field scratch).
+    allocations_eliminated: u64,
+    max_error: f64,
+}
+
+/// The persisted sweep.
+#[derive(Debug, Clone, Serialize)]
+struct BatchedBenchReport {
+    degree: usize,
+    elements_per_side: usize,
+    batches: Vec<usize>,
+    rows: Vec<BatchedRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let degree: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let per_side: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let options = CgOptions {
+        max_iterations: 2000,
+        tolerance: 1e-10,
+        record_history: false,
+    };
+
+    println!(
+        "Batched serving sweep: N = {degree}, {per_side}x{per_side}x{per_side} elements, \
+         batches {BATCHES:?}\n"
+    );
+    let mut table = TableWriter::new(vec![
+        "backend",
+        "batch",
+        "iters",
+        "op/RHS (ms)",
+        "xfer/RHS (ms)",
+        "xfer drop",
+        "modeled/RHS (ms)",
+        "allocs saved",
+    ]);
+
+    let mut rows = Vec::new();
+    for name in Backend::registry_names() {
+        let system = SemSystem::builder()
+            .degree(degree)
+            .elements([per_side; 3])
+            .backend_named(&name)
+            .build();
+        let sequential = system.solve(options, true);
+
+        for batch in BATCHES {
+            let reports = system.solve_many_manufactured(batch, options, true);
+            let per_rhs_operator_seconds =
+                reports.iter().map(|r| r.operator.seconds).sum::<f64>() / batch as f64;
+            let per_rhs_transfer_seconds =
+                reports.iter().map(|r| r.transfer_seconds).sum::<f64>() / batch as f64;
+            let unbatched = sequential.transfer_seconds;
+            let transfer_drop_percent = if unbatched > 0.0 {
+                (1.0 - per_rhs_transfer_seconds / unbatched) * 100.0
+            } else {
+                0.0
+            };
+            let iterations = reports[0].iterations();
+            let applications: u64 = reports
+                .iter()
+                .map(|r| r.solution.cg.operator_applications as u64)
+                .sum();
+            let total_iterations: u64 = reports.iter().map(|r| r.iterations() as u64).sum();
+            let allocations_eliminated =
+                (batch as u64 * 3 + 2 * total_iterations + applications).saturating_sub(5);
+            let row = BatchedRow {
+                backend: name.clone(),
+                simulated: reports[0].source == PerfSource::Simulated,
+                batch,
+                iterations,
+                per_rhs_operator_seconds,
+                per_rhs_transfer_seconds,
+                unbatched_transfer_seconds: unbatched,
+                transfer_drop_percent,
+                per_rhs_modeled_seconds: per_rhs_operator_seconds + per_rhs_transfer_seconds,
+                allocations_eliminated,
+                max_error: reports[0].solution.max_error,
+            };
+            table.row(vec![
+                name.clone(),
+                batch.to_string(),
+                row.iterations.to_string(),
+                fmt(row.per_rhs_operator_seconds * 1e3, 3),
+                fmt(row.per_rhs_transfer_seconds * 1e3, 3),
+                format!("{:.0}%", row.transfer_drop_percent),
+                fmt(row.per_rhs_modeled_seconds * 1e3, 3),
+                row.allocations_eliminated.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+
+    let report = BatchedBenchReport {
+        degree,
+        elements_per_side: per_side,
+        batches: BATCHES.to_vec(),
+        rows,
+    };
+    let json = serde::json::to_string(&report);
+    std::fs::write("BENCH_batched.json", &json).expect("write BENCH_batched.json");
+    println!(
+        "\nWrote BENCH_batched.json ({} rows).  FPGA rows charge the shared\n\
+         geometry/matrix upload once per batch; CPU rows run batch-parallel\n\
+         with per-thread scratch, so their transfer column is zero.",
+        report.rows.len()
+    );
+}

@@ -197,6 +197,47 @@ impl FpgaAccelerator {
         }
     }
 
+    /// Estimate the timing of `batch` back-to-back kernel invocations
+    /// submitted as one command-queue batch (the many-RHS serving shape):
+    /// steady-state and pipeline fill/drain cycles scale with the batch,
+    /// while the fixed launch overhead ([`LAUNCH_OVERHEAD_CYCLES`]) is paid
+    /// once for the whole batch.
+    ///
+    /// The report's rate figures (GFLOP/s, DOFs/cycle, bandwidth) and
+    /// `seconds`/`cycles` cover the **whole batch**; `num_elements` stays
+    /// the per-application element count.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn estimate_batch(&self, num_elements: usize, batch: usize) -> ExecutionReport {
+        assert!(batch > 0, "need at least one application in the batch");
+        let single = self.estimate(num_elements);
+        if batch == 1 {
+            return single;
+        }
+        // Both the baseline and the pipelined stages charge the launch
+        // overhead additively, so the per-application work is what remains.
+        let work_cycles = (single.cycles - LAUNCH_OVERHEAD_CYCLES).max(0.0);
+        let cycles = work_cycles * batch as f64 + LAUNCH_OVERHEAD_CYCLES;
+        let seconds = cycles / (single.kernel_clock_mhz * 1e6);
+        let total_dofs =
+            sem_basis::dofs_per_element(self.design.degree) as f64 * num_elements as f64;
+        let batch_dofs = total_dofs * batch as f64;
+        let flops = sem_kernel::flops_per_dof(self.design.degree) as f64 * batch_dofs;
+        let bytes = sem_kernel::bytes_per_dof(self.design.degree) as f64 * batch_dofs;
+        let gflops = flops / seconds / 1e9;
+        ExecutionReport {
+            cycles,
+            seconds,
+            gflops,
+            dofs_per_cycle: batch_dofs / cycles,
+            effective_bandwidth_gbs: bytes / seconds / 1e9,
+            gflops_per_watt: gflops / single.power_watts,
+            ..single
+        }
+    }
+
     /// Execute the kernel: compute `w = A u` for every element (numerically,
     /// on the host, standing in for the datapath) and return the result
     /// together with the timing estimate.
@@ -373,6 +414,26 @@ mod tests {
         assert_eq!(report.num_elements, 8);
         assert!(report.seconds > 0.0);
         assert!(report.gflops_per_watt > 0.0);
+    }
+
+    #[test]
+    fn batched_estimate_amortises_the_launch_overhead() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let acc = FpgaAccelerator::for_degree(7, &device);
+        let single = acc.estimate(64);
+        assert_eq!(acc.estimate_batch(64, 1), single);
+        for batch in [4, 16, 64] {
+            let batched = acc.estimate_batch(64, batch);
+            // Per-application seconds shrink (one launch overhead for the
+            // whole batch) but never below the launch-free work itself.
+            let per_app = batched.seconds / batch as f64;
+            assert!(per_app < single.seconds, "batch {batch}: {per_app}");
+            let work_seconds =
+                (single.cycles - LAUNCH_OVERHEAD_CYCLES) / (single.kernel_clock_mhz * 1e6);
+            assert!(per_app > work_seconds * (1.0 - 1e-12), "batch {batch}");
+            assert!(batched.gflops > single.gflops);
+            assert!(batched.dofs_per_cycle <= 4.0 + 1e-9, "throughput bound");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::offload::OffloadPlan;
 use crate::report::PerfSource;
 use fpga_sim::{FpgaAccelerator, FpgaDevice, MultiBoardAccelerator};
 use sem_kernel::{ops, AxImplementation, PoissonOperator};
-use sem_mesh::{BoxMesh, ElementField, GeometricFactors};
+use sem_mesh::{BoxMesh, ElementField, GatherScatter, GeometricFactors};
 use sem_solver::LocalOperator;
 use std::borrow::Cow;
 
@@ -52,6 +52,49 @@ pub trait AxBackend: Send + Sync {
     /// count.
     fn apply_into(&self, u: &ElementField, w: &mut ElementField);
 
+    /// Apply the operator to a whole batch of operands: `ws[i] = A us[i]`.
+    ///
+    /// The default loops over [`AxBackend::apply_into`]; accelerator
+    /// backends keep the batch resident and amortise their per-launch
+    /// overhead (see [`AxBackend::simulated_seconds_per_batch`]).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or any field does not match the
+    /// backend's degree and element count.
+    fn apply_many(&self, us: &[ElementField], ws: &mut [ElementField]) {
+        assert_eq!(us.len(), ws.len(), "batch size mismatch");
+        for (u, w) in us.iter().zip(ws.iter_mut()) {
+            self.apply_into(u, w);
+        }
+    }
+
+    /// Whether this backend claims the fused `w = QQᵀ(A u)` pass (operator
+    /// application plus direct stiffness summation without a separate host
+    /// sweep).  Accelerator backends claim it so the field never bounces
+    /// back to the host between `Ax` and dssum — the paper's next offload
+    /// candidate after the kernel itself.
+    fn fuses_dssum(&self) -> bool {
+        false
+    }
+
+    /// Fused `w = QQᵀ(A u)` (no masking).  The default composes
+    /// [`AxBackend::apply_into`] with the gather–scatter's CSR sweep; only
+    /// meaningful as a single pass on backends that claim it via
+    /// [`AxBackend::fuses_dssum`].
+    ///
+    /// # Panics
+    /// Panics if the fields or gather–scatter do not match the backend's
+    /// degree and element count.
+    fn apply_dssum_into(
+        &self,
+        u: &ElementField,
+        gather_scatter: &GatherScatter,
+        w: &mut ElementField,
+    ) {
+        self.apply_into(u, w);
+        gather_scatter.direct_stiffness_sum(w);
+    }
+
     /// Floating-point operations of one application.
     fn flops_per_application(&self) -> u64;
 
@@ -66,6 +109,16 @@ pub trait AxBackend: Send + Sync {
     /// (simulated kernel time plus any exchange overhead).  `None` for
     /// natively-executed backends, whose cost is measured instead.
     fn simulated_seconds_per_application(&self) -> Option<f64>;
+
+    /// Seconds a batch of `batch` back-to-back applications costs according
+    /// to the backend's own model.  The default charges `batch` independent
+    /// applications; accelerator backends override it to pay their kernel
+    /// launch overhead once per batch.  `None` for natively-executed
+    /// backends.
+    fn simulated_seconds_per_batch(&self, batch: usize) -> Option<f64> {
+        self.simulated_seconds_per_application()
+            .map(|seconds| seconds * batch as f64)
+    }
 
     /// Estimated power draw while running the kernel, when the backend has a
     /// power model.
@@ -105,6 +158,19 @@ impl LocalOperator for dyn AxBackend {
 
     fn seconds_per_application(&self) -> Option<f64> {
         AxBackend::simulated_seconds_per_application(self)
+    }
+
+    fn fuses_dssum(&self) -> bool {
+        AxBackend::fuses_dssum(self)
+    }
+
+    fn apply_dssum_into(
+        &self,
+        u: &ElementField,
+        gather_scatter: &GatherScatter,
+        w: &mut ElementField,
+    ) {
+        AxBackend::apply_dssum_into(self, u, gather_scatter, w);
     }
 }
 
@@ -244,6 +310,14 @@ impl AxBackend for FpgaSimBackend {
         let _ = self.accelerator.execute_planes_into(u, &self.planes, w);
     }
 
+    fn fuses_dssum(&self) -> bool {
+        // The board keeps the field resident, so the gather–scatter runs as
+        // part of the kernel pass instead of a host round trip; the trait's
+        // default `apply_dssum_into` (kernel + CSR sweep) already models
+        // that pass bitwise.
+        true
+    }
+
     fn flops_per_application(&self) -> u64 {
         ops::total_flops(self.degree(), self.num_elements)
     }
@@ -258,6 +332,14 @@ impl AxBackend for FpgaSimBackend {
 
     fn simulated_seconds_per_application(&self) -> Option<f64> {
         Some(self.seconds_per_application)
+    }
+
+    fn simulated_seconds_per_batch(&self, batch: usize) -> Option<f64> {
+        Some(
+            self.accelerator
+                .estimate_batch(self.num_elements, batch)
+                .seconds,
+        )
     }
 
     fn power_watts(&self) -> Option<f64> {
@@ -336,6 +418,13 @@ impl AxBackend for MultiFpgaBackend {
         let _ = self.multi.execute_planes_into(u, &self.planes, w);
     }
 
+    fn fuses_dssum(&self) -> bool {
+        // Interior summation happens on each board; the interface exchange
+        // the estimate already charges carries the cross-board sums.  The
+        // trait's default `apply_dssum_into` models the pass bitwise.
+        true
+    }
+
     fn flops_per_application(&self) -> u64 {
         ops::total_flops(self.degree(), self.num_elements)
     }
@@ -350,6 +439,19 @@ impl AxBackend for MultiFpgaBackend {
 
     fn simulated_seconds_per_application(&self) -> Option<f64> {
         Some(self.seconds_per_application)
+    }
+
+    fn simulated_seconds_per_batch(&self, batch: usize) -> Option<f64> {
+        // The kernel launch amortises across the batch; the interface
+        // exchange happens once per application regardless.
+        let estimate = self.multi.estimate(self.num_elements);
+        let per_board = self.multi.elements_per_board(self.num_elements);
+        let kernel = self
+            .multi
+            .accelerator()
+            .estimate_batch(per_board, batch)
+            .seconds;
+        Some(kernel + estimate.exchange_seconds * batch as f64)
     }
 
     fn power_watts(&self) -> Option<f64> {
@@ -435,6 +537,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn apply_many_matches_independent_applications_bitwise() {
+        let mesh = test_mesh(4);
+        let device = FpgaDevice::stratix10_gx2800();
+        let backends: Vec<Box<dyn AxBackend>> = vec![
+            Box::new(CpuBackend::new(&mesh, AxImplementation::Optimized)),
+            Box::new(FpgaSimBackend::new(&mesh, device.clone())),
+            Box::new(MultiFpgaBackend::new(&mesh, device, 2, 12.0)),
+        ];
+        let us: Vec<ElementField> = (0..3)
+            .map(|i| mesh.evaluate(move |x, y, z| ((i + 1) as f64 * x).sin() * y + z))
+            .collect();
+        for backend in &backends {
+            let mut ws: Vec<ElementField> = us.iter().map(|_| ElementField::zeros(4, 8)).collect();
+            backend.apply_many(&us, &mut ws);
+            for (u, w) in us.iter().zip(&ws) {
+                let mut expect = ElementField::zeros(4, 8);
+                backend.apply_into(u, &mut expect);
+                assert_eq!(w.as_slice(), expect.as_slice(), "{}", backend.label());
+            }
+        }
+    }
+
+    #[test]
+    fn accelerator_backends_claim_the_fused_dssum_pass() {
+        let mesh = test_mesh(3);
+        let device = FpgaDevice::stratix10_gx2800();
+        let cpu = CpuBackend::new(&mesh, AxImplementation::Optimized);
+        let fpga = FpgaSimBackend::new(&mesh, device.clone());
+        let multi = MultiFpgaBackend::new(&mesh, device, 2, 12.0);
+        assert!(!cpu.fuses_dssum());
+        assert!(fpga.fuses_dssum());
+        assert!(multi.fuses_dssum());
+
+        // The fused pass equals apply followed by a host dssum, bitwise.
+        let gs = GatherScatter::from_mesh(&mesh);
+        let u = mesh.evaluate(|x, y, z| x * x - y * z);
+        let mut fused = ElementField::zeros(3, 8);
+        fpga.apply_dssum_into(&u, &gs, &mut fused);
+        let mut split = ElementField::zeros(3, 8);
+        fpga.apply_into(&u, &mut split);
+        gs.direct_stiffness_sum(&mut split);
+        assert_eq!(fused.as_slice(), split.as_slice());
+    }
+
+    #[test]
+    fn simulated_batch_seconds_amortise_the_launch_overhead() {
+        let mesh = test_mesh(7);
+        let device = FpgaDevice::stratix10_gx2800();
+        let fpga = FpgaSimBackend::new(&mesh, device.clone());
+        let multi = MultiFpgaBackend::new(&mesh, device, 2, 12.0);
+        for backend in [&fpga as &dyn AxBackend, &multi as &dyn AxBackend] {
+            let single = backend.simulated_seconds_per_application().unwrap();
+            let batched = backend.simulated_seconds_per_batch(16).unwrap();
+            assert!(
+                batched < 16.0 * single,
+                "{}: {batched} vs {}",
+                backend.label(),
+                16.0 * single
+            );
+            assert!(batched > single, "{}", backend.label());
+        }
+        // CPU backends have no simulated accounting, batched or not.
+        let cpu = CpuBackend::new(&mesh, AxImplementation::Parallel);
+        assert!(cpu.simulated_seconds_per_batch(16).is_none());
     }
 
     #[test]

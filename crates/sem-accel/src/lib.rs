@@ -10,10 +10,17 @@
 //! * [`backend::Backend`] — serde-friendly configuration with a string
 //!   registry (`cpu:parallel`, `fpga:stratix10-gx2800`, `multi:4x520n`);
 //! * [`exec`] — the [`AxBackend`] trait plus the shipped engines
-//!   ([`CpuBackend`], [`FpgaSimBackend`], [`MultiFpgaBackend`]);
+//!   ([`CpuBackend`], [`FpgaSimBackend`], [`MultiFpgaBackend`]); the trait
+//!   carries batched ([`AxBackend::apply_many`]) and fused
+//!   ([`AxBackend::apply_dssum_into`]) entry points accelerator engines
+//!   claim;
 //! * [`system::SemSystem`] — a problem bound to a backend, with
 //!   [`SemSystem::solve`] reporting measured wall-clock on CPUs and
-//!   simulated kernel + transfer time on accelerators.
+//!   simulated kernel + transfer time on accelerators, and
+//!   [`SemSystem::solve_many`] serving whole batches of right-hand sides
+//!   with the offload transfer amortised across the batch;
+//! * [`autotune`](autotune()) — sweep the registry (plus padded FPGA
+//!   variants) and name the fastest backend for an operating point.
 //!
 //! ```
 //! use sem_accel::{Backend, SemSystem};

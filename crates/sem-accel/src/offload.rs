@@ -65,11 +65,50 @@ impl OffloadPlan {
         self.bytes_to_device + self.bytes_from_device
     }
 
+    /// Bytes of the operand field `u` (one upload per right-hand side).
+    #[must_use]
+    pub fn operand_bytes(&self) -> u64 {
+        // The result field has the same extent as the operand.
+        self.bytes_from_device
+    }
+
+    /// Bytes shared by every solve on this problem: the six geometric-factor
+    /// planes and the two derivative matrices.  A batched solve uploads them
+    /// once, however many right-hand sides it serves.
+    #[must_use]
+    pub fn shared_bytes(&self) -> u64 {
+        self.bytes_to_device - self.operand_bytes()
+    }
+
+    /// Total PCIe traffic of serving `batch` right-hand sides in one
+    /// session: the shared data crosses the link once, then each RHS pays
+    /// only its operand upload and result download.  `batch == 1` equals
+    /// [`OffloadPlan::total_transfer_bytes`].
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn batched_transfer_bytes(&self, batch: usize) -> u64 {
+        assert!(batch > 0, "need at least one right-hand side");
+        let per_rhs = self.operand_bytes() + self.bytes_from_device;
+        self.shared_bytes() + per_rhs * batch as u64
+    }
+
     /// Transfer time in seconds over a link of `gbytes_per_sec` (the paper
     /// excludes this from kernel timings; exposed for end-to-end studies).
     #[must_use]
     pub fn transfer_seconds(&self, gbytes_per_sec: f64) -> f64 {
         self.total_transfer_bytes() as f64 / (gbytes_per_sec * 1e9)
+    }
+
+    /// Transfer time of a whole `batch`-RHS session over a link of
+    /// `gbytes_per_sec` (see [`OffloadPlan::batched_transfer_bytes`]).
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn batched_transfer_seconds(&self, gbytes_per_sec: f64, batch: usize) -> f64 {
+        self.batched_transfer_bytes(batch) as f64 / (gbytes_per_sec * 1e9)
     }
 
     /// Buffers per memory bank under the banked allocation.
@@ -109,6 +148,23 @@ mod tests {
         assert!(padded.padded);
         assert_eq!(padded.device_points_per_direction, 12);
         assert!(padded.bytes_to_device > unpadded.bytes_to_device);
+    }
+
+    #[test]
+    fn batched_transfers_pay_the_shared_upload_once() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let design = AcceleratorDesign::for_degree(7, &device);
+        let plan = OffloadPlan::new(&design, &device, 512);
+        assert_eq!(plan.batched_transfer_bytes(1), plan.total_transfer_bytes());
+        let sequential_16 = 16 * plan.total_transfer_bytes();
+        let batched_16 = plan.batched_transfer_bytes(16);
+        assert!(batched_16 < sequential_16);
+        // Exactly: shared once instead of 16 times.
+        assert_eq!(sequential_16 - batched_16, 15 * plan.shared_bytes());
+        // Per-RHS traffic drops by well over the 30% acceptance bar (the
+        // shared geometric factors dominate the upload).
+        let drop = 1.0 - batched_16 as f64 / sequential_16 as f64;
+        assert!(drop > 0.3, "drop {drop}");
     }
 
     #[test]

@@ -42,6 +42,14 @@ impl PerfSummary {
     pub fn mdofs_per_second(&self) -> f64 {
         self.dofs_per_second / 1e6
     }
+
+    /// Average seconds of one operator application over the summarised
+    /// batch — the per-RHS figure batched serving studies compare (zero
+    /// applications yields the raw seconds).
+    #[must_use]
+    pub fn seconds_per_application(&self) -> f64 {
+        self.seconds / self.applications.max(1) as f64
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,13 @@ use crate::exec::AxBackend;
 use crate::offload::OffloadPlan;
 use crate::report::{PerfSource, PerfSummary};
 use fpga_sim::FpgaAccelerator;
+use rayon::prelude::*;
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
-use sem_solver::{CgOptions, PoissonProblem, PoissonSolution};
+use sem_solver::{
+    CgOptions, CgScratch, CgSolver, IdentityPreconditioner, JacobiPreconditioner, PoissonProblem,
+    PoissonSolution,
+};
 use std::time::Instant;
 
 /// PCIe-class link speed (GB/s) assumed when charging host↔device transfer
@@ -135,13 +139,20 @@ pub struct SolveReport {
     /// measured wall-clock for CPU backends, simulated kernel (plus
     /// exchange) seconds for FPGA backends.
     pub operator: PerfSummary,
-    /// Host↔device transfer time charged to the solve (one upload of the
-    /// operand and geometric factors plus one download of the result over a
-    /// [`HOST_LINK_GBS`] link); zero for host backends.
+    /// Host↔device transfer time charged to the solve over a
+    /// [`HOST_LINK_GBS`] link; zero for host backends.  For a standalone
+    /// solve this is one full upload (operand + geometric factors +
+    /// derivative matrices) plus the result download; inside a
+    /// [`SemSystem::solve_many`] batch the shared data is charged once for
+    /// the whole batch and this field carries the per-RHS share.
     pub transfer_seconds: f64,
     /// Wall-clock seconds the whole solve took on this host (for simulated
     /// backends this is simulator time, not accelerator time).
     pub host_wall_seconds: f64,
+    /// Number of right-hand sides in the batch this solve was part of (1
+    /// for standalone solves).  Transfer amortisation above is relative to
+    /// this batch.
+    pub batch_size: usize,
 }
 
 impl SolveReport {
@@ -189,6 +200,13 @@ impl SemSystem {
     #[must_use]
     pub fn mesh(&self) -> &BoxMesh {
         self.problem.mesh()
+    }
+
+    /// The underlying discretised Poisson problem (right-hand-side assembly,
+    /// preconditioning, error measurement) — the host side of the system.
+    #[must_use]
+    pub fn problem(&self) -> &PoissonProblem {
+        &self.problem
     }
 
     /// The matrix-free operator (host side; RHS assembly, preconditioning
@@ -243,6 +261,37 @@ impl SemSystem {
         (w, summary)
     }
 
+    /// Apply the local operator to a whole batch of operands through the
+    /// backend in one submission: `ws[i] = A us[i]`.
+    ///
+    /// Simulated backends charge the batch through their batched cost model
+    /// ([`crate::exec::AxBackend::simulated_seconds_per_batch`]), which pays
+    /// the kernel-launch overhead once for the whole batch; CPU backends are
+    /// timed around the batch as a whole.
+    ///
+    /// # Panics
+    /// Panics if `us` is empty or any operand does not match the mesh.
+    #[must_use]
+    pub fn apply_operator_many(&self, us: &[ElementField]) -> (Vec<ElementField>, PerfSummary) {
+        assert!(!us.is_empty(), "need at least one operand");
+        let mut ws: Vec<ElementField> = us
+            .iter()
+            .map(|_| ElementField::zeros(self.mesh().degree(), self.mesh().num_elements()))
+            .collect();
+        let summary = match self.execution.simulated_seconds_per_batch(us.len()) {
+            Some(seconds) => {
+                self.execution.apply_many(us, &mut ws);
+                self.summary(seconds, us.len())
+            }
+            None => {
+                let start = Instant::now();
+                self.execution.apply_many(us, &mut ws);
+                self.summary(start.elapsed().as_secs_f64().max(1e-12), us.len())
+            }
+        };
+        (ws, summary)
+    }
+
     /// Apply the operator `applications` times (for steadier timing) and
     /// report the aggregate performance.
     ///
@@ -294,6 +343,7 @@ impl SemSystem {
             operator,
             transfer_seconds,
             host_wall_seconds,
+            batch_size: 1,
             solution,
         }
     }
@@ -304,6 +354,177 @@ impl SemSystem {
     #[must_use]
     pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
         self.solve(options, use_jacobi).solution
+    }
+
+    /// Solve one already-assembled (continuous, masked) right-hand side
+    /// through the backend.
+    ///
+    /// No exact solution is associated, so the report's error metrics are
+    /// `NaN`; everything else — CG statistics, backend accounting, one full
+    /// offload round trip — matches [`SemSystem::solve`].  Equivalent to
+    /// `solve_many(&[rhs], ..)` with a batch of one.
+    ///
+    /// # Panics
+    /// Panics if `rhs` does not match the system's degree and element count.
+    #[must_use]
+    pub fn solve_rhs(
+        &self,
+        rhs: &ElementField,
+        options: CgOptions,
+        use_jacobi: bool,
+    ) -> SolveReport {
+        self.solve_many(std::slice::from_ref(rhs), options, use_jacobi)
+            .pop()
+            .expect("one report per right-hand side")
+    }
+
+    /// Solve a whole batch of right-hand sides through the backend — the
+    /// many-users-one-instance serving shape.
+    ///
+    /// One [`OffloadPlan`] is shared across the batch: the geometric factors
+    /// and derivative matrices cross the PCIe link once, each RHS pays only
+    /// its operand/result traffic, and every report's `transfer_seconds`
+    /// carries the per-RHS share (kernel seconds stay per RHS).  Sequential
+    /// CPU backends run the batch **batch-parallel** with one private
+    /// [`CgScratch`] per worker thread; `cpu:parallel` (whose kernel already
+    /// owns the cores) and simulated accelerator backends run in submission
+    /// order reusing a single scratch, so a whole batch performs five field
+    /// allocations total.  Either way each solve is bitwise identical to a
+    /// standalone [`SemSystem::solve_rhs`].
+    ///
+    /// # Panics
+    /// Panics if any RHS does not match the system's degree and element
+    /// count.
+    #[must_use]
+    pub fn solve_many(
+        &self,
+        rhss: &[ElementField],
+        options: CgOptions,
+        use_jacobi: bool,
+    ) -> Vec<SolveReport> {
+        if rhss.is_empty() {
+            return Vec::new();
+        }
+        let batch = rhss.len();
+        let per_rhs_transfer = self.execution.offload_plan().map_or(0.0, |plan| {
+            plan.batched_transfer_seconds(HOST_LINK_GBS, batch) / batch as f64
+        });
+        let solver = CgSolver::new(
+            self.execution.as_ref(),
+            self.problem.gather_scatter(),
+            self.problem.mask(),
+            options,
+        );
+        let jacobi = use_jacobi.then(|| self.problem.jacobi_preconditioner());
+
+        // Fan out only when each solve is single-threaded: nesting the batch
+        // over the element-parallel kernel would oversubscribe cores² threads
+        // and pollute the measured per-application seconds.
+        let batch_parallel = self.execution.perf_source() == PerfSource::Measured
+            && !matches!(self.config, Backend::Cpu(AxImplementation::Parallel));
+
+        if batch_parallel {
+            // Host backend: independent solves, so fan the batch out across
+            // cores with one scratch per worker thread.
+            let mut slots: Vec<Option<SolveReport>> = rhss.iter().map(|_| None).collect();
+            slots.par_chunks_mut(1).enumerate().for_each_init(
+                || CgScratch::new(self.mesh().degree(), self.mesh().num_elements()),
+                |scratch, (i, slot)| {
+                    slot[0] = Some(self.solve_one(
+                        &solver,
+                        jacobi.as_ref(),
+                        &rhss[i],
+                        scratch,
+                        per_rhs_transfer,
+                        batch,
+                    ));
+                },
+            );
+            slots
+                .into_iter()
+                .map(|report| report.expect("every batch slot solved"))
+                .collect()
+        } else {
+            // Simulated accelerator (one board) or element-parallel CPU
+            // kernel: submission order, one scratch reused across the batch.
+            let mut scratch = CgScratch::new(self.mesh().degree(), self.mesh().num_elements());
+            rhss.iter()
+                .map(|rhs| {
+                    self.solve_one(
+                        &solver,
+                        jacobi.as_ref(),
+                        rhs,
+                        &mut scratch,
+                        per_rhs_transfer,
+                        batch,
+                    )
+                })
+                .collect()
+        }
+    }
+
+    /// Solve the manufactured problem `batch` times as one batched session —
+    /// the convenience entry the benches and amortisation studies use.  The
+    /// right-hand side is assembled once and replicated, every report gets
+    /// real error metrics against the manufactured solution, and the
+    /// transfer/scratch amortisation of [`SemSystem::solve_many`] applies.
+    #[must_use]
+    pub fn solve_many_manufactured(
+        &self,
+        batch: usize,
+        options: CgOptions,
+        use_jacobi: bool,
+    ) -> Vec<SolveReport> {
+        let rhs = self.problem.manufactured_rhs();
+        let rhss = vec![rhs; batch];
+        let mut reports = self.solve_many(&rhss, options, use_jacobi);
+        let exact = self.problem.manufactured_exact();
+        for report in &mut reports {
+            let (max_error, l2_error) = self
+                .problem
+                .error_against(&report.solution.solution, &exact);
+            report.solution.max_error = max_error;
+            report.solution.l2_error = l2_error;
+        }
+        reports
+    }
+
+    /// One solve of a batch: runs CG through the backend with the shared
+    /// solver/preconditioner and a caller-owned scratch, charging the
+    /// amortised per-RHS transfer share.
+    fn solve_one(
+        &self,
+        solver: &CgSolver<'_, dyn AxBackend>,
+        jacobi: Option<&JacobiPreconditioner>,
+        rhs: &ElementField,
+        scratch: &mut CgScratch,
+        transfer_seconds: f64,
+        batch: usize,
+    ) -> SolveReport {
+        let start = Instant::now();
+        let cg = match jacobi {
+            Some(pc) => solver.solve_with_scratch(rhs, pc, scratch),
+            None => solver.solve_with_scratch(rhs, &IdentityPreconditioner, scratch),
+        };
+        let host_wall_seconds = start.elapsed().as_secs_f64();
+        let operator = self.summary(
+            cg.operator_seconds.max(1e-12),
+            cg.operator_applications.max(1),
+        );
+        SolveReport {
+            backend: self.execution.label().into_owned(),
+            source: self.execution.perf_source(),
+            operator,
+            transfer_seconds,
+            host_wall_seconds,
+            batch_size: batch,
+            solution: PoissonSolution {
+                solution: cg.solution.clone(),
+                max_error: f64::NAN,
+                l2_error: f64::NAN,
+                cg,
+            },
+        }
     }
 
     /// Aggregate a per-application cost into a [`PerfSummary`] using the
@@ -494,6 +715,118 @@ mod tests {
         assert!(r4.operator.seconds < r1.operator.seconds);
         // Four boards burn more power.
         assert!(r4.operator.power_watts.unwrap() > 3.0 * r1.operator.power_watts.unwrap());
+    }
+
+    #[test]
+    fn solve_many_amortises_transfer_and_matches_sequential_solves() {
+        let options = CgOptions {
+            max_iterations: 1000,
+            tolerance: 1e-10,
+            record_history: false,
+        };
+        let system = SemSystem::builder()
+            .degree(5)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+
+        let batch = 16;
+        let reports = system.solve_many_manufactured(batch, options, true);
+        assert_eq!(reports.len(), batch);
+        let sequential = system.solve(options, true);
+
+        for report in &reports {
+            // Bitwise the same solve...
+            assert_eq!(report.iterations(), sequential.iterations());
+            assert_eq!(
+                report.solution.solution.as_slice(),
+                sequential.solution.solution.as_slice()
+            );
+            assert!((report.solution.max_error - sequential.solution.max_error).abs() < 1e-15);
+            assert_eq!(report.batch_size, batch);
+            // ...with the same per-RHS kernel seconds...
+            assert!((report.operator.seconds - sequential.operator.seconds).abs() < 1e-15);
+            // ...but a much smaller per-RHS transfer share: the geometric
+            // factors cross the link once per batch.
+            assert!(report.transfer_seconds < sequential.transfer_seconds);
+        }
+        let batched_transfer: f64 = reports.iter().map(|r| r.transfer_seconds).sum();
+        let sequential_transfer = batch as f64 * sequential.transfer_seconds;
+        let drop = 1.0 - batched_transfer / sequential_transfer;
+        assert!(
+            drop >= 0.3,
+            "per-RHS offload seconds must drop >= 30%, got {:.0}%",
+            drop * 100.0
+        );
+    }
+
+    #[test]
+    fn cpu_solve_many_runs_batch_parallel_and_matches_solo_solves() {
+        let options = CgOptions {
+            max_iterations: 500,
+            tolerance: 1e-10,
+            record_history: false,
+        };
+        let system = SemSystem::builder()
+            .degree(4)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_optimized())
+            .build();
+        let rhss: Vec<_> = (0..5)
+            .map(|i| {
+                system
+                    .problem()
+                    .right_hand_side(move |x, y, z| (1.0 + i as f64) * x * y * z + x)
+            })
+            .collect();
+        let reports = system.solve_many(&rhss, options, true);
+        assert_eq!(reports.len(), rhss.len());
+        for (rhs, report) in rhss.iter().zip(&reports) {
+            let solo = system.solve_rhs(rhs, options, true);
+            assert_eq!(
+                report.solution.solution.as_slice(),
+                solo.solution.solution.as_slice(),
+                "batched solve must be bitwise identical to a standalone solve"
+            );
+            assert_eq!(report.iterations(), solo.iterations());
+            assert_eq!(report.transfer_seconds, 0.0);
+            assert!(report.solution.max_error.is_nan(), "no exact => NaN errors");
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_no_reports() {
+        let system = SemSystem::builder()
+            .degree(3)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_optimized())
+            .build();
+        assert!(system
+            .solve_many(&[], CgOptions::default(), true)
+            .is_empty());
+    }
+
+    #[test]
+    fn batched_operator_application_amortises_the_launch() {
+        let system = SemSystem::builder()
+            .degree(7)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+        let us: Vec<_> = (0..4)
+            .map(|i| {
+                system
+                    .mesh()
+                    .evaluate(move |x, y, z| x + y * z + i as f64 * x * x)
+            })
+            .collect();
+        let (ws, batched) = system.apply_operator_many(&us);
+        assert_eq!(ws.len(), 4);
+        let (w0, single) = system.apply_operator(&us[0]);
+        assert_eq!(ws[0].as_slice(), w0.as_slice());
+        assert_eq!(batched.applications, 4);
+        assert!(batched.seconds < 4.0 * single.seconds);
+        assert!(batched.seconds_per_application() < single.seconds);
     }
 
     #[test]

@@ -207,11 +207,23 @@ pub fn ax_optimized(
     );
 }
 
+thread_local! {
+    /// Per-thread element scratch reused across applications, so repeated
+    /// operator applications (every CG iteration) perform no heap allocation
+    /// after the first call on a thread.
+    static ELEMENT_SCRATCH: std::cell::RefCell<AxScratch> =
+        std::cell::RefCell::new(AxScratch::default());
+}
+
 /// [`ax_optimized`] on borrowed geometric-factor plane slices.
 ///
 /// This is the shared element loop behind every split-layout execution path:
 /// the sequential CPU kernel, the simulated accelerator, and per-board
-/// partitions (which pass sub-slices of the full planes).
+/// partitions (which pass sub-slices of the full planes).  The element
+/// scratch comes from a thread-local buffer sized on first use, so repeated
+/// applications are allocation-free; callers that manage their own scratch
+/// (e.g. the parallel kernel's worker threads) use
+/// [`ax_optimized_slices_with`] instead.
 ///
 /// # Panics
 /// Panics if `u` and `w` differ in length, the length is not a multiple of
@@ -222,6 +234,24 @@ pub fn ax_optimized_slices(
     g_planes: [&[f64]; 6],
     derivative: &DerivativeMatrix,
 ) {
+    ELEMENT_SCRATCH.with(|scratch| {
+        ax_optimized_slices_with(u, w, g_planes, derivative, &mut scratch.borrow_mut());
+    });
+}
+
+/// [`ax_optimized_slices`] with a caller-provided element scratch (resized on
+/// demand), the fully allocation-free entry point.
+///
+/// # Panics
+/// Panics if `u` and `w` differ in length, the length is not a multiple of
+/// `(N+1)^3`, or any plane slice does not match `u`.
+pub fn ax_optimized_slices_with(
+    u: &[f64],
+    w: &mut [f64],
+    g_planes: [&[f64]; 6],
+    derivative: &DerivativeMatrix,
+    scratch: &mut AxScratch,
+) {
     let nx = derivative.num_points();
     let npts = nx * nx * nx;
     assert_eq!(u.len(), w.len());
@@ -229,9 +259,10 @@ pub fn ax_optimized_slices(
     for plane in g_planes {
         assert_eq!(plane.len(), u.len(), "geometric plane length mismatch");
     }
-    let d = derivative.d_flat();
-    let dt = derivative.dt_flat();
-    let mut scratch = AxScratch::new(nx);
+    // Borrow the row-major matrix data in place: flattening copies would be
+    // two heap allocations on every application.
+    let d = derivative.d().as_slice();
+    let dt = derivative.dt().as_slice();
     let num_elements = u.len() / npts;
     for e in 0..num_elements {
         let range = e * npts..(e + 1) * npts;
@@ -247,10 +278,10 @@ pub fn ax_optimized_slices(
             &u[range.clone()],
             &mut w[range.clone()],
             g,
-            &d,
-            &dt,
+            d,
+            dt,
             nx,
-            &mut scratch,
+            scratch,
         );
     }
 }

@@ -28,8 +28,10 @@ pub fn ax_parallel(
     for plane in g_planes {
         assert_eq!(plane.len(), u.len(), "geometric plane length mismatch");
     }
-    let d = derivative.d_flat();
-    let dt = derivative.dt_flat();
+    // Borrow the row-major matrix data in place (flattening copies would be
+    // two heap allocations per application).
+    let d = derivative.d().as_slice();
+    let dt = derivative.dt().as_slice();
 
     w.par_chunks_mut(npts).enumerate().for_each_init(
         || AxScratch::new(nx),
@@ -43,7 +45,7 @@ pub fn ax_parallel(
                 &g_planes[4][range.clone()],
                 &g_planes[5][range.clone()],
             ];
-            ax_element_split(&u[range.clone()], w_elem, g, &d, &dt, nx, scratch);
+            ax_element_split(&u[range.clone()], w_elem, g, d, dt, nx, scratch);
         },
     );
 }

@@ -121,6 +121,15 @@ impl ElementField {
         self.element_mut(e)[idx] = value;
     }
 
+    /// Copy every value from `other` (BLAS `copy`); no allocation.
+    ///
+    /// # Panics
+    /// Panics if the fields have different sizes.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "field size mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// `self <- self + alpha * other` (BLAS `axpy`).
     ///
     /// # Panics

@@ -20,6 +20,13 @@ pub struct GatherScatter {
     num_global: usize,
     /// How many local copies each *local* node has (its global multiplicity).
     multiplicity: Vec<f64>,
+    /// CSR offsets into [`GatherScatter::csr_locals`]: the local copies of
+    /// global node `g` are `csr_locals[csr_offsets[g]..csr_offsets[g + 1]]`,
+    /// in ascending local order.
+    csr_offsets: Vec<usize>,
+    /// Local indices grouped by their global node (the inverse of
+    /// `local_to_global`, in CSR form).
+    csr_locals: Vec<usize>,
 }
 
 impl GatherScatter {
@@ -28,17 +35,36 @@ impl GatherScatter {
     pub fn from_mesh(mesh: &BoxMesh) -> Self {
         let local_to_global = mesh.local_to_global();
         let num_global = mesh.num_global_dofs();
-        let mut counts = vec![0.0_f64; num_global];
+        let mut counts = vec![0_usize; num_global];
         for &g in &local_to_global {
-            counts[g] += 1.0;
+            counts[g] += 1;
         }
-        let multiplicity = local_to_global.iter().map(|&g| counts[g]).collect();
+        let multiplicity = local_to_global.iter().map(|&g| counts[g] as f64).collect();
+
+        // Invert local→global into a CSR global→locals map so dssum can run
+        // as one gather-accumulate-scatter sweep without a global work vector.
+        let mut csr_offsets = vec![0_usize; num_global + 1];
+        for g in 0..num_global {
+            csr_offsets[g + 1] = csr_offsets[g] + counts[g];
+        }
+        let mut next = csr_offsets[..num_global].to_vec();
+        let mut csr_locals = vec![0_usize; local_to_global.len()];
+        // Filling in ascending local order keeps each global node's copies
+        // sorted, so the CSR sweep accumulates in the same order as the
+        // legacy scatter/gather path (bitwise-identical sums).
+        for (l, &g) in local_to_global.iter().enumerate() {
+            csr_locals[next[g]] = l;
+            next[g] += 1;
+        }
+
         Self {
             degree: mesh.degree(),
             num_elements: mesh.num_elements(),
             local_to_global,
             num_global,
             multiplicity,
+            csr_offsets,
+            csr_locals,
         }
     }
 
@@ -85,7 +111,36 @@ impl GatherScatter {
 
     /// Direct stiffness summation `QQᵀ`: sum shared nodes and write the sum
     /// back to every copy.  This is the "dssum" of Nek5000/Nekbone.
+    ///
+    /// Runs as a single sweep over the precomputed CSR global→locals map —
+    /// gather each global node's copies, accumulate, scatter the sum back —
+    /// with no intermediate global vector, so a CG iteration performs no
+    /// heap allocation here.  Bitwise identical to
+    /// [`GatherScatter::direct_stiffness_sum_via_global`].
     pub fn direct_stiffness_sum(&self, field: &mut ElementField) {
+        assert_eq!(field.len(), self.num_local_dofs(), "field size mismatch");
+        let data = field.as_mut_slice();
+        for g in 0..self.num_global {
+            let locals = &self.csr_locals[self.csr_offsets[g]..self.csr_offsets[g + 1]];
+            // Nodes with a single copy (element interiors, the vast majority)
+            // are already "summed".
+            if locals.len() == 1 {
+                continue;
+            }
+            let mut sum = 0.0;
+            for &l in locals {
+                sum += data[l];
+            }
+            for &l in locals {
+                data[l] = sum;
+            }
+        }
+    }
+
+    /// The legacy two-pass dssum: scatter-add into a freshly allocated global
+    /// vector, then gather back.  Retained as the reference the CSR sweep is
+    /// parity-tested against (and for callers that want the global vector).
+    pub fn direct_stiffness_sum_via_global(&self, field: &mut ElementField) {
         let global = self.scatter_add(field);
         for (l, &g) in self.local_to_global.iter().enumerate() {
             field.as_mut_slice()[l] = global[g];
@@ -183,6 +238,30 @@ mod tests {
         let back = gs.gather(&global);
         for (l, &v) in back.as_slice().iter().enumerate() {
             assert!((v - gs.multiplicity()[l]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn csr_dssum_matches_the_legacy_global_vector_path_bitwise() {
+        for (degree, elems) in [(2, 2), (3, 3), (5, 2)] {
+            let (mesh, gs) = setup(degree, elems);
+            let mut field = ElementField::zeros(degree, mesh.num_elements());
+            let mut state = 0x9e37_79b9_u64;
+            field.fill_with(|_, _, _, _| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                (state >> 11) as f64 / (1_u64 << 53) as f64 - 0.5
+            });
+            let mut csr = field.clone();
+            let mut legacy = field;
+            gs.direct_stiffness_sum(&mut csr);
+            gs.direct_stiffness_sum_via_global(&mut legacy);
+            assert_eq!(
+                csr.as_slice(),
+                legacy.as_slice(),
+                "CSR sweep must be bitwise identical at degree {degree}, {elems}^3 elements"
+            );
         }
     }
 

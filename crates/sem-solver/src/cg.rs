@@ -40,6 +40,32 @@ pub trait LocalOperator {
     fn seconds_per_application(&self) -> Option<f64> {
         None
     }
+
+    /// Whether this operator claims the fused `w = QQᵀ(A u)` application
+    /// (operator plus direct stiffness summation in one pass).  Accelerator
+    /// backends that keep the field resident claim it so the gather–scatter
+    /// does not bounce back to a separate host pass; the solver then calls
+    /// [`LocalOperator::apply_dssum_into`] instead of applying and summing
+    /// separately.
+    fn fuses_dssum(&self) -> bool {
+        false
+    }
+
+    /// Fused operator application plus direct stiffness summation:
+    /// `w = QQᵀ(A u)` (still no masking).  The default composes
+    /// [`LocalOperator::apply_local_into`] with the gather–scatter's CSR
+    /// sweep; operators that return `true` from
+    /// [`LocalOperator::fuses_dssum`] may override it with a genuinely
+    /// single-pass implementation.
+    fn apply_dssum_into(
+        &self,
+        u: &ElementField,
+        gather_scatter: &GatherScatter,
+        w: &mut ElementField,
+    ) {
+        self.apply_local_into(u, w);
+        gather_scatter.direct_stiffness_sum(w);
+    }
 }
 
 impl LocalOperator for PoissonOperator {
@@ -120,8 +146,17 @@ impl CgOutcome {
 
 /// A preconditioner maps a residual to a search-direction correction.
 pub trait Preconditioner {
-    /// Apply `z = M^{-1} r`.
-    fn apply(&self, r: &ElementField) -> ElementField;
+    /// Apply `z = M^{-1} r` into a preallocated output (`z` is fully
+    /// overwritten) — the allocation-free path the CG hot loop uses.
+    fn apply_into(&self, r: &ElementField, z: &mut ElementField);
+
+    /// Apply `z = M^{-1} r`, allocating the output (convenience wrapper over
+    /// [`Preconditioner::apply_into`]).
+    fn apply(&self, r: &ElementField) -> ElementField {
+        let mut z = ElementField::zeros(r.degree(), r.num_elements());
+        self.apply_into(r, &mut z);
+        z
+    }
 }
 
 /// The identity preconditioner (plain CG).
@@ -129,8 +164,53 @@ pub trait Preconditioner {
 pub struct IdentityPreconditioner;
 
 impl Preconditioner for IdentityPreconditioner {
-    fn apply(&self, r: &ElementField) -> ElementField {
-        r.clone()
+    fn apply_into(&self, r: &ElementField, z: &mut ElementField) {
+        z.copy_from(r);
+    }
+}
+
+/// Reusable work buffers for [`CgSolver::solve_with_scratch`]: the five
+/// fields (`x`, `r`, `z`, `p`, `w`) a CG solve iterates on, allocated once
+/// and reused across solves so a solve performs **zero heap allocations**
+/// after setup.  A batched driver (`sem-accel`'s `solve_many`) shares one
+/// scratch across its whole batch.
+#[derive(Debug, Clone)]
+pub struct CgScratch {
+    /// The iterate.
+    x: ElementField,
+    /// The residual.
+    r: ElementField,
+    /// The preconditioned residual.
+    z: ElementField,
+    /// The search direction.
+    p: ElementField,
+    /// The operator application `A p`.
+    w: ElementField,
+}
+
+impl CgScratch {
+    /// Allocate scratch for a problem of the given degree and element count.
+    #[must_use]
+    pub fn new(degree: usize, num_elements: usize) -> Self {
+        Self {
+            x: ElementField::zeros(degree, num_elements),
+            r: ElementField::zeros(degree, num_elements),
+            z: ElementField::zeros(degree, num_elements),
+            p: ElementField::zeros(degree, num_elements),
+            w: ElementField::zeros(degree, num_elements),
+        }
+    }
+
+    /// Allocate scratch matching an operator's dimensions.
+    #[must_use]
+    pub fn for_operator<Op: LocalOperator + ?Sized>(operator: &Op) -> Self {
+        Self::new(operator.degree(), operator.num_elements())
+    }
+
+    /// Whether the scratch matches the given problem dimensions.
+    #[must_use]
+    pub fn matches(&self, degree: usize, num_elements: usize) -> bool {
+        self.x.degree() == degree && self.x.num_elements() == num_elements
     }
 }
 
@@ -192,12 +272,27 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
 
     /// Like [`CgSolver::apply_operator`], but into a preallocated output and
     /// returning the seconds the application cost (measured wall-clock when
-    /// the operator has no accounting of its own).
+    /// the operator has no accounting of its own).  Operators that claim the
+    /// fused `Ax`+dssum pass (see [`LocalOperator::fuses_dssum`]) get one
+    /// call instead of an apply followed by a host gather–scatter.
     fn apply_operator_into(&self, u: &ElementField, w: &mut ElementField) -> f64 {
         match self.operator.seconds_per_application() {
             Some(seconds) => {
-                self.operator.apply_local_into(u, w);
-                self.gather_scatter.direct_stiffness_sum(w);
+                if self.operator.fuses_dssum() {
+                    self.operator.apply_dssum_into(u, self.gather_scatter, w);
+                } else {
+                    self.operator.apply_local_into(u, w);
+                    self.gather_scatter.direct_stiffness_sum(w);
+                }
+                self.mask.apply(w);
+                seconds
+            }
+            None if self.operator.fuses_dssum() => {
+                // The fused pass is indivisible, so its wall clock includes
+                // the summation.
+                let start = Instant::now();
+                self.operator.apply_dssum_into(u, self.gather_scatter, w);
+                let seconds = start.elapsed().as_secs_f64();
                 self.mask.apply(w);
                 seconds
             }
@@ -214,26 +309,57 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
         }
     }
 
-    /// Solve `A x = b` with an optional preconditioner.
+    /// Solve `A x = b` with an optional preconditioner, allocating a private
+    /// [`CgScratch`] (see [`CgSolver::solve_with_scratch`] for the reusable,
+    /// allocation-free entry point).
     ///
     /// `rhs` must already be continuous (direct-stiffness-summed) and masked;
     /// [`crate::poisson::PoissonProblem`] produces it in that form.
     #[must_use]
     pub fn solve<P: Preconditioner>(&self, rhs: &ElementField, precond: &P) -> CgOutcome {
+        let mut scratch = CgScratch::new(self.operator.degree(), self.operator.num_elements());
+        self.solve_with_scratch(rhs, precond, &mut scratch)
+    }
+
+    /// Solve `A x = b` reusing caller-owned work buffers.
+    ///
+    /// After the scratch is allocated (once, reusable across any number of
+    /// solves) the iteration performs **no heap allocation**: the residual,
+    /// search direction, preconditioned residual and operator output all
+    /// live in `scratch`, the preconditioner writes through
+    /// [`Preconditioner::apply_into`], and the gather–scatter runs its CSR
+    /// sweep in place.  The only allocations per solve are the returned
+    /// solution (cloned out of the scratch on exit) and, when
+    /// `record_history` is set, the residual history.
+    ///
+    /// # Panics
+    /// Panics if `rhs` or `scratch` do not match the operator's degree and
+    /// element count.
+    #[must_use]
+    pub fn solve_with_scratch<P: Preconditioner>(
+        &self,
+        rhs: &ElementField,
+        precond: &P,
+        scratch: &mut CgScratch,
+    ) -> CgOutcome {
         let degree = self.operator.degree();
         let nelems = self.operator.num_elements();
         assert_eq!(rhs.degree(), degree, "rhs degree mismatch");
         assert_eq!(rhs.num_elements(), nelems, "rhs element count mismatch");
+        assert!(
+            scratch.matches(degree, nelems),
+            "scratch dimensions mismatch"
+        );
 
-        let mut x = ElementField::zeros(degree, nelems);
-        let mut r = rhs.clone();
-        self.mask.apply(&mut r);
+        scratch.x.fill_zero();
+        scratch.r.copy_from(rhs);
+        self.mask.apply(&mut scratch.r);
 
-        let b_norm = self.inner_product(&r, &r).sqrt();
+        let b_norm = self.inner_product(&scratch.r, &scratch.r).sqrt();
         let mut history = Vec::new();
         if b_norm == 0.0 {
             return CgOutcome {
-                solution: x,
+                solution: scratch.x.clone(),
                 iterations: 0,
                 relative_residual: 0.0,
                 residual_history: history,
@@ -244,11 +370,10 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
             };
         }
 
-        let mut z = precond.apply(&r);
-        self.mask.apply(&mut z);
-        let mut p = z.clone();
-        let mut w = ElementField::zeros(degree, nelems);
-        let mut rz = self.inner_product(&r, &z);
+        precond.apply_into(&scratch.r, &mut scratch.z);
+        self.mask.apply(&mut scratch.z);
+        scratch.p.copy_from(&scratch.z);
+        let mut rz = self.inner_product(&scratch.r, &scratch.z);
         let mut operator_flops = 0_u64;
         let mut operator_applications = 0_usize;
         let mut operator_seconds = 0.0_f64;
@@ -258,20 +383,20 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
 
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
-            operator_seconds += self.apply_operator_into(&p, &mut w);
+            operator_seconds += self.apply_operator_into(&scratch.p, &mut scratch.w);
             operator_flops += self.operator.flops_per_application();
             operator_applications += 1;
-            let pw = self.inner_product(&p, &w);
+            let pw = self.inner_product(&scratch.p, &scratch.w);
             // A breakdown (pw <= 0) can only occur through rounding on a
             // semi-definite system; bail out with what we have.
             if pw <= 0.0 {
                 break;
             }
             let alpha = rz / pw;
-            x.axpy(alpha, &p);
-            r.axpy(-alpha, &w);
+            scratch.x.axpy(alpha, &scratch.p);
+            scratch.r.axpy(-alpha, &scratch.w);
 
-            let r_norm = self.inner_product(&r, &r).sqrt();
+            let r_norm = self.inner_product(&scratch.r, &scratch.r).sqrt();
             rel_res = r_norm / b_norm;
             if self.options.record_history {
                 history.push(rel_res);
@@ -281,18 +406,17 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                 break;
             }
 
-            let mut z_new = precond.apply(&r);
-            self.mask.apply(&mut z_new);
-            let rz_new = self.inner_product(&r, &z_new);
+            precond.apply_into(&scratch.r, &mut scratch.z);
+            self.mask.apply(&mut scratch.z);
+            let rz_new = self.inner_product(&scratch.r, &scratch.z);
             let beta = rz_new / rz;
             rz = rz_new;
-            z = z_new;
             // p = z + beta p
-            p.scale_add(beta, &z);
+            scratch.p.scale_add(beta, &scratch.z);
         }
 
         CgOutcome {
-            solution: x,
+            solution: scratch.x.clone(),
             iterations,
             relative_residual: rel_res,
             residual_history: history,
@@ -374,6 +498,47 @@ mod tests {
         // be far below the initial one and the history non-empty.
         assert!(!out.residual_history.is_empty());
         assert!(out.relative_residual < 1e-8);
+    }
+
+    #[test]
+    fn shared_scratch_solves_match_fresh_scratch_solves_bitwise() {
+        let (mesh, op, gs, mask) = make_problem(4, 2);
+        let solver = CgSolver::new(
+            &op,
+            &gs,
+            &mask,
+            CgOptions {
+                max_iterations: 300,
+                tolerance: 1e-11,
+                record_history: true,
+            },
+        );
+        let mut shared = CgScratch::for_operator(&op);
+        for trial in 0..3 {
+            let mut x_exact = mesh.evaluate(|x, y, z| {
+                (x * (1.0 - x)) * (y * (1.0 - y)) * ((1.0 + trial as f64) * z).sin()
+            });
+            mask.apply(&mut x_exact);
+            let rhs = solver.apply_operator(&x_exact);
+            // One scratch reused across the whole batch of solves...
+            let reused = solver.solve_with_scratch(&rhs, &IdentityPreconditioner, &mut shared);
+            // ...must match a solve with private buffers bitwise.
+            let fresh = solver.solve(&rhs, &IdentityPreconditioner);
+            assert_eq!(reused.solution.as_slice(), fresh.solution.as_slice());
+            assert_eq!(reused.iterations, fresh.iterations);
+            assert_eq!(reused.residual_history, fresh.residual_history);
+            assert!(reused.converged);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch dimensions mismatch")]
+    fn mismatched_scratch_is_rejected() {
+        let (_, op, gs, mask) = make_problem(3, 2);
+        let solver = CgSolver::new(&op, &gs, &mask, CgOptions::default());
+        let rhs = ElementField::zeros(3, 8);
+        let mut wrong = CgScratch::new(4, 8);
+        let _ = solver.solve_with_scratch(&rhs, &IdentityPreconditioner, &mut wrong);
     }
 
     #[test]

@@ -52,10 +52,9 @@ impl JacobiPreconditioner {
 }
 
 impl Preconditioner for JacobiPreconditioner {
-    fn apply(&self, r: &ElementField) -> ElementField {
-        let mut z = r.clone();
+    fn apply_into(&self, r: &ElementField, z: &mut ElementField) {
+        z.copy_from(r);
         z.pointwise_mul(&self.inverse_diagonal);
-        z
     }
 }
 

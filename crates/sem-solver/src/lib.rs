@@ -27,7 +27,10 @@ pub mod jacobi;
 pub mod poisson;
 pub mod proxy;
 
-pub use cg::{CgOptions, CgOutcome, CgSolver, LocalOperator};
+pub use cg::{
+    CgOptions, CgOutcome, CgScratch, CgSolver, IdentityPreconditioner, LocalOperator,
+    Preconditioner,
+};
 pub use jacobi::JacobiPreconditioner;
 pub use poisson::{PoissonProblem, PoissonSolution};
 pub use proxy::{ProxyConfig, ProxyResult};

@@ -83,6 +83,65 @@ impl PoissonProblem {
         b
     }
 
+    /// The discrete right-hand side of the standard manufactured problem
+    /// (`u*(x, y, z) = Π_i sin(π x_i / L_i)`), ready to hand to a batched
+    /// solve path (`sem-accel`'s `solve_many`).
+    #[must_use]
+    pub fn manufactured_rhs(&self) -> ElementField {
+        let lengths = self.mesh.lengths();
+        let pi = std::f64::consts::PI;
+        let factor: f64 = lengths.iter().map(|&l| (pi / l) * (pi / l)).sum();
+        self.right_hand_side(|x, y, z| {
+            factor
+                * (pi * x / lengths[0]).sin()
+                * (pi * y / lengths[1]).sin()
+                * (pi * z / lengths[2]).sin()
+        })
+    }
+
+    /// The masked nodal values of the standard manufactured solution, for
+    /// error measurement via [`PoissonProblem::error_against`].
+    #[must_use]
+    pub fn manufactured_exact(&self) -> ElementField {
+        let lengths = self.mesh.lengths();
+        let pi = std::f64::consts::PI;
+        let mut exact = self.mesh.evaluate(|x, y, z| {
+            (pi * x / lengths[0]).sin() * (pi * y / lengths[1]).sin() * (pi * z / lengths[2]).sin()
+        });
+        self.mask.apply(&mut exact);
+        exact
+    }
+
+    /// Maximum nodal error and weighted (mass-matrix) L2 error of `solution`
+    /// against a masked exact field, computed in one fused sweep with no
+    /// intermediate fields.
+    ///
+    /// # Panics
+    /// Panics if the fields do not match the problem's dimensions.
+    #[must_use]
+    pub fn error_against(&self, solution: &ElementField, exact: &ElementField) -> (f64, f64) {
+        assert_eq!(solution.len(), exact.len(), "field size mismatch");
+        let mass = self.operator.geometry().mass();
+        let multiplicity = self.gather_scatter.multiplicity();
+        assert_eq!(solution.len(), mass.len(), "mass size mismatch");
+        let mut max_error = 0.0_f64;
+        let mut l2_sq = 0.0_f64;
+        for (((&u, &e), &b), &m) in solution
+            .as_slice()
+            .iter()
+            .zip(exact.as_slice())
+            .zip(mass.as_slice())
+            .zip(multiplicity)
+        {
+            let diff = u - e;
+            max_error = max_error.max(diff.abs());
+            // Weight by B / multiplicity so each unique grid point is
+            // integrated once.
+            l2_sq += diff * diff * b / m;
+        }
+        (max_error, l2_sq.sqrt())
+    }
+
     /// Solve with the standard manufactured solution
     /// `u*(x, y, z) = Π_i sin(π x_i / L_i)` (which vanishes on the boundary),
     /// returning error metrics.
@@ -96,6 +155,10 @@ impl PoissonProblem {
     /// execution backend from `sem-accel` — while right-hand-side assembly
     /// and preconditioning stay on the host discretisation.
     ///
+    /// Assembles the same bits as [`PoissonProblem::manufactured_rhs`], so a
+    /// batched driver replicating that right-hand side reproduces this solve
+    /// exactly.
+    ///
     /// # Panics
     /// Panics if `operator` does not match the problem's degree and element
     /// count.
@@ -106,14 +169,56 @@ impl PoissonProblem {
         options: CgOptions,
         use_jacobi: bool,
     ) -> PoissonSolution {
-        let lengths = self.mesh.lengths();
-        let pi = std::f64::consts::PI;
-        let factor: f64 = lengths.iter().map(|&l| (pi / l) * (pi / l)).sum();
-        let exact = |x: f64, y: f64, z: f64| {
-            (pi * x / lengths[0]).sin() * (pi * y / lengths[1]).sin() * (pi * z / lengths[2]).sin()
-        };
-        let forcing = move |x: f64, y: f64, z: f64| factor * exact(x, y, z);
-        self.solve_with_exact_through(operator, options, use_jacobi, forcing, exact)
+        let rhs = self.manufactured_rhs();
+        let cg = self.solve_rhs_through(operator, options, use_jacobi, &rhs);
+        let exact_field = self.manufactured_exact();
+        let (max_error, l2_error) = self.error_against(&cg.solution, &exact_field);
+        PoissonSolution {
+            solution: cg.solution.clone(),
+            max_error,
+            l2_error,
+            cg,
+        }
+    }
+
+    /// Solve an already-assembled (continuous, masked) right-hand side
+    /// through `operator`, returning the raw CG outcome — no exact solution
+    /// is associated, so there are no error metrics.  This is the
+    /// single-RHS building block of the batched `solve_many` path in
+    /// `sem-accel`.
+    ///
+    /// # Panics
+    /// Panics if `operator` or `rhs` do not match the problem's degree and
+    /// element count.
+    #[must_use]
+    pub fn solve_rhs_through<Op: LocalOperator + ?Sized>(
+        &self,
+        operator: &Op,
+        options: CgOptions,
+        use_jacobi: bool,
+        rhs: &ElementField,
+    ) -> CgOutcome {
+        assert_eq!(operator.degree(), self.mesh.degree(), "degree mismatch");
+        assert_eq!(
+            operator.num_elements(),
+            self.mesh.num_elements(),
+            "element count mismatch"
+        );
+        let solver = CgSolver::new(operator, &self.gather_scatter, &self.mask, options);
+        if use_jacobi {
+            let pc = self.jacobi_preconditioner();
+            solver.solve(rhs, &pc)
+        } else {
+            solver.solve(rhs, &IdentityPreconditioner)
+        }
+    }
+
+    /// The Jacobi preconditioner of this discretisation (the diagonal comes
+    /// from the host operator; building it is setup cost, so batched drivers
+    /// construct it once per batch).
+    #[must_use]
+    pub fn jacobi_preconditioner(&self) -> JacobiPreconditioner {
+        JacobiPreconditioner::new(&self.operator, &self.gather_scatter, &self.mask)
     }
 
     /// Solve for an arbitrary forcing with a known exact solution and report
@@ -173,18 +278,8 @@ impl PoissonProblem {
 
         let mut exact_field = self.mesh.evaluate(exact);
         self.mask.apply(&mut exact_field);
-        let mut diff = cg.solution.clone();
-        diff.axpy(-1.0, &exact_field);
-        let max_error = diff.max_abs();
-
-        // Weighted L2 error: sqrt( Σ (diff^2) * B / multiplicity ).
-        let mass = self.operator.geometry().mass();
-        let invm = self.gather_scatter.inverse_multiplicity();
-        let mut weighted = diff.clone();
-        weighted.pointwise_mul(&diff);
-        weighted.pointwise_mul(mass);
-        weighted.pointwise_mul(&invm);
-        let l2_error = weighted.as_slice().iter().sum::<f64>().sqrt();
+        // One fused sweep instead of diff/weighted intermediate clones.
+        let (max_error, l2_error) = self.error_against(&cg.solution, &exact_field);
 
         PoissonSolution {
             solution: cg.solution.clone(),

@@ -1,0 +1,108 @@
+//! The CG hot loop must be allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after a warmup
+//! solve (which sizes the kernel's thread-local element scratch), repeated
+//! solves through a shared [`sem_solver::CgScratch`] must allocate a small,
+//! **iteration-count-independent** number of times — i.e. nothing inside the
+//! iteration loop touches the heap.  This file holds exactly one test so no
+//! concurrent test pollutes the global counter.
+
+use sem_kernel::{AxImplementation, PoissonOperator};
+use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter};
+use sem_solver::{CgOptions, CgScratch, CgSolver, JacobiPreconditioner};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a relaxed
+// atomic side effect.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn solver_options(max_iterations: usize) -> CgOptions {
+    CgOptions {
+        max_iterations,
+        // Unreachable tolerance: every solve runs to its iteration cap, so
+        // the two measurements below differ only in loop trips.
+        tolerance: 1e-30,
+        record_history: false,
+    }
+}
+
+#[test]
+fn cg_iterations_perform_no_heap_allocations_with_a_shared_scratch() {
+    let mesh = BoxMesh::unit_cube(4, 2);
+    let operator = PoissonOperator::new(&mesh, AxImplementation::Optimized);
+    let gather_scatter = GatherScatter::from_mesh(&mesh);
+    let mask = DirichletMask::from_mesh(&mesh);
+    let preconditioner = JacobiPreconditioner::new(&operator, &gather_scatter, &mask);
+
+    let short = CgSolver::new(&operator, &gather_scatter, &mask, solver_options(5));
+    let long = CgSolver::new(&operator, &gather_scatter, &mask, solver_options(55));
+
+    let mut x_exact = mesh.evaluate(|x, y, z| x * (1.0 - x) * y * (1.0 - y) * (3.0 * z).sin());
+    mask.apply(&mut x_exact);
+    let rhs = short.apply_operator(&x_exact);
+
+    let mut scratch = CgScratch::new(4, mesh.num_elements());
+    // Warmup: sizes the kernel's thread-local element scratch and touches
+    // every code path once.
+    let warmup = short.solve_with_scratch(&rhs, &preconditioner, &mut scratch);
+    assert_eq!(warmup.iterations, 5);
+
+    let before_short = allocations();
+    let out_short = short.solve_with_scratch(&rhs, &preconditioner, &mut scratch);
+    let delta_short = allocations() - before_short;
+
+    let before_long = allocations();
+    let out_long = long.solve_with_scratch(&rhs, &preconditioner, &mut scratch);
+    let delta_long = allocations() - before_long;
+
+    assert!(
+        out_long.iterations > out_short.iterations,
+        "the long solve must actually iterate more ({} vs {})",
+        out_long.iterations,
+        out_short.iterations
+    );
+    // The only per-solve allocation is the returned solution clone; fifty
+    // extra iterations must not add heap traffic.  A small slack absorbs
+    // incidental allocator activity outside the loop (e.g. the test harness).
+    assert!(
+        delta_short <= 8,
+        "a 5-iteration solve allocated {delta_short} times"
+    );
+    assert!(
+        delta_long <= delta_short + 4,
+        "extra iterations leaked allocations: {delta_long} (long) vs {delta_short} (short)"
+    );
+
+    // And the reused scratch did not disturb correctness.
+    let fresh = long.solve(&rhs, &preconditioner);
+    assert_eq!(fresh.solution.as_slice(), out_long.solution.as_slice());
+    let _ = ElementField::zeros(4, mesh.num_elements()); // counter sanity:
+    assert!(allocations() > before_short, "the counter must be live");
+}
