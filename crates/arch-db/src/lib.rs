@@ -23,5 +23,7 @@
 pub mod catalog;
 pub mod machine_model;
 
-pub use catalog::{fpga_device, fpga_device_slugs, table2, Architecture, MachineClass};
+pub use catalog::{
+    fpga_device, fpga_device_slugs, projected_fpga_slugs, table2, Architecture, MachineClass,
+};
 pub use machine_model::{calibrated_models, MachineModel};

@@ -1,0 +1,304 @@
+//! Pipelined serving benchmark: the overlap win per backend and the
+//! scheduling-policy ranking on a heterogeneous pool.
+//!
+//! Part 1 — for every simulated registry backend, serve a batch of
+//! right-hand sides through `sem-serve`'s three-stage offload pipeline and
+//! compare the modelled per-RHS end-to-end seconds against PR 2's serial
+//! accounting (one number per backend and batch size, plus the kernel
+//! launch/work split from the stage-timing hook).
+//!
+//! Part 2 — serve a mixed workload over a heterogeneous pool (host CPU +
+//! real FPGA + a Section V-D projected device) under each scheduling policy
+//! and record throughput, p50/p99 latency and per-device utilisation.
+//!
+//! Writes `BENCH_serve.json` so successive PRs can track the serving
+//! trajectory, and prints summary tables.
+//!
+//! Run with `cargo run --release -p bench --bin serve -- [degree] [elements_per_side] [requests]`
+//! (CI runs a tiny smoke size: `-- 3 2 6`).
+
+use bench::table::{fmt, TableWriter};
+use sem_accel::{Backend, SemSystem};
+use sem_serve::{
+    policy_by_name, policy_names, PipelineConfig, PipelineTimeline, ProblemSpec, ServeOptions,
+    ServeRequest, Server,
+};
+use sem_solver::CgOptions;
+use serde::Serialize;
+
+/// Batch sizes of the per-backend overlap sweep.
+const BATCHES: [usize; 2] = [16, 64];
+
+/// The heterogeneous policy-comparison pool: measured host, evaluated
+/// board, and a model-designed future device, side by side.
+const POLICY_POOL: [&str; 3] = [
+    "cpu:parallel",
+    "fpga:stratix10-gx2800",
+    "fpga:projected:a100-class",
+];
+
+/// One (backend, batch) point of the overlap sweep.
+#[derive(Debug, Clone, Serialize)]
+struct PipelineRow {
+    backend: String,
+    batch: usize,
+    iterations: usize,
+    /// Per-RHS kernel seconds.
+    per_rhs_operator_seconds: f64,
+    /// Per-RHS transfer under the serial (blocking) accounting.
+    per_rhs_serial_transfer_seconds: f64,
+    /// Per-RHS transfer left exposed by the overlapped pipeline.
+    per_rhs_pipelined_transfer_seconds: f64,
+    /// Serial per-RHS end-to-end seconds (PR 2's accounting).
+    per_rhs_serial_modeled_seconds: f64,
+    /// Pipelined per-RHS end-to-end seconds.
+    per_rhs_pipelined_modeled_seconds: f64,
+    /// Relative end-to-end improvement of the overlap, percent.
+    overlap_win_percent: f64,
+    /// Kernel-channel utilisation of the overlapped session.
+    compute_utilisation: f64,
+    /// Once-per-submission kernel launch seconds (stage-timing hook).
+    launch_seconds: f64,
+    /// Whether the served solutions matched `SemSystem::solve_many` bitwise.
+    bitwise_identical: bool,
+}
+
+/// One policy of the heterogeneous-pool comparison.
+#[derive(Debug, Clone, Serialize)]
+struct PolicyRow {
+    policy: String,
+    requests: usize,
+    jobs: usize,
+    makespan_seconds: f64,
+    serial_makespan_seconds: f64,
+    throughput_rps: f64,
+    p50_latency_seconds: f64,
+    p99_latency_seconds: f64,
+    /// `label: requests@utilisation` per device.
+    devices: Vec<String>,
+}
+
+/// The persisted benchmark.
+#[derive(Debug, Clone, Serialize)]
+struct ServeBenchReport {
+    degree: usize,
+    elements_per_side: usize,
+    policy_requests: usize,
+    pool: Vec<String>,
+    pipeline: Vec<PipelineRow>,
+    policies: Vec<PolicyRow>,
+}
+
+fn cg() -> CgOptions {
+    CgOptions {
+        max_iterations: 2000,
+        tolerance: 1e-10,
+        record_history: false,
+    }
+}
+
+fn pipeline_sweep(degree: usize, per_side: usize) -> Vec<PipelineRow> {
+    let mut table = TableWriter::new(vec![
+        "backend",
+        "batch",
+        "op/RHS (ms)",
+        "serial xfer/RHS (ms)",
+        "piped xfer/RHS (ms)",
+        "serial e2e/RHS (ms)",
+        "piped e2e/RHS (ms)",
+        "win",
+        "kernel util",
+    ]);
+    let mut rows = Vec::new();
+    let spec = ProblemSpec::cube(degree, per_side);
+    for name in Backend::registry_names() {
+        let backend = Backend::from_name(&name).expect("registry name resolves");
+        if !backend.is_simulated() {
+            // Host backends move no data; the pipeline degenerates and the
+            // overlap story is about the accelerators.
+            continue;
+        }
+        let system = SemSystem::builder()
+            .degree(degree)
+            .elements([per_side; 3])
+            .backend(backend)
+            .build();
+        // Cross-check once per backend: the serving path returns the very
+        // same vectors (batched solves are batch-size independent, so the
+        // smallest batch suffices — the per-batch sweep below reuses the
+        // verdict instead of re-solving every workload twice).
+        let check_batch = BATCHES[0];
+        let check_reports = system.solve_many_manufactured(check_batch, cg(), true);
+        let mut server = Server::from_registry_names(
+            &[name.as_str()],
+            ServeOptions {
+                cg: cg(),
+                max_batch: check_batch,
+                ..ServeOptions::default()
+            },
+        );
+        let requests: Vec<ServeRequest> = (0..check_batch)
+            .map(|_| ServeRequest::manufactured(spec))
+            .collect();
+        let served = server.serve(&requests, &mut sem_serve::RoundRobin::default());
+        let bitwise_identical = served
+            .outcomes
+            .iter()
+            .zip(&check_reports)
+            .all(|(o, r)| o.solution.as_slice() == r.solution.solution.as_slice());
+
+        for batch in BATCHES {
+            let reports = if batch == check_batch {
+                check_reports.clone()
+            } else {
+                system.solve_many_manufactured(batch, cg(), true)
+            };
+            let timeline = PipelineTimeline::from_reports(
+                system.offload_plan().as_ref(),
+                &reports,
+                PipelineConfig::default(),
+            );
+            let b = batch as f64;
+            let per_rhs_operator_seconds =
+                reports.iter().map(|r| r.operator.seconds).sum::<f64>() / b;
+            let per_rhs_serial_transfer_seconds =
+                reports.iter().map(|r| r.transfer_seconds).sum::<f64>() / b;
+            let per_rhs_pipelined_transfer_seconds = reports
+                .iter()
+                .map(|r| r.pipelined_transfer_seconds)
+                .sum::<f64>()
+                / b;
+            let serial = per_rhs_operator_seconds + per_rhs_serial_transfer_seconds;
+            let pipelined = per_rhs_operator_seconds + per_rhs_pipelined_transfer_seconds;
+            let launch_seconds = system.accelerator().map_or(0.0, |acc| {
+                acc.stage_timing(spec.num_elements()).launch_seconds
+            });
+            let row = PipelineRow {
+                backend: name.clone(),
+                batch,
+                iterations: reports[0].iterations(),
+                per_rhs_operator_seconds,
+                per_rhs_serial_transfer_seconds,
+                per_rhs_pipelined_transfer_seconds,
+                per_rhs_serial_modeled_seconds: serial,
+                per_rhs_pipelined_modeled_seconds: pipelined,
+                overlap_win_percent: (1.0 - pipelined / serial) * 100.0,
+                compute_utilisation: timeline.compute_utilisation(),
+                launch_seconds,
+                bitwise_identical,
+            };
+            table.row(vec![
+                name.clone(),
+                batch.to_string(),
+                fmt(row.per_rhs_operator_seconds * 1e3, 3),
+                fmt(row.per_rhs_serial_transfer_seconds * 1e3, 4),
+                fmt(row.per_rhs_pipelined_transfer_seconds * 1e3, 4),
+                fmt(row.per_rhs_serial_modeled_seconds * 1e3, 3),
+                fmt(row.per_rhs_pipelined_modeled_seconds * 1e3, 3),
+                format!("{:.1}%", row.overlap_win_percent),
+                format!("{:.0}%", row.compute_utilisation * 100.0),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+    rows
+}
+
+fn policy_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<PolicyRow> {
+    let spec = ProblemSpec::cube(degree, per_side);
+    let requests: Vec<ServeRequest> = (0..num_requests)
+        .map(|i| ServeRequest::seeded(spec, i as u64))
+        .collect();
+    let mut table = TableWriter::new(vec![
+        "policy",
+        "makespan (ms)",
+        "serial (ms)",
+        "rps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "placement",
+    ]);
+    let mut rows = Vec::new();
+    for name in policy_names() {
+        let mut policy = policy_by_name(name).expect("known policy");
+        let mut server = Server::from_registry_names(
+            &POLICY_POOL,
+            ServeOptions {
+                cg: cg(),
+                max_batch: 4,
+                ..ServeOptions::default()
+            },
+        );
+        let report = server.serve(&requests, policy.as_mut());
+        let summary = report.summary();
+        let devices: Vec<String> = summary
+            .devices
+            .iter()
+            .map(|d| format!("{}: {}@{:.0}%", d.label, d.requests, d.utilisation * 100.0))
+            .collect();
+        table.row(vec![
+            name.to_string(),
+            fmt(summary.makespan_seconds * 1e3, 3),
+            fmt(summary.serial_makespan_seconds * 1e3, 3),
+            fmt(summary.throughput_rps, 1),
+            fmt(summary.p50_latency_seconds * 1e3, 3),
+            fmt(summary.p99_latency_seconds * 1e3, 3),
+            devices.join(", "),
+        ]);
+        rows.push(PolicyRow {
+            policy: name.to_string(),
+            requests: summary.requests,
+            jobs: summary.jobs,
+            makespan_seconds: summary.makespan_seconds,
+            serial_makespan_seconds: summary.serial_makespan_seconds,
+            throughput_rps: summary.throughput_rps,
+            p50_latency_seconds: summary.p50_latency_seconds,
+            p99_latency_seconds: summary.p99_latency_seconds,
+            devices,
+        });
+    }
+    table.print();
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let degree: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let per_side: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let num_requests: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+
+    println!(
+        "Pipelined serving: N = {degree}, {per_side}x{per_side}x{per_side} elements\n\
+         \nPart 1 — overlap win per simulated backend (batches {BATCHES:?}):\n"
+    );
+    let pipeline = pipeline_sweep(degree, per_side);
+    assert!(
+        pipeline.iter().all(|row| row.bitwise_identical),
+        "served solutions must be bitwise identical to SemSystem::solve_many"
+    );
+
+    println!(
+        "\nPart 2 — scheduling policies over {POLICY_POOL:?} ({num_requests} requests, \
+         max batch 4):\n"
+    );
+    let policies = policy_sweep(degree, per_side, num_requests);
+
+    let report = ServeBenchReport {
+        degree,
+        elements_per_side: per_side,
+        policy_requests: num_requests,
+        pool: POLICY_POOL.iter().map(|s| s.to_string()).collect(),
+        pipeline,
+        policies,
+    };
+    let json = serde::json::to_string(&report);
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!(
+        "\nWrote BENCH_serve.json ({} pipeline rows, {} policies).  Overlap rows\n\
+         pipeline upload(i+1) / solve(i) / download(i-1); policy rows serve the\n\
+         heterogeneous CPU + FPGA + projected-device pool.",
+        report.pipeline.len(),
+        report.policies.len()
+    );
+}

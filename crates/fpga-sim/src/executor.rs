@@ -64,6 +64,34 @@ pub struct ExecutionReport {
     pub gflops_per_watt: f64,
 }
 
+/// Per-stage breakdown of a (possibly batched) kernel invocation's simulated
+/// time — the compute-stage hook a host-side pipeline model builds on.
+///
+/// The serving layer (`sem-serve`) schedules the kernel as the middle stage
+/// of an upload/compute/download pipeline; this struct tells it how much of
+/// the compute stage is a fixed once-per-submission launch cost
+/// ([`LAUNCH_OVERHEAD_CYCLES`]) versus per-application pipeline work, so a
+/// batched submission can amortise the former without re-deriving the cycle
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelStageTiming {
+    /// Polynomial degree of the design.
+    pub degree: usize,
+    /// Elements per application.
+    pub num_elements: usize,
+    /// Applications in the batch.
+    pub batch: usize,
+    /// Kernel clock the figures assume (MHz).
+    pub kernel_clock_mhz: f64,
+    /// Fixed launch overhead, paid once per batched submission (seconds).
+    pub launch_seconds: f64,
+    /// Pipeline work (steady state plus per-element fill/drain) of one
+    /// application (seconds).
+    pub work_seconds_per_application: f64,
+    /// Whole-batch compute-stage seconds: `launch + batch · work`.
+    pub total_seconds: f64,
+}
+
 /// A simulated accelerator: a design synthesised onto a device.
 #[derive(Debug, Clone)]
 pub struct FpgaAccelerator {
@@ -235,6 +263,39 @@ impl FpgaAccelerator {
             effective_bandwidth_gbs: bytes / seconds / 1e9,
             gflops_per_watt: gflops / single.power_watts,
             ..single
+        }
+    }
+
+    /// The launch/work split of one kernel invocation over `num_elements`
+    /// elements — the stage-timing hook pipeline schedulers consume.
+    #[must_use]
+    pub fn stage_timing(&self, num_elements: usize) -> KernelStageTiming {
+        self.batch_stage_timing(num_elements, 1)
+    }
+
+    /// The launch/work split of `batch` back-to-back invocations submitted
+    /// as one command-queue batch.  Consistent with
+    /// [`FpgaAccelerator::estimate_batch`]: `total_seconds` equals the
+    /// batched estimate's seconds bitwise.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn batch_stage_timing(&self, num_elements: usize, batch: usize) -> KernelStageTiming {
+        assert!(batch > 0, "need at least one application in the batch");
+        let single = self.estimate(num_elements);
+        let hz = single.kernel_clock_mhz * 1e6;
+        let work_cycles = (single.cycles - LAUNCH_OVERHEAD_CYCLES).max(0.0);
+        KernelStageTiming {
+            degree: self.design.degree,
+            num_elements,
+            batch,
+            kernel_clock_mhz: single.kernel_clock_mhz,
+            launch_seconds: LAUNCH_OVERHEAD_CYCLES / hz,
+            work_seconds_per_application: work_cycles / hz,
+            // Delegate the total to the batched estimate itself so the two
+            // stay consistent structurally, not by parallel maintenance.
+            total_seconds: self.estimate_batch(num_elements, batch).seconds,
         }
     }
 
@@ -434,6 +495,76 @@ mod tests {
             assert!(batched.gflops > single.gflops);
             assert!(batched.dofs_per_cycle <= 4.0 + 1e-9, "throughput bound");
         }
+    }
+
+    #[test]
+    fn stage_timing_splits_the_batched_estimate_consistently() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let acc = FpgaAccelerator::for_degree(7, &device);
+        let single = acc.stage_timing(64);
+        assert_eq!(single.batch, 1);
+        assert_eq!(single.total_seconds, acc.estimate(64).seconds);
+        assert!(single.launch_seconds > 0.0);
+        assert!(single.work_seconds_per_application > single.launch_seconds);
+        for batch in [2, 16, 64] {
+            let staged = acc.batch_stage_timing(64, batch);
+            // Bitwise the same total as the batched estimate...
+            assert_eq!(staged.total_seconds, acc.estimate_batch(64, batch).seconds);
+            // ...with the launch paid once and the work per application.
+            assert_eq!(staged.launch_seconds, single.launch_seconds);
+            assert_eq!(
+                staged.work_seconds_per_application,
+                single.work_seconds_per_application
+            );
+        }
+    }
+
+    #[test]
+    fn stratix10m_plus_matches_the_base_device_under_the_divisor_cap() {
+        // `fpga:stratix10m` and `fpga:stratix10m-plus` produce bitwise
+        // identical modeled seconds in the N = 7 `BENCH_batched.json` sweep.
+        // That is not a catalogue bug: at N = 7 the power-of-two-divisor
+        // arbitration constraint caps the unroll at T = 8 for both devices,
+        // well below where the "-plus" variant's extra DSPs (8.7k vs 5.7k)
+        // or bandwidth (600 vs 306 GB/s) would bind, and with identical
+        // unroll, clock and base utilisation the cycle model coincides.
+        let base = FpgaDevice::stratix10m();
+        let plus = FpgaDevice::stratix10m_plus();
+        for degree in [7_usize, 11] {
+            let db = AcceleratorDesign::for_degree(degree, &base);
+            let dp = AcceleratorDesign::for_degree(degree, &plus);
+            assert_eq!(db.unroll, dp.unroll, "degree {degree}: divisor-capped");
+            let ab = FpgaAccelerator::new(base.clone(), db);
+            let ap = FpgaAccelerator::new(plus.clone(), dp);
+            for elements in [64, 4096] {
+                assert_eq!(
+                    ab.estimate(elements).seconds.to_bits(),
+                    ap.estimate(elements).seconds.to_bits(),
+                    "degree {degree}, {elements} elements: same design, same seconds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stratix10m_plus_diverges_when_the_divisor_cap_lifts() {
+        // At N = 15 the divisor constraint admits T = 16; only the "-plus"
+        // variant has the DSPs and the 600 GB/s memory to sustain it, so the
+        // two devices finally separate — the extra resources are really
+        // there, they just need a degree whose N + 1 can use them.
+        let base = FpgaDevice::stratix10m();
+        let plus = FpgaDevice::stratix10m_plus();
+        let db = AcceleratorDesign::for_degree(15, &base);
+        let dp = AcceleratorDesign::for_degree(15, &plus);
+        assert!(dp.unroll > db.unroll, "{} vs {}", dp.unroll, db.unroll);
+        let ab = FpgaAccelerator::new(base, db);
+        let ap = FpgaAccelerator::new(plus, dp);
+        let sb = ab.estimate(4096).seconds;
+        let sp = ap.estimate(4096).seconds;
+        assert!(
+            sp < 0.75 * sb,
+            "-plus must be much faster at N = 15: {sp} vs {sb}"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod stream;
 pub mod synthesis;
 
 pub use design::{AcceleratorDesign, MemoryAllocation, OptimizationStage};
-pub use executor::{ExecutionReport, FpgaAccelerator};
+pub use executor::{ExecutionReport, FpgaAccelerator, KernelStageTiming};
 pub use memory::MemorySystem;
 pub use multi::{MultiBoardAccelerator, MultiBoardEstimate};
 pub use perf_model::FpgaDevice;

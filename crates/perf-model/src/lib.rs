@@ -20,7 +20,9 @@
 //!   `P_max(N)`;
 //! * [`padding`] — the padding penalty analysis of Section III-E / IV;
 //! * [`projection`] — performance projection for arbitrary devices and the
-//!   inverse question ("what FPGA would beat an A100?").
+//!   inverse question ("what FPGA would beat an A100?");
+//! * [`serving`] — the three-stage offload-pipeline closed form and the
+//!   host roofline cost model scheduling policies price backends with.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,6 +35,7 @@ pub mod projection;
 pub mod resources;
 pub mod roofline;
 pub mod sensitivity;
+pub mod serving;
 pub mod throughput;
 
 pub use cost::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};
@@ -41,4 +44,5 @@ pub use measured::{measured_table1, Table1Row};
 pub use projection::{project_device, DegreeProjection, ProjectionOutcome};
 pub use resources::{FpuCost, ResourceVector};
 pub use roofline::roofline_gflops;
+pub use serving::{HostCostModel, PipelineCost};
 pub use throughput::{PerformanceBound, ThroughputPrediction};

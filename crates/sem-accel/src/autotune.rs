@@ -63,11 +63,13 @@ impl TuningReport {
     }
 }
 
-/// Evaluate every backend in [`Backend::registry_names`] for a problem —
-/// CPU backends measured over a few repetitions, accelerator backends
-/// through their calibrated models — plus host-padded variants of FPGA
-/// devices whose native design is not unroll-friendly, and rank all of them
-/// by expected throughput.
+/// Evaluate every backend in [`Backend::deployable_registry_names`] for a
+/// problem — CPU backends measured over a few repetitions, accelerator
+/// backends through their calibrated models — plus host-padded variants of
+/// FPGA devices whose native design is not unroll-friendly, and rank all of
+/// them by expected throughput.  `fpga:projected:*` entries are excluded:
+/// they are model-designed to win, and the tuner's job is to name a backend
+/// one can deploy on.
 ///
 /// # Panics
 /// Panics if a registry backend fails to instantiate (a catalogue device
@@ -83,7 +85,7 @@ pub fn autotune(degree: usize, elements: [usize; 3]) -> TuningReport {
     let u = mesh.evaluate(|x, y, z| (x + 0.3) * (y - 0.7) * (z + 0.11));
     let mut w = ElementField::zeros(degree, num_elements);
 
-    for name in Backend::registry_names() {
+    for name in Backend::deployable_registry_names() {
         let config = Backend::from_name(&name).expect("registry names resolve");
         let engine = config.instantiate(&mesh);
         let flops = engine.flops_per_application() as f64;
@@ -154,9 +156,9 @@ mod tests {
     #[test]
     fn sweeps_the_whole_registry() {
         let report = autotune(7, [2, 2, 2]);
-        let registry = Backend::registry_names();
+        let registry = Backend::deployable_registry_names();
         // Degree 7 is unroll-friendly on every catalogue device, so the
-        // candidate set is exactly the registry.
+        // candidate set is exactly the deployable registry.
         assert_eq!(report.candidates.len(), registry.len());
         for name in &registry {
             assert!(
@@ -168,13 +170,18 @@ mod tests {
             );
         }
         assert!(report.candidates.iter().all(|c| c.gflops > 0.0));
+        // Hypothetical devices never compete for the crown.
+        assert!(report
+            .candidates
+            .iter()
+            .all(|c| !c.label.contains("projected:")));
     }
 
     #[test]
     fn arbitration_limited_degrees_also_consider_padding() {
         let report = autotune(9, [2, 2, 2]);
         assert!(
-            report.candidates.len() > Backend::registry_names().len(),
+            report.candidates.len() > Backend::deployable_registry_names().len(),
             "padded variants must join the registry candidates"
         );
         let padded: Vec<_> = report.candidates.iter().filter(|c| c.padded).collect();

@@ -191,7 +191,9 @@ impl Backend {
     }
 
     /// Every registered backend name: the three CPU kernels, one `fpga:` entry
-    /// per catalogue device, and the canonical multi-board configurations.
+    /// per catalogue device, one `fpga:projected:<slug>` entry per Section
+    /// V-D model-designed device, and the canonical multi-board
+    /// configurations.
     #[must_use]
     pub fn registry_names() -> Vec<String> {
         let mut names = vec![
@@ -204,12 +206,30 @@ impl Backend {
                 .into_iter()
                 .map(|slug| format!("fpga:{slug}")),
         );
+        names.extend(
+            arch_db::projected_fpga_slugs()
+                .into_iter()
+                .map(|slug| format!("fpga:{slug}")),
+        );
         names.extend([
             "multi:2x520n".to_string(),
             "multi:4x520n".to_string(),
             "multi:8x520n".to_string(),
         ]);
         names
+    }
+
+    /// The registry names that describe hardware one could actually deploy
+    /// on: everything in [`Backend::registry_names`] except the
+    /// `fpga:projected:*` model-designed devices.  Autotuning ranks only
+    /// these — a hypothetical board that beats every real one by
+    /// construction must not be crowned "the fastest backend".
+    #[must_use]
+    pub fn deployable_registry_names() -> Vec<String> {
+        Self::registry_names()
+            .into_iter()
+            .filter(|name| !name.starts_with("fpga:projected:"))
+            .collect()
     }
 
     /// Build the live execution engine for this configuration on `mesh`.
@@ -242,10 +262,12 @@ impl fmt::Display for Backend {
     }
 }
 
-/// Reverse lookup: the catalogue slug of a device, by exact name match.
+/// Reverse lookup: the catalogue (or projected) slug of a device, by exact
+/// name match.
 fn device_slug(device: &FpgaDevice) -> Option<&'static str> {
     arch_db::fpga_device_slugs()
         .into_iter()
+        .chain(arch_db::projected_fpga_slugs())
         .find(|slug| arch_db::fpga_device(slug).is_some_and(|d| d.name == device.name))
 }
 
@@ -313,6 +335,45 @@ mod tests {
         let mut bespoke = FpgaDevice::stratix10_gx2800();
         bespoke.name = "bespoke prototype".to_string();
         assert_eq!(Backend::fpga_on(bespoke).name(), None);
+    }
+
+    #[test]
+    fn projected_devices_are_one_registry_name_away() {
+        // The ROADMAP's "what would an A100-class FPGA do to this solve":
+        // resolve, instantiate, and beat the real board, all by name.
+        let mesh = BoxMesh::unit_cube(7, 2);
+        let backend = Backend::from_name("fpga:projected:a100-class").unwrap();
+        assert!(backend.is_simulated());
+        assert_eq!(
+            backend.name().as_deref(),
+            Some("fpga:projected:a100-class"),
+            "projected entries round-trip through the reverse lookup"
+        );
+        let engine = backend.instantiate(&mesh);
+        assert!(engine.label().contains("A100-class"), "{}", engine.label());
+        let projected = engine.simulated_seconds_per_application().unwrap();
+        let real = Backend::from_name("fpga:stratix10-gx2800")
+            .unwrap()
+            .instantiate(&mesh)
+            .simulated_seconds_per_application()
+            .unwrap();
+        assert!(
+            projected < real,
+            "model-designed A100-class device must outrun the 520N: {projected} vs {real}"
+        );
+        // Both projected entries are registered...
+        let names = Backend::registry_names();
+        let deployable = Backend::deployable_registry_names();
+        for slug in arch_db::projected_fpga_slugs() {
+            let name = format!("fpga:{slug}");
+            assert!(names.contains(&name), "{slug}");
+            // ...but stay out of the deployable set autotune ranks.
+            assert!(!deployable.contains(&name), "{slug}");
+        }
+        assert_eq!(
+            names.len(),
+            deployable.len() + arch_db::projected_fpga_slugs().len()
+        );
     }
 
     #[test]

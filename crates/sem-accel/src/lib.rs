@@ -18,7 +18,9 @@
 //!   [`SemSystem::solve`] reporting measured wall-clock on CPUs and
 //!   simulated kernel + transfer time on accelerators, and
 //!   [`SemSystem::solve_many`] serving whole batches of right-hand sides
-//!   with the offload transfer amortised across the batch;
+//!   with the offload transfer amortised across the batch and
+//!   [`SolveReport`] carrying both the serial and the pipelined
+//!   (overlap-aware, see `sem-serve`) transfer accounting;
 //! * [`autotune`](autotune()) — sweep the registry (plus padded FPGA
 //!   variants) and name the fastest backend for an operating point.
 //!

@@ -8,6 +8,7 @@
 //! excludes from its timings.
 
 use fpga_sim::{AcceleratorDesign, FpgaDevice};
+use perf_model::PipelineCost;
 use serde::{Deserialize, Serialize};
 
 /// A plan for moving one problem's data to and from the accelerator board.
@@ -111,6 +112,44 @@ impl OffloadPlan {
         self.batched_transfer_bytes(batch) as f64 / (gbytes_per_sec * 1e9)
     }
 
+    /// Seconds the shared data (geometric factors + derivative matrices)
+    /// takes to cross a `gbytes_per_sec` link — the once-per-session upload
+    /// of a batched or pipelined serve.
+    #[must_use]
+    pub fn shared_upload_seconds(&self, gbytes_per_sec: f64) -> f64 {
+        self.shared_bytes() as f64 / (gbytes_per_sec * 1e9)
+    }
+
+    /// Seconds one operand field takes to upload over a `gbytes_per_sec`
+    /// link — the per-RHS H2D stage of the offload pipeline.
+    #[must_use]
+    pub fn operand_upload_seconds(&self, gbytes_per_sec: f64) -> f64 {
+        self.operand_bytes() as f64 / (gbytes_per_sec * 1e9)
+    }
+
+    /// Seconds one result field takes to download over a `gbytes_per_sec`
+    /// link — the per-RHS D2H stage of the offload pipeline.
+    #[must_use]
+    pub fn result_download_seconds(&self, gbytes_per_sec: f64) -> f64 {
+        self.bytes_from_device as f64 / (gbytes_per_sec * 1e9)
+    }
+
+    /// The three-stage pipeline cost of serving right-hand sides whose
+    /// compute stage (the whole solve's kernel seconds) costs
+    /// `compute_seconds_per_rhs`: shared upload once, then per-RHS operand
+    /// upload / kernel / result download over a `gbytes_per_sec` full-duplex
+    /// link.  Feed it to [`perf_model::PipelineCost`]'s closed forms for the
+    /// serial-vs-overlapped session accounting.
+    #[must_use]
+    pub fn pipeline_cost(&self, gbytes_per_sec: f64, compute_seconds_per_rhs: f64) -> PipelineCost {
+        PipelineCost {
+            shared_upload_seconds: self.shared_upload_seconds(gbytes_per_sec),
+            upload_seconds: self.operand_upload_seconds(gbytes_per_sec),
+            compute_seconds: compute_seconds_per_rhs,
+            download_seconds: self.result_download_seconds(gbytes_per_sec),
+        }
+    }
+
     /// Buffers per memory bank under the banked allocation.
     #[must_use]
     pub fn buffers_per_bank(&self) -> usize {
@@ -165,6 +204,27 @@ mod tests {
         // shared geometric factors dominate the upload).
         let drop = 1.0 - batched_16 as f64 / sequential_16 as f64;
         assert!(drop > 0.3, "drop {drop}");
+    }
+
+    #[test]
+    fn piecewise_stage_seconds_recompose_the_session_totals() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let design = AcceleratorDesign::for_degree(7, &device);
+        let plan = OffloadPlan::new(&design, &device, 512);
+        let gbs = 12.0;
+        let pieces = plan.shared_upload_seconds(gbs)
+            + plan.operand_upload_seconds(gbs)
+            + plan.result_download_seconds(gbs);
+        assert!((pieces - plan.transfer_seconds(gbs)).abs() < 1e-15 * pieces.abs().max(1.0));
+
+        // The pipeline cost of a compute-dominated solve hides almost all of
+        // the per-RHS traffic at batch 16.
+        let cost = plan.pipeline_cost(gbs, 1.0);
+        assert_eq!(cost.compute_seconds, 1.0);
+        let serial = cost.serial_session_seconds(16);
+        let overlapped = cost.overlapped_session_seconds(16);
+        assert!(overlapped < serial);
+        assert!(cost.exposed_transfer_seconds(16) < 16.0 * plan.transfer_seconds(gbs));
     }
 
     #[test]

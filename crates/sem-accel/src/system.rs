@@ -144,8 +144,16 @@ pub struct SolveReport {
     /// solve this is one full upload (operand + geometric factors +
     /// derivative matrices) plus the result download; inside a
     /// [`SemSystem::solve_many`] batch the shared data is charged once for
-    /// the whole batch and this field carries the per-RHS share.
+    /// the whole batch and this field carries the per-RHS share.  This is
+    /// the **serial** accounting: every byte blocks the kernel.
     pub transfer_seconds: f64,
+    /// The per-RHS transfer time still *exposed* (not hidden behind the
+    /// kernel) when the batch runs through the double-buffered three-stage
+    /// offload pipeline — upload `i+1` / solve `i` / download `i-1` — that
+    /// `sem-serve` schedules.  At most [`SolveReport::transfer_seconds`];
+    /// equal to it for standalone solves (a batch of one has nothing to
+    /// overlap with) and zero for host backends.
+    pub pipelined_transfer_seconds: f64,
     /// Wall-clock seconds the whole solve took on this host (for simulated
     /// backends this is simulator time, not accelerator time).
     pub host_wall_seconds: f64,
@@ -174,6 +182,23 @@ impl SolveReport {
     #[must_use]
     pub fn modeled_seconds(&self) -> f64 {
         self.operator.seconds + self.transfer_seconds
+    }
+
+    /// The backend-attributed per-RHS time when the batch is served through
+    /// the overlapped offload pipeline: operator seconds plus only the
+    /// transfer time the pipeline fails to hide.  Equals
+    /// [`SolveReport::modeled_seconds`] for host backends and standalone
+    /// solves.
+    #[must_use]
+    pub fn pipelined_modeled_seconds(&self) -> f64 {
+        self.operator.seconds + self.pipelined_transfer_seconds
+    }
+
+    /// Per-RHS seconds the pipelined schedule saves over the serial
+    /// accounting — the overlap win existing consumers compare.
+    #[must_use]
+    pub fn overlap_win_seconds(&self) -> f64 {
+        (self.modeled_seconds() - self.pipelined_modeled_seconds()).max(0.0)
     }
 }
 
@@ -342,6 +367,9 @@ impl SemSystem {
             source: self.execution.perf_source(),
             operator,
             transfer_seconds,
+            // A standalone solve has no neighbouring requests to overlap
+            // with: the pipelined accounting equals the serial one.
+            pipelined_transfer_seconds: transfer_seconds,
             host_wall_seconds,
             batch_size: 1,
             solution,
@@ -511,11 +539,24 @@ impl SemSystem {
             cg.operator_seconds.max(1e-12),
             cg.operator_applications.max(1),
         );
+        // Exposed per-RHS transfer under the double-buffered pipeline: the
+        // session's un-hidden seconds (closed form) spread over the batch.
+        // Never worse than the serial share.
+        let pipelined_transfer_seconds = self
+            .execution
+            .offload_plan()
+            .map_or(0.0, |plan| {
+                plan.pipeline_cost(HOST_LINK_GBS, operator.seconds)
+                    .exposed_transfer_seconds(batch)
+                    / batch as f64
+            })
+            .min(transfer_seconds);
         SolveReport {
             backend: self.execution.label().into_owned(),
             source: self.execution.perf_source(),
             operator,
             transfer_seconds,
+            pipelined_transfer_seconds,
             host_wall_seconds,
             batch_size: batch,
             solution: PoissonSolution {
@@ -758,6 +799,49 @@ mod tests {
             "per-RHS offload seconds must drop >= 30%, got {:.0}%",
             drop * 100.0
         );
+    }
+
+    #[test]
+    fn pipelined_accounting_hides_transfer_behind_the_kernel() {
+        let options = CgOptions {
+            max_iterations: 1000,
+            tolerance: 1e-10,
+            record_history: false,
+        };
+        let system = SemSystem::builder()
+            .degree(5)
+            .elements([2, 2, 2])
+            .backend(Backend::fpga_simulated())
+            .build();
+
+        // A standalone solve has nothing to overlap with.
+        let solo = system.solve(options, true);
+        assert_eq!(solo.pipelined_transfer_seconds, solo.transfer_seconds);
+        assert_eq!(solo.pipelined_modeled_seconds(), solo.modeled_seconds());
+        assert_eq!(solo.overlap_win_seconds(), 0.0);
+
+        // At batch 16 the double-buffered pipeline hides most of the per-RHS
+        // traffic: only the ramp (shared upload + first operand + last
+        // result) stays exposed, spread over the batch.
+        let reports = system.solve_many_manufactured(16, options, true);
+        for report in &reports {
+            assert!(report.pipelined_transfer_seconds < report.transfer_seconds);
+            assert!(report.pipelined_transfer_seconds > 0.0);
+            assert!(report.pipelined_modeled_seconds() < report.modeled_seconds());
+            assert!(report.overlap_win_seconds() > 0.0);
+        }
+
+        // CPU backends move nothing, pipelined or not.
+        let cpu = SemSystem::builder()
+            .degree(5)
+            .elements([2, 2, 2])
+            .backend(Backend::cpu_optimized())
+            .build();
+        let cpu_reports = cpu.solve_many_manufactured(4, options, true);
+        for report in &cpu_reports {
+            assert_eq!(report.pipelined_transfer_seconds, 0.0);
+            assert_eq!(report.overlap_win_seconds(), 0.0);
+        }
     }
 
     #[test]

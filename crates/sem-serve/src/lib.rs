@@ -1,0 +1,74 @@
+//! Pipelined, overlap-aware solve serving over the backend registry.
+//!
+//! `sem-accel` gave the workspace backends and batched solves; this crate
+//! turns them into a *serving system*: many clients submit solve requests
+//! (mixed degrees and meshes), a queue packs them into batch jobs, a
+//! pluggable scheduling policy places each job on a device of a
+//! heterogeneous pool (CPU kernels, simulated FPGA boards, multi-board
+//! partitions, and `fpga:projected:*` model-designed future devices side by
+//! side), and every session is accounted on a three-stage offload pipeline
+//! that overlaps upload(`i+1`) / solve(`i`) / download(`i-1`) the way the
+//! paper's host–device flow (and the follow-on Neko/FPGA work) treats the
+//! accelerator: as a pipeline stage, not a blocking callee.
+//!
+//! * [`request`] — [`ServeRequest`]/[`ProblemSpec`]/[`RhsSpec`]: what
+//!   clients submit;
+//! * [`queue`] — [`SolveQueue`]: groups requests by shape and chunks them
+//!   into [`BatchJob`]s without ever reordering answers;
+//! * [`pipeline`] — [`PipelineTimeline`]: the event-level schedule of one
+//!   session (H2D / kernel / D2H channels, double buffering, per-iteration
+//!   residual streaming so convergence checks never stall the kernel),
+//!   degenerating bitwise to the serial `SolveReport` accounting when
+//!   overlap is disabled;
+//! * [`scheduler`] — [`SchedulingPolicy`] with [`RoundRobin`],
+//!   [`LeastLoaded`] and [`ModelOptimal`] (earliest predicted completion,
+//!   priced by the simulator where one exists and by
+//!   `perf_model::HostCostModel` elsewhere);
+//! * [`server`] — [`Server::serve`]: execute everything through
+//!   `SemSystem::solve_many` (solutions stay bitwise identical to direct
+//!   batched solves) and report per-request latency, per-device
+//!   utilisation and aggregate throughput ([`ServeReport`] /
+//!   [`ServeSummary`]).
+//!
+//! ```
+//! use sem_serve::{
+//!     ProblemSpec, RoundRobin, ServeOptions, ServeRequest, Server,
+//! };
+//!
+//! let mut server = Server::from_registry_names(
+//!     &["cpu:optimized", "fpga:stratix10-gx2800"],
+//!     ServeOptions {
+//!         max_batch: 4,
+//!         ..ServeOptions::default()
+//!     },
+//! );
+//! let spec = ProblemSpec::cube(3, 2);
+//! let requests: Vec<ServeRequest> =
+//!     (0..6).map(|i| ServeRequest::seeded(spec, i)).collect();
+//! let report = server.serve(&requests, &mut RoundRobin::default());
+//! assert_eq!(report.outcomes.len(), 6);
+//! assert!(report.throughput_rps() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod pipeline;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod server;
+
+pub use pipeline::{
+    PipelineConfig, PipelineTimeline, RequestStages, Stage, StageEvent,
+    RESIDUAL_BYTES_PER_ITERATION,
+};
+pub use queue::{BatchJob, SolveQueue};
+pub use request::{ProblemSpec, RhsSpec, ServeRequest};
+pub use scheduler::{
+    policy_by_name, policy_names, DeviceSlot, DeviceStatus, LeastLoaded, ModelOptimal, RoundRobin,
+    SchedulingPolicy,
+};
+pub use server::{
+    DeviceUsage, JobTrace, RequestOutcome, ServeOptions, ServeReport, ServeSummary, Server,
+};

@@ -1,0 +1,484 @@
+//! The serve loop: pack requests, place jobs via a scheduling policy,
+//! execute each job through its device's `SemSystem`, and account the
+//! session on the overlap-aware pipeline timeline.
+//!
+//! Every solve still runs through `SemSystem::solve_many`, so solution
+//! vectors are bitwise identical to a direct batched solve — the serving
+//! layer changes *when* things happen (the modelled schedule), never *what*
+//! is computed.
+
+use crate::pipeline::{PipelineConfig, PipelineTimeline};
+use crate::queue::{BatchJob, SolveQueue};
+use crate::request::{ProblemSpec, RhsSpec, ServeRequest};
+use crate::scheduler::{DeviceSlot, DeviceStatus, SchedulingPolicy};
+use sem_accel::SemSystem;
+use sem_mesh::ElementField;
+use sem_solver::CgOptions;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Serving knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServeOptions {
+    /// CG stopping criteria for every solve.
+    pub cg: CgOptions,
+    /// Whether solves use the Jacobi preconditioner.
+    pub use_jacobi: bool,
+    /// Maximum right-hand sides per batch job.
+    pub max_batch: usize,
+    /// How sessions are scheduled (overlap + link speed).
+    pub pipeline: PipelineConfig,
+    /// Operator applications one solve is expected to need — the costing
+    /// hint model-based policies price jobs with (the prediction only has
+    /// to rank devices, so a rough figure is fine).
+    pub applications_hint: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            cg: CgOptions {
+                max_iterations: 2000,
+                tolerance: 1e-10,
+                record_history: false,
+            },
+            use_jacobi: true,
+            max_batch: 16,
+            pipeline: PipelineConfig::default(),
+            applications_hint: 60,
+        }
+    }
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Index of the request in the submitted order (answers are returned in
+    /// this order: outcome `i` answers request `i`).
+    pub request: usize,
+    /// Pool index of the device that served it.
+    pub device: usize,
+    /// Display label of that device.
+    pub device_label: String,
+    /// Size of the batch job the request rode in.
+    pub batch: usize,
+    /// Modelled session start of its job (seconds from submission).
+    pub started_seconds: f64,
+    /// Modelled completion time — the request's latency, since all requests
+    /// arrive at time zero.
+    pub completed_seconds: f64,
+    /// CG iterations of the solve.
+    pub iterations: usize,
+    /// Whether CG converged.
+    pub converged: bool,
+    /// Max-norm error against the manufactured solution (`NaN` for seeded
+    /// right-hand sides, which have no exact solution).
+    pub max_error: f64,
+    /// Per-RHS modelled seconds under the serial (blocking) accounting,
+    /// priced at the serve's configured link
+    /// ([`crate::PipelineConfig::link_gbs`]) like every other figure in the
+    /// report; equals `SolveReport::modeled_seconds()` bitwise at the
+    /// default link.
+    pub serial_modeled_seconds: f64,
+    /// Per-RHS modelled seconds under the job's actual schedule: kernel
+    /// seconds plus this request's share of the transfer time the session's
+    /// timeline left exposed.  Equals the serial figure when overlap is
+    /// disabled.
+    pub pipelined_modeled_seconds: f64,
+    /// The solution field — bitwise identical to
+    /// `SemSystem::solve_many` on the same backend.
+    pub solution: ElementField,
+}
+
+impl RequestOutcome {
+    /// Request latency (arrival is time zero for every request).
+    #[must_use]
+    pub fn latency_seconds(&self) -> f64 {
+        self.completed_seconds
+    }
+}
+
+/// One executed batch job, for tracing/visualisation.
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    /// The job's shape.
+    pub spec: ProblemSpec,
+    /// Device it ran on.
+    pub device: usize,
+    /// Request indices served.
+    pub requests: Vec<usize>,
+    /// The session's scheduled timeline.
+    pub timeline: PipelineTimeline,
+}
+
+/// Per-device aggregate of one serve run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceUsage {
+    /// Pool index.
+    pub device: usize,
+    /// Display label.
+    pub label: String,
+    /// Modelled busy seconds (overlap-aware session makespans).
+    pub busy_seconds: f64,
+    /// What the same sessions would cost under serial accounting.
+    pub serial_busy_seconds: f64,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Busy fraction of the run's makespan.
+    pub utilisation: f64,
+}
+
+/// The result of serving one request set.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Name of the scheduling policy that placed the jobs.
+    pub policy: String,
+    /// Whether sessions overlapped transfer and compute.
+    pub overlap: bool,
+    /// One outcome per request, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// One trace per executed job, in execution order.
+    pub jobs: Vec<JobTrace>,
+    /// Per-device aggregates.
+    pub devices: Vec<DeviceUsage>,
+    /// Modelled end-to-end seconds of the run (slowest device).
+    pub makespan_seconds: f64,
+    /// What the run would cost with serial (blocking) sessions.
+    pub serial_makespan_seconds: f64,
+}
+
+impl ServeReport {
+    /// Aggregate throughput in requests per modelled second.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.makespan_seconds
+    }
+
+    /// Latency at percentile `p` (0–100, nearest-rank over completion
+    /// times).  Zero for an empty run.
+    #[must_use]
+    pub fn latency_percentile_seconds(&self, p: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::latency_seconds)
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// Seconds the pipelined schedule saved over serial sessions.
+    #[must_use]
+    pub fn overlap_win_seconds(&self) -> f64 {
+        (self.serial_makespan_seconds - self.makespan_seconds).max(0.0)
+    }
+
+    /// The serde-friendly aggregate (drops solutions and schedules).
+    #[must_use]
+    pub fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            policy: self.policy.clone(),
+            overlap: self.overlap,
+            requests: self.outcomes.len(),
+            jobs: self.jobs.len(),
+            makespan_seconds: self.makespan_seconds,
+            serial_makespan_seconds: self.serial_makespan_seconds,
+            throughput_rps: self.throughput_rps(),
+            p50_latency_seconds: self.latency_percentile_seconds(50.0),
+            p99_latency_seconds: self.latency_percentile_seconds(99.0),
+            devices: self.devices.clone(),
+        }
+    }
+}
+
+/// Serializable aggregate of a serve run (what benches persist).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Scheduling policy.
+    pub policy: String,
+    /// Whether transfer/compute overlapped.
+    pub overlap: bool,
+    /// Requests served.
+    pub requests: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Modelled end-to-end seconds.
+    pub makespan_seconds: f64,
+    /// Serial-accounting end-to-end seconds.
+    pub serial_makespan_seconds: f64,
+    /// Requests per modelled second.
+    pub throughput_rps: f64,
+    /// Median latency.
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile latency.
+    pub p99_latency_seconds: f64,
+    /// Per-device aggregates.
+    pub devices: Vec<DeviceUsage>,
+}
+
+/// A serving instance: a device pool plus options, with one lazily built
+/// `SemSystem` per (device, problem shape).
+pub struct Server {
+    slots: Vec<DeviceSlot>,
+    systems: Vec<HashMap<ProblemSpec, SemSystem>>,
+    options: ServeOptions,
+}
+
+impl Server {
+    /// A server over an explicit device pool.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    #[must_use]
+    pub fn new(slots: Vec<DeviceSlot>, options: ServeOptions) -> Self {
+        assert!(!slots.is_empty(), "need at least one device in the pool");
+        let systems = slots.iter().map(|_| HashMap::new()).collect();
+        Self {
+            slots,
+            systems,
+            options,
+        }
+    }
+
+    /// A server over backend registry names (heterogeneous pools welcome:
+    /// CPU, FPGA, multi-board and `fpga:projected:*` entries mix freely).
+    ///
+    /// # Panics
+    /// Panics if a name is not in the registry or the list is empty.
+    #[must_use]
+    pub fn from_registry_names(names: &[&str], options: ServeOptions) -> Self {
+        let slots = names
+            .iter()
+            .map(|name| {
+                DeviceSlot::from_registry_name(name)
+                    .unwrap_or_else(|| panic!("unknown backend name `{name}`"))
+            })
+            .collect();
+        Self::new(slots, options)
+    }
+
+    /// The pool.
+    #[must_use]
+    pub fn slots(&self) -> &[DeviceSlot] {
+        &self.slots
+    }
+
+    /// The serving options.
+    #[must_use]
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Serve `requests` with `policy`.  Outcome `i` answers request `i`
+    /// regardless of how jobs were packed, placed, or interleaved.
+    ///
+    /// # Panics
+    /// Panics if a policy returns an out-of-range device index.
+    pub fn serve(
+        &mut self,
+        requests: &[ServeRequest],
+        policy: &mut dyn SchedulingPolicy,
+    ) -> ServeReport {
+        let jobs = SolveQueue::from_requests(requests).pack(self.options.max_batch);
+        let pool_size = self.slots.len();
+        let mut busy = vec![0.0_f64; pool_size];
+        let mut serial_busy = vec![0.0_f64; pool_size];
+        let mut jobs_per_device = vec![0_usize; pool_size];
+        let mut requests_per_device = vec![0_usize; pool_size];
+        let mut outcomes: Vec<Option<RequestOutcome>> = requests.iter().map(|_| None).collect();
+        let mut traces = Vec::with_capacity(jobs.len());
+
+        let needs_cost_model = policy.needs_cost_model();
+        for job in jobs {
+            // Pricing a job instantiates a backend per candidate device, so
+            // only cost-aware policies pay for it; cost-blind policies see
+            // zeros and only the assigned device gets a system.
+            if needs_cost_model {
+                for device in 0..pool_size {
+                    self.ensure_system(device, job.spec);
+                }
+            }
+            let statuses: Vec<DeviceStatus> = (0..pool_size)
+                .map(|device| DeviceStatus {
+                    index: device,
+                    label: self.slots[device].label.clone(),
+                    busy_seconds: busy[device],
+                    assigned_requests: requests_per_device[device],
+                    predicted_job_seconds: if needs_cost_model {
+                        self.predict_job_seconds(device, &job)
+                    } else {
+                        0.0
+                    },
+                })
+                .collect();
+            let device = policy.assign(&job, &statuses);
+            assert!(device < pool_size, "policy chose device {device}");
+            self.ensure_system(device, job.spec);
+
+            let (timeline, outcome_rows) = self.execute_job(device, &job, requests);
+            let started = busy[device];
+            busy[device] += timeline.makespan_seconds;
+            serial_busy[device] += timeline.serial_accounting_seconds();
+            jobs_per_device[device] += 1;
+            requests_per_device[device] += job.batch_size();
+            let completed = busy[device];
+            for (slot, mut outcome) in outcome_rows.into_iter().enumerate() {
+                outcome.started_seconds = started;
+                outcome.completed_seconds = completed;
+                let request = job.requests[slot];
+                outcome.request = request;
+                outcomes[request] = Some(outcome);
+            }
+            traces.push(JobTrace {
+                spec: job.spec,
+                device,
+                requests: job.requests.clone(),
+                timeline,
+            });
+        }
+
+        let makespan_seconds = busy.iter().copied().fold(0.0_f64, f64::max);
+        let serial_makespan_seconds = serial_busy.iter().copied().fold(0.0_f64, f64::max);
+        let devices = (0..pool_size)
+            .map(|device| DeviceUsage {
+                device,
+                label: self.slots[device].label.clone(),
+                busy_seconds: busy[device],
+                serial_busy_seconds: serial_busy[device],
+                jobs: jobs_per_device[device],
+                requests: requests_per_device[device],
+                utilisation: if makespan_seconds > 0.0 {
+                    busy[device] / makespan_seconds
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        ServeReport {
+            policy: policy.name().to_string(),
+            overlap: self.options.pipeline.overlap,
+            outcomes: outcomes
+                .into_iter()
+                .map(|outcome| outcome.expect("every request answered"))
+                .collect(),
+            jobs: traces,
+            devices,
+            makespan_seconds,
+            serial_makespan_seconds,
+        }
+    }
+
+    /// Run one job on one device: assemble the right-hand sides, solve the
+    /// batch through the backend, and schedule the session on the pipeline
+    /// timeline.
+    fn execute_job(
+        &self,
+        device: usize,
+        job: &BatchJob,
+        requests: &[ServeRequest],
+    ) -> (PipelineTimeline, Vec<RequestOutcome>) {
+        let system = self.system(device, job.spec);
+        let rhss: Vec<ElementField> = job
+            .requests
+            .iter()
+            .map(|&i| requests[i].assemble_rhs(system))
+            .collect();
+        let reports = system.solve_many(&rhss, self.options.cg, self.options.use_jacobi);
+        let timeline = PipelineTimeline::from_reports(
+            system.offload_plan().as_ref(),
+            &reports,
+            self.options.pipeline,
+        );
+        // Manufactured requests get real error metrics (solve_many itself
+        // cannot know the exact solution of an arbitrary RHS).
+        let exact = job
+            .requests
+            .iter()
+            .any(|&i| requests[i].rhs == RhsSpec::Manufactured)
+            .then(|| system.problem().manufactured_exact());
+        // Per-request accounting at the *configured* link, consistent with
+        // the timeline the report's makespans come from: the serial figure
+        // is the timeline's per-request serial cost, the pipelined figure
+        // spreads the schedule's exposed transfer over the batch.
+        let exposed_share = timeline.exposed_transfer_seconds() / job.batch_size() as f64;
+        // Consume the reports: the solution fields move straight into the
+        // outcomes instead of being copied on the serving hot path.
+        let outcomes = job
+            .requests
+            .iter()
+            .zip(reports)
+            .zip(&timeline.stages)
+            .map(|((&i, report), stages)| {
+                let max_error = match (&exact, requests[i].rhs) {
+                    (Some(exact), RhsSpec::Manufactured) => {
+                        system
+                            .problem()
+                            .error_against(&report.solution.solution, exact)
+                            .0
+                    }
+                    _ => f64::NAN,
+                };
+                RequestOutcome {
+                    request: i,
+                    device,
+                    device_label: self.slots[device].label.clone(),
+                    batch: job.batch_size(),
+                    started_seconds: 0.0,
+                    completed_seconds: 0.0,
+                    iterations: report.iterations(),
+                    converged: report.converged(),
+                    max_error,
+                    serial_modeled_seconds: stages.serial_seconds,
+                    pipelined_modeled_seconds: report.operator.seconds + exposed_share,
+                    solution: report.solution.solution,
+                }
+            })
+            .collect();
+        (timeline, outcomes)
+    }
+
+    /// Predicted session seconds of `job` on `device` — the number
+    /// model-based policies compare.  Requires the system to exist.
+    fn predict_job_seconds(&self, device: usize, job: &BatchJob) -> f64 {
+        let system = self.system(device, job.spec);
+        let applications = self.options.applications_hint.max(1);
+        let fallback = self.slots[device]
+            .host_model
+            .seconds_per_application(job.spec.degree, job.spec.num_elements())
+            * applications as f64;
+        PipelineTimeline::predict(
+            system.execution(),
+            job.batch_size(),
+            applications,
+            fallback,
+            self.options.pipeline,
+        )
+        .makespan_seconds
+    }
+
+    fn ensure_system(&mut self, device: usize, spec: ProblemSpec) {
+        if !self.systems[device].contains_key(&spec) {
+            let system = SemSystem::builder()
+                .degree(spec.degree)
+                .elements(spec.elements)
+                .backend(self.slots[device].config.clone())
+                .build();
+            self.systems[device].insert(spec, system);
+        }
+    }
+
+    fn system(&self, device: usize, spec: ProblemSpec) -> &SemSystem {
+        self.systems[device]
+            .get(&spec)
+            .expect("system instantiated before use")
+    }
+}

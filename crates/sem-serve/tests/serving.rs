@@ -1,0 +1,277 @@
+//! Cross-layer serving invariants: pipeline bounds, serial bitwise
+//! degeneration, result ordering, solve parity with `SemSystem::solve_many`,
+//! and the policy ranking the ROADMAP's overlap item promises.
+
+use sem_accel::{Backend, SemSystem};
+use sem_serve::{
+    LeastLoaded, ModelOptimal, PipelineConfig, PipelineTimeline, ProblemSpec, RoundRobin,
+    ServeOptions, ServeRequest, Server, Stage,
+};
+use sem_solver::CgOptions;
+
+fn cg() -> CgOptions {
+    CgOptions {
+        max_iterations: 1000,
+        tolerance: 1e-10,
+        record_history: false,
+    }
+}
+
+fn options(max_batch: usize) -> ServeOptions {
+    ServeOptions {
+        cg: cg(),
+        max_batch,
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn pipeline_invariants_hold_on_an_executed_fpga_batch() {
+    let system = SemSystem::builder()
+        .degree(5)
+        .elements([2, 2, 2])
+        .backend(Backend::fpga_simulated())
+        .build();
+    let reports = system.solve_many_manufactured(16, cg(), true);
+    let plan = system.offload_plan();
+
+    let overlapped =
+        PipelineTimeline::from_reports(plan.as_ref(), &reports, PipelineConfig::default());
+    let serial = PipelineTimeline::from_reports(plan.as_ref(), &reports, PipelineConfig::serial());
+
+    // Makespan at least every channel's total...
+    assert!(overlapped.makespan_seconds >= overlapped.total_upload_seconds() - 1e-15);
+    assert!(overlapped.makespan_seconds >= overlapped.total_compute_seconds() - 1e-15);
+    assert!(overlapped.makespan_seconds >= overlapped.total_download_seconds() - 1e-15);
+    // ...and at most the serial sum.
+    assert!(overlapped.makespan_seconds <= serial.makespan_seconds * (1.0 + 1e-12));
+    // Overlap genuinely wins on a 16-deep batch.
+    assert!(overlapped.overlap_win_seconds() > 0.0);
+    assert!(overlapped.compute_utilisation() > serial.compute_utilisation());
+    // Residuals streamed on the D2H channel without moving the makespan of
+    // this compute-dominated session.
+    assert!(overlapped.stage_busy_seconds(Stage::ResidualStream) > 0.0);
+    assert!(
+        overlapped.exposed_transfer_seconds()
+            <= serial.makespan_seconds - serial.total_compute_seconds() + 1e-15
+    );
+}
+
+#[test]
+fn non_default_links_price_both_accountings_consistently() {
+    // On a 1 GB/s link the transfers are 12x the default, but serial and
+    // overlapped accounting must price the same bytes over the same link:
+    // overlap can never look worse than blocking.
+    let system = SemSystem::builder()
+        .degree(4)
+        .elements([2, 2, 2])
+        .backend(Backend::fpga_simulated())
+        .build();
+    let reports = system.solve_many_manufactured(8, cg(), true);
+    let plan = system.offload_plan();
+    for link_gbs in [1.0, 4.0, 48.0] {
+        let config = PipelineConfig {
+            overlap: true,
+            link_gbs,
+        };
+        let timeline = PipelineTimeline::from_reports(plan.as_ref(), &reports, config);
+        assert!(
+            timeline.makespan_seconds <= timeline.serial_accounting_seconds() * (1.0 + 1e-12),
+            "link {link_gbs}: {} vs {}",
+            timeline.makespan_seconds,
+            timeline.serial_accounting_seconds()
+        );
+        assert!(timeline.overlap_win_seconds() > 0.0, "link {link_gbs}");
+    }
+}
+
+#[test]
+fn overlap_disabled_timeline_bitwise_matches_solve_report_accounting() {
+    for backend in [Backend::fpga_simulated(), Backend::cpu_optimized()] {
+        let system = SemSystem::builder()
+            .degree(4)
+            .elements([2, 2, 2])
+            .backend(backend)
+            .build();
+        // A batch size that is not a power of two, to catch any
+        // share-then-resum rounding shortcuts.
+        let reports = system.solve_many_manufactured(7, cg(), true);
+        let timeline = PipelineTimeline::from_reports(
+            system.offload_plan().as_ref(),
+            &reports,
+            PipelineConfig::serial(),
+        );
+        let accounting: f64 = reports.iter().map(|r| r.modeled_seconds()).sum();
+        assert_eq!(
+            timeline.makespan_seconds.to_bits(),
+            accounting.to_bits(),
+            "serial timeline must reproduce the blocking SolveReport sum bitwise"
+        );
+        assert_eq!(timeline.overlap_win_seconds(), 0.0);
+    }
+}
+
+#[test]
+fn serve_never_reorders_results_and_matches_solve_many_bitwise() {
+    let spec = ProblemSpec::cube(3, 2);
+    let requests: Vec<ServeRequest> = (0..5).map(|i| ServeRequest::seeded(spec, i)).collect();
+    for name in Backend::registry_names() {
+        let mut server = Server::from_registry_names(&[name.as_str()], options(2));
+        let report = server.serve(&requests, &mut RoundRobin::default());
+        assert_eq!(report.outcomes.len(), requests.len(), "{name}");
+
+        // Reference: the same right-hand sides through the plain batched
+        // path on an identically configured system.
+        let system = SemSystem::builder()
+            .degree(spec.degree)
+            .elements(spec.elements)
+            .backend_named(&name)
+            .build();
+        let rhss: Vec<_> = requests.iter().map(|r| r.assemble_rhs(&system)).collect();
+        let direct = system.solve_many(&rhss, cg(), true);
+
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.request, i, "{name}: answer {i} in slot {i}");
+            assert_eq!(
+                outcome.solution.as_slice(),
+                direct[i].solution.solution.as_slice(),
+                "{name}: served solution {i} must be bitwise identical to solve_many"
+            );
+            assert_eq!(outcome.iterations, direct[i].iterations(), "{name}");
+            assert!(outcome.converged, "{name}");
+            assert!(outcome.latency_seconds() > 0.0, "{name}");
+        }
+        // Latencies are monotone within a device's job sequence.
+        let makespan = report.makespan_seconds;
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.latency_seconds() <= makespan + 1e-15));
+    }
+}
+
+#[test]
+fn mixed_shapes_share_the_pool_without_crosstalk() {
+    let small = ProblemSpec::cube(3, 2);
+    let large = ProblemSpec::cube(5, 2);
+    let mut requests = Vec::new();
+    for i in 0..3 {
+        requests.push(ServeRequest::seeded(small, i));
+        requests.push(ServeRequest::manufactured(large));
+        requests.push(ServeRequest::seeded(large, i));
+    }
+    let mut server =
+        Server::from_registry_names(&["cpu:optimized", "fpga:stratix10-gx2800"], options(4));
+    let report = server.serve(&requests, &mut ModelOptimal);
+    assert_eq!(report.outcomes.len(), requests.len());
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        assert_eq!(outcome.request, i);
+        assert_eq!(
+            outcome.solution.len(),
+            requests[i].spec.num_dofs(),
+            "answer shape follows the request shape"
+        );
+        match requests[i].rhs {
+            sem_serve::RhsSpec::Manufactured => {
+                assert!(outcome.max_error < 1e-4, "error {}", outcome.max_error);
+            }
+            sem_serve::RhsSpec::Seeded(_) => assert!(outcome.max_error.is_nan()),
+        }
+    }
+    // Every job's batch is single-shape by construction.
+    for job in &report.jobs {
+        for &i in &job.requests {
+            assert_eq!(requests[i].spec, job.spec);
+        }
+    }
+}
+
+#[test]
+fn model_optimal_beats_round_robin_on_a_heterogeneous_pool() {
+    // CPU + real FPGA + projected future device: the acceptance pool.
+    let pool = [
+        "cpu:reference",
+        "fpga:stratix10-gx2800",
+        "fpga:projected:a100-class",
+    ];
+    let spec = ProblemSpec::cube(5, 2);
+    let requests: Vec<ServeRequest> = (0..12).map(|i| ServeRequest::seeded(spec, i)).collect();
+
+    let mut rr_server = Server::from_registry_names(&pool, options(4));
+    let rr = rr_server.serve(&requests, &mut RoundRobin::default());
+    let mut mo_server = Server::from_registry_names(&pool, options(4));
+    let mo = mo_server.serve(&requests, &mut ModelOptimal);
+    let mut ll_server = Server::from_registry_names(&pool, options(4));
+    let ll = ll_server.serve(&requests, &mut LeastLoaded);
+
+    assert!(
+        mo.throughput_rps() >= rr.throughput_rps(),
+        "model-optimal {} rps must be at least round-robin {} rps",
+        mo.throughput_rps(),
+        rr.throughput_rps()
+    );
+    // The model routes work away from the measured host: the CPU slot serves
+    // no more requests than under blind round-robin.
+    let cpu_requests = |r: &sem_serve::ServeReport| {
+        r.devices
+            .iter()
+            .find(|d| d.label.starts_with("cpu"))
+            .map_or(0, |d| d.requests)
+    };
+    assert!(cpu_requests(&mo) <= cpu_requests(&rr));
+    // All three policies answer in identical order and agree numerically
+    // (bitwise identity only holds per backend — a request may land on the
+    // reference CPU kernel under one policy and the FPGA datapath under
+    // another, which differ in rounding).
+    for ((a, b), c) in rr
+        .outcomes
+        .iter()
+        .zip(mo.outcomes.iter())
+        .zip(ll.outcomes.iter())
+    {
+        assert_eq!(a.request, b.request);
+        assert_eq!(a.request, c.request);
+        let scale = a.solution.max_abs();
+        for ((x, y), z) in a
+            .solution
+            .as_slice()
+            .iter()
+            .zip(b.solution.as_slice())
+            .zip(c.solution.as_slice())
+        {
+            assert!((x - y).abs() < 1e-8 * (1.0 + scale), "{x} vs {y}");
+            assert!((x - z).abs() < 1e-8 * (1.0 + scale), "{x} vs {z}");
+        }
+    }
+    // Summaries aggregate and serialise.
+    let summary = mo.summary();
+    assert_eq!(summary.requests, 12);
+    assert!(summary.p50_latency_seconds <= summary.p99_latency_seconds);
+    assert!(summary.throughput_rps > 0.0);
+    let json = serde::json::to_string(&summary);
+    assert!(json.contains("model-optimal"));
+}
+
+#[test]
+fn overlap_improves_fpga_serving_end_to_end() {
+    let spec = ProblemSpec::cube(5, 2);
+    let requests: Vec<ServeRequest> = (0..16).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let mut overlapped = Server::from_registry_names(&["fpga:stratix10-gx2800"], options(16));
+    let with = overlapped.serve(&requests, &mut RoundRobin::default());
+    let mut blocking = Server::from_registry_names(
+        &["fpga:stratix10-gx2800"],
+        ServeOptions {
+            pipeline: PipelineConfig::serial(),
+            ..options(16)
+        },
+    );
+    let without = blocking.serve(&requests, &mut RoundRobin::default());
+
+    assert!(with.makespan_seconds < without.makespan_seconds);
+    assert!(with.throughput_rps() > without.throughput_rps());
+    assert_eq!(with.serial_makespan_seconds, without.makespan_seconds);
+    // Identical numerics either way.
+    for (a, b) in with.outcomes.iter().zip(without.outcomes.iter()) {
+        assert_eq!(a.solution.as_slice(), b.solution.as_slice());
+    }
+}

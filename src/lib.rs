@@ -18,7 +18,9 @@
 //!   Section V-D projections (`perf-model`);
 //! * [`archdb`] — the Table II architecture catalogue and calibrated CPU/GPU
 //!   machine models (`arch-db`);
-//! * [`accel`] — the high-level backend-selection API (`sem-accel`).
+//! * [`accel`] — the high-level backend-selection API (`sem-accel`);
+//! * [`serve`] — the pipelined, overlap-aware serving layer: solve queue,
+//!   multi-device scheduler and offload-pipeline timeline (`sem-serve`).
 //!
 //! See the `examples/` directory for runnable entry points and the `bench`
 //! crate for the binaries regenerating every table and figure of the paper.
@@ -53,6 +55,7 @@ pub use sem_accel as accel;
 pub use sem_basis as basis;
 pub use sem_kernel as kernel;
 pub use sem_mesh as mesh;
+pub use sem_serve as serve;
 pub use sem_solver as solver;
 
 /// The degrees the paper synthesised accelerators for (Table I).
