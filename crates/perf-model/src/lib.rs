@@ -44,5 +44,7 @@ pub use measured::{measured_table1, Table1Row};
 pub use projection::{project_device, DegreeProjection, ProjectionOutcome};
 pub use resources::{FpuCost, ResourceVector};
 pub use roofline::roofline_gflops;
-pub use serving::{HostCostModel, PipelineCost};
+pub use serving::{
+    nearest_rank_percentile, AdmissionVerdict, DeadlineModel, HostCostModel, PipelineCost,
+};
 pub use throughput::{PerformanceBound, ThroughputPrediction};

@@ -118,6 +118,11 @@ impl SemSystemBuilder {
 }
 
 /// A spectral element Poisson problem bound to an execution backend.
+///
+/// Systems are `Send + Sync` (the backend trait requires it and the host
+/// problem owns plain data), which is what lets `sem-serve`'s async host
+/// hand each session to its worker thread and take it back afterwards — a
+/// move, never a rebuild.
 pub struct SemSystem {
     config: Backend,
     execution: Box<dyn AxBackend>,
@@ -593,6 +598,17 @@ impl SemSystem {
 mod tests {
     use super::*;
     use fpga_sim::AcceleratorDesign;
+
+    #[test]
+    fn sem_system_sessions_are_send_and_sync_for_worker_handoff() {
+        // The async serving host moves whole sessions onto worker threads
+        // and back; this must stay a compile-time property of the facade,
+        // not an accident of the current backend set.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SemSystem>();
+        assert_send_sync::<SolveReport>();
+        assert_send_sync::<Box<dyn AxBackend>>();
+    }
 
     #[test]
     fn cpu_and_fpga_backends_agree_numerically() {

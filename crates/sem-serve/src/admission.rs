@@ -1,0 +1,308 @@
+//! Deadline-aware admission control: decide, *before* anything executes,
+//! which packed jobs the pool can serve within a completion-time target.
+//!
+//! Admission runs on the same model-optimal completion predictions the
+//! scheduler's pricing uses: each job is tentatively placed on the device
+//! with the earliest predicted completion (modelled backlog plus the job's
+//! predicted session seconds), and the prediction is priced against the
+//! deadline by [`perf_model::DeadlineModel`].  Because only requests the
+//! model prices under the deadline are admitted, the *predicted* p99 (in
+//! fact p100) of the admitted set is bounded by the target — the serving
+//! guarantee the ROADMAP's admission-control item asks for.
+//!
+//! Two enforcement modes exist beyond [`AdmissionPolicy::AdmitAll`]:
+//!
+//! * [`AdmissionPolicy::Reject`] — a job priced over the deadline is
+//!   rejected wholesale (its requests get [`RejectedRequest`] entries);
+//! * [`AdmissionPolicy::DownBatch`] — an over-deadline job is split in two
+//!   and each half is re-priced.  Smaller batches have shorter session
+//!   makespans, so leading sub-jobs often fit where the full batch did not;
+//!   sub-jobs that still miss the deadline at batch size one are rejected.
+//!   Split sub-jobs are marked *floating* ([`AdmittedJob::floating`]): the
+//!   model priced them as deadline-marginal, so the async host routes them
+//!   through the shared injector where the first free device takes them
+//!   instead of binding them to one backlog.
+
+use crate::queue::BatchJob;
+use perf_model::DeadlineModel;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the serve admits requests against a completion-time target.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit everything (the default — no deadline).
+    #[default]
+    AdmitAll,
+    /// Reject whole jobs the model prices over the deadline.
+    Reject {
+        /// Completion-time target in modelled seconds from submission.
+        deadline_seconds: f64,
+    },
+    /// Split over-deadline jobs into smaller batches and admit the pieces
+    /// that fit; reject only what still misses the deadline at batch one.
+    DownBatch {
+        /// Completion-time target in modelled seconds from submission.
+        deadline_seconds: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The deadline this policy enforces, if any.
+    #[must_use]
+    pub fn deadline_seconds(&self) -> Option<f64> {
+        match self {
+            Self::AdmitAll => None,
+            Self::Reject { deadline_seconds } | Self::DownBatch { deadline_seconds } => {
+                Some(*deadline_seconds)
+            }
+        }
+    }
+}
+
+/// One admitted job, with the admission-level routing flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmittedJob {
+    /// The (possibly down-batched) job.
+    pub job: BatchJob,
+    /// Whether the job came out of a down-batch split.  Floating jobs are
+    /// deadline-marginal: the async host feeds them through the shared
+    /// injector (first free device wins) instead of a per-device deque.
+    pub floating: bool,
+}
+
+/// One rejected request, with the prediction that priced it out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RejectedRequest {
+    /// Index of the request in the submitted order.
+    pub request: usize,
+    /// The model's predicted completion seconds on the best device at the
+    /// time the request's job was priced.
+    pub predicted_completion_seconds: f64,
+    /// The deadline it overshot.
+    pub deadline_seconds: f64,
+}
+
+/// Price `jobs` against `policy` over a pool of `pool_size` devices.
+///
+/// `predict_seconds(device, job)` must return the modelled session seconds
+/// of `job` on `device` — the same figure the scheduler's model-optimal
+/// policy compares (deterministic: simulated kernel seconds where a
+/// simulator exists, roofline host pricing elsewhere).
+///
+/// # Panics
+/// Panics if `pool_size` is zero.
+#[must_use]
+pub fn admit<F>(
+    policy: AdmissionPolicy,
+    jobs: Vec<BatchJob>,
+    pool_size: usize,
+    mut predict_seconds: F,
+) -> (Vec<AdmittedJob>, Vec<RejectedRequest>)
+where
+    F: FnMut(usize, &BatchJob) -> f64,
+{
+    assert!(pool_size > 0, "need at least one device to admit onto");
+    let Some(deadline_seconds) = policy.deadline_seconds() else {
+        let admitted = jobs
+            .into_iter()
+            .map(|job| AdmittedJob {
+                job,
+                floating: false,
+            })
+            .collect();
+        return (admitted, Vec::new());
+    };
+    let deadline = DeadlineModel::new(deadline_seconds);
+    let down_batch = matches!(policy, AdmissionPolicy::DownBatch { .. });
+
+    let mut backlog = vec![0.0_f64; pool_size];
+    let mut admitted = Vec::new();
+    let mut rejections = Vec::new();
+    // (job, floating): splits re-enter at the front so a job's pieces are
+    // priced before unrelated later jobs, keeping admission order stable.
+    let mut pending: VecDeque<(BatchJob, bool)> =
+        jobs.into_iter().map(|job| (job, false)).collect();
+    while let Some((job, floating)) = pending.pop_front() {
+        let (best, session_seconds) = (0..pool_size)
+            .map(|device| (device, predict_seconds(device, &job)))
+            .min_by(|a, b| (backlog[a.0] + a.1).total_cmp(&(backlog[b.0] + b.1)))
+            .expect("non-empty pool");
+        let completion = backlog[best] + session_seconds;
+        if deadline.admits(completion) {
+            backlog[best] += session_seconds;
+            admitted.push(AdmittedJob { job, floating });
+        } else if down_batch && job.batch_size() > 1 {
+            let (front, back) = job.split();
+            pending.push_front((back, true));
+            pending.push_front((front, true));
+        } else {
+            rejections.extend(job.requests.iter().map(|&request| RejectedRequest {
+                request,
+                predicted_completion_seconds: completion,
+                deadline_seconds,
+            }));
+        }
+    }
+    rejections.sort_by_key(|rejection| rejection.request);
+    (admitted, rejections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ProblemSpec;
+
+    fn job(requests: Vec<usize>) -> BatchJob {
+        BatchJob {
+            spec: ProblemSpec::cube(3, 2),
+            requests,
+        }
+    }
+
+    /// One second per request, regardless of device: completion predictions
+    /// are exactly the running per-device backlog plus the batch size.
+    fn per_request_pricing(_device: usize, job: &BatchJob) -> f64 {
+        job.batch_size() as f64
+    }
+
+    #[test]
+    fn admit_all_never_rejects_and_never_floats() {
+        let jobs = vec![job(vec![0, 1]), job(vec![2])];
+        let (admitted, rejected) = admit(
+            AdmissionPolicy::AdmitAll,
+            jobs.clone(),
+            1,
+            per_request_pricing,
+        );
+        assert_eq!(rejected, Vec::new());
+        assert_eq!(admitted.len(), 2);
+        assert!(admitted.iter().all(|a| !a.floating));
+        assert_eq!(admitted[0].job, jobs[0]);
+    }
+
+    #[test]
+    fn an_empty_pool_backlog_admits_everything_under_a_loose_deadline() {
+        let jobs = vec![job(vec![0, 1, 2]), job(vec![3, 4])];
+        let (admitted, rejected) = admit(
+            AdmissionPolicy::Reject {
+                deadline_seconds: 100.0,
+            },
+            jobs,
+            2,
+            per_request_pricing,
+        );
+        assert!(rejected.is_empty());
+        assert_eq!(admitted.len(), 2);
+    }
+
+    #[test]
+    fn reject_mode_drops_exactly_the_jobs_priced_over_the_deadline() {
+        // One device, deadline 3 s, unit pricing: job A (2 requests,
+        // completes at 2 s) fits; job B (2 requests, would complete at 4 s)
+        // does not; job C (1 request, completes at 3 s after A) fits again —
+        // rejection must not poison the backlog.
+        let jobs = vec![job(vec![0, 1]), job(vec![2, 3]), job(vec![4])];
+        let (admitted, rejected) = admit(
+            AdmissionPolicy::Reject {
+                deadline_seconds: 3.0,
+            },
+            jobs,
+            1,
+            per_request_pricing,
+        );
+        let kept: Vec<Vec<usize>> = admitted.iter().map(|a| a.job.requests.clone()).collect();
+        assert_eq!(kept, vec![vec![0, 1], vec![4]]);
+        assert_eq!(rejected.len(), 2);
+        assert_eq!(rejected[0].request, 2);
+        assert_eq!(rejected[1].request, 3);
+        assert!(rejected
+            .iter()
+            .all(|r| r.predicted_completion_seconds == 4.0 && r.deadline_seconds == 3.0));
+    }
+
+    #[test]
+    fn down_batch_splits_until_the_pieces_fit_and_floats_them() {
+        // One device, deadline 3 s, unit pricing: a 4-request job completes
+        // at 4 s and must split.  Halves of 2 complete at 2 s and 4 s: the
+        // first half fits, the second splits again into singles completing
+        // at 3 s (fits) and 4 s (rejected).
+        let jobs = vec![job(vec![0, 1, 2, 3])];
+        let (admitted, rejected) = admit(
+            AdmissionPolicy::DownBatch {
+                deadline_seconds: 3.0,
+            },
+            jobs,
+            1,
+            per_request_pricing,
+        );
+        let kept: Vec<Vec<usize>> = admitted.iter().map(|a| a.job.requests.clone()).collect();
+        assert_eq!(kept, vec![vec![0, 1], vec![2]]);
+        assert!(admitted.iter().all(|a| a.floating), "splits float");
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].request, 3);
+        assert_eq!(rejected[0].predicted_completion_seconds, 4.0);
+    }
+
+    #[test]
+    fn down_batch_degrades_fewer_requests_than_reject() {
+        let make = || vec![job(vec![0, 1, 2, 3]), job(vec![4, 5])];
+        let deadline = 3.0;
+        let (_, rejected_hard) = admit(
+            AdmissionPolicy::Reject {
+                deadline_seconds: deadline,
+            },
+            make(),
+            1,
+            per_request_pricing,
+        );
+        let (_, rejected_soft) = admit(
+            AdmissionPolicy::DownBatch {
+                deadline_seconds: deadline,
+            },
+            make(),
+            1,
+            per_request_pricing,
+        );
+        assert!(rejected_soft.len() < rejected_hard.len());
+    }
+
+    #[test]
+    fn admission_spreads_backlog_across_the_pool() {
+        // Two devices, deadline 2 s: four 2-request jobs would saturate one
+        // device at 8 s, but alternate placement admits the first two (one
+        // per device) and rejects the rest.
+        let jobs = (0..4).map(|i| job(vec![2 * i, 2 * i + 1])).collect();
+        let (admitted, rejected) = admit(
+            AdmissionPolicy::Reject {
+                deadline_seconds: 2.0,
+            },
+            jobs,
+            2,
+            per_request_pricing,
+        );
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(rejected.len(), 4);
+        assert_eq!(
+            rejected.iter().map(|r| r.request).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn deadline_accessor_reports_the_policy_target() {
+        assert_eq!(AdmissionPolicy::AdmitAll.deadline_seconds(), None);
+        assert_eq!(
+            AdmissionPolicy::Reject {
+                deadline_seconds: 1.5
+            }
+            .deadline_seconds(),
+            Some(1.5)
+        );
+        assert_eq!(
+            AdmissionPolicy::default().deadline_seconds(),
+            None,
+            "default admits everything"
+        );
+    }
+}

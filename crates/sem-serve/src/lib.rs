@@ -24,10 +24,19 @@
 //!   [`LeastLoaded`] and [`ModelOptimal`] (earliest predicted completion,
 //!   priced by the simulator where one exists and by
 //!   `perf_model::HostCostModel` elsewhere);
-//! * [`server`] — [`Server::serve`]: execute everything through
-//!   `SemSystem::solve_many` (solutions stay bitwise identical to direct
-//!   batched solves) and report per-request latency, per-device
-//!   utilisation and aggregate throughput ([`ServeReport`] /
+//! * [`admission`] — [`AdmissionPolicy`]: deadline-aware admission on top
+//!   of the model-optimal completion predictions (reject, or down-batch and
+//!   re-price, whatever the model prices over the target);
+//! * [`steal`] — [`run_stealing`]: the generic work-stealing execution core
+//!   (per-worker deques + shared injector from the vendored `crossbeam`),
+//!   one thread per device slot, owned-session handoff, steal/concurrency
+//!   accounting;
+//! * [`server`] — [`Server::serve`] and [`Server::serve_async`]: execute
+//!   everything through `SemSystem::solve_many` (solutions stay bitwise
+//!   identical to direct batched solves — and, on homogeneous pools, across
+//!   the two hosts), re-sequence answers into request order, and report
+//!   per-request latency, per-device utilisation, measured concurrency,
+//!   steal counts and aggregate throughput ([`ServeReport`] /
 //!   [`ServeSummary`]).
 //!
 //! ```
@@ -53,12 +62,15 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod pipeline;
 pub mod queue;
 pub mod request;
 pub mod scheduler;
 pub mod server;
+pub mod steal;
 
+pub use admission::{AdmissionPolicy, AdmittedJob, RejectedRequest};
 pub use pipeline::{
     PipelineConfig, PipelineTimeline, RequestStages, Stage, StageEvent,
     RESIDUAL_BYTES_PER_ITERATION,
@@ -66,9 +78,10 @@ pub use pipeline::{
 pub use queue::{BatchJob, SolveQueue};
 pub use request::{ProblemSpec, RhsSpec, ServeRequest};
 pub use scheduler::{
-    policy_by_name, policy_names, DeviceSlot, DeviceStatus, LeastLoaded, ModelOptimal, RoundRobin,
-    SchedulingPolicy,
+    policy_by_name, policy_names, DeviceSlot, DeviceStatus, LeastLoaded, ModelOptimal, Pinned,
+    RoundRobin, SchedulingPolicy,
 };
 pub use server::{
     DeviceUsage, JobTrace, RequestOutcome, ServeOptions, ServeReport, ServeSummary, Server,
 };
+pub use steal::{run_stealing, CompletedJob, StealRun, TaggedJob, WorkerLedger};

@@ -25,6 +25,28 @@ impl BatchJob {
     pub fn batch_size(&self) -> usize {
         self.requests.len()
     }
+
+    /// Split the job into front and back halves (the front half takes the
+    /// extra request on odd sizes), preserving request order — the
+    /// down-batching move of deadline admission.
+    ///
+    /// # Panics
+    /// Panics if the job holds fewer than two requests.
+    #[must_use]
+    pub fn split(&self) -> (BatchJob, BatchJob) {
+        assert!(self.batch_size() >= 2, "nothing to split");
+        let mid = self.batch_size().div_ceil(2);
+        (
+            BatchJob {
+                spec: self.spec,
+                requests: self.requests[..mid].to_vec(),
+            },
+            BatchJob {
+                spec: self.spec,
+                requests: self.requests[mid..].to_vec(),
+            },
+        )
+    }
 }
 
 /// An accumulating queue of solve requests.
@@ -137,5 +159,19 @@ mod tests {
     #[test]
     fn empty_queue_packs_to_no_jobs() {
         assert!(SolveQueue::new().pack(8).is_empty());
+    }
+
+    #[test]
+    fn split_halves_preserve_order_and_conserve_requests() {
+        let job = BatchJob {
+            spec: ProblemSpec::cube(3, 2),
+            requests: vec![4, 7, 9, 11, 12],
+        };
+        let (front, back) = job.split();
+        assert_eq!(front.requests, vec![4, 7, 9], "front takes the extra");
+        assert_eq!(back.requests, vec![11, 12]);
+        assert_eq!(front.spec, job.spec);
+        let (a, b) = back.split();
+        assert_eq!((a.requests, b.requests), (vec![11], vec![12]));
     }
 }

@@ -6,8 +6,15 @@
 //! backlog committed so far and what the candidate would charge for the job
 //! at hand (priced by the offload-pipeline model — simulated kernel seconds
 //! where a simulator exists, a `perf-model` roofline estimate for measured
-//! hosts).  Three policies ship: round-robin, least-loaded, and
-//! model-optimal (earliest predicted completion).
+//! hosts).  Four policies ship: round-robin, least-loaded, model-optimal
+//! (earliest predicted completion) and pinned (everything to one slot).
+//!
+//! A policy's choice is an **admission-time hint**, not a fixed placement:
+//! the synchronous `Server::serve` executes each job exactly where it was
+//! hinted, while the async host (`Server::serve_async`) seeds the hinted
+//! worker's deque and lets idle devices steal jobs queued behind busy ones.
+//! Because every figure a policy sees is *modelled* (never a measured wall
+//! clock), placement decisions are deterministic under any CI load.
 
 use crate::queue::BatchJob;
 use perf_model::HostCostModel;
@@ -48,7 +55,10 @@ pub struct DeviceStatus {
     pub index: usize,
     /// Display label.
     pub label: String,
-    /// Modelled seconds of work already committed to this device.
+    /// Modelled seconds of work already *hinted* to this device (the sum of
+    /// its assigned jobs' predicted session seconds).  Deliberately a model
+    /// figure, not a measured wall clock, so placements are deterministic
+    /// under CI load.
     pub busy_seconds: f64,
     /// Requests already assigned.
     pub assigned_requests: usize,
@@ -140,6 +150,25 @@ impl SchedulingPolicy for ModelOptimal {
             })
             .expect("non-empty pool")
             .index
+    }
+}
+
+/// Hint every job to one fixed slot.  Useless on its own, and exactly what
+/// the work-stealing host needs to demonstrate (and stress-test) stealing:
+/// all jobs queue behind one device and idle slots drain them.
+#[derive(Debug, Clone, Copy)]
+pub struct Pinned(
+    /// The pool index every job is hinted to.
+    pub usize,
+);
+
+impl SchedulingPolicy for Pinned {
+    fn name(&self) -> &'static str {
+        "pinned"
+    }
+
+    fn assign(&mut self, _job: &BatchJob, devices: &[DeviceStatus]) -> usize {
+        devices[self.0 % devices.len()].index
     }
 }
 

@@ -1,21 +1,29 @@
-//! The serve loop: pack requests, place jobs via a scheduling policy,
-//! execute each job through its device's `SemSystem`, and account the
-//! session on the overlap-aware pipeline timeline.
+//! The serve loop: pack requests, admit them against the deadline model,
+//! place jobs via a scheduling policy, execute each job through its device's
+//! `SemSystem` — synchronously on the caller's thread ([`Server::serve`]) or
+//! concurrently on one worker thread per device slot with work stealing
+//! ([`Server::serve_async`]) — and account every session on the
+//! overlap-aware pipeline timeline.
 //!
 //! Every solve still runs through `SemSystem::solve_many`, so solution
 //! vectors are bitwise identical to a direct batched solve — the serving
-//! layer changes *when* things happen (the modelled schedule), never *what*
-//! is computed.
+//! layer changes *when and where* things happen (the schedule, the executing
+//! thread), never *what* is computed.  On a homogeneous pool the async host
+//! therefore answers bitwise identically to the synchronous path, in the
+//! same request order, no matter which worker stole which job.
 
+use crate::admission::{admit, AdmissionPolicy, AdmittedJob, RejectedRequest};
 use crate::pipeline::{PipelineConfig, PipelineTimeline};
 use crate::queue::{BatchJob, SolveQueue};
 use crate::request::{ProblemSpec, RhsSpec, ServeRequest};
 use crate::scheduler::{DeviceSlot, DeviceStatus, SchedulingPolicy};
-use sem_accel::SemSystem;
+use crate::steal::{run_stealing, TaggedJob};
+use sem_accel::{Backend, SemSystem};
 use sem_mesh::ElementField;
 use sem_solver::CgOptions;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Serving knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -32,6 +40,8 @@ pub struct ServeOptions {
     /// hint model-based policies price jobs with (the prediction only has
     /// to rank devices, so a rough figure is fine).
     pub applications_hint: usize,
+    /// Deadline-aware admission control (default: admit everything).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeOptions {
@@ -46,6 +56,7 @@ impl Default for ServeOptions {
             max_batch: 16,
             pipeline: PipelineConfig::default(),
             applications_hint: 60,
+            admission: AdmissionPolicy::AdmitAll,
         }
     }
 }
@@ -53,8 +64,10 @@ impl Default for ServeOptions {
 /// The answer to one request.
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
-    /// Index of the request in the submitted order (answers are returned in
-    /// this order: outcome `i` answers request `i`).
+    /// Index of the request in the submitted order (outcomes are returned
+    /// sorted by this index: with admission off, outcome `i` answers request
+    /// `i`; with admission on, rejected indices are absent and reported in
+    /// [`ServeReport::rejections`] instead).
     pub request: usize,
     /// Pool index of the device that served it.
     pub device: usize,
@@ -103,12 +116,24 @@ impl RequestOutcome {
 pub struct JobTrace {
     /// The job's shape.
     pub spec: ProblemSpec,
-    /// Device it ran on.
+    /// Device it actually ran on.
     pub device: usize,
+    /// Device the scheduling policy hinted it to at admission time (`None`
+    /// for floating down-batched jobs that entered through the injector).
+    pub hinted_device: Option<usize>,
     /// Request indices served.
     pub requests: Vec<usize>,
     /// The session's scheduled timeline.
     pub timeline: PipelineTimeline,
+}
+
+impl JobTrace {
+    /// Whether the job ran somewhere other than its hinted device.
+    #[must_use]
+    pub fn stolen(&self) -> bool {
+        self.hinted_device
+            .is_some_and(|hinted| hinted != self.device)
+    }
 }
 
 /// Per-device aggregate of one serve run.
@@ -122,10 +147,16 @@ pub struct DeviceUsage {
     pub busy_seconds: f64,
     /// What the same sessions would cost under serial accounting.
     pub serial_busy_seconds: f64,
+    /// Measured wall-clock seconds this slot's thread spent executing jobs
+    /// (host time — simulator time for simulated boards, kernel time for CPU
+    /// slots; the concurrency evidence, not a model figure).
+    pub busy_wall_seconds: f64,
     /// Jobs executed.
     pub jobs: usize,
     /// Requests served.
     pub requests: usize,
+    /// Jobs this slot executed that were hinted to a different slot.
+    pub steals: usize,
     /// Busy fraction of the run's makespan.
     pub utilisation: f64,
 }
@@ -137,9 +168,15 @@ pub struct ServeReport {
     pub policy: String,
     /// Whether sessions overlapped transfer and compute.
     pub overlap: bool,
-    /// One outcome per request, in submission order.
+    /// Whether jobs ran on worker threads with work stealing
+    /// ([`Server::serve_async`]) or synchronously on the caller's thread.
+    pub asynchronous: bool,
+    /// One outcome per admitted request, sorted by request index.
     pub outcomes: Vec<RequestOutcome>,
-    /// One trace per executed job, in execution order.
+    /// Requests the admission model priced over the deadline (empty under
+    /// [`AdmissionPolicy::AdmitAll`]), sorted by request index.
+    pub rejections: Vec<RejectedRequest>,
+    /// One trace per executed job, in execution-completion order.
     pub jobs: Vec<JobTrace>,
     /// Per-device aggregates.
     pub devices: Vec<DeviceUsage>,
@@ -147,6 +184,8 @@ pub struct ServeReport {
     pub makespan_seconds: f64,
     /// What the run would cost with serial (blocking) sessions.
     pub serial_makespan_seconds: f64,
+    /// Measured wall-clock seconds of the whole serve call on this host.
+    pub wall_seconds: f64,
 }
 
 impl ServeReport {
@@ -163,17 +202,12 @@ impl ServeReport {
     /// times).  Zero for an empty run.
     #[must_use]
     pub fn latency_percentile_seconds(&self, p: f64) -> f64 {
-        if self.outcomes.is_empty() {
-            return 0.0;
-        }
-        let mut latencies: Vec<f64> = self
+        let latencies: Vec<f64> = self
             .outcomes
             .iter()
             .map(RequestOutcome::latency_seconds)
             .collect();
-        latencies.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
-        latencies[rank.clamp(1, latencies.len()) - 1]
+        perf_model::nearest_rank_percentile(&latencies, p)
     }
 
     /// Seconds the pipelined schedule saved over serial sessions.
@@ -182,16 +216,46 @@ impl ServeReport {
         (self.serial_makespan_seconds - self.makespan_seconds).max(0.0)
     }
 
+    /// Total measured wall-clock seconds slots spent executing jobs.
+    #[must_use]
+    pub fn busy_wall_seconds(&self) -> f64 {
+        self.devices.iter().map(|d| d.busy_wall_seconds).sum()
+    }
+
+    /// Measured concurrency: busy worker-seconds per wall-clock second of
+    /// the run.  ~1.0 for the synchronous path; approaches the pool size
+    /// when the async host keeps every slot busy.
+    #[must_use]
+    pub fn measured_concurrency(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.busy_wall_seconds() / self.wall_seconds
+    }
+
+    /// Jobs that ran on a different slot than their admission-time hint.
+    #[must_use]
+    pub fn total_steals(&self) -> usize {
+        self.devices.iter().map(|d| d.steals).sum()
+    }
+
     /// The serde-friendly aggregate (drops solutions and schedules).
     #[must_use]
     pub fn summary(&self) -> ServeSummary {
         ServeSummary {
             policy: self.policy.clone(),
             overlap: self.overlap,
-            requests: self.outcomes.len(),
+            asynchronous: self.asynchronous,
+            requests: self.outcomes.len() + self.rejections.len(),
+            admitted: self.outcomes.len(),
+            rejected: self.rejections.len(),
             jobs: self.jobs.len(),
             makespan_seconds: self.makespan_seconds,
             serial_makespan_seconds: self.serial_makespan_seconds,
+            wall_seconds: self.wall_seconds,
+            busy_wall_seconds: self.busy_wall_seconds(),
+            measured_concurrency: self.measured_concurrency(),
+            steals: self.total_steals(),
             throughput_rps: self.throughput_rps(),
             p50_latency_seconds: self.latency_percentile_seconds(50.0),
             p99_latency_seconds: self.latency_percentile_seconds(99.0),
@@ -207,14 +271,29 @@ pub struct ServeSummary {
     pub policy: String,
     /// Whether transfer/compute overlapped.
     pub overlap: bool,
-    /// Requests served.
+    /// Whether the run used the async work-stealing host.
+    pub asynchronous: bool,
+    /// Requests submitted.
     pub requests: usize,
+    /// Requests admitted (== `requests` without admission control).
+    pub admitted: usize,
+    /// Requests the admission model rejected.
+    pub rejected: usize,
     /// Jobs executed.
     pub jobs: usize,
     /// Modelled end-to-end seconds.
     pub makespan_seconds: f64,
     /// Serial-accounting end-to-end seconds.
     pub serial_makespan_seconds: f64,
+    /// Measured wall-clock seconds of the serve call.
+    pub wall_seconds: f64,
+    /// Measured wall-clock seconds slots spent executing jobs, summed.
+    pub busy_wall_seconds: f64,
+    /// Busy worker-seconds per wall-clock second (the measured-concurrency
+    /// figure the async host exists to raise).
+    pub measured_concurrency: f64,
+    /// Jobs executed away from their hinted slot.
+    pub steals: usize,
     /// Requests per modelled second.
     pub throughput_rps: f64,
     /// Median latency.
@@ -223,6 +302,16 @@ pub struct ServeSummary {
     pub p99_latency_seconds: f64,
     /// Per-device aggregates.
     pub devices: Vec<DeviceUsage>,
+}
+
+/// One executed job on its way into a report: what both execution hosts
+/// (sequential and work-stealing) produce per job.
+struct ExecutedJob {
+    job: BatchJob,
+    device: usize,
+    hinted_device: Option<usize>,
+    timeline: PipelineTimeline,
+    outcomes: Vec<RequestOutcome>,
 }
 
 /// A serving instance: a device pool plus options, with one lazily built
@@ -278,8 +367,10 @@ impl Server {
         &self.options
     }
 
-    /// Serve `requests` with `policy`.  Outcome `i` answers request `i`
-    /// regardless of how jobs were packed, placed, or interleaved.
+    /// Serve `requests` with `policy`, executing every job synchronously on
+    /// the caller's thread, exactly where it was hinted.  Outcomes are
+    /// sorted by request index regardless of how jobs were packed, placed,
+    /// or interleaved.
     ///
     /// # Panics
     /// Panics if a policy returns an out-of-range device index.
@@ -288,20 +379,144 @@ impl Server {
         requests: &[ServeRequest],
         policy: &mut dyn SchedulingPolicy,
     ) -> ServeReport {
+        let started = Instant::now();
+        let (placed, rejections) = self.prepare(requests, policy);
+        let mut wall_stats = vec![(0.0_f64, 0_usize); self.slots.len()];
+        let executed: Vec<ExecutedJob> = placed
+            .into_iter()
+            .map(|(job, device, _)| {
+                let begun = Instant::now();
+                let (timeline, outcomes) =
+                    self.execute_job_on(self.system(device, job.spec), device, &job, requests);
+                wall_stats[device].0 += begun.elapsed().as_secs_f64();
+                ExecutedJob {
+                    job,
+                    device,
+                    hinted_device: Some(device),
+                    timeline,
+                    outcomes,
+                }
+            })
+            .collect();
+        self.assemble(
+            policy.name(),
+            false,
+            requests.len(),
+            executed,
+            rejections,
+            wall_stats,
+            started.elapsed().as_secs_f64(),
+        )
+    }
+
+    /// Serve `requests` with `policy` on the async host: one worker thread
+    /// per device slot (each owning its `SemSystem` sessions), fed by
+    /// per-worker deques seeded from the policy's admission-time hints plus
+    /// a shared injector for floating jobs, with idle slots stealing work
+    /// queued behind busy ones.  Answers are re-sequenced, so outcomes are
+    /// sorted by request index and — on a homogeneous pool — bitwise
+    /// identical to [`Server::serve`]; on heterogeneous pools a stolen job's
+    /// bits follow the device that actually ran it, exactly as a different
+    /// placement would under the synchronous path.
+    ///
+    /// # Panics
+    /// Panics if a policy returns an out-of-range device index.
+    pub fn serve_async(
+        &mut self,
+        requests: &[ServeRequest],
+        policy: &mut dyn SchedulingPolicy,
+    ) -> ServeReport {
+        let started = Instant::now();
+        let (placed, rejections) = self.prepare(requests, policy);
+        let tagged: Vec<TaggedJob<BatchJob>> = placed
+            .into_iter()
+            .map(|(job, device, floating)| TaggedJob {
+                payload: job,
+                hint: (!floating).then_some(device),
+            })
+            .collect();
+        // Each worker owns its slot's sessions for the duration of the run
+        // (`SemSystem` is `Send`, so the handoff is a move, not a copy) and
+        // hands them back through the ledger for reuse by the next serve.
+        let states: Vec<HashMap<ProblemSpec, SemSystem>> =
+            self.systems.iter_mut().map(std::mem::take).collect();
+        let run = run_stealing(states, tagged, |worker, systems, job| {
+            let system = systems
+                .entry(job.spec)
+                .or_insert_with(|| Self::build_system(&self.slots[worker].config, job.spec));
+            let (timeline, outcomes) = self.execute_job_on(system, worker, &job, requests);
+            (job, timeline, outcomes)
+        });
+        let mut wall_stats = Vec::with_capacity(self.slots.len());
+        for (slot, ledger) in self.systems.iter_mut().zip(run.workers) {
+            wall_stats.push((ledger.busy_wall_seconds, ledger.steals));
+            *slot = ledger.state;
+        }
+        let executed: Vec<ExecutedJob> = run
+            .completed
+            .into_iter()
+            .map(|completed| {
+                let (job, timeline, outcomes) = completed.result;
+                ExecutedJob {
+                    job,
+                    device: completed.worker,
+                    hinted_device: completed.hint,
+                    timeline,
+                    outcomes,
+                }
+            })
+            .collect();
+        self.assemble(
+            policy.name(),
+            true,
+            requests.len(),
+            executed,
+            rejections,
+            wall_stats,
+            started.elapsed().as_secs_f64(),
+        )
+    }
+
+    /// The shared front half of both hosts: pack the requests, admit jobs
+    /// against the deadline model, and turn the policy's choices into
+    /// per-job hints — all priced in modelled seconds, so the outcome is
+    /// deterministic however loaded the machine is.  Returns
+    /// `(job, device, floating)` triples in admission order plus the
+    /// rejections.
+    fn prepare(
+        &mut self,
+        requests: &[ServeRequest],
+        policy: &mut dyn SchedulingPolicy,
+    ) -> (Vec<(BatchJob, usize, bool)>, Vec<RejectedRequest>) {
         let jobs = SolveQueue::from_requests(requests).pack(self.options.max_batch);
         let pool_size = self.slots.len();
-        let mut busy = vec![0.0_f64; pool_size];
-        let mut serial_busy = vec![0.0_f64; pool_size];
-        let mut jobs_per_device = vec![0_usize; pool_size];
-        let mut requests_per_device = vec![0_usize; pool_size];
-        let mut outcomes: Vec<Option<RequestOutcome>> = requests.iter().map(|_| None).collect();
-        let mut traces = Vec::with_capacity(jobs.len());
+
+        let (admitted, rejections) = if self.options.admission.deadline_seconds().is_some() {
+            // Admission prices every job on every device, which needs the
+            // systems to exist up front.
+            for job in &jobs {
+                for device in 0..pool_size {
+                    self.ensure_system(device, job.spec);
+                }
+            }
+            admit(self.options.admission, jobs, pool_size, |device, job| {
+                self.predict_job_seconds(device, job)
+            })
+        } else {
+            admit(self.options.admission, jobs, pool_size, |_, _| 0.0)
+        };
 
         let needs_cost_model = policy.needs_cost_model();
-        for job in jobs {
-            // Pricing a job instantiates a backend per candidate device, so
-            // only cost-aware policies pay for it; cost-blind policies see
-            // zeros and only the assigned device gets a system.
+        let mut hinted_busy = vec![0.0_f64; pool_size];
+        let mut hinted_requests = vec![0_usize; pool_size];
+        let mut placed = Vec::with_capacity(admitted.len());
+        for AdmittedJob { job, floating } in admitted {
+            // Pricing a job for the policy instantiates a backend per
+            // candidate device, so only cost-aware policies pay for the
+            // whole pool; cost-blind policies see zeros in
+            // `predicted_job_seconds` and price just the device they end up
+            // hinting (the modelled hint ledger below needs that one figure
+            // either way).
             if needs_cost_model {
                 for device in 0..pool_size {
                     self.ensure_system(device, job.spec);
@@ -311,8 +526,8 @@ impl Server {
                 .map(|device| DeviceStatus {
                     index: device,
                     label: self.slots[device].label.clone(),
-                    busy_seconds: busy[device],
-                    assigned_requests: requests_per_device[device],
+                    busy_seconds: hinted_busy[device],
+                    assigned_requests: hinted_requests[device],
                     predicted_job_seconds: if needs_cost_model {
                         self.predict_job_seconds(device, &job)
                     } else {
@@ -323,26 +538,62 @@ impl Server {
             let device = policy.assign(&job, &statuses);
             assert!(device < pool_size, "policy chose device {device}");
             self.ensure_system(device, job.spec);
+            hinted_busy[device] += if needs_cost_model {
+                statuses[device].predicted_job_seconds
+            } else {
+                self.predict_job_seconds(device, &job)
+            };
+            hinted_requests[device] += job.batch_size();
+            placed.push((job, device, floating));
+        }
+        (placed, rejections)
+    }
 
-            let (timeline, outcome_rows) = self.execute_job(device, &job, requests);
+    /// The shared back half of both hosts: walk the executed jobs in
+    /// completion order, accumulate each device's modelled schedule, and
+    /// re-sequence the answers by request index.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        policy: &str,
+        asynchronous: bool,
+        num_requests: usize,
+        executed: Vec<ExecutedJob>,
+        rejections: Vec<RejectedRequest>,
+        wall_stats: Vec<(f64, usize)>,
+        wall_seconds: f64,
+    ) -> ServeReport {
+        let pool_size = self.slots.len();
+        let mut busy = vec![0.0_f64; pool_size];
+        let mut serial_busy = vec![0.0_f64; pool_size];
+        let mut jobs_per_device = vec![0_usize; pool_size];
+        let mut requests_per_device = vec![0_usize; pool_size];
+        let mut outcomes: Vec<Option<RequestOutcome>> = (0..num_requests).map(|_| None).collect();
+        let mut traces = Vec::with_capacity(executed.len());
+
+        for job in executed {
+            let device = job.device;
             let started = busy[device];
-            busy[device] += timeline.makespan_seconds;
-            serial_busy[device] += timeline.serial_accounting_seconds();
+            busy[device] += job.timeline.makespan_seconds;
+            serial_busy[device] += job.timeline.serial_accounting_seconds();
             jobs_per_device[device] += 1;
-            requests_per_device[device] += job.batch_size();
+            requests_per_device[device] += job.job.batch_size();
             let completed = busy[device];
-            for (slot, mut outcome) in outcome_rows.into_iter().enumerate() {
+            for mut outcome in job.outcomes {
                 outcome.started_seconds = started;
                 outcome.completed_seconds = completed;
-                let request = job.requests[slot];
-                outcome.request = request;
-                outcomes[request] = Some(outcome);
+                let request = outcome.request;
+                assert!(
+                    outcomes[request].replace(outcome).is_none(),
+                    "request {request} answered twice"
+                );
             }
             traces.push(JobTrace {
-                spec: job.spec,
+                spec: job.job.spec,
                 device,
-                requests: job.requests.clone(),
-                timeline,
+                hinted_device: job.hinted_device,
+                requests: job.job.requests,
+                timeline: job.timeline,
             });
         }
 
@@ -354,8 +605,10 @@ impl Server {
                 label: self.slots[device].label.clone(),
                 busy_seconds: busy[device],
                 serial_busy_seconds: serial_busy[device],
+                busy_wall_seconds: wall_stats[device].0,
                 jobs: jobs_per_device[device],
                 requests: requests_per_device[device],
+                steals: wall_stats[device].1,
                 utilisation: if makespan_seconds > 0.0 {
                     busy[device] / makespan_seconds
                 } else {
@@ -363,30 +616,36 @@ impl Server {
                 },
             })
             .collect();
+        let outcomes: Vec<RequestOutcome> = outcomes.into_iter().flatten().collect();
+        assert_eq!(
+            outcomes.len() + rejections.len(),
+            num_requests,
+            "every request is answered or rejected exactly once"
+        );
         ServeReport {
-            policy: policy.name().to_string(),
+            policy: policy.to_string(),
             overlap: self.options.pipeline.overlap,
-            outcomes: outcomes
-                .into_iter()
-                .map(|outcome| outcome.expect("every request answered"))
-                .collect(),
+            asynchronous,
+            outcomes,
+            rejections,
             jobs: traces,
             devices,
             makespan_seconds,
             serial_makespan_seconds,
+            wall_seconds,
         }
     }
 
-    /// Run one job on one device: assemble the right-hand sides, solve the
-    /// batch through the backend, and schedule the session on the pipeline
-    /// timeline.
-    fn execute_job(
+    /// Run one job on one device's system: assemble the right-hand sides,
+    /// solve the batch through the backend, and schedule the session on the
+    /// pipeline timeline.
+    fn execute_job_on(
         &self,
+        system: &SemSystem,
         device: usize,
         job: &BatchJob,
         requests: &[ServeRequest],
     ) -> (PipelineTimeline, Vec<RequestOutcome>) {
-        let system = self.system(device, job.spec);
         let rhss: Vec<ElementField> = job
             .requests
             .iter()
@@ -447,7 +706,8 @@ impl Server {
     }
 
     /// Predicted session seconds of `job` on `device` — the number
-    /// model-based policies compare.  Requires the system to exist.
+    /// model-based policies and the admission model compare.  Requires the
+    /// system to exist.
     fn predict_job_seconds(&self, device: usize, job: &BatchJob) -> f64 {
         let system = self.system(device, job.spec);
         let applications = self.options.applications_hint.max(1);
@@ -465,13 +725,18 @@ impl Server {
         .makespan_seconds
     }
 
+    /// Build the session one device uses for one problem shape.
+    fn build_system(config: &Backend, spec: ProblemSpec) -> SemSystem {
+        SemSystem::builder()
+            .degree(spec.degree)
+            .elements(spec.elements)
+            .backend(config.clone())
+            .build()
+    }
+
     fn ensure_system(&mut self, device: usize, spec: ProblemSpec) {
         if !self.systems[device].contains_key(&spec) {
-            let system = SemSystem::builder()
-                .degree(spec.degree)
-                .elements(spec.elements)
-                .backend(self.slots[device].config.clone())
-                .build();
+            let system = Self::build_system(&self.slots[device].config, spec);
             self.systems[device].insert(spec, system);
         }
     }

@@ -1,0 +1,345 @@
+//! The work-stealing execution core of the async serving host: one worker
+//! thread per device slot, fed by per-worker deques plus a shared injector.
+//!
+//! [`run_stealing`] is deliberately generic over the job payload, the
+//! per-worker owned state, and the result type, so the exact machinery that
+//! runs device sessions in [`crate::Server::serve_async`] can also be
+//! stress-tested with thousands of cheap synthetic jobs (see
+//! `tests/stress.rs`).
+//!
+//! ## Seeding and stealing discipline
+//!
+//! Every job carries an optional *hint* — the worker a scheduling policy
+//! picked for it at admission time.  Hinted jobs are seeded onto the hinted
+//! worker's deque in submission order; hint-less jobs (e.g. deadline-marginal
+//! sub-jobs produced by down-batching admission) go to the shared
+//! [`Injector`] where the first free worker takes them.  Each worker then
+//! loops:
+//!
+//! 1. pop its own deque (FIFO — the jobs it was hinted, oldest first);
+//! 2. steal from the injector (globally FIFO floating jobs);
+//! 3. steal from sibling deques (round-robin starting after itself), taking
+//!    the *newest* job — the one that would otherwise wait longest behind a
+//!    busy device.
+//!
+//! When all three sources are empty the worker exits: jobs are only removed
+//! to be executed and nothing is ever re-queued, so an empty sweep means no
+//! pending work remains (jobs still *executing* on other workers need no
+//! help).  This is also why the run conserves jobs: every seeded job is
+//! taken exactly once, by exactly one worker, and its result is delivered
+//! over a channel that the caller drains to completion.
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::time::Instant;
+
+/// One job plus the scheduling hint it was admitted with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedJob<T> {
+    /// The work itself.
+    pub payload: T,
+    /// The worker a policy hinted this job to at admission time, or `None`
+    /// for floating jobs any worker may take from the injector.
+    pub hint: Option<usize>,
+}
+
+/// One executed job, in completion order.
+#[derive(Debug, Clone)]
+pub struct CompletedJob<R> {
+    /// The worker that actually executed the job.
+    pub worker: usize,
+    /// The admission-time hint the job carried.
+    pub hint: Option<usize>,
+    /// What the executor returned.
+    pub result: R,
+}
+
+impl<R> CompletedJob<R> {
+    /// Whether the job ran somewhere other than its hinted worker.
+    #[must_use]
+    pub fn stolen(&self) -> bool {
+        self.hint.is_some_and(|hint| hint != self.worker)
+    }
+}
+
+/// Per-worker accounting of one run, with the worker's owned state handed
+/// back to the caller.
+#[derive(Debug)]
+pub struct WorkerLedger<S> {
+    /// The state the worker owned for the duration of the run.
+    pub state: S,
+    /// Wall-clock seconds this worker spent executing jobs (excludes idle
+    /// spinning and queue operations).
+    pub busy_wall_seconds: f64,
+    /// Jobs this worker executed.
+    pub executed_jobs: usize,
+    /// Executed jobs that were hinted to a *different* worker.
+    pub steals: usize,
+}
+
+/// The outcome of one work-stealing run.
+#[derive(Debug)]
+pub struct StealRun<S, R> {
+    /// Executed jobs in completion order (the order results crossed the
+    /// channel, not submission order — the caller re-sequences).
+    pub completed: Vec<CompletedJob<R>>,
+    /// Per-worker ledgers, indexed like the input states.
+    pub workers: Vec<WorkerLedger<S>>,
+    /// Wall-clock seconds from first spawn to last join.
+    pub wall_seconds: f64,
+}
+
+impl<S, R> StealRun<S, R> {
+    /// Total wall-clock seconds workers spent executing jobs.
+    #[must_use]
+    pub fn busy_wall_seconds(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_wall_seconds).sum()
+    }
+
+    /// Measured concurrency: busy worker-seconds per wall-clock second.
+    /// Approaches the worker count when the pool runs fully parallel and
+    /// 1.0 when execution is effectively serial.
+    #[must_use]
+    pub fn concurrency(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.busy_wall_seconds() / self.wall_seconds
+    }
+
+    /// Total stolen jobs across the pool.
+    #[must_use]
+    pub fn total_steals(&self) -> usize {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+}
+
+/// What one worker sends back per executed job.
+struct Delivery<R> {
+    worker: usize,
+    hint: Option<usize>,
+    result: R,
+}
+
+/// Run `jobs` across one thread per entry of `states`, work-stealing style.
+///
+/// `execute` is called as `execute(worker_index, &mut state, payload)` with
+/// the worker's owned state — the state never crosses a thread boundary
+/// mid-run, so workers can keep non-`Sync` sessions (each `SemSystem` is
+/// owned by exactly one worker at a time) and hand them back through the
+/// ledger when the run ends.
+///
+/// # Panics
+/// Panics if `states` is empty or any hint is out of range.
+pub fn run_stealing<T, S, R, F>(
+    states: Vec<S>,
+    jobs: Vec<TaggedJob<T>>,
+    execute: F,
+) -> StealRun<S, R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> R + Sync,
+{
+    let pool = states.len();
+    assert!(pool > 0, "need at least one worker");
+    let queues: Vec<Worker<TaggedJob<T>>> = (0..pool).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<TaggedJob<T>>> = queues.iter().map(Worker::stealer).collect();
+    let injector = Injector::new();
+    for job in jobs {
+        match job.hint {
+            Some(hint) => {
+                assert!(hint < pool, "hint {hint} outside pool of {pool}");
+                queues[hint].push(job);
+            }
+            None => injector.push(job),
+        }
+    }
+
+    let (tx, rx) = channel::unbounded::<Delivery<R>>();
+    let start = Instant::now();
+    let mut ledgers: Vec<Option<WorkerLedger<S>>> = Vec::with_capacity(pool);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(pool);
+        for (index, (queue, mut state)) in queues.into_iter().zip(states).enumerate() {
+            let tx = tx.clone();
+            let injector = &injector;
+            let stealers = &stealers;
+            let execute = &execute;
+            handles.push(scope.spawn(move || {
+                let mut busy_wall_seconds = 0.0;
+                let mut executed_jobs = 0;
+                let mut steals = 0;
+                while let Some(job) = next_job(index, &queue, injector, stealers) {
+                    if job.hint.is_some_and(|hint| hint != index) {
+                        steals += 1;
+                    }
+                    let hint = job.hint;
+                    let begun = Instant::now();
+                    let result = execute(index, &mut state, job.payload);
+                    busy_wall_seconds += begun.elapsed().as_secs_f64();
+                    executed_jobs += 1;
+                    // The receiver outlives the scope, so delivery can only
+                    // fail if the channel is poisoned — surface that.
+                    tx.send(Delivery {
+                        worker: index,
+                        hint,
+                        result,
+                    })
+                    .map_err(|_| "serve channel closed mid-run")
+                    .unwrap();
+                }
+                WorkerLedger {
+                    state,
+                    busy_wall_seconds,
+                    executed_jobs,
+                    steals,
+                }
+            }));
+        }
+        drop(tx);
+        for handle in handles {
+            ledgers.push(Some(handle.join().expect("worker thread panicked")));
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let completed = rx
+        .iter()
+        .map(|delivery| CompletedJob {
+            worker: delivery.worker,
+            hint: delivery.hint,
+            result: delivery.result,
+        })
+        .collect();
+    StealRun {
+        completed,
+        workers: ledgers
+            .into_iter()
+            .map(|ledger| ledger.expect("every worker joined"))
+            .collect(),
+        wall_seconds,
+    }
+}
+
+/// One sweep of the three work sources: own deque, injector, siblings.
+fn next_job<T>(
+    index: usize,
+    own: &Worker<TaggedJob<T>>,
+    injector: &Injector<TaggedJob<T>>,
+    stealers: &[Stealer<TaggedJob<T>>],
+) -> Option<TaggedJob<T>> {
+    loop {
+        if let Some(job) = own.pop() {
+            return Some(job);
+        }
+        match injector.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        let pool = stealers.len();
+        let mut retry = false;
+        for offset in 1..pool {
+            let victim = (index + offset) % pool;
+            match stealers[victim].steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            std::thread::yield_now();
+            continue;
+        }
+        // Every source is empty and jobs are never re-queued: nothing is
+        // pending anywhere, so this worker is done.
+        return None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn single_worker_executes_hinted_jobs_in_fifo_order() {
+        let jobs: Vec<TaggedJob<usize>> = (0..20)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: Some(0),
+            })
+            .collect();
+        let run = run_stealing(vec![()], jobs, |_, (), payload| payload);
+        let order: Vec<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+        assert_eq!(run.workers[0].executed_jobs, 20);
+        assert_eq!(run.total_steals(), 0);
+    }
+
+    #[test]
+    fn every_job_executes_exactly_once_across_a_stealing_pool() {
+        // All jobs hinted to worker 0: the only way the others get work is
+        // by stealing, and conservation must still hold.
+        let jobs: Vec<TaggedJob<usize>> = (0..200)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: Some(0),
+            })
+            .collect();
+        let run = run_stealing(vec![(); 4], jobs, |_, (), payload| payload);
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen.len(), 200, "no drop, no duplicate");
+        assert_eq!(run.completed.len(), 200);
+        let executed: usize = run.workers.iter().map(|w| w.executed_jobs).sum();
+        assert_eq!(executed, 200);
+        // Steal accounting matches the per-job stolen flags.
+        let stolen_flags = run.completed.iter().filter(|c| c.stolen()).count();
+        assert_eq!(run.total_steals(), stolen_flags);
+    }
+
+    #[test]
+    fn floating_jobs_ride_the_injector_and_are_never_counted_as_steals() {
+        let jobs: Vec<TaggedJob<usize>> = (0..50)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: None,
+            })
+            .collect();
+        let run = run_stealing(vec![(); 3], jobs, |_, (), payload| payload);
+        assert_eq!(run.completed.len(), 50);
+        assert_eq!(run.total_steals(), 0, "floaters have no owner to rob");
+        assert!(run.completed.iter().all(|c| !c.stolen()));
+    }
+
+    #[test]
+    fn worker_state_is_owned_mutable_and_handed_back() {
+        let jobs: Vec<TaggedJob<u64>> = (1..=10)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: Some((i as usize) % 2),
+            })
+            .collect();
+        let run = run_stealing(vec![0u64, 0u64], jobs, |_, sum, payload| {
+            *sum += payload;
+            payload
+        });
+        let handed_back: u64 = run.workers.iter().map(|w| w.state).sum();
+        assert_eq!(handed_back, 55, "every job mutated exactly one state");
+    }
+
+    #[test]
+    #[should_panic(expected = "hint 2 outside pool")]
+    fn out_of_range_hints_are_rejected() {
+        let _ = run_stealing(
+            vec![(); 2],
+            vec![TaggedJob {
+                payload: 0usize,
+                hint: Some(2),
+            }],
+            |_, (), payload| payload,
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! The async-host concurrency battery: `serve_async` must answer exactly
+//! like `serve` — bitwise, in request order — while actually running device
+//! sessions on worker threads with work stealing.
+//!
+//! Every assertion here is on *modelled* seconds, bit patterns, or
+//! structural invariants (conservation, ordering, steal accounting) — never
+//! on measured wall-clock comparisons, so the battery is deterministic under
+//! arbitrary CI load.
+
+use sem_accel::Backend;
+use sem_serve::{
+    AdmissionPolicy, ModelOptimal, Pinned, ProblemSpec, RoundRobin, ServeOptions, ServeRequest,
+    Server,
+};
+use sem_solver::CgOptions;
+
+fn options(max_batch: usize) -> ServeOptions {
+    ServeOptions {
+        cg: CgOptions {
+            max_iterations: 1000,
+            tolerance: 1e-10,
+            record_history: false,
+        },
+        max_batch,
+        ..ServeOptions::default()
+    }
+}
+
+/// Mixed-shape, mixed-RHS request stream shared by the parity tests.
+fn mixed_requests() -> Vec<ServeRequest> {
+    let small = ProblemSpec::cube(3, 2);
+    let large = ProblemSpec::cube(4, 2);
+    let mut requests = Vec::new();
+    for i in 0..3 {
+        requests.push(ServeRequest::seeded(small, i));
+        requests.push(ServeRequest::manufactured(large));
+        requests.push(ServeRequest::seeded(large, i + 100));
+    }
+    requests
+}
+
+#[test]
+fn async_answers_match_serve_bitwise_for_every_registry_backend() {
+    let requests = mixed_requests();
+    for name in Backend::registry_names() {
+        let simulated = Backend::from_name(&name)
+            .expect("registry name")
+            .is_simulated();
+        let mut sync_server = Server::from_registry_names(&[name.as_str()], options(2));
+        let sync = sync_server.serve(&requests, &mut RoundRobin::default());
+        let mut async_server = Server::from_registry_names(&[name.as_str()], options(2));
+        let run = async_server.serve_async(&requests, &mut RoundRobin::default());
+
+        assert!(run.asynchronous && !sync.asynchronous);
+        assert_eq!(run.outcomes.len(), requests.len(), "{name}");
+        for (i, (a, s)) in run.outcomes.iter().zip(&sync.outcomes).enumerate() {
+            assert_eq!(a.request, i, "{name}: answers arrive in request order");
+            assert_eq!(s.request, i, "{name}");
+            assert_eq!(
+                a.solution.as_slice(),
+                s.solution.as_slice(),
+                "{name}: request {i} must be bitwise identical across hosts"
+            );
+            assert_eq!(a.iterations, s.iterations, "{name}");
+            assert_eq!(a.converged, s.converged, "{name}");
+            if simulated {
+                // Simulated accounting is a pure model figure; measured
+                // (CPU) backends re-time each run, so only the bits of the
+                // *solution*, not the clock, are comparable there.
+                assert_eq!(
+                    a.serial_modeled_seconds.to_bits(),
+                    s.serial_modeled_seconds.to_bits(),
+                    "{name}: modelled accounting is schedule-independent"
+                );
+            }
+        }
+        // One slot: nothing to steal from, and for simulated backends the
+        // modelled schedule is the sync schedule exactly.
+        assert_eq!(run.total_steals(), 0, "{name}");
+        if simulated {
+            assert_eq!(
+                run.makespan_seconds.to_bits(),
+                sync.makespan_seconds.to_bits(),
+                "{name}: single-slot modelled makespan must not depend on the host"
+            );
+        }
+    }
+}
+
+#[test]
+fn async_on_a_homogeneous_pool_stays_bitwise_whoever_steals() {
+    // Three identical slots: stealing may move jobs anywhere, but every slot
+    // runs the same backend, so answers must stay bitwise equal to the
+    // synchronous single-slot reference.
+    let requests = mixed_requests();
+    let mut reference_server = Server::from_registry_names(&["cpu:optimized"], options(2));
+    let reference = reference_server.serve(&requests, &mut RoundRobin::default());
+
+    let pool = ["cpu:optimized", "cpu:optimized", "cpu:optimized"];
+    let mut server = Server::from_registry_names(&pool, options(2));
+    let run = server.serve_async(&requests, &mut RoundRobin::default());
+
+    assert_eq!(run.outcomes.len(), requests.len());
+    for (i, (a, r)) in run.outcomes.iter().zip(&reference.outcomes).enumerate() {
+        assert_eq!(a.request, i);
+        assert_eq!(
+            a.solution.as_slice(),
+            r.solution.as_slice(),
+            "request {i}: homogeneous pools are bitwise host-independent"
+        );
+    }
+    // Conservation: every request served exactly once, across all devices.
+    let served: usize = run.devices.iter().map(|d| d.requests).sum();
+    assert_eq!(served, requests.len());
+    let executed: usize = run.devices.iter().map(|d| d.jobs).sum();
+    assert_eq!(executed, run.jobs.len());
+}
+
+#[test]
+fn pinning_everything_to_one_slot_forces_real_steals() {
+    // All jobs hinted to slot 0 of a four-slot pool: the only way the other
+    // slots serve anything is by stealing, and the steal accounting must
+    // agree between the per-device ledger and the per-job traces.
+    let spec = ProblemSpec::cube(3, 2);
+    let requests: Vec<ServeRequest> = (0..12).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let pool = ["cpu:optimized"; 4];
+    let mut server = Server::from_registry_names(&pool, options(1));
+    let run = server.serve_async(&requests, &mut Pinned(0));
+
+    assert_eq!(run.outcomes.len(), 12);
+    assert!(
+        run.total_steals() > 0,
+        "12 single-request jobs behind one slot of four must get stolen"
+    );
+    assert_eq!(run.devices[0].steals, 0, "the hinted slot cannot steal");
+    let stolen_traces = run.jobs.iter().filter(|job| job.stolen()).count();
+    assert_eq!(run.total_steals(), stolen_traces);
+    for job in &run.jobs {
+        assert_eq!(job.hinted_device, Some(0), "pinned hints");
+    }
+    // Bitwise identity still holds against the synchronous pinned run.
+    let mut sync_server = Server::from_registry_names(&pool, options(1));
+    let sync = sync_server.serve(&requests, &mut Pinned(0));
+    for (a, s) in run.outcomes.iter().zip(&sync.outcomes) {
+        assert_eq!(a.solution.as_slice(), s.solution.as_slice());
+    }
+    assert_eq!(sync.total_steals(), 0, "the sync host executes on the hint");
+}
+
+#[test]
+fn heterogeneous_pools_serve_in_order_with_correct_shapes() {
+    let requests = mixed_requests();
+    let pool = ["cpu:optimized", "fpga:stratix10-gx2800"];
+    let mut server = Server::from_registry_names(&pool, options(2));
+    let run = server.serve_async(&requests, &mut ModelOptimal);
+    assert_eq!(run.outcomes.len(), requests.len());
+    for (i, outcome) in run.outcomes.iter().enumerate() {
+        assert_eq!(outcome.request, i);
+        assert_eq!(outcome.solution.len(), requests[i].spec.num_dofs());
+        assert!(outcome.converged);
+        match requests[i].rhs {
+            sem_serve::RhsSpec::Manufactured => {
+                assert!(outcome.max_error < 1e-3, "error {}", outcome.max_error);
+            }
+            sem_serve::RhsSpec::Seeded(_) => assert!(outcome.max_error.is_nan()),
+        }
+        assert!(outcome.device < pool.len());
+    }
+    // Wall-clock figures exist but are only sanity-bounded (they are
+    // measured; comparisons live in the bench, not the test suite).
+    assert!(run.wall_seconds > 0.0);
+    assert!(run.busy_wall_seconds() > 0.0);
+    assert!(run.measured_concurrency() > 0.0);
+    let summary = run.summary();
+    assert!(summary.asynchronous);
+    assert_eq!(summary.steals, run.total_steals());
+    assert_eq!(summary.admitted, requests.len());
+}
+
+#[test]
+fn empty_request_sets_produce_empty_reports_on_both_hosts() {
+    let mut server = Server::from_registry_names(&["cpu:optimized", "cpu:optimized"], options(4));
+    let sync = server.serve(&[], &mut RoundRobin::default());
+    let run = server.serve_async(&[], &mut RoundRobin::default());
+    for report in [&sync, &run] {
+        assert!(report.outcomes.is_empty());
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.makespan_seconds, 0.0);
+        assert_eq!(report.throughput_rps(), 0.0);
+        assert_eq!(report.latency_percentile_seconds(99.0), 0.0);
+    }
+}
+
+#[test]
+fn sessions_survive_across_serve_calls_on_both_hosts() {
+    // The worker-owned sessions are handed back after an async run: a
+    // second serve on the same server must reuse them and answer bitwise
+    // identically (same backends, same systems).
+    let spec = ProblemSpec::cube(3, 2);
+    let requests: Vec<ServeRequest> = (0..4).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let mut server = Server::from_registry_names(&["cpu:optimized", "cpu:optimized"], options(2));
+    let first = server.serve_async(&requests, &mut RoundRobin::default());
+    let second = server.serve_async(&requests, &mut RoundRobin::default());
+    let third = server.serve(&requests, &mut RoundRobin::default());
+    for ((a, b), c) in first
+        .outcomes
+        .iter()
+        .zip(&second.outcomes)
+        .zip(&third.outcomes)
+    {
+        assert_eq!(a.solution.as_slice(), b.solution.as_slice());
+        assert_eq!(a.solution.as_slice(), c.solution.as_slice());
+    }
+}
+
+#[test]
+fn async_admission_rejects_and_the_hosts_agree_on_the_verdicts() {
+    // Simulated backend → deterministic session predictions.  A tight
+    // deadline must reject the same requests on both hosts, and the served
+    // remainder must stay bitwise identical.
+    let spec = ProblemSpec::cube(4, 2);
+    let requests: Vec<ServeRequest> = (0..8).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let pool = ["fpga:stratix10-gx2800"];
+
+    // Price one job to find a deadline that admits some but not all.
+    let mut probe = Server::from_registry_names(&pool, options(2));
+    let full = probe.serve(&requests, &mut RoundRobin::default());
+    let per_job = full.makespan_seconds / full.jobs.len() as f64;
+    let admission = AdmissionPolicy::Reject {
+        deadline_seconds: per_job * 2.5,
+    };
+
+    let opts = ServeOptions {
+        admission,
+        ..options(2)
+    };
+    let mut sync_server = Server::from_registry_names(&pool, opts);
+    let sync = sync_server.serve(&requests, &mut RoundRobin::default());
+    let mut async_server = Server::from_registry_names(&pool, opts);
+    let run = async_server.serve_async(&requests, &mut RoundRobin::default());
+
+    assert!(!sync.rejections.is_empty(), "the deadline must bind");
+    assert!(!sync.outcomes.is_empty(), "but not reject everything");
+    assert_eq!(
+        sync.rejections
+            .iter()
+            .map(|r| r.request)
+            .collect::<Vec<_>>(),
+        run.rejections.iter().map(|r| r.request).collect::<Vec<_>>(),
+        "admission verdicts are host-independent"
+    );
+    for (a, s) in run.outcomes.iter().zip(&sync.outcomes) {
+        assert_eq!(a.request, s.request);
+        assert_eq!(a.solution.as_slice(), s.solution.as_slice());
+    }
+    let summary = run.summary();
+    assert_eq!(summary.requests, 8);
+    assert_eq!(summary.admitted + summary.rejected, 8);
+}

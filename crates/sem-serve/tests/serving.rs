@@ -1,6 +1,16 @@
 //! Cross-layer serving invariants: pipeline bounds, serial bitwise
 //! degeneration, result ordering, solve parity with `SemSystem::solve_many`,
-//! and the policy ranking the ROADMAP's overlap item promises.
+//! the policy ranking the ROADMAP's overlap item promises, and the
+//! deadline-admission guarantees.
+//!
+//! Timing-discipline note (the suite must be deterministic under CI load):
+//! every comparative assertion here is on *modelled* seconds — simulated
+//! kernel time, pipeline closed forms, roofline pricing.  Measured
+//! wall-clock figures (CPU backends re-time every run) are only ever
+//! sanity-bounded, never compared between runs; strict cross-policy
+//! comparisons run on all-simulated pools where the figures are bitwise
+//! reproducible.  Placement itself is deterministic too: policies see
+//! modelled hint backlogs, not wall clocks.
 
 use sem_accel::{Backend, SemSystem};
 use sem_serve::{
@@ -187,8 +197,38 @@ fn mixed_shapes_share_the_pool_without_crosstalk() {
 }
 
 #[test]
-fn model_optimal_beats_round_robin_on_a_heterogeneous_pool() {
+fn model_optimal_beats_round_robin_on_an_all_simulated_pool() {
+    // Strict cross-policy throughput comparison on a pool whose every
+    // figure is simulated, hence bitwise reproducible under any CI load.
+    // The pool is genuinely heterogeneous (the GX2800 sessions cost ~2.3x
+    // an HBM board's at this size) and the job count (12) is high enough
+    // that list scheduling's speed-weighted balance beats round-robin's
+    // blind equal split.
+    let pool = ["fpga:stratix10-gx2800", "fpga:stratix10m", "fpga:ideal"];
+    let spec = ProblemSpec::cube(5, 2);
+    let requests: Vec<ServeRequest> = (0..24).map(|i| ServeRequest::seeded(spec, i)).collect();
+
+    let mut rr_server = Server::from_registry_names(&pool, options(2));
+    let rr = rr_server.serve(&requests, &mut RoundRobin::default());
+    let mut mo_server = Server::from_registry_names(&pool, options(2));
+    let mo = mo_server.serve(&requests, &mut ModelOptimal);
+
+    assert!(
+        mo.throughput_rps() >= rr.throughput_rps(),
+        "model-optimal {} rps must be at least round-robin {} rps",
+        mo.throughput_rps(),
+        rr.throughput_rps()
+    );
+    assert!(mo.makespan_seconds <= rr.makespan_seconds * (1.0 + 1e-12));
+}
+
+#[test]
+fn model_optimal_routes_work_off_the_host_on_a_heterogeneous_pool() {
     // CPU + real FPGA + projected future device: the acceptance pool.
+    // Placement is deterministic (policies see modelled hint backlogs, not
+    // measured clocks), so the routing assertions hold under any load; the
+    // measured-infused throughput figures are only sanity-bounded here and
+    // compared strictly on the all-simulated pool above.
     let pool = [
         "cpu:reference",
         "fpga:stratix10-gx2800",
@@ -204,14 +244,11 @@ fn model_optimal_beats_round_robin_on_a_heterogeneous_pool() {
     let mut ll_server = Server::from_registry_names(&pool, options(4));
     let ll = ll_server.serve(&requests, &mut LeastLoaded);
 
-    assert!(
-        mo.throughput_rps() >= rr.throughput_rps(),
-        "model-optimal {} rps must be at least round-robin {} rps",
-        mo.throughput_rps(),
-        rr.throughput_rps()
-    );
-    // The model routes work away from the measured host: the CPU slot serves
-    // no more requests than under blind round-robin.
+    assert!(rr.throughput_rps() > 0.0 && mo.throughput_rps() > 0.0);
+    // The model routes work away from the measured host: the CPU slot
+    // serves no more requests than under blind round-robin — in fact the
+    // roofline prices the host far above the boards here, so it gets
+    // nothing.
     let cpu_requests = |r: &sem_serve::ServeReport| {
         r.devices
             .iter()
@@ -250,6 +287,175 @@ fn model_optimal_beats_round_robin_on_a_heterogeneous_pool() {
     assert!(summary.throughput_rps > 0.0);
     let json = serde::json::to_string(&summary);
     assert!(json.contains("model-optimal"));
+}
+
+/// Probe the model's per-job session prediction: with a zero deadline every
+/// job is rejected on an empty backlog, so each rejection carries exactly
+/// the job-level predicted session seconds.
+fn probe_job_prediction(pool: &[&str], requests: &[ServeRequest], max_batch: usize) -> f64 {
+    let mut server = Server::from_registry_names(
+        pool,
+        ServeOptions {
+            admission: sem_serve::AdmissionPolicy::Reject {
+                deadline_seconds: 0.0,
+            },
+            ..options(max_batch)
+        },
+    );
+    let report = server.serve(requests, &mut RoundRobin::default());
+    assert_eq!(report.rejections.len(), requests.len(), "probe rejects all");
+    assert!(report.outcomes.is_empty());
+    let p = report.rejections[0].predicted_completion_seconds;
+    assert!(p > 0.0);
+    p
+}
+
+#[test]
+fn admission_on_an_unloaded_pool_admits_everything() {
+    let spec = ProblemSpec::cube(4, 2);
+    let requests: Vec<ServeRequest> = (0..6).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let mut server = Server::from_registry_names(
+        &["fpga:stratix10-gx2800"],
+        ServeOptions {
+            admission: sem_serve::AdmissionPolicy::Reject {
+                deadline_seconds: 1e6,
+            },
+            ..options(2)
+        },
+    );
+    let report = server.serve(&requests, &mut RoundRobin::default());
+    assert!(
+        report.rejections.is_empty(),
+        "an empty pool admits everything"
+    );
+    assert_eq!(report.outcomes.len(), 6);
+    let summary = report.summary();
+    assert_eq!((summary.admitted, summary.rejected), (6, 0));
+}
+
+#[test]
+fn admission_rejects_exactly_the_requests_priced_over_the_deadline() {
+    // Single simulated board (deterministic predictions), three jobs of two
+    // requests with identical session prediction `p`.  A deadline of 1.5 p
+    // admits the first job (completes at p) and rejects the next two (both
+    // priced at backlog p + session p = 2 p) — exactly requests 2..=5.
+    let pool = ["fpga:stratix10-gx2800"];
+    let spec = ProblemSpec::cube(4, 2);
+    let requests: Vec<ServeRequest> = (0..6).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let p = probe_job_prediction(&pool, &requests, 2);
+
+    let opts = ServeOptions {
+        admission: sem_serve::AdmissionPolicy::Reject {
+            deadline_seconds: 1.5 * p,
+        },
+        ..options(2)
+    };
+    let mut server = Server::from_registry_names(&pool, opts);
+    let report = server.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.request)
+            .collect::<Vec<_>>(),
+        vec![0, 1],
+        "only the first job fits under the deadline"
+    );
+    assert_eq!(
+        report
+            .rejections
+            .iter()
+            .map(|r| r.request)
+            .collect::<Vec<_>>(),
+        vec![2, 3, 4, 5]
+    );
+    for rejection in &report.rejections {
+        assert!(rejection.predicted_completion_seconds > rejection.deadline_seconds);
+        assert_eq!(
+            rejection.predicted_completion_seconds.to_bits(),
+            (2.0 * p).to_bits(),
+            "rejections carry the backlog-aware prediction that priced them out"
+        );
+    }
+    // Deterministic: a fresh server reproduces the verdicts bitwise.
+    let mut again = Server::from_registry_names(&pool, opts);
+    let repeat = again.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(
+        repeat
+            .rejections
+            .iter()
+            .map(|r| r.request)
+            .collect::<Vec<_>>(),
+        report
+            .rejections
+            .iter()
+            .map(|r| r.request)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn down_batch_admission_degrades_instead_of_rejecting_wholesale() {
+    // One batch-4 job against a deadline between the batch-1 and batch-2
+    // session predictions: Reject mode drops all four requests; DownBatch
+    // splits 4 → 2+2 → 1+1+... and salvages exactly the first request
+    // (completes at p1 ≤ D; every later piece lands behind backlog ≥ p1 and
+    // 2·p1 > D because p2 ≤ 2·p1 forces D < 1.5·p1).
+    let pool = ["fpga:stratix10-gx2800"];
+    let spec = ProblemSpec::cube(4, 2);
+    let requests: Vec<ServeRequest> = (0..4).map(|i| ServeRequest::seeded(spec, i)).collect();
+    let p1 = probe_job_prediction(&pool, &requests, 1);
+    let p2 = probe_job_prediction(&pool, &requests, 2);
+    assert!(p2 > p1, "session predictions grow with batch size");
+    assert!(
+        p2 <= 2.0 * p1,
+        "a second RHS cannot cost more than a session"
+    );
+    let deadline_seconds = (p1 + p2) / 2.0;
+
+    let mut hard_server = Server::from_registry_names(
+        &pool,
+        ServeOptions {
+            admission: sem_serve::AdmissionPolicy::Reject { deadline_seconds },
+            ..options(4)
+        },
+    );
+    let hard = hard_server.serve(&requests, &mut RoundRobin::default());
+    assert!(
+        hard.outcomes.is_empty(),
+        "the whole batch misses the deadline"
+    );
+    assert_eq!(hard.rejections.len(), 4);
+
+    let mut soft_server = Server::from_registry_names(
+        &pool,
+        ServeOptions {
+            admission: sem_serve::AdmissionPolicy::DownBatch { deadline_seconds },
+            ..options(4)
+        },
+    );
+    let soft = soft_server.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(
+        soft.outcomes.iter().map(|o| o.request).collect::<Vec<_>>(),
+        vec![0],
+        "down-batching salvages the request the model can still serve in time"
+    );
+    assert_eq!(
+        soft.rejections
+            .iter()
+            .map(|r| r.request)
+            .collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+    assert!(soft.rejections.len() < hard.rejections.len());
+    // The salvaged answer is the same solve it would have been in a full
+    // batch: admission changes scheduling, never numerics.
+    let mut open_server = Server::from_registry_names(&pool, options(4));
+    let open = open_server.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(
+        soft.outcomes[0].solution.as_slice(),
+        open.outcomes[0].solution.as_slice()
+    );
 }
 
 #[test]

@@ -1,0 +1,219 @@
+//! Seeded stress/property battery for the queue and the work-stealing host:
+//! random request streams (shapes, sizes, arrival bursts) must never drop,
+//! duplicate, or reorder a request, across at least 100 seeded cases.
+//!
+//! The case count scales with `SEM_STRESS_ITERS` (default 100) so CI's
+//! release stress job can run the battery harder without code changes.
+//! Everything here is seeded and assertion-deterministic: no wall-clock
+//! comparisons, only conservation, ordering and accounting invariants.
+
+use rand::{Rng, SeedableRng, StdRng};
+use sem_serve::steal::{run_stealing, TaggedJob};
+use sem_serve::{ProblemSpec, RoundRobin, ServeOptions, ServeRequest, Server, SolveQueue};
+use sem_solver::CgOptions;
+use std::collections::BTreeSet;
+
+/// Seeded cases to run per property (CI raises this via `SEM_STRESS_ITERS`).
+fn stress_iters() -> u64 {
+    std::env::var("SEM_STRESS_ITERS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(100)
+}
+
+/// A random mixed request stream: bursts of equal-shaped requests (the
+/// arrival pattern that stacks jobs behind one device) interleaved with
+/// single arrivals.
+fn random_stream(rng: &mut StdRng) -> Vec<ServeRequest> {
+    let shapes = [
+        ProblemSpec::cube(2, 2),
+        ProblemSpec::cube(3, 2),
+        ProblemSpec::cube(4, 2),
+        ProblemSpec {
+            degree: 3,
+            elements: [2, 1, 1],
+        },
+    ];
+    let mut requests = Vec::new();
+    let arrivals = rng.gen_range(0..40_usize);
+    while requests.len() < arrivals {
+        let spec = shapes[rng.gen_range(0..shapes.len())];
+        // A burst keeps one shape arriving back-to-back.
+        let burst = rng.gen_range(1..=6_usize);
+        for _ in 0..burst {
+            requests.push(ServeRequest::seeded(spec, rng.gen_range(0..1_000_u64)));
+        }
+    }
+    requests
+}
+
+#[test]
+fn packing_conserves_every_request_across_seeded_streams() {
+    let cases = stress_iters();
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests = random_stream(&mut rng);
+        let max_batch = rng.gen_range(1..=8_usize);
+        let jobs = SolveQueue::from_requests(&requests).pack(max_batch);
+
+        // Conservation: every request index appears in exactly one job.
+        let mut seen = Vec::new();
+        for job in &jobs {
+            assert!(
+                job.batch_size() >= 1 && job.batch_size() <= max_batch,
+                "seed {seed}"
+            );
+            for &request in &job.requests {
+                assert_eq!(requests[request].spec, job.spec, "seed {seed}: shape mix");
+            }
+            seen.extend(job.requests.iter().copied());
+        }
+        assert_eq!(
+            seen.len(),
+            requests.len(),
+            "seed {seed}: dropped/duplicated"
+        );
+        let unique: BTreeSet<usize> = seen.iter().copied().collect();
+        assert_eq!(unique.len(), requests.len(), "seed {seed}");
+
+        // Order: within a shape, requests stay in submission order.
+        let mut shapes_seen: Vec<ProblemSpec> = Vec::new();
+        for job in &jobs {
+            if !shapes_seen.contains(&job.spec) {
+                shapes_seen.push(job.spec);
+            }
+        }
+        for spec in shapes_seen {
+            let packed: Vec<usize> = jobs
+                .iter()
+                .filter(|job| job.spec == spec)
+                .flat_map(|job| job.requests.iter().copied())
+                .collect();
+            let mut sorted = packed.clone();
+            sorted.sort_unstable();
+            assert_eq!(packed, sorted, "seed {seed}: reordered within shape");
+        }
+    }
+}
+
+#[test]
+fn work_stealing_conserves_jobs_across_seeded_pools_and_hints() {
+    let cases = stress_iters();
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0x5EA1 ^ seed);
+        let pool = rng.gen_range(1..=6_usize);
+        let num_jobs = rng.gen_range(0..120_usize);
+        let jobs: Vec<TaggedJob<usize>> = (0..num_jobs)
+            .map(|payload| TaggedJob {
+                payload,
+                // Skewed hints: bursts behind one worker, floaters, and a
+                // uniform remainder.
+                hint: match rng.gen_range(0..4_u32) {
+                    0 => Some(0),
+                    1 => None,
+                    _ => Some(rng.gen_range(0..pool)),
+                },
+            })
+            .collect();
+        let expected_hints: Vec<Option<usize>> = jobs.iter().map(|job| job.hint).collect();
+
+        let run = run_stealing(vec![(); pool], jobs, |_, (), payload| payload);
+
+        // Conservation: every job executed exactly once, nothing invented.
+        assert_eq!(run.completed.len(), num_jobs, "seed {seed}");
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen.len(), num_jobs, "seed {seed}: duplicate execution");
+        let ledger_total: usize = run.workers.iter().map(|w| w.executed_jobs).sum();
+        assert_eq!(ledger_total, num_jobs, "seed {seed}: ledger drift");
+
+        // Hints survive the trip and steal accounting matches them.
+        for completed in &run.completed {
+            assert_eq!(
+                completed.hint, expected_hints[completed.result],
+                "seed {seed}"
+            );
+            assert!(completed.worker < pool, "seed {seed}");
+        }
+        let stolen = run.completed.iter().filter(|c| c.stolen()).count();
+        assert_eq!(run.total_steals(), stolen, "seed {seed}");
+        for ledger in &run.workers {
+            assert!(ledger.steals <= ledger.executed_jobs, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn single_worker_pools_execute_hinted_jobs_in_submission_order() {
+    // With one worker there is nobody to steal: the deque is FIFO, so the
+    // completion order must equal the submission order for every seed.
+    let cases = stress_iters().min(50);
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xF1F0 ^ seed);
+        let num_jobs = rng.gen_range(1..60_usize);
+        let floaters: Vec<bool> = (0..num_jobs)
+            .map(|_| rng.gen_range(0..3_u32) == 0)
+            .collect();
+        let jobs: Vec<TaggedJob<usize>> = floaters
+            .iter()
+            .enumerate()
+            .map(|(payload, &floating)| TaggedJob {
+                payload,
+                hint: (!floating).then_some(0),
+            })
+            .collect();
+        let run = run_stealing(vec![(); 1], jobs, |_, (), payload| payload);
+        // Hinted jobs keep their relative order (the worker drains its own
+        // deque before touching the injector, both FIFO).
+        let hinted_order: Vec<usize> = run
+            .completed
+            .iter()
+            .map(|c| c.result)
+            .filter(|&payload| !floaters[payload])
+            .collect();
+        let mut sorted = hinted_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(hinted_order, sorted, "seed {seed}");
+        assert_eq!(run.completed.len(), num_jobs, "seed {seed}");
+        assert_eq!(run.total_steals(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn end_to_end_async_serves_random_streams_bitwise_like_serve() {
+    // Full-stack spot checks: a handful of the seeded streams actually
+    // solve through the async host on a homogeneous pool and must match the
+    // synchronous host bitwise, answer for answer.
+    let cases = (stress_iters() / 20).clamp(3, 10);
+    let options = ServeOptions {
+        cg: CgOptions {
+            max_iterations: 600,
+            tolerance: 1e-9,
+            record_history: false,
+        },
+        max_batch: 3,
+        ..ServeOptions::default()
+    };
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xE2E ^ seed);
+        let mut requests = random_stream(&mut rng);
+        requests.truncate(12); // keep the battery fast; shapes still mix
+        if requests.is_empty() {
+            requests.push(ServeRequest::seeded(ProblemSpec::cube(2, 2), seed));
+        }
+        let pool = ["cpu:optimized", "cpu:optimized"];
+        let mut sync_server = Server::from_registry_names(&pool, options);
+        let sync = sync_server.serve(&requests, &mut RoundRobin::default());
+        let mut async_server = Server::from_registry_names(&pool, options);
+        let run = async_server.serve_async(&requests, &mut RoundRobin::default());
+
+        assert_eq!(run.outcomes.len(), requests.len(), "seed {seed}");
+        for (i, (a, s)) in run.outcomes.iter().zip(&sync.outcomes).enumerate() {
+            assert_eq!(a.request, i, "seed {seed}");
+            assert_eq!(
+                a.solution.as_slice(),
+                s.solution.as_slice(),
+                "seed {seed}: request {i} diverged across hosts"
+            );
+        }
+    }
+}

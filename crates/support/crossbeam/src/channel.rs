@@ -1,0 +1,254 @@
+//! An unbounded MPSC channel with the `crossbeam-channel` API shape:
+//! cloneable [`Sender`]s, a blocking [`Receiver`], and disconnection
+//! semantics (a receive on an empty channel with no live senders fails
+//! instead of blocking forever).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// The error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// The error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is empty but senders are still alive.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+/// An unbounded channel: any number of senders, one receiver.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Send a message; fails only if the receiver was dropped.
+    pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if !inner.receiver_alive {
+            return Err(SendError(message));
+        }
+        inner.queue.push_back(message);
+        drop(inner);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel poisoned").senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake the receiver so it can observe the disconnection.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(message) = inner.queue.pop_front() {
+                return Ok(message);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .ready
+                .wait(inner)
+                .expect("channel poisoned while waiting");
+        }
+    }
+
+    /// Take a message if one is already queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        match inner.queue.pop_front() {
+            Some(message) => Ok(message),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// A blocking iterator over incoming messages; ends when every sender is
+    /// gone and the queue is drained.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receiver_alive = false;
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Blocking message iterator (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_in_send_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_unblocks_on_last_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let handle = std::thread::spawn(move || {
+            tx2.send(1).unwrap();
+            drop(tx2);
+        });
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError), "disconnected after drain");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+    }
+
+    #[test]
+    fn many_producers_conserve_messages() {
+        let (tx, rx) = unbounded::<(usize, usize)>();
+        std::thread::scope(|scope| {
+            for producer in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        tx.send((producer, i)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut counts = [0usize; 4];
+            let mut last_seen = [None::<usize>; 4];
+            for (producer, i) in rx.iter() {
+                counts[producer] += 1;
+                // Per-sender FIFO: each producer's messages arrive in order.
+                assert!(last_seen[producer].is_none_or(|prev| prev < i));
+                last_seen[producer] = Some(i);
+            }
+            assert_eq!(counts, [250; 4]);
+        });
+    }
+}

@@ -1,0 +1,283 @@
+//! Work-stealing deques with the `crossbeam-deque` API shape: a global
+//! [`Injector`] any thread can push to and steal from, plus per-worker
+//! [`Worker`] queues whose [`Stealer`] handles let sibling threads take work
+//! from the back while the owner pops from the front.
+//!
+//! All three types are lock-based (see the crate docs); [`Steal::Retry`] is
+//! kept for API fidelity but this implementation never returns it — steals
+//! block briefly on the lock instead of spinning.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The outcome of one steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.  Kept for API
+    /// compatibility with `crossbeam-deque`; the lock-based implementation
+    /// never produces it.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(item) => Some(item),
+            Steal::Empty | Steal::Retry => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Shared<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            queue: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    fn push_back(&self, item: T) {
+        self.queue.lock().expect("deque poisoned").push_back(item);
+    }
+
+    fn pop_front(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_front()
+    }
+
+    fn pop_back(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_back()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.lock().expect("deque poisoned").len()
+    }
+}
+
+/// A global FIFO queue every thread may push to and steal from.
+#[derive(Debug)]
+pub struct Injector<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shared: Shared::new(),
+        }
+    }
+
+    /// Push an item onto the back of the queue.
+    pub fn push(&self, item: T) {
+        self.shared.push_back(item);
+    }
+
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-thread FIFO work queue.  The owner pushes to the back and pops from
+/// the front; [`Stealer`] handles take from the back, so under contention
+/// the owner keeps the work it queued first.
+#[derive(Debug)]
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Worker<T> {
+    /// An empty FIFO worker queue.
+    #[must_use]
+    pub fn new_fifo() -> Self {
+        Self {
+            shared: Shared::new(),
+        }
+    }
+
+    /// Push an item onto the back of the queue.
+    pub fn push(&self, item: T) {
+        self.shared.push_back(item);
+    }
+
+    /// Pop the oldest item (owner side).
+    pub fn pop(&self) -> Option<T> {
+        self.shared.pop_front()
+    }
+
+    /// A handle other threads can steal through.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shareable handle that steals from the back of a [`Worker`] queue.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the newest item from the worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.pop_back() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of items currently stealable.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the worker's queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_pops_fifo_and_stealer_takes_the_back() {
+        let worker = Worker::new_fifo();
+        for i in 0..4 {
+            worker.push(i);
+        }
+        assert_eq!(worker.len(), 4);
+        let stealer = worker.stealer();
+        assert_eq!(worker.pop(), Some(0), "owner takes the oldest");
+        assert_eq!(stealer.steal().success(), Some(3), "thief takes the newest");
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(stealer.steal().success(), Some(2));
+        assert!(worker.pop().is_none());
+        assert!(stealer.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_from_every_thread() {
+        let injector = Injector::new();
+        for i in 0..5 {
+            injector.push(i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| injector.steal().success()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert!(injector.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_conserves_every_item() {
+        // A steal storm: four threads drain one worker queue plus the
+        // injector through stealer handles; every item must surface exactly
+        // once.
+        const ITEMS: usize = 2000;
+        let worker = Worker::new_fifo();
+        let injector = Injector::new();
+        for i in 0..ITEMS {
+            if i % 3 == 0 {
+                injector.push(i);
+            } else {
+                worker.push(i);
+            }
+        }
+        let stealer = worker.stealer();
+        let taken = Mutex::new(Vec::new());
+        let active = AtomicUsize::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(item) = injector
+                        .steal()
+                        .success()
+                        .or_else(|| stealer.steal().success())
+                    {
+                        local.push(item);
+                    }
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let taken = taken.into_inner().unwrap();
+        assert_eq!(taken.len(), ITEMS, "no item dropped or duplicated");
+        let unique: BTreeSet<usize> = taken.iter().copied().collect();
+        assert_eq!(unique.len(), ITEMS);
+        assert_eq!(unique.iter().next_back(), Some(&(ITEMS - 1)));
+    }
+
+    #[test]
+    fn steal_success_and_empty_accessors() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert_eq!(Steal::<i32>::Retry.success(), None);
+        assert!(Steal::<i32>::Empty.is_empty());
+        assert!(!Steal::Success(1).is_empty());
+    }
+}
