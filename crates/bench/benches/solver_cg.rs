@@ -14,7 +14,7 @@ fn bench_proxy(c: &mut Criterion) {
             elements: [elems, elems, elems],
             cg_iterations: 20,
             implementation: AxImplementation::Parallel,
-            use_jacobi: true,
+            precond: sem_solver::PrecondSpec::Jacobi,
         };
         group.bench_with_input(
             BenchmarkId::new("cg20", format!("N{degree}_E{}", elems * elems * elems)),

@@ -36,14 +36,11 @@ fn main() {
             .elements([per_side; 3])
             .backend(config)
             .build();
-        let report = system.solve(
-            CgOptions {
-                max_iterations: 2000,
-                tolerance: 1e-10,
-                record_history: false,
-            },
-            true,
-        );
+        let report = system.solve(CgOptions {
+            max_iterations: 2000,
+            tolerance: 1e-10,
+            record_history: false,
+        });
         table.row(vec![
             name,
             match report.source {

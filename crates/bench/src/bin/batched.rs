@@ -21,6 +21,8 @@ const BATCHES: [usize; 4] = [1, 4, 16, 64];
 #[derive(Debug, Clone, Serialize)]
 struct BatchedRow {
     backend: String,
+    /// Preconditioner the batch solved with (the registry default, Jacobi).
+    precond: String,
     simulated: bool,
     batch: usize,
     iterations: usize,
@@ -84,10 +86,10 @@ fn main() {
             .elements([per_side; 3])
             .backend_named(&name)
             .build();
-        let sequential = system.solve(options, true);
+        let sequential = system.solve(options);
 
         for batch in BATCHES {
-            let reports = system.solve_many_manufactured(batch, options, true);
+            let reports = system.solve_many_manufactured(batch, options);
             let per_rhs_operator_seconds =
                 reports.iter().map(|r| r.operator.seconds).sum::<f64>() / batch as f64;
             let per_rhs_transfer_seconds =
@@ -108,6 +110,7 @@ fn main() {
                 (batch as u64 * 3 + 2 * total_iterations + applications).saturating_sub(5);
             let row = BatchedRow {
                 backend: name.clone(),
+                precond: reports[0].precond.label().to_string(),
                 simulated: reports[0].source == PerfSource::Simulated,
                 batch,
                 iterations,

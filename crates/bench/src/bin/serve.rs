@@ -16,6 +16,11 @@
 //! the wall-clock makespan actually shrinks) and on a pinned pool where the
 //! idle slots must steal every job they serve.
 //!
+//! Part 4 — the preconditioner's serving win: the same request stream on the
+//! evaluated board under identity / Jacobi / FDM, where the FDM
+//! preconditioner collapses the iteration count (and therefore the modelled
+//! makespan) while its on-device pass and table upload are fully priced.
+//!
 //! Writes `BENCH_serve.json` so successive PRs can track the serving
 //! trajectory, and prints summary tables.
 //!
@@ -30,7 +35,7 @@ use sem_serve::{
     policy_by_name, policy_names, Pinned, PipelineConfig, PipelineTimeline, ProblemSpec,
     ServeOptions, ServeRequest, Server,
 };
-use sem_solver::CgOptions;
+use sem_solver::{CgOptions, PrecondSpec};
 use serde::Serialize;
 
 /// Batch sizes of the per-backend overlap sweep.
@@ -48,8 +53,12 @@ const POLICY_POOL: [&str; 3] = [
 #[derive(Debug, Clone, Serialize)]
 struct PipelineRow {
     backend: String,
+    /// Preconditioner the batch solved with.
+    precond: String,
     batch: usize,
     iterations: usize,
+    /// Per-RHS on-device preconditioner seconds inside the solve.
+    per_rhs_precond_seconds: f64,
     /// Per-RHS kernel seconds.
     per_rhs_operator_seconds: f64,
     /// Per-RHS transfer under the serial (blocking) accounting.
@@ -74,6 +83,12 @@ struct PipelineRow {
 #[derive(Debug, Clone, Serialize)]
 struct PolicyRow {
     policy: String,
+    /// Preconditioner every solve ran.
+    precond: String,
+    /// Total CG iterations across the admitted requests.
+    total_iterations: u64,
+    /// Total preconditioner-apply seconds across the admitted requests.
+    precond_apply_seconds: f64,
     requests: usize,
     jobs: usize,
     makespan_seconds: f64,
@@ -91,6 +106,8 @@ struct AsyncRow {
     scenario: String,
     pool: Vec<String>,
     policy: String,
+    /// Preconditioner every solve ran.
+    precond: String,
     requests: usize,
     max_batch: usize,
     /// Measured wall-clock seconds of the synchronous serve.
@@ -111,6 +128,22 @@ struct AsyncRow {
     host_cores: usize,
 }
 
+/// One preconditioner of the Part 4 serving comparison.
+#[derive(Debug, Clone, Serialize)]
+struct PrecondServeRow {
+    precond: String,
+    requests: usize,
+    jobs: usize,
+    /// Total CG iterations across the stream — what FDM collapses.
+    total_iterations: u64,
+    /// Total on-device preconditioner-apply seconds across the stream.
+    precond_apply_seconds: f64,
+    makespan_seconds: f64,
+    throughput_rps: f64,
+    p50_latency_seconds: f64,
+    p99_latency_seconds: f64,
+}
+
 /// The persisted benchmark.
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchReport {
@@ -118,9 +151,13 @@ struct ServeBenchReport {
     elements_per_side: usize,
     policy_requests: usize,
     pool: Vec<String>,
+    /// Preconditioner of Parts 1–3 (the serving default).
+    precond: String,
     pipeline: Vec<PipelineRow>,
     policies: Vec<PolicyRow>,
     async_host: Vec<AsyncRow>,
+    /// Part 4: identity vs Jacobi vs FDM on the evaluated board.
+    precond_serving: Vec<PrecondServeRow>,
 }
 
 fn cg() -> CgOptions {
@@ -162,7 +199,7 @@ fn pipeline_sweep(degree: usize, per_side: usize) -> Vec<PipelineRow> {
         // smallest batch suffices — the per-batch sweep below reuses the
         // verdict instead of re-solving every workload twice).
         let check_batch = BATCHES[0];
-        let check_reports = system.solve_many_manufactured(check_batch, cg(), true);
+        let check_reports = system.solve_many_manufactured(check_batch, cg());
         let mut server = Server::from_registry_names(
             &[name.as_str()],
             ServeOptions {
@@ -185,7 +222,7 @@ fn pipeline_sweep(degree: usize, per_side: usize) -> Vec<PipelineRow> {
             let reports = if batch == check_batch {
                 check_reports.clone()
             } else {
-                system.solve_many_manufactured(batch, cg(), true)
+                system.solve_many_manufactured(batch, cg())
             };
             let timeline = PipelineTimeline::from_reports(
                 system.offload_plan().as_ref(),
@@ -195,6 +232,8 @@ fn pipeline_sweep(degree: usize, per_side: usize) -> Vec<PipelineRow> {
             let b = batch as f64;
             let per_rhs_operator_seconds =
                 reports.iter().map(|r| r.operator.seconds).sum::<f64>() / b;
+            let per_rhs_precond_seconds =
+                reports.iter().map(|r| r.precond_seconds).sum::<f64>() / b;
             let per_rhs_serial_transfer_seconds =
                 reports.iter().map(|r| r.transfer_seconds).sum::<f64>() / b;
             let per_rhs_pipelined_transfer_seconds = reports
@@ -202,15 +241,18 @@ fn pipeline_sweep(degree: usize, per_side: usize) -> Vec<PipelineRow> {
                 .map(|r| r.pipelined_transfer_seconds)
                 .sum::<f64>()
                 / b;
-            let serial = per_rhs_operator_seconds + per_rhs_serial_transfer_seconds;
-            let pipelined = per_rhs_operator_seconds + per_rhs_pipelined_transfer_seconds;
+            let compute = per_rhs_operator_seconds + per_rhs_precond_seconds;
+            let serial = compute + per_rhs_serial_transfer_seconds;
+            let pipelined = compute + per_rhs_pipelined_transfer_seconds;
             let launch_seconds = system.accelerator().map_or(0.0, |acc| {
                 acc.stage_timing(spec.num_elements()).launch_seconds
             });
             let row = PipelineRow {
                 backend: name.clone(),
+                precond: reports[0].precond.label().to_string(),
                 batch,
                 iterations: reports[0].iterations(),
+                per_rhs_precond_seconds,
                 per_rhs_operator_seconds,
                 per_rhs_serial_transfer_seconds,
                 per_rhs_pipelined_transfer_seconds,
@@ -282,6 +324,9 @@ fn policy_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Poli
         ]);
         rows.push(PolicyRow {
             policy: name.to_string(),
+            precond: summary.precond.clone(),
+            total_iterations: summary.total_iterations,
+            precond_apply_seconds: summary.precond_apply_seconds,
             requests: summary.requests,
             jobs: summary.jobs,
             makespan_seconds: summary.makespan_seconds,
@@ -330,6 +375,7 @@ fn async_scenario(
         scenario: scenario.to_string(),
         pool: pool.iter().map(|s| s.to_string()).collect(),
         policy: policy_name.to_string(),
+        precond: run.precond.clone(),
         requests: requests.len(),
         max_batch,
         sync_wall_seconds: sync.wall_seconds,
@@ -392,6 +438,56 @@ fn async_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Async
             row.steals.to_string(),
             row.bitwise_identical.to_string(),
         ]);
+    }
+    table.print();
+    rows
+}
+
+fn precond_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<PrecondServeRow> {
+    let spec = ProblemSpec::cube(degree, per_side);
+    let requests: Vec<ServeRequest> = (0..num_requests)
+        .map(|i| ServeRequest::seeded(spec, i as u64))
+        .collect();
+    let mut table = TableWriter::new(vec![
+        "precond",
+        "iters (total)",
+        "pc apply (ms)",
+        "makespan (ms)",
+        "rps",
+        "p99 (ms)",
+    ]);
+    let mut rows = Vec::new();
+    for precond in PrecondSpec::all() {
+        let options = ServeOptions {
+            cg: cg(),
+            max_batch: 4,
+            ..ServeOptions::default()
+        }
+        .with_precond(precond);
+        let mut server = Server::from_registry_names(&["fpga:stratix10-gx2800"], options);
+        let mut policy = policy_by_name("model-optimal").expect("known policy");
+        let report = server.serve(&requests, policy.as_mut());
+        assert!(report.outcomes.iter().all(|o| o.converged));
+        let summary = report.summary();
+        table.row(vec![
+            summary.precond.clone(),
+            summary.total_iterations.to_string(),
+            fmt(summary.precond_apply_seconds * 1e3, 3),
+            fmt(summary.makespan_seconds * 1e3, 3),
+            fmt(summary.throughput_rps, 1),
+            fmt(summary.p99_latency_seconds * 1e3, 3),
+        ]);
+        rows.push(PrecondServeRow {
+            precond: summary.precond,
+            requests: summary.requests,
+            jobs: summary.jobs,
+            total_iterations: summary.total_iterations,
+            precond_apply_seconds: summary.precond_apply_seconds,
+            makespan_seconds: summary.makespan_seconds,
+            throughput_rps: summary.throughput_rps,
+            p50_latency_seconds: summary.p50_latency_seconds,
+            p99_latency_seconds: summary.p99_latency_seconds,
+        });
     }
     table.print();
     rows
@@ -480,24 +576,49 @@ fn main() {
         }
     }
 
+    println!(
+        "\nPart 4 — preconditioner serving win on fpga:stratix10-gx2800 \
+         ({num_requests} requests, model-optimal):\n"
+    );
+    let precond_serving = precond_sweep(degree, per_side, num_requests);
+    {
+        let find = |label: &str| {
+            precond_serving
+                .iter()
+                .find(|r| r.precond == label)
+                .expect("swept precond")
+        };
+        let (jacobi, fdm) = (find("jacobi"), find("fdm"));
+        println!(
+            "\nFDM vs Jacobi: {:.0}% fewer total iterations, {:.2}x the throughput.",
+            (1.0 - fdm.total_iterations as f64 / jacobi.total_iterations as f64) * 100.0,
+            fdm.throughput_rps / jacobi.throughput_rps
+        );
+    }
+
     let report = ServeBenchReport {
         degree,
         elements_per_side: per_side,
         policy_requests: num_requests,
         pool: POLICY_POOL.iter().map(|s| s.to_string()).collect(),
+        precond: PrecondSpec::default().label().to_string(),
         pipeline,
         policies,
         async_host,
+        precond_serving,
     };
     let json = serde::json::to_string(&report);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
-        "\nWrote BENCH_serve.json ({} pipeline rows, {} policies, {} async rows).\n\
+        "\nWrote BENCH_serve.json ({} pipeline rows, {} policies, {} async rows, \
+         {} precond rows).\n\
          Overlap rows pipeline upload(i+1) / solve(i) / download(i-1); policy rows\n\
          serve the heterogeneous CPU + FPGA + projected-device pool; async rows\n\
-         compare the work-stealing worker-thread host against the synchronous path.",
+         compare the work-stealing worker-thread host against the synchronous path;\n\
+         precond rows price identity vs Jacobi vs FDM end to end on the evaluated board.",
         report.pipeline.len(),
         report.policies.len(),
-        report.async_host.len()
+        report.async_host.len(),
+        report.precond_serving.len()
     );
 }

@@ -155,6 +155,12 @@ impl FpgaAccelerator {
         &self.device
     }
 
+    /// The external-memory model the estimates run against.
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
     /// Board power estimate for this design (W).
     #[must_use]
     pub fn power_watts(&self) -> f64 {

@@ -19,6 +19,9 @@
 //!   behaviour the paper cites);
 //! * [`power`] — a utilisation/clock-based board power model calibrated to
 //!   Table I;
+//! * [`precond`] — the cycle/BRAM model of the on-device preconditioner
+//!   kernels (Jacobi pointwise scale, FDM three-contraction pass), so a
+//!   preconditioned CG never round-trips the residual over PCIe;
 //! * [`executor`] — the functional+timing simulator: it produces bit-exact
 //!   kernel results (by running the same arithmetic as the CPU reference)
 //!   together with a cycle count, from which GFLOP/s, DOFs/cycle, bandwidth
@@ -33,6 +36,7 @@ pub mod executor;
 pub mod memory;
 pub mod multi;
 pub mod power;
+pub mod precond;
 pub mod stream;
 pub mod synthesis;
 
@@ -41,5 +45,6 @@ pub use executor::{ExecutionReport, FpgaAccelerator, KernelStageTiming};
 pub use memory::MemorySystem;
 pub use multi::{MultiBoardAccelerator, MultiBoardEstimate};
 pub use perf_model::FpgaDevice;
+pub use precond::{estimate_jacobi_seconds, FdmPrecondEstimate, FdmPrecondModel};
 pub use stream::{stream_sweep, StreamKernel, StreamPoint};
 pub use synthesis::{synthesize, SynthesisReport};

@@ -1,19 +1,30 @@
 //! Backend *configuration*: a serde-friendly description of where the `Ax`
-//! kernel should run, and the registry of backend names.
+//! kernel runs and which preconditioner the solve uses, plus the registry of
+//! backend names.
 //!
 //! [`Backend`] is plain data — it can be stored in a config file, sent over
 //! the wire, or written as a registry name like `"cpu:parallel"`,
-//! `"fpga:stratix10-gx2800"` or `"multi:4x520n"`.  Execution happens through
-//! the open [`crate::exec::AxBackend`] trait: [`Backend::instantiate`]
-//! resolves the configuration against a mesh into a live
-//! `Box<dyn AxBackend>`.  FPGA device slugs resolve through the `arch-db`
-//! catalogue ([`arch_db::fpga_device`]), so new catalogue devices plug in by
-//! name without touching this crate.
+//! `"fpga:stratix10-gx2800+fdm"` or `"multi:4x520n"`.  The part before the
+//! optional `+suffix` selects the execution engine ([`ExecSpec`]); the
+//! suffix selects the preconditioner ([`PrecondSpec`]; no suffix means the
+//! default, Jacobi).  Execution happens through the open
+//! [`crate::exec::AxBackend`] trait: [`Backend::instantiate`] resolves the
+//! configuration against a mesh into a live `Box<dyn AxBackend>`.  FPGA
+//! device slugs resolve through the `arch-db` catalogue
+//! ([`arch_db::fpga_device`]), so new catalogue devices plug in by name
+//! without touching this crate.
+//!
+//! Round-trip contract: for every configuration with a name,
+//! `Backend::from_name(&backend.name().unwrap()) == Some(backend)` —
+//! including the preconditioner suffix.  (Before preconditioning became
+//! configuration this was silently asymmetric-by-construction: a parsed
+//! name could not carry what the solve later decided per call.)
 
 use crate::exec::{AxBackend, CpuBackend, FpgaSimBackend, MultiFpgaBackend};
 use fpga_sim::FpgaDevice;
 use sem_kernel::AxImplementation;
 use sem_mesh::BoxMesh;
+use sem_solver::PrecondSpec;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::fmt;
@@ -22,14 +33,9 @@ use std::fmt;
 /// exchanges when a configuration does not specify one (PCIe 3.0 x16-class).
 pub const DEFAULT_INTERCONNECT_GBS: f64 = 12.0;
 
-/// Where the `Ax` kernel runs.
-///
-/// This is configuration, not execution: it is cheap to clone, serializes
-/// through serde, round-trips through [`Backend::name`] /
-/// [`Backend::from_name`], and becomes a live engine via
-/// [`Backend::instantiate`].
+/// Where the `Ax` kernel runs (the execution half of a [`Backend`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Backend {
+pub enum ExecSpec {
     /// Native CPU execution with the selected kernel implementation.
     Cpu(AxImplementation),
     /// The simulated FPGA accelerator on the given device.
@@ -45,73 +51,104 @@ pub enum Backend {
     },
 }
 
+/// Where the `Ax` kernel runs and which preconditioner the solve uses.
+///
+/// This is configuration, not execution: it is cheap to clone, serializes
+/// through serde, round-trips through [`Backend::name`] /
+/// [`Backend::from_name`] (preconditioner suffix included), and becomes a
+/// live engine via [`Backend::instantiate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Backend {
+    /// The execution engine.
+    pub exec: ExecSpec,
+    /// The preconditioner solves on this backend use.
+    pub precond: PrecondSpec,
+}
+
 impl Default for Backend {
     fn default() -> Self {
-        Self::Cpu(AxImplementation::Parallel)
+        Self::cpu_parallel()
     }
 }
 
 impl Backend {
+    /// A backend over `exec` with the default (Jacobi) preconditioner.
+    #[must_use]
+    pub fn new(exec: ExecSpec) -> Self {
+        Self {
+            exec,
+            precond: PrecondSpec::default(),
+        }
+    }
+
+    /// The same backend with a different preconditioner.
+    #[must_use]
+    pub fn with_precond(mut self, precond: PrecondSpec) -> Self {
+        self.precond = precond;
+        self
+    }
+
     /// Native CPU, reference (Listing 1) kernel.
     #[must_use]
     pub fn cpu_reference() -> Self {
-        Self::Cpu(AxImplementation::Reference)
+        Self::new(ExecSpec::Cpu(AxImplementation::Reference))
     }
 
     /// Native CPU, optimised sequential kernel.
     #[must_use]
     pub fn cpu_optimized() -> Self {
-        Self::Cpu(AxImplementation::Optimized)
+        Self::new(ExecSpec::Cpu(AxImplementation::Optimized))
     }
 
     /// Native CPU, Rayon-parallel kernel.
     #[must_use]
     pub fn cpu_parallel() -> Self {
-        Self::Cpu(AxImplementation::Parallel)
+        Self::new(ExecSpec::Cpu(AxImplementation::Parallel))
     }
 
     /// Simulated FPGA on the evaluated Stratix 10 GX2800 board.
     #[must_use]
     pub fn fpga_simulated() -> Self {
-        Self::FpgaSimulated(FpgaDevice::stratix10_gx2800())
+        Self::new(ExecSpec::FpgaSimulated(FpgaDevice::stratix10_gx2800()))
     }
 
     /// Simulated FPGA on an arbitrary device from the catalogue.
     #[must_use]
     pub fn fpga_on(device: FpgaDevice) -> Self {
-        Self::FpgaSimulated(device)
+        Self::new(ExecSpec::FpgaSimulated(device))
     }
 
     /// `boards` simulated 520N boards over the default interconnect.
     #[must_use]
     pub fn multi_fpga(boards: usize) -> Self {
-        Self::MultiFpga {
+        Self::new(ExecSpec::MultiFpga {
             device: FpgaDevice::stratix10_gx2800(),
             boards,
             interconnect_gbs: DEFAULT_INTERCONNECT_GBS,
-        }
+        })
     }
 
     /// `boards` simulated boards of `device` over `interconnect_gbs` GB/s.
     #[must_use]
     pub fn multi_fpga_on(device: FpgaDevice, boards: usize, interconnect_gbs: f64) -> Self {
-        Self::MultiFpga {
+        Self::new(ExecSpec::MultiFpga {
             device,
             boards,
             interconnect_gbs,
-        }
+        })
     }
 
-    /// Short human-readable label (used in reports and benches).  Borrowed
+    /// Short human-readable label of the execution engine (used in reports
+    /// and benches; the preconditioner is reported separately).  Borrowed
     /// for CPU backends; allocating only when a device name is embedded.
     #[must_use]
     pub fn label(&self) -> Cow<'static, str> {
         // Shared with the engines in `exec`, so a configuration's label
         // always matches the label of the engine it instantiates.
-        match self {
-            Self::Cpu(implementation) => Cow::Borrowed(CpuBackend::label_of(*implementation)),
-            Self::FpgaSimulated(device) => Cow::Owned(crate::exec::fpga_sim_label(device)),
-            Self::MultiFpga { device, boards, .. } => {
+        match &self.exec {
+            ExecSpec::Cpu(implementation) => Cow::Borrowed(CpuBackend::label_of(*implementation)),
+            ExecSpec::FpgaSimulated(device) => Cow::Owned(crate::exec::fpga_sim_label(device)),
+            ExecSpec::MultiFpga { device, boards, .. } => {
                 Cow::Owned(crate::exec::multi_fpga_label(*boards, device))
             }
         }
@@ -121,25 +158,39 @@ impl Backend {
     /// (CPU) or simulator estimates (FPGA).
     #[must_use]
     pub fn is_simulated(&self) -> bool {
-        matches!(self, Self::FpgaSimulated(_) | Self::MultiFpga { .. })
+        matches!(
+            self.exec,
+            ExecSpec::FpgaSimulated(_) | ExecSpec::MultiFpga { .. }
+        )
     }
 
     /// The canonical registry name of this configuration, when it has one
-    /// (`cpu:parallel`, `fpga:agilex-027`, `multi:4x520n`, ...).
+    /// (`cpu:parallel`, `fpga:agilex-027+fdm`, `multi:4x520n`, ...).
     ///
     /// A name exists only when `Backend::from_name(name)` reconstructs this
-    /// exact configuration: custom devices outside the `arch-db` catalogue
-    /// have no name, and neither do multi-board configurations with a
-    /// non-default interconnect (the name syntax cannot carry it — use
-    /// serde for those).
+    /// exact configuration — the preconditioner suffix included: custom
+    /// devices outside the `arch-db` catalogue have no name, and neither do
+    /// multi-board configurations with a non-default interconnect (the name
+    /// syntax cannot carry it — use serde for those).
     #[must_use]
     pub fn name(&self) -> Option<String> {
-        match self {
-            Self::Cpu(AxImplementation::Reference) => Some("cpu:reference".to_string()),
-            Self::Cpu(AxImplementation::Optimized) => Some("cpu:optimized".to_string()),
-            Self::Cpu(AxImplementation::Parallel) => Some("cpu:parallel".to_string()),
-            Self::FpgaSimulated(device) => device_slug(device).map(|slug| format!("fpga:{slug}")),
-            Self::MultiFpga {
+        let base = self.exec_name()?;
+        Some(match self.precond.name_suffix() {
+            Some(suffix) => format!("{base}+{suffix}"),
+            None => base,
+        })
+    }
+
+    /// The registry name of the execution half alone.
+    fn exec_name(&self) -> Option<String> {
+        match &self.exec {
+            ExecSpec::Cpu(AxImplementation::Reference) => Some("cpu:reference".to_string()),
+            ExecSpec::Cpu(AxImplementation::Optimized) => Some("cpu:optimized".to_string()),
+            ExecSpec::Cpu(AxImplementation::Parallel) => Some("cpu:parallel".to_string()),
+            ExecSpec::FpgaSimulated(device) => {
+                device_slug(device).map(|slug| format!("fpga:{slug}"))
+            }
+            ExecSpec::MultiFpga {
                 device,
                 boards,
                 interconnect_gbs,
@@ -160,19 +211,24 @@ impl Backend {
     }
 
     /// Resolve a registry name (`cpu:<impl>`, `fpga:<device>`,
-    /// `multi:<n>x<device>`) to a configuration.  Device slugs come from the
-    /// `arch-db` catalogue ([`arch_db::fpga_device_slugs`]).
+    /// `multi:<n>x<device>`, each optionally followed by a `+<precond>`
+    /// suffix) to a configuration.  Device slugs come from the `arch-db`
+    /// catalogue ([`arch_db::fpga_device_slugs`]).
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
-        let (kind, spec) = name.split_once(':')?;
-        match kind {
+        let (base, precond) = match name.rsplit_once('+') {
+            Some((base, suffix)) => (base, PrecondSpec::from_name_suffix(suffix)?),
+            None => (name, PrecondSpec::default()),
+        };
+        let (kind, spec) = base.split_once(':')?;
+        let exec = match kind {
             "cpu" => match spec {
-                "reference" => Some(Self::cpu_reference()),
-                "optimized" => Some(Self::cpu_optimized()),
-                "parallel" => Some(Self::cpu_parallel()),
-                _ => None,
+                "reference" => ExecSpec::Cpu(AxImplementation::Reference),
+                "optimized" => ExecSpec::Cpu(AxImplementation::Optimized),
+                "parallel" => ExecSpec::Cpu(AxImplementation::Parallel),
+                _ => return None,
             },
-            "fpga" => arch_db::fpga_device(spec).map(Self::FpgaSimulated),
+            "fpga" => ExecSpec::FpgaSimulated(arch_db::fpga_device(spec)?),
             "multi" => {
                 let (boards, slug) = spec.split_once('x')?;
                 let boards: usize = boards.parse().ok()?;
@@ -180,20 +236,21 @@ impl Backend {
                     return None;
                 }
                 let device = arch_db::fpga_device(slug)?;
-                Some(Self::MultiFpga {
+                ExecSpec::MultiFpga {
                     device,
                     boards,
                     interconnect_gbs: DEFAULT_INTERCONNECT_GBS,
-                })
+                }
             }
-            _ => None,
-        }
+            _ => return None,
+        };
+        Some(Self { exec, precond })
     }
 
-    /// Every registered backend name: the three CPU kernels, one `fpga:` entry
-    /// per catalogue device, one `fpga:projected:<slug>` entry per Section
-    /// V-D model-designed device, and the canonical multi-board
-    /// configurations.
+    /// Every registered backend name with the default preconditioner: the
+    /// three CPU kernels, one `fpga:` entry per catalogue device, one
+    /// `fpga:projected:<slug>` entry per Section V-D model-designed device,
+    /// and the canonical multi-board configurations.
     #[must_use]
     pub fn registry_names() -> Vec<String> {
         let mut names = vec![
@@ -219,6 +276,25 @@ impl Backend {
         names
     }
 
+    /// The full extended registry: every base name crossed with every
+    /// preconditioner suffix (the default spelled without a suffix).  This
+    /// is what the round-trip and registry-wide parity tests sweep; the
+    /// plain [`Backend::registry_names`] stays the default-precond set so
+    /// existing sweeps keep their size.
+    #[must_use]
+    pub fn extended_registry_names() -> Vec<String> {
+        let mut names = Vec::new();
+        for base in Self::registry_names() {
+            for precond in PrecondSpec::all() {
+                names.push(match precond.name_suffix() {
+                    Some(suffix) => format!("{base}+{suffix}"),
+                    None => base.clone(),
+                });
+            }
+        }
+        names
+    }
+
     /// The registry names that describe hardware one could actually deploy
     /// on: everything in [`Backend::registry_names`] except the
     /// `fpga:projected:*` model-designed devices.  Autotuning ranks only
@@ -239,10 +315,10 @@ impl Backend {
     /// a multi-board configuration has zero boards.
     #[must_use]
     pub fn instantiate(&self, mesh: &BoxMesh) -> Box<dyn AxBackend> {
-        match self {
-            Self::Cpu(implementation) => Box::new(CpuBackend::new(mesh, *implementation)),
-            Self::FpgaSimulated(device) => Box::new(FpgaSimBackend::new(mesh, device.clone())),
-            Self::MultiFpga {
+        match &self.exec {
+            ExecSpec::Cpu(implementation) => Box::new(CpuBackend::new(mesh, *implementation)),
+            ExecSpec::FpgaSimulated(device) => Box::new(FpgaSimBackend::new(mesh, device.clone())),
+            ExecSpec::MultiFpga {
                 device,
                 boards,
                 interconnect_gbs,
@@ -283,6 +359,7 @@ mod tests {
         assert!(fpga.is_simulated());
         assert!(fpga.label().contains("GX2800"));
         assert_eq!(Backend::default(), Backend::cpu_parallel());
+        assert_eq!(Backend::default().precond, PrecondSpec::Jacobi);
         let multi = Backend::multi_fpga(4);
         assert!(multi.is_simulated());
         assert!(multi.label().contains("4 x"));
@@ -306,6 +383,7 @@ mod tests {
         for name in Backend::registry_names() {
             let backend = Backend::from_name(&name)
                 .unwrap_or_else(|| panic!("registry name `{name}` must resolve"));
+            assert_eq!(backend.precond, PrecondSpec::Jacobi, "{name}");
             let canonical = backend
                 .name()
                 .unwrap_or_else(|| panic!("resolved backend for `{name}` must have a name"));
@@ -319,11 +397,51 @@ mod tests {
     }
 
     #[test]
+    fn the_extended_registry_round_trips_through_parse_and_name() {
+        // The satellite fix: config strings must survive
+        // parse → instantiate-config → name *including* the preconditioner
+        // suffix, for every (backend, precond) pair.
+        let names = Backend::extended_registry_names();
+        assert_eq!(names.len(), 3 * Backend::registry_names().len());
+        for name in names {
+            let backend = Backend::from_name(&name)
+                .unwrap_or_else(|| panic!("extended name `{name}` must resolve"));
+            let canonical = backend
+                .name()
+                .unwrap_or_else(|| panic!("`{name}` must have a canonical name"));
+            assert_eq!(
+                canonical, name,
+                "precond suffix must survive the round trip"
+            );
+            assert_eq!(Backend::from_name(&canonical), Some(backend));
+        }
+    }
+
+    #[test]
+    fn precond_suffixes_parse_and_print() {
+        let fdm = Backend::from_name("cpu:optimized+fdm").unwrap();
+        assert_eq!(fdm.precond, PrecondSpec::Fdm);
+        assert_eq!(fdm.exec, Backend::cpu_optimized().exec);
+        assert_eq!(fdm.name().as_deref(), Some("cpu:optimized+fdm"));
+
+        let none = Backend::from_name("fpga:stratix10-gx2800+none").unwrap();
+        assert_eq!(none.precond, PrecondSpec::Identity);
+        assert_eq!(none.name().as_deref(), Some("fpga:stratix10-gx2800+none"));
+
+        // An explicit +jacobi parses but canonicalises to the bare name.
+        let jacobi = Backend::from_name("multi:4x520n+jacobi").unwrap();
+        assert_eq!(jacobi.precond, PrecondSpec::Jacobi);
+        assert_eq!(jacobi.name().as_deref(), Some("multi:4x520n"));
+    }
+
+    #[test]
     fn unnameable_configurations_return_none_instead_of_a_lossy_name() {
         // A custom interconnect cannot be carried by the name syntax; a lossy
         // name would silently reconstruct a different configuration.
         let custom = Backend::multi_fpga_on(FpgaDevice::stratix10_gx2800(), 4, 25.0);
         assert_eq!(custom.name(), None);
+        // ...even with a non-default preconditioner attached.
+        assert_eq!(custom.with_precond(PrecondSpec::Fdm).name(), None);
         // The default interconnect round-trips.
         let named = Backend::multi_fpga(4);
         assert_eq!(
@@ -399,6 +517,10 @@ mod tests {
             "multi:twox520n",
             "gpu:a100",
             "",
+            "cpu:optimized+ilu",
+            "cpu:optimized+",
+            "+fdm",
+            "cpu:optimized+fdm+fdm",
         ] {
             assert!(
                 Backend::from_name(name).is_none(),
@@ -411,10 +533,10 @@ mod tests {
     fn serde_round_trip_preserves_every_variant() {
         let backends = [
             Backend::cpu_reference(),
-            Backend::cpu_parallel(),
+            Backend::cpu_parallel().with_precond(PrecondSpec::Fdm),
             Backend::fpga_simulated(),
-            Backend::fpga_on(FpgaDevice::agilex_027()),
-            Backend::multi_fpga(4),
+            Backend::fpga_on(FpgaDevice::agilex_027()).with_precond(PrecondSpec::Identity),
+            Backend::multi_fpga(4).with_precond(PrecondSpec::Fdm),
             Backend::multi_fpga_on(FpgaDevice::stratix10m(), 8, 25.0),
         ];
         for backend in backends {
@@ -422,6 +544,18 @@ mod tests {
             let back: Backend =
                 serde::json::from_str(&json).unwrap_or_else(|e| panic!("{json} must parse: {e}"));
             assert_eq!(back, backend, "serde round trip must be lossless");
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_the_whole_extended_registry() {
+        for name in Backend::extended_registry_names() {
+            let backend = Backend::from_name(&name).unwrap();
+            let json = serde::json::to_string(&backend);
+            let back: Backend =
+                serde::json::from_str(&json).unwrap_or_else(|e| panic!("{json} must parse: {e}"));
+            assert_eq!(back, backend, "{name}");
+            assert_eq!(back.name().as_deref(), Some(name.as_str()), "{name}");
         }
     }
 

@@ -23,10 +23,12 @@
 
 use crate::offload::OffloadPlan;
 use crate::report::PerfSource;
-use fpga_sim::{FpgaAccelerator, FpgaDevice, MultiBoardAccelerator};
+use fpga_sim::{
+    estimate_jacobi_seconds, FdmPrecondModel, FpgaAccelerator, FpgaDevice, MultiBoardAccelerator,
+};
 use sem_kernel::{ops, AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, ElementField, GatherScatter, GeometricFactors};
-use sem_solver::LocalOperator;
+use sem_solver::{coarse_space_dofs, LocalOperator, PrecondSpec};
 use std::borrow::Cow;
 
 /// An execution engine for the matrix-free `Ax` kernel.
@@ -127,8 +129,38 @@ pub trait AxBackend: Send + Sync {
     }
 
     /// The host↔device transfer plan, for backends with external memory.
+    /// Preconditioner table traffic is folded in by
+    /// [`crate::SemSystem::offload_plan`], which knows the configured
+    /// preconditioner; see [`AxBackend::precond_table_bytes`].
     fn offload_plan(&self) -> Option<OffloadPlan> {
         None
+    }
+
+    /// Whether this backend claims the preconditioner application on-device
+    /// (like [`AxBackend::fuses_dssum`], the numerics still run through the
+    /// host stand-in; the claim changes where the pass is *priced* and
+    /// keeps the residual from round-tripping over PCIe every iteration).
+    fn precond_on_device(&self, precond: PrecondSpec) -> bool {
+        let _ = precond;
+        false
+    }
+
+    /// Seconds one on-device preconditioner application costs according to
+    /// the backend's own cycle model.  `None` for natively-executed
+    /// backends (whose cost is measured) and for preconditioners the
+    /// backend does not claim.
+    fn simulated_seconds_per_precond(&self, precond: PrecondSpec) -> Option<f64> {
+        let _ = precond;
+        None
+    }
+
+    /// Bytes of the one-off preconditioner data upload a solve session pays
+    /// when the pass runs on-device (FDM eigenvector/eigenvalue tables and
+    /// the coarse factor, or the Jacobi inverse diagonal).  Zero for host
+    /// backends and unclaimed preconditioners.
+    fn precond_table_bytes(&self, precond: PrecondSpec) -> u64 {
+        let _ = precond;
+        0
     }
 
     /// The underlying simulated accelerator, for single-board FPGA backends.
@@ -261,6 +293,12 @@ pub struct FpgaSimBackend {
     planes: [Vec<f64>; 6],
     num_elements: usize,
     seconds_per_application: f64,
+    /// The on-device FDM preconditioner model (pass timing, BRAM fit,
+    /// table bytes) for this problem shape.
+    fdm_model: FdmPrecondModel,
+    fdm_seconds: f64,
+    fdm_fits: bool,
+    jacobi_seconds: f64,
     label: String,
 }
 
@@ -276,12 +314,22 @@ impl FpgaSimBackend {
         let planes = GeometricFactors::from_mesh(mesh).split();
         let num_elements = mesh.num_elements();
         let seconds_per_application = accelerator.estimate(num_elements).seconds;
+        let fdm_model = FdmPrecondModel::new(
+            mesh.degree(),
+            coarse_space_dofs(mesh.degree(), mesh.element_counts()),
+        );
+        let fdm_estimate = fdm_model.estimate(&accelerator, num_elements);
+        let jacobi_seconds = estimate_jacobi_seconds(&accelerator, num_elements);
         let label = fpga_sim_label(accelerator.device());
         Self {
             accelerator,
             planes,
             num_elements,
             seconds_per_application,
+            fdm_model,
+            fdm_seconds: fdm_estimate.seconds,
+            fdm_fits: fdm_estimate.fits,
+            jacobi_seconds,
             label,
         }
     }
@@ -357,6 +405,39 @@ impl AxBackend for FpgaSimBackend {
     fn fpga_accelerator(&self) -> Option<&FpgaAccelerator> {
         Some(&self.accelerator)
     }
+
+    fn precond_on_device(&self, precond: PrecondSpec) -> bool {
+        match precond {
+            PrecondSpec::Identity => false,
+            PrecondSpec::Jacobi => true,
+            // Claimed only while the FDM tables fit next to the Ax design.
+            PrecondSpec::Fdm => self.fdm_fits,
+        }
+    }
+
+    fn simulated_seconds_per_precond(&self, precond: PrecondSpec) -> Option<f64> {
+        match precond {
+            PrecondSpec::Identity => None,
+            PrecondSpec::Jacobi => Some(self.jacobi_seconds),
+            PrecondSpec::Fdm => self.fdm_fits.then_some(self.fdm_seconds),
+        }
+    }
+
+    fn precond_table_bytes(&self, precond: PrecondSpec) -> u64 {
+        match precond {
+            PrecondSpec::Identity => 0,
+            // The inverse diagonal is a full field, uploaded once per
+            // session.
+            PrecondSpec::Jacobi => ops::total_dofs(self.degree(), self.num_elements) * 8,
+            PrecondSpec::Fdm => {
+                if self.fdm_fits {
+                    self.fdm_model.table_bytes()
+                } else {
+                    0
+                }
+            }
+        }
+    }
 }
 
 /// Several simulated FPGA boards with the elements block-partitioned across
@@ -368,6 +449,13 @@ pub struct MultiFpgaBackend {
     planes: [Vec<f64>; 6],
     num_elements: usize,
     seconds_per_application: f64,
+    /// On-device FDM model, priced over one board's element share (the pass
+    /// is element-local, so boards run it exchange-free in parallel; the
+    /// small coarse solve is conservatively charged in full per board).
+    fdm_model: FdmPrecondModel,
+    fdm_seconds: f64,
+    fdm_fits: bool,
+    jacobi_seconds: f64,
     label: String,
 }
 
@@ -384,12 +472,23 @@ impl MultiFpgaBackend {
         let num_elements = mesh.num_elements();
         let estimate = multi.estimate(num_elements);
         let seconds_per_application = estimate.kernel_seconds + estimate.exchange_seconds;
+        let per_board = multi.elements_per_board(num_elements);
+        let fdm_model = FdmPrecondModel::new(
+            mesh.degree(),
+            coarse_space_dofs(mesh.degree(), mesh.element_counts()),
+        );
+        let fdm_estimate = fdm_model.estimate(multi.accelerator(), per_board);
+        let jacobi_seconds = estimate_jacobi_seconds(multi.accelerator(), per_board);
         let label = multi_fpga_label(boards, multi.device());
         Self {
             multi,
             planes,
             num_elements,
             seconds_per_application,
+            fdm_model,
+            fdm_seconds: fdm_estimate.seconds,
+            fdm_fits: fdm_estimate.fits,
+            jacobi_seconds,
             label,
         }
     }
@@ -467,6 +566,39 @@ impl AxBackend for MultiFpgaBackend {
             self.multi.device(),
             self.num_elements,
         ))
+    }
+
+    fn precond_on_device(&self, precond: PrecondSpec) -> bool {
+        match precond {
+            PrecondSpec::Identity => false,
+            PrecondSpec::Jacobi => true,
+            PrecondSpec::Fdm => self.fdm_fits,
+        }
+    }
+
+    fn simulated_seconds_per_precond(&self, precond: PrecondSpec) -> Option<f64> {
+        // The pass is element-local: boards run their shares concurrently
+        // with no interface exchange, so one board's share is the wall time.
+        match precond {
+            PrecondSpec::Identity => None,
+            PrecondSpec::Jacobi => Some(self.jacobi_seconds),
+            PrecondSpec::Fdm => self.fdm_fits.then_some(self.fdm_seconds),
+        }
+    }
+
+    fn precond_table_bytes(&self, precond: PrecondSpec) -> u64 {
+        match precond {
+            PrecondSpec::Identity => 0,
+            PrecondSpec::Jacobi => ops::total_dofs(self.degree(), self.num_elements) * 8,
+            PrecondSpec::Fdm => {
+                if self.fdm_fits {
+                    // Every board holds the (tiny) table set.
+                    self.fdm_model.table_bytes() * self.multi.boards() as u64
+                } else {
+                    0
+                }
+            }
+        }
     }
 }
 

@@ -50,8 +50,9 @@ pub mod report;
 pub mod system;
 
 pub use autotune::{autotune, TuningCandidate, TuningReport};
-pub use backend::Backend;
+pub use backend::{Backend, ExecSpec};
 pub use exec::{AxBackend, CpuBackend, FpgaSimBackend, MultiFpgaBackend};
 pub use offload::OffloadPlan;
 pub use report::{PerfSource, PerfSummary};
+pub use sem_solver::PrecondSpec;
 pub use system::{SemSystem, SemSystemBuilder, SolveReport};

@@ -31,6 +31,12 @@ pub struct OffloadPlan {
     pub device_buffers: usize,
     /// Number of external memory banks the buffers are spread over.
     pub memory_banks: usize,
+    /// Bytes of the one-off preconditioner upload (FDM eigenvector and
+    /// inverse eigenvalue tables plus the coarse factor, or the Jacobi
+    /// inverse diagonal) when the preconditioner runs on-device; zero
+    /// otherwise.  Included in [`OffloadPlan::bytes_to_device`], so it is
+    /// shared (once-per-session) traffic like the geometric factors.
+    pub precond_table_bytes: u64,
 }
 
 impl OffloadPlan {
@@ -57,7 +63,17 @@ impl OffloadPlan {
             // u, w, 6 gxyz planes: the "eight different data regions" of §III-D.
             device_buffers: 8,
             memory_banks: device.memory_banks,
+            precond_table_bytes: 0,
         }
+    }
+
+    /// The same plan with a one-off on-device preconditioner upload folded
+    /// into the host→device (shared) traffic.
+    #[must_use]
+    pub fn with_precond_tables(mut self, bytes: u64) -> Self {
+        self.bytes_to_device = self.bytes_to_device - self.precond_table_bytes + bytes;
+        self.precond_table_bytes = bytes;
+        self
     }
 
     /// Total PCIe traffic in bytes.
@@ -225,6 +241,26 @@ mod tests {
         let overlapped = cost.overlapped_session_seconds(16);
         assert!(overlapped < serial);
         assert!(cost.exposed_transfer_seconds(16) < 16.0 * plan.transfer_seconds(gbs));
+    }
+
+    #[test]
+    fn precond_tables_ride_the_shared_upload() {
+        let device = FpgaDevice::stratix10_gx2800();
+        let design = AcceleratorDesign::for_degree(7, &device);
+        let plain = OffloadPlan::new(&design, &device, 512);
+        let priced = plain.with_precond_tables(1_000_000);
+        assert_eq!(priced.precond_table_bytes, 1_000_000);
+        assert_eq!(priced.bytes_to_device, plain.bytes_to_device + 1_000_000);
+        // Shared, not per-RHS: a batch pays the tables once.
+        assert_eq!(priced.shared_bytes(), plain.shared_bytes() + 1_000_000);
+        assert_eq!(priced.operand_bytes(), plain.operand_bytes());
+        assert_eq!(
+            priced.batched_transfer_bytes(16),
+            plain.batched_transfer_bytes(16) + 1_000_000
+        );
+        // Idempotent re-pricing.
+        assert_eq!(priced.with_precond_tables(1_000_000), priced);
+        assert_eq!(priced.with_precond_tables(0), plain);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! application here — including each CG iteration of [`SemSystem::solve`] —
 //! goes through the system's [`AxBackend`].
 
-use crate::backend::Backend;
+use crate::backend::{Backend, ExecSpec};
 use crate::exec::AxBackend;
 use crate::offload::OffloadPlan;
 use crate::report::{PerfSource, PerfSummary};
@@ -15,8 +15,7 @@ use rayon::prelude::*;
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
 use sem_solver::{
-    CgOptions, CgScratch, CgSolver, IdentityPreconditioner, JacobiPreconditioner, PoissonProblem,
-    PoissonSolution,
+    AnyPreconditioner, CgOptions, CgScratch, CgSolver, PoissonProblem, PoissonSolution, PrecondSpec,
 };
 use std::time::Instant;
 
@@ -82,8 +81,16 @@ impl SemSystemBuilder {
         self
     }
 
+    /// The preconditioner solves on this system use (equivalently set via
+    /// a `+fdm`/`+none` registry-name suffix).
+    #[must_use]
+    pub fn precond(mut self, precond: PrecondSpec) -> Self {
+        self.backend.precond = precond;
+        self
+    }
+
     /// Execution backend by registry name (`cpu:parallel`,
-    /// `fpga:stratix10-gx2800`, `multi:4x520n`, ...).
+    /// `fpga:stratix10-gx2800+fdm`, `multi:4x520n`, ...).
     ///
     /// # Panics
     /// Panics if the name is not in the registry (see
@@ -101,18 +108,31 @@ impl SemSystemBuilder {
     pub fn build(self) -> SemSystem {
         let mesh = BoxMesh::new(self.degree, self.elements, self.lengths, self.deformation);
         let execution = self.backend.instantiate(&mesh);
-        let implementation = match &self.backend {
-            Backend::Cpu(implementation) => *implementation,
+        let implementation = match &self.backend.exec {
+            ExecSpec::Cpu(implementation) => *implementation,
             // Accelerator backends still need a host operator for RHS
             // assembly, preconditioning and verification; use the optimised
             // CPU kernel there.
-            Backend::FpgaSimulated(_) | Backend::MultiFpga { .. } => AxImplementation::Optimized,
+            ExecSpec::FpgaSimulated(_) | ExecSpec::MultiFpga { .. } => AxImplementation::Optimized,
         };
         let problem = PoissonProblem::new(mesh, implementation);
+        // Preconditioner setup (for FDM: eigendecompositions plus the
+        // Galerkin coarse factorisation) happens once per session, here.
+        // Backends that claim the pass on-device attach their cycle model's
+        // per-application seconds so the CG accounting prices it like the
+        // operator itself.
+        let spec = self.backend.precond;
+        let mut precond = problem.preconditioner(spec);
+        let precond_on_device = execution.precond_on_device(spec);
+        if let Some(seconds) = execution.simulated_seconds_per_precond(spec) {
+            precond = precond.with_modeled_seconds(seconds);
+        }
         SemSystem {
             config: self.backend,
             execution,
             problem,
+            precond,
+            precond_on_device,
         }
     }
 }
@@ -127,6 +147,11 @@ pub struct SemSystem {
     config: Backend,
     execution: Box<dyn AxBackend>,
     problem: PoissonProblem,
+    /// The session's preconditioner, built once at `build` time (with the
+    /// backend's modelled per-application seconds attached when the pass is
+    /// claimed on-device).
+    precond: AnyPreconditioner,
+    precond_on_device: bool,
 }
 
 /// Outcome of a backend-routed solve: the solution with its error metrics,
@@ -138,6 +163,14 @@ pub struct SolveReport {
     pub solution: PoissonSolution,
     /// Label of the backend that executed the operator applications.
     pub backend: String,
+    /// The preconditioner the solve ran.
+    pub precond: PrecondSpec,
+    /// Seconds attributed to preconditioner applications across the solve:
+    /// the backend's cycle model when the pass is claimed on-device,
+    /// measured wall-clock otherwise.
+    pub precond_seconds: f64,
+    /// Whether the preconditioner pass was claimed (and priced) on-device.
+    pub precond_on_device: bool,
     /// Provenance of the operator timing below.
     pub source: PerfSource,
     /// Aggregate performance of the operator applications inside CG:
@@ -175,28 +208,42 @@ impl SolveReport {
         self.solution.cg.iterations
     }
 
+    /// Preconditioner applications performed.
+    #[must_use]
+    pub fn precond_applications(&self) -> usize {
+        self.solution.cg.precond_applications
+    }
+
     /// Whether CG reached its tolerance.
     #[must_use]
     pub fn converged(&self) -> bool {
         self.solution.cg.converged
     }
 
-    /// The backend-attributed time of the whole solve: operator seconds plus
-    /// transfer time.  For CPU backends this is measured; for FPGA backends
-    /// it is the modelled end-to-end accelerator time.
+    /// The compute seconds of the whole solve on its backend: operator
+    /// applications plus preconditioner applications.
+    #[must_use]
+    pub fn compute_seconds(&self) -> f64 {
+        self.operator.seconds + self.precond_seconds
+    }
+
+    /// The backend-attributed time of the whole solve: operator plus
+    /// preconditioner seconds plus transfer time.  For CPU backends this is
+    /// measured; for FPGA backends it is the modelled end-to-end
+    /// accelerator time.
     #[must_use]
     pub fn modeled_seconds(&self) -> f64 {
-        self.operator.seconds + self.transfer_seconds
+        self.compute_seconds() + self.transfer_seconds
     }
 
     /// The backend-attributed per-RHS time when the batch is served through
-    /// the overlapped offload pipeline: operator seconds plus only the
+    /// the overlapped offload pipeline: compute seconds plus only the
     /// transfer time the pipeline fails to hide.  Equals
     /// [`SolveReport::modeled_seconds`] for host backends and standalone
     /// solves.
     #[must_use]
     pub fn pipelined_modeled_seconds(&self) -> f64 {
-        self.operator.seconds + self.pipelined_transfer_seconds
+        self.compute_seconds() + self.pipelined_transfer_seconds
     }
 
     /// Per-RHS seconds the pipelined schedule saves over the serial
@@ -224,6 +271,19 @@ impl SemSystem {
     #[must_use]
     pub fn execution(&self) -> &dyn AxBackend {
         self.execution.as_ref()
+    }
+
+    /// The preconditioner spec this system solves with.
+    #[must_use]
+    pub fn precond_spec(&self) -> PrecondSpec {
+        self.config.precond
+    }
+
+    /// Whether the backend claims (and prices) the preconditioner pass
+    /// on-device.
+    #[must_use]
+    pub fn precond_on_device(&self) -> bool {
+        self.precond_on_device
     }
 
     /// The mesh.
@@ -265,10 +325,13 @@ impl SemSystem {
     }
 
     /// The offload plan for this problem, if the backend has external
-    /// device memory.
+    /// device memory — with the configured preconditioner's one-off table
+    /// upload folded into the shared traffic when the pass runs on-device.
     #[must_use]
     pub fn offload_plan(&self) -> Option<OffloadPlan> {
-        self.execution.offload_plan()
+        self.execution.offload_plan().map(|plan| {
+            plan.with_precond_tables(self.execution.precond_table_bytes(self.config.precond))
+        })
     }
 
     /// Apply the local operator once through the backend, returning the
@@ -348,45 +411,22 @@ impl SemSystem {
     }
 
     /// Solve the manufactured-solution Poisson problem, running **every CG
-    /// operator application through the backend**, and report both the
-    /// solution quality and the backend's time/energy accounting.
+    /// operator application through the backend** with the session's
+    /// configured preconditioner, and report both the solution quality and
+    /// the backend's time/energy accounting.
     #[must_use]
-    pub fn solve(&self, options: CgOptions, use_jacobi: bool) -> SolveReport {
-        let start = Instant::now();
-        let solution =
-            self.problem
-                .solve_manufactured_through(self.execution.as_ref(), options, use_jacobi);
-        let host_wall_seconds = start.elapsed().as_secs_f64();
-
-        let cg = &solution.cg;
-        let operator = self.summary(
-            cg.operator_seconds.max(1e-12),
-            cg.operator_applications.max(1),
-        );
-        let transfer_seconds = self
-            .execution
-            .offload_plan()
-            .map_or(0.0, |plan| plan.transfer_seconds(HOST_LINK_GBS));
-        SolveReport {
-            backend: self.execution.label().into_owned(),
-            source: self.execution.perf_source(),
-            operator,
-            transfer_seconds,
-            // A standalone solve has no neighbouring requests to overlap
-            // with: the pipelined accounting equals the serial one.
-            pipelined_transfer_seconds: transfer_seconds,
-            host_wall_seconds,
-            batch_size: 1,
-            solution,
-        }
+    pub fn solve(&self, options: CgOptions) -> SolveReport {
+        self.solve_many_manufactured(1, options)
+            .pop()
+            .expect("a batch of one yields one report")
     }
 
     /// Solve the manufactured-solution Poisson problem and return only the
     /// solution (every operator application still runs through the
     /// backend; use [`SemSystem::solve`] for the full report).
     #[must_use]
-    pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
-        self.solve(options, use_jacobi).solution
+    pub fn solve_manufactured(&self, options: CgOptions) -> PoissonSolution {
+        self.solve(options).solution
     }
 
     /// Solve one already-assembled (continuous, masked) right-hand side
@@ -400,13 +440,8 @@ impl SemSystem {
     /// # Panics
     /// Panics if `rhs` does not match the system's degree and element count.
     #[must_use]
-    pub fn solve_rhs(
-        &self,
-        rhs: &ElementField,
-        options: CgOptions,
-        use_jacobi: bool,
-    ) -> SolveReport {
-        self.solve_many(std::slice::from_ref(rhs), options, use_jacobi)
+    pub fn solve_rhs(&self, rhs: &ElementField, options: CgOptions) -> SolveReport {
+        self.solve_many(std::slice::from_ref(rhs), options)
             .pop()
             .expect("one report per right-hand side")
     }
@@ -429,17 +464,12 @@ impl SemSystem {
     /// Panics if any RHS does not match the system's degree and element
     /// count.
     #[must_use]
-    pub fn solve_many(
-        &self,
-        rhss: &[ElementField],
-        options: CgOptions,
-        use_jacobi: bool,
-    ) -> Vec<SolveReport> {
+    pub fn solve_many(&self, rhss: &[ElementField], options: CgOptions) -> Vec<SolveReport> {
         if rhss.is_empty() {
             return Vec::new();
         }
         let batch = rhss.len();
-        let per_rhs_transfer = self.execution.offload_plan().map_or(0.0, |plan| {
+        let per_rhs_transfer = self.offload_plan().map_or(0.0, |plan| {
             plan.batched_transfer_seconds(HOST_LINK_GBS, batch) / batch as f64
         });
         let solver = CgSolver::new(
@@ -448,13 +478,12 @@ impl SemSystem {
             self.problem.mask(),
             options,
         );
-        let jacobi = use_jacobi.then(|| self.problem.jacobi_preconditioner());
 
         // Fan out only when each solve is single-threaded: nesting the batch
         // over the element-parallel kernel would oversubscribe cores² threads
         // and pollute the measured per-application seconds.
         let batch_parallel = self.execution.perf_source() == PerfSource::Measured
-            && !matches!(self.config, Backend::Cpu(AxImplementation::Parallel));
+            && !matches!(self.config.exec, ExecSpec::Cpu(AxImplementation::Parallel));
 
         if batch_parallel {
             // Host backend: independent solves, so fan the batch out across
@@ -463,14 +492,8 @@ impl SemSystem {
             slots.par_chunks_mut(1).enumerate().for_each_init(
                 || CgScratch::new(self.mesh().degree(), self.mesh().num_elements()),
                 |scratch, (i, slot)| {
-                    slot[0] = Some(self.solve_one(
-                        &solver,
-                        jacobi.as_ref(),
-                        &rhss[i],
-                        scratch,
-                        per_rhs_transfer,
-                        batch,
-                    ));
+                    slot[0] =
+                        Some(self.solve_one(&solver, &rhss[i], scratch, per_rhs_transfer, batch));
                 },
             );
             slots
@@ -482,16 +505,7 @@ impl SemSystem {
             // kernel: submission order, one scratch reused across the batch.
             let mut scratch = CgScratch::new(self.mesh().degree(), self.mesh().num_elements());
             rhss.iter()
-                .map(|rhs| {
-                    self.solve_one(
-                        &solver,
-                        jacobi.as_ref(),
-                        rhs,
-                        &mut scratch,
-                        per_rhs_transfer,
-                        batch,
-                    )
-                })
+                .map(|rhs| self.solve_one(&solver, rhs, &mut scratch, per_rhs_transfer, batch))
                 .collect()
         }
     }
@@ -502,15 +516,10 @@ impl SemSystem {
     /// real error metrics against the manufactured solution, and the
     /// transfer/scratch amortisation of [`SemSystem::solve_many`] applies.
     #[must_use]
-    pub fn solve_many_manufactured(
-        &self,
-        batch: usize,
-        options: CgOptions,
-        use_jacobi: bool,
-    ) -> Vec<SolveReport> {
+    pub fn solve_many_manufactured(&self, batch: usize, options: CgOptions) -> Vec<SolveReport> {
         let rhs = self.problem.manufactured_rhs();
         let rhss = vec![rhs; batch];
-        let mut reports = self.solve_many(&rhss, options, use_jacobi);
+        let mut reports = self.solve_many(&rhss, options);
         let exact = self.problem.manufactured_exact();
         for report in &mut reports {
             let (max_error, l2_error) = self
@@ -528,36 +537,41 @@ impl SemSystem {
     fn solve_one(
         &self,
         solver: &CgSolver<'_, dyn AxBackend>,
-        jacobi: Option<&JacobiPreconditioner>,
         rhs: &ElementField,
         scratch: &mut CgScratch,
         transfer_seconds: f64,
         batch: usize,
     ) -> SolveReport {
         let start = Instant::now();
-        let cg = match jacobi {
-            Some(pc) => solver.solve_with_scratch(rhs, pc, scratch),
-            None => solver.solve_with_scratch(rhs, &IdentityPreconditioner, scratch),
-        };
+        let cg = solver.solve_with_scratch(rhs, &self.precond, scratch);
         let host_wall_seconds = start.elapsed().as_secs_f64();
         let operator = self.summary(
             cg.operator_seconds.max(1e-12),
             cg.operator_applications.max(1),
         );
         // Exposed per-RHS transfer under the double-buffered pipeline: the
-        // session's un-hidden seconds (closed form) spread over the batch.
+        // session's un-hidden seconds (closed form) spread over the batch,
+        // with the on-device preconditioner part of the compute stage.
         // Never worse than the serial share.
-        let pipelined_transfer_seconds = self
-            .execution
-            .offload_plan()
-            .map_or(0.0, |plan| {
-                plan.pipeline_cost(HOST_LINK_GBS, operator.seconds)
-                    .exposed_transfer_seconds(batch)
-                    / batch as f64
-            })
-            .min(transfer_seconds);
+        let compute_seconds = operator.seconds + cg.precond_seconds;
+        let pipelined_transfer_seconds = if batch == 1 {
+            // A standalone solve has no neighbouring requests to overlap
+            // with: the pipelined accounting equals the serial one, bitwise.
+            transfer_seconds
+        } else {
+            self.offload_plan()
+                .map_or(0.0, |plan| {
+                    plan.pipeline_cost(HOST_LINK_GBS, compute_seconds)
+                        .exposed_transfer_seconds(batch)
+                        / batch as f64
+                })
+                .min(transfer_seconds)
+        };
         SolveReport {
             backend: self.execution.label().into_owned(),
+            precond: self.config.precond,
+            precond_seconds: cg.precond_seconds,
+            precond_on_device: self.precond_on_device,
             source: self.execution.perf_source(),
             operator,
             transfer_seconds,
@@ -669,14 +683,11 @@ mod tests {
             .elements([2, 2, 2])
             .backend(Backend::cpu_optimized())
             .build();
-        let sol = system.solve_manufactured(
-            CgOptions {
-                max_iterations: 2000,
-                tolerance: 1e-11,
-                record_history: false,
-            },
-            true,
-        );
+        let sol = system.solve_manufactured(CgOptions {
+            max_iterations: 2000,
+            tolerance: 1e-11,
+            record_history: false,
+        });
         assert!(sol.cg.converged);
         assert!(sol.max_error < 1e-5, "error {}", sol.max_error);
     }
@@ -711,8 +722,8 @@ mod tests {
             .backend(Backend::fpga_simulated())
             .build();
 
-        let cpu_report = cpu.solve(options, true);
-        let fpga_report = fpga.solve(options, true);
+        let cpu_report = cpu.solve(options);
+        let fpga_report = fpga.solve(options);
 
         // The FPGA solve is accounted in simulated seconds with power...
         assert_eq!(fpga_report.source, PerfSource::Simulated);
@@ -763,8 +774,8 @@ mod tests {
             .elements([2, 2, 2])
             .backend(Backend::multi_fpga(4))
             .build();
-        let r1 = one.solve(options, true);
-        let r4 = four.solve(options, true);
+        let r1 = one.solve(options);
+        let r4 = four.solve(options);
         assert!(r1.converged() && r4.converged());
         assert_eq!(r1.iterations(), r4.iterations());
         // Partitioning shrinks the per-application kernel time even after
@@ -788,9 +799,9 @@ mod tests {
             .build();
 
         let batch = 16;
-        let reports = system.solve_many_manufactured(batch, options, true);
+        let reports = system.solve_many_manufactured(batch, options);
         assert_eq!(reports.len(), batch);
-        let sequential = system.solve(options, true);
+        let sequential = system.solve(options);
 
         for report in &reports {
             // Bitwise the same solve...
@@ -831,7 +842,7 @@ mod tests {
             .build();
 
         // A standalone solve has nothing to overlap with.
-        let solo = system.solve(options, true);
+        let solo = system.solve(options);
         assert_eq!(solo.pipelined_transfer_seconds, solo.transfer_seconds);
         assert_eq!(solo.pipelined_modeled_seconds(), solo.modeled_seconds());
         assert_eq!(solo.overlap_win_seconds(), 0.0);
@@ -839,7 +850,7 @@ mod tests {
         // At batch 16 the double-buffered pipeline hides most of the per-RHS
         // traffic: only the ramp (shared upload + first operand + last
         // result) stays exposed, spread over the batch.
-        let reports = system.solve_many_manufactured(16, options, true);
+        let reports = system.solve_many_manufactured(16, options);
         for report in &reports {
             assert!(report.pipelined_transfer_seconds < report.transfer_seconds);
             assert!(report.pipelined_transfer_seconds > 0.0);
@@ -853,7 +864,7 @@ mod tests {
             .elements([2, 2, 2])
             .backend(Backend::cpu_optimized())
             .build();
-        let cpu_reports = cpu.solve_many_manufactured(4, options, true);
+        let cpu_reports = cpu.solve_many_manufactured(4, options);
         for report in &cpu_reports {
             assert_eq!(report.pipelined_transfer_seconds, 0.0);
             assert_eq!(report.overlap_win_seconds(), 0.0);
@@ -879,10 +890,10 @@ mod tests {
                     .right_hand_side(move |x, y, z| (1.0 + i as f64) * x * y * z + x)
             })
             .collect();
-        let reports = system.solve_many(&rhss, options, true);
+        let reports = system.solve_many(&rhss, options);
         assert_eq!(reports.len(), rhss.len());
         for (rhs, report) in rhss.iter().zip(&reports) {
-            let solo = system.solve_rhs(rhs, options, true);
+            let solo = system.solve_rhs(rhs, options);
             assert_eq!(
                 report.solution.solution.as_slice(),
                 solo.solution.solution.as_slice(),
@@ -901,9 +912,7 @@ mod tests {
             .elements([2, 2, 2])
             .backend(Backend::cpu_optimized())
             .build();
-        assert!(system
-            .solve_many(&[], CgOptions::default(), true)
-            .is_empty());
+        assert!(system.solve_many(&[], CgOptions::default()).is_empty());
     }
 
     #[test]

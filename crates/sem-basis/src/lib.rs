@@ -17,6 +17,10 @@
 //!   operators.
 //! * [`matrix`] — a minimal dense row-major matrix type for the small
 //!   per-degree operators.
+//! * [`eigen`] — a dependency-free symmetric (Jacobi-rotation) eigensolver
+//!   and the generalized `K S = B S Λ` decomposition for diagonal `B`.
+//! * [`fdm1d`] — the per-direction fast-diagonalization factors the FDM
+//!   tensor-product preconditioner is assembled from.
 //!
 //! Everything is dependency-free, double precision and deterministic, and is
 //! validated by unit tests plus property-based tests (see `tests/`).
@@ -25,6 +29,8 @@
 #![deny(unsafe_code)]
 
 pub mod derivative;
+pub mod eigen;
+pub mod fdm1d;
 pub mod interp;
 pub mod lagrange;
 pub mod legendre;
@@ -33,7 +39,9 @@ pub mod operators1d;
 pub mod quadrature;
 
 pub use derivative::DerivativeMatrix;
-pub use interp::interpolation_matrix;
+pub use eigen::{generalized_eigen_diag, symmetric_eigen};
+pub use fdm1d::{fdm_coarse_degree, fdm_overlap, Fdm1d, Fdm1dBoundary};
+pub use interp::{degree_prolongation, interpolation_matrix};
 pub use lagrange::LagrangeBasis;
 pub use legendre::{legendre, legendre_derivative, legendre_pair};
 pub use matrix::DenseMatrix;

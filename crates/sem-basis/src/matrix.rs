@@ -154,6 +154,61 @@ impl DenseMatrix {
             .sqrt()
     }
 
+    /// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix, returning the lower-triangular factor (upper triangle zero).
+    /// `None` if the matrix is not positive definite (a pivot fails).
+    #[must_use]
+    pub fn cholesky(&self) -> Option<Self> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut l = Self::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `L Lᵀ x = b` in place, where `self` is a Cholesky factor from
+    /// [`DenseMatrix::cholesky`].
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factor's dimension.
+    pub fn cholesky_solve_in_place(&self, b: &mut [f64]) {
+        let n = self.rows;
+        assert_eq!(b.len(), n, "right-hand side length mismatch");
+        // Forward substitution: L y = b.
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * b[k];
+            }
+            b[i] = sum / self[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self[(k, i)] * b[k];
+            }
+            b[i] = sum / self[(i, i)];
+        }
+    }
+
     /// Whether the matrix is symmetric within `tol`.
     #[must_use]
     pub fn is_symmetric(&self, tol: f64) -> bool {
@@ -224,6 +279,42 @@ mod tests {
         assert!(!ns.is_symmetric(1e-14));
         let rect = DenseMatrix::zeros(2, 3);
         assert!(!rect.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn cholesky_solves_an_spd_system() {
+        // A = Mᵀ M + I is SPD for any M.
+        let n = 6;
+        let m = DenseMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64 * 0.29).sin());
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let l = a.cholesky().expect("SPD must factor");
+        // Upper triangle of L is zero.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+        // L Lᵀ reconstructs A.
+        let back = l.matmul(&l.transpose());
+        assert!(back.frobenius_distance(&a) < 1e-12 * (1.0 + a.max_abs()));
+        // Solving reproduces a known x.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let mut b = a.matvec(&x_true);
+        l.cholesky_solve_in_place(&mut b);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-11, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrices() {
+        let mut a = DenseMatrix::identity(3);
+        a[(2, 2)] = -1.0;
+        assert!(a.cholesky().is_none());
+        assert!(DenseMatrix::zeros(2, 3).cholesky().is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 
 pub mod assemble;
+pub mod fdm;
 pub mod helmholtz;
 pub mod operator;
 pub mod ops;
@@ -33,6 +34,10 @@ pub mod optimized;
 pub mod parallel;
 pub mod reference;
 
+pub use fdm::{
+    fdm_bytes_per_dof, fdm_flops_per_element, fdm_patch_points, rcontract_x, rcontract_y,
+    rcontract_z, FdmScratch,
+};
 pub use helmholtz::{HelmholtzCost, HelmholtzOperator};
 pub use operator::{AxImplementation, PoissonOperator};
 pub use ops::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};

@@ -122,7 +122,9 @@ impl RequestStages {
     /// preserves the bitwise serial-degeneration guarantee).
     #[must_use]
     pub fn from_report(report: &SolveReport, plan: Option<&OffloadPlan>, link_gbs: f64) -> Self {
-        let compute_seconds = report.operator.seconds;
+        // Compute = operator plus preconditioner applications (the latter
+        // priced by the backend's cycle model when claimed on-device).
+        let compute_seconds = report.compute_seconds();
         let serial_seconds = compute_seconds + report.transfer_seconds * (HOST_LINK_GBS / link_gbs);
         match plan {
             Some(plan) => Self {
@@ -147,19 +149,23 @@ impl RequestStages {
     /// the kernel stage comes from
     /// [`AxBackend::simulated_seconds_per_batch`] over the expected operator
     /// applications (one command-queue submission per solve, launch overhead
-    /// amortised), the transfers from the plan's bytes.  Measured backends
-    /// have no simulator model; callers substitute a host cost estimate via
-    /// `fallback_compute_seconds`.
+    /// amortised) plus one on-device preconditioner application per
+    /// operator application (`precond_seconds_per_application`; zero when
+    /// the preconditioner is not claimed on-device), the transfers from the
+    /// plan's bytes.  Measured backends have no simulator model; callers
+    /// substitute a host cost estimate via `fallback_compute_seconds`.
     #[must_use]
     pub fn predict(
         backend: &dyn AxBackend,
         plan: Option<&OffloadPlan>,
         applications: usize,
+        precond_seconds_per_application: f64,
         fallback_compute_seconds: f64,
         link_gbs: f64,
     ) -> Self {
         let compute_seconds = backend
             .simulated_seconds_per_batch(applications.max(1))
+            .map(|kernel| kernel + precond_seconds_per_application * applications.max(1) as f64)
             .unwrap_or(fallback_compute_seconds);
         let (upload_seconds, download_seconds) = plan.map_or((0.0, 0.0), |plan| {
             (
@@ -267,6 +273,7 @@ impl PipelineTimeline {
         backend: &dyn AxBackend,
         batch: usize,
         applications: usize,
+        precond_seconds_per_application: f64,
         fallback_compute_seconds: f64,
         config: PipelineConfig,
     ) -> Self {
@@ -278,6 +285,7 @@ impl PipelineTimeline {
             backend,
             plan.as_ref(),
             applications,
+            precond_seconds_per_application,
             fallback_compute_seconds,
             config.link_gbs,
         );

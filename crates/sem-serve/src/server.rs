@@ -20,7 +20,7 @@ use crate::scheduler::{DeviceSlot, DeviceStatus, SchedulingPolicy};
 use crate::steal::{run_stealing, TaggedJob};
 use sem_accel::{Backend, SemSystem};
 use sem_mesh::ElementField;
-use sem_solver::CgOptions;
+use sem_solver::{CgOptions, PrecondSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -30,8 +30,12 @@ use std::time::Instant;
 pub struct ServeOptions {
     /// CG stopping criteria for every solve.
     pub cg: CgOptions,
-    /// Whether solves use the Jacobi preconditioner.
-    pub use_jacobi: bool,
+    /// Preconditioner override: `Some` runs every solve with that
+    /// preconditioner regardless of slot configuration; `None` (the
+    /// default) honours each slot's own `Backend.precond` — so a registry
+    /// name like `fpga:stratix10-gx2800+fdm` means what it says and mixed
+    /// pools are possible.
+    pub precond: Option<PrecondSpec>,
     /// Maximum right-hand sides per batch job.
     pub max_batch: usize,
     /// How sessions are scheduled (overlap + link speed).
@@ -52,11 +56,35 @@ impl Default for ServeOptions {
                 tolerance: 1e-10,
                 record_history: false,
             },
-            use_jacobi: true,
+            precond: None,
             max_batch: 16,
             pipeline: PipelineConfig::default(),
             applications_hint: 60,
             admission: AdmissionPolicy::AdmitAll,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The options with a pool-wide preconditioner override *and* a
+    /// matching operator-applications hint, so model-based placement and
+    /// deadline admission price solves at the iteration count the
+    /// preconditioner actually needs (measured on the standard degree-7
+    /// serving problems: identity ≈ 110, Jacobi ≈ 60, FDM ≈ 25).
+    #[must_use]
+    pub fn with_precond(mut self, precond: PrecondSpec) -> Self {
+        self.precond = Some(precond);
+        self.applications_hint = Self::applications_hint_for(precond);
+        self
+    }
+
+    /// The default costing hint for a preconditioner.
+    #[must_use]
+    pub fn applications_hint_for(precond: PrecondSpec) -> usize {
+        match precond {
+            PrecondSpec::Identity => 110,
+            PrecondSpec::Jacobi => 60,
+            PrecondSpec::Fdm => 25,
         }
     }
 }
@@ -82,6 +110,10 @@ pub struct RequestOutcome {
     pub completed_seconds: f64,
     /// CG iterations of the solve.
     pub iterations: usize,
+    /// Seconds the solve spent in preconditioner applications (the
+    /// backend's cycle model when the pass ran on-device, measured
+    /// wall-clock otherwise).
+    pub precond_seconds: f64,
     /// Whether CG converged.
     pub converged: bool,
     /// Max-norm error against the manufactured solution (`NaN` for seeded
@@ -166,6 +198,8 @@ pub struct DeviceUsage {
 pub struct ServeReport {
     /// Name of the scheduling policy that placed the jobs.
     pub policy: String,
+    /// Label of the preconditioner every solve ran.
+    pub precond: String,
     /// Whether sessions overlapped transfer and compute.
     pub overlap: bool,
     /// Whether jobs ran on worker threads with work stealing
@@ -239,11 +273,27 @@ impl ServeReport {
         self.devices.iter().map(|d| d.steals).sum()
     }
 
+    /// Total CG iterations across the admitted requests.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.iterations as u64).sum()
+    }
+
+    /// Total seconds spent in preconditioner applications across the
+    /// admitted requests.
+    #[must_use]
+    pub fn precond_apply_seconds(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.precond_seconds).sum()
+    }
+
     /// The serde-friendly aggregate (drops solutions and schedules).
     #[must_use]
     pub fn summary(&self) -> ServeSummary {
         ServeSummary {
             policy: self.policy.clone(),
+            precond: self.precond.clone(),
+            total_iterations: self.total_iterations(),
+            precond_apply_seconds: self.precond_apply_seconds(),
             overlap: self.overlap,
             asynchronous: self.asynchronous,
             requests: self.outcomes.len() + self.rejections.len(),
@@ -269,6 +319,14 @@ impl ServeReport {
 pub struct ServeSummary {
     /// Scheduling policy.
     pub policy: String,
+    /// Preconditioner every solve ran.
+    pub precond: String,
+    /// Total CG iterations across admitted requests — with the FDM
+    /// preconditioner this is what collapses, which is the end-to-end
+    /// serving win.
+    pub total_iterations: u64,
+    /// Total preconditioner-apply seconds across admitted requests.
+    pub precond_apply_seconds: f64,
     /// Whether transfer/compute overlapped.
     pub overlap: bool,
     /// Whether the run used the async work-stealing host.
@@ -441,9 +499,9 @@ impl Server {
         let states: Vec<HashMap<ProblemSpec, SemSystem>> =
             self.systems.iter_mut().map(std::mem::take).collect();
         let run = run_stealing(states, tagged, |worker, systems, job| {
-            let system = systems
-                .entry(job.spec)
-                .or_insert_with(|| Self::build_system(&self.slots[worker].config, job.spec));
+            let system = systems.entry(job.spec).or_insert_with(|| {
+                Self::build_system(&self.slots[worker].config, job.spec, self.options.precond)
+            });
             let (timeline, outcomes) = self.execute_job_on(system, worker, &job, requests);
             (job, timeline, outcomes)
         });
@@ -624,6 +682,7 @@ impl Server {
         );
         ServeReport {
             policy: policy.to_string(),
+            precond: self.precond_label(),
             overlap: self.options.pipeline.overlap,
             asynchronous,
             outcomes,
@@ -633,6 +692,20 @@ impl Server {
             makespan_seconds,
             serial_makespan_seconds,
             wall_seconds,
+        }
+    }
+
+    /// The report-level preconditioner label: the explicit override, the
+    /// pool consensus, or `"per-slot"` for genuinely mixed pools.
+    fn precond_label(&self) -> String {
+        if let Some(precond) = self.options.precond {
+            return precond.label().to_string();
+        }
+        let first = self.slots[0].config.precond;
+        if self.slots.iter().all(|slot| slot.config.precond == first) {
+            first.label().to_string()
+        } else {
+            "per-slot".to_string()
         }
     }
 
@@ -651,7 +724,7 @@ impl Server {
             .iter()
             .map(|&i| requests[i].assemble_rhs(system))
             .collect();
-        let reports = system.solve_many(&rhss, self.options.cg, self.options.use_jacobi);
+        let reports = system.solve_many(&rhss, self.options.cg);
         let timeline = PipelineTimeline::from_reports(
             system.offload_plan().as_ref(),
             &reports,
@@ -694,6 +767,7 @@ impl Server {
                     started_seconds: 0.0,
                     completed_seconds: 0.0,
                     iterations: report.iterations(),
+                    precond_seconds: report.precond_seconds,
                     converged: report.converged(),
                     max_error,
                     serial_modeled_seconds: stages.serial_seconds,
@@ -706,37 +780,75 @@ impl Server {
     }
 
     /// Predicted session seconds of `job` on `device` — the number
-    /// model-based policies and the admission model compare.  Requires the
-    /// system to exist.
+    /// model-based policies and the admission model compare.  The kernel
+    /// applications come from the options' hint (which
+    /// [`ServeOptions::with_precond`] scales to the preconditioner's
+    /// iteration count) and the on-device preconditioner pass is priced per
+    /// application, so a stronger preconditioner shows up as a genuinely
+    /// cheaper predicted completion.  Requires the system to exist.
     fn predict_job_seconds(&self, device: usize, job: &BatchJob) -> f64 {
         let system = self.system(device, job.spec);
         let applications = self.options.applications_hint.max(1);
+        let precond = self.slot_precond(device);
+        let precond_per_application = system
+            .execution()
+            .simulated_seconds_per_precond(precond)
+            .unwrap_or(0.0);
+        // Host slots have no preconditioner cycle model; scale the roofline
+        // fallback by the pass's Ax-equivalent work instead (FDM is six
+        // contractions ≈ one Ax per application, Jacobi a pointwise sweep)
+        // so CPU predictions do not flatter the stronger preconditioners.
+        let host_precond_factor = match precond {
+            PrecondSpec::Identity => 0.0,
+            PrecondSpec::Jacobi => 0.05,
+            PrecondSpec::Fdm => 1.0,
+        };
         let fallback = self.slots[device]
             .host_model
             .seconds_per_application(job.spec.degree, job.spec.num_elements())
-            * applications as f64;
+            * applications as f64
+            * (1.0 + host_precond_factor);
         PipelineTimeline::predict(
             system.execution(),
             job.batch_size(),
             applications,
+            precond_per_application,
             fallback,
             self.options.pipeline,
         )
         .makespan_seconds
     }
 
-    /// Build the session one device uses for one problem shape.
-    fn build_system(config: &Backend, spec: ProblemSpec) -> SemSystem {
+    /// Build the session one device uses for one problem shape (an explicit
+    /// serve-options preconditioner overrides the slot's config; otherwise
+    /// the slot's own `+suffix` stands).
+    fn build_system(
+        config: &Backend,
+        spec: ProblemSpec,
+        precond: Option<PrecondSpec>,
+    ) -> SemSystem {
+        let backend = match precond {
+            Some(precond) => config.clone().with_precond(precond),
+            None => config.clone(),
+        };
         SemSystem::builder()
             .degree(spec.degree)
             .elements(spec.elements)
-            .backend(config.clone())
+            .backend(backend)
             .build()
+    }
+
+    /// The preconditioner slot `device` actually solves with (the options
+    /// override, or the slot's own configuration).
+    fn slot_precond(&self, device: usize) -> PrecondSpec {
+        self.options
+            .precond
+            .unwrap_or(self.slots[device].config.precond)
     }
 
     fn ensure_system(&mut self, device: usize, spec: ProblemSpec) {
         if !self.systems[device].contains_key(&spec) {
-            let system = Self::build_system(&self.slots[device].config, spec);
+            let system = Self::build_system(&self.slots[device].config, spec, self.options.precond);
             self.systems[device].insert(spec, system);
         }
     }

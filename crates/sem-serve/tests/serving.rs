@@ -42,7 +42,7 @@ fn pipeline_invariants_hold_on_an_executed_fpga_batch() {
         .elements([2, 2, 2])
         .backend(Backend::fpga_simulated())
         .build();
-    let reports = system.solve_many_manufactured(16, cg(), true);
+    let reports = system.solve_many_manufactured(16, cg());
     let plan = system.offload_plan();
 
     let overlapped =
@@ -77,7 +77,7 @@ fn non_default_links_price_both_accountings_consistently() {
         .elements([2, 2, 2])
         .backend(Backend::fpga_simulated())
         .build();
-    let reports = system.solve_many_manufactured(8, cg(), true);
+    let reports = system.solve_many_manufactured(8, cg());
     let plan = system.offload_plan();
     for link_gbs in [1.0, 4.0, 48.0] {
         let config = PipelineConfig {
@@ -105,7 +105,7 @@ fn overlap_disabled_timeline_bitwise_matches_solve_report_accounting() {
             .build();
         // A batch size that is not a power of two, to catch any
         // share-then-resum rounding shortcuts.
-        let reports = system.solve_many_manufactured(7, cg(), true);
+        let reports = system.solve_many_manufactured(7, cg());
         let timeline = PipelineTimeline::from_reports(
             system.offload_plan().as_ref(),
             &reports,
@@ -138,7 +138,7 @@ fn serve_never_reorders_results_and_matches_solve_many_bitwise() {
             .backend_named(&name)
             .build();
         let rhss: Vec<_> = requests.iter().map(|r| r.assemble_rhs(&system)).collect();
-        let direct = system.solve_many(&rhss, cg(), true);
+        let direct = system.solve_many(&rhss, cg());
 
         for (i, outcome) in report.outcomes.iter().enumerate() {
             assert_eq!(outcome.request, i, "{name}: answer {i} in slot {i}");
@@ -480,4 +480,41 @@ fn overlap_improves_fpga_serving_end_to_end() {
     for (a, b) in with.outcomes.iter().zip(without.outcomes.iter()) {
         assert_eq!(a.solution.as_slice(), b.solution.as_slice());
     }
+}
+
+#[test]
+fn slot_precond_suffixes_are_honoured_and_the_override_wins() {
+    use sem_solver::PrecondSpec;
+    let spec = ProblemSpec::cube(4, 2);
+    let requests: Vec<ServeRequest> = (0..4).map(|i| ServeRequest::seeded(spec, i)).collect();
+
+    // A slot whose registry name carries `+fdm` serves with FDM by default
+    // (ServeOptions.precond defaults to None = per-slot)...
+    let mut fdm_server = Server::from_registry_names(&["fpga:stratix10-gx2800+fdm"], options(4));
+    let fdm = fdm_server.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(fdm.precond, "fdm");
+    // ...and a pool-wide override replaces it.
+    let mut overridden_server = Server::from_registry_names(
+        &["fpga:stratix10-gx2800+fdm"],
+        options(4).with_precond(PrecondSpec::Jacobi),
+    );
+    let overridden = overridden_server.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(overridden.precond, "jacobi");
+    // The preconditioners genuinely differ: FDM needs fewer total iterations
+    // and both streams converge to the same answers.
+    assert!(fdm.total_iterations() < overridden.total_iterations());
+    let scale = 1.0 + fdm.outcomes[0].solution.max_abs();
+    for (a, b) in fdm.outcomes.iter().zip(&overridden.outcomes) {
+        for (x, y) in a.solution.as_slice().iter().zip(b.solution.as_slice()) {
+            assert!((x - y).abs() < 1e-8 * scale);
+        }
+    }
+
+    // A mixed pool reports "per-slot".
+    let mut mixed = Server::from_registry_names(
+        &["fpga:stratix10-gx2800+fdm", "fpga:stratix10-gx2800"],
+        options(4),
+    );
+    let report = mixed.serve(&requests, &mut RoundRobin::default());
+    assert_eq!(report.precond, "per-slot");
 }

@@ -129,6 +129,14 @@ pub struct CgOutcome {
     /// operators, the backend's own (e.g. simulated) accounting otherwise
     /// (see [`LocalOperator::seconds_per_application`]).
     pub operator_seconds: f64,
+    /// Number of preconditioner applications performed (one before the loop
+    /// plus one per iteration that continues).
+    pub precond_applications: usize,
+    /// Seconds attributed to preconditioner applications: the
+    /// preconditioner's own (e.g. on-device simulated) accounting when it
+    /// has one (see [`Preconditioner::seconds_per_application`]), measured
+    /// wall-clock otherwise.
+    pub precond_seconds: f64,
 }
 
 impl CgOutcome {
@@ -150,6 +158,14 @@ pub trait Preconditioner {
     /// overwritten) — the allocation-free path the CG hot loop uses.
     fn apply_into(&self, r: &ElementField, z: &mut ElementField);
 
+    /// Seconds one application costs according to the preconditioner's own
+    /// accounting — set when an accelerator backend claims the pass
+    /// on-device and prices it with its cycle model.  `None` means the
+    /// solver measures wall-clock time instead.
+    fn seconds_per_application(&self) -> Option<f64> {
+        None
+    }
+
     /// Apply `z = M^{-1} r`, allocating the output (convenience wrapper over
     /// [`Preconditioner::apply_into`]).
     fn apply(&self, r: &ElementField) -> ElementField {
@@ -166,6 +182,12 @@ pub struct IdentityPreconditioner;
 impl Preconditioner for IdentityPreconditioner {
     fn apply_into(&self, r: &ElementField, z: &mut ElementField) {
         z.copy_from(r);
+    }
+
+    fn seconds_per_application(&self) -> Option<f64> {
+        // A copy, not work: charging a deterministic zero keeps simulated
+        // backends' solve accounting free of measured noise.
+        Some(0.0)
     }
 }
 
@@ -367,10 +389,15 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                 operator_flops: 0,
                 operator_applications: 0,
                 operator_seconds: 0.0,
+                precond_applications: 0,
+                precond_seconds: 0.0,
             };
         }
 
-        precond.apply_into(&scratch.r, &mut scratch.z);
+        let mut precond_applications = 0_usize;
+        let mut precond_seconds = 0.0_f64;
+        precond_seconds += Self::apply_precond_into(precond, &scratch.r, &mut scratch.z);
+        precond_applications += 1;
         self.mask.apply(&mut scratch.z);
         scratch.p.copy_from(&scratch.z);
         let mut rz = self.inner_product(&scratch.r, &scratch.z);
@@ -406,7 +433,8 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                 break;
             }
 
-            precond.apply_into(&scratch.r, &mut scratch.z);
+            precond_seconds += Self::apply_precond_into(precond, &scratch.r, &mut scratch.z);
+            precond_applications += 1;
             self.mask.apply(&mut scratch.z);
             let rz_new = self.inner_product(&scratch.r, &scratch.z);
             let beta = rz_new / rz;
@@ -424,6 +452,29 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
             operator_flops,
             operator_applications,
             operator_seconds,
+            precond_applications,
+            precond_seconds,
+        }
+    }
+
+    /// One preconditioner application with its cost: the preconditioner's
+    /// own accounting when it has one (on-device model), measured wall-clock
+    /// otherwise.
+    fn apply_precond_into<P: Preconditioner + ?Sized>(
+        precond: &P,
+        r: &ElementField,
+        z: &mut ElementField,
+    ) -> f64 {
+        match precond.seconds_per_application() {
+            Some(seconds) => {
+                precond.apply_into(r, z);
+                seconds
+            }
+            None => {
+                let start = Instant::now();
+                precond.apply_into(r, z);
+                start.elapsed().as_secs_f64()
+            }
         }
     }
 }

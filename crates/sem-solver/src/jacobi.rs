@@ -12,6 +12,9 @@ use sem_mesh::{DirichletMask, ElementField, GatherScatter};
 #[derive(Debug, Clone)]
 pub struct JacobiPreconditioner {
     inverse_diagonal: ElementField,
+    /// Modelled seconds one application costs when the backend claims the
+    /// pointwise scale on-device (`None`: measure wall-clock instead).
+    modeled_seconds: Option<f64>,
 }
 
 impl JacobiPreconditioner {
@@ -41,7 +44,18 @@ impl JacobiPreconditioner {
         }
         // Masked (Dirichlet) nodes never participate in the solve.
         mask.apply(&mut inverse_diagonal);
-        Self { inverse_diagonal }
+        Self {
+            inverse_diagonal,
+            modeled_seconds: None,
+        }
+    }
+
+    /// The same preconditioner with a modelled per-application cost attached
+    /// (used when an accelerator backend claims the pass on-device).
+    #[must_use]
+    pub fn with_modeled_seconds(mut self, seconds: f64) -> Self {
+        self.modeled_seconds = Some(seconds);
+        self
     }
 
     /// The inverse diagonal as a field (for inspection/tests).
@@ -55,6 +69,10 @@ impl Preconditioner for JacobiPreconditioner {
     fn apply_into(&self, r: &ElementField, z: &mut ElementField) {
         z.copy_from(r);
         z.pointwise_mul(&self.inverse_diagonal);
+    }
+
+    fn seconds_per_application(&self) -> Option<f64> {
+        self.modeled_seconds
     }
 }
 

@@ -23,14 +23,18 @@
 #![deny(unsafe_code)]
 
 pub mod cg;
+pub mod fdm;
 pub mod jacobi;
 pub mod poisson;
+pub mod precond;
 pub mod proxy;
 
 pub use cg::{
     CgOptions, CgOutcome, CgScratch, CgSolver, IdentityPreconditioner, LocalOperator,
     Preconditioner,
 };
+pub use fdm::{coarse_space_dofs, FdmPreconditioner};
 pub use jacobi::JacobiPreconditioner;
 pub use poisson::{PoissonProblem, PoissonSolution};
+pub use precond::{AnyPreconditioner, PrecondSpec};
 pub use proxy::{ProxyConfig, ProxyResult};

@@ -8,7 +8,9 @@
 //! gather–scatter and solver are all consistent.
 
 use crate::cg::{CgOptions, CgOutcome, CgSolver, IdentityPreconditioner, LocalOperator};
+use crate::fdm::FdmPreconditioner;
 use crate::jacobi::JacobiPreconditioner;
+use crate::precond::{AnyPreconditioner, PrecondSpec};
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter};
 
@@ -99,6 +101,23 @@ impl PoissonProblem {
         })
     }
 
+    /// A right-hand side with broad spectral content — the shape of an
+    /// arbitrary serving request (several incommensurate sine modes plus a
+    /// non-separable bump).  The *standard manufactured* right-hand side is
+    /// a single Laplacian eigenfunction that unpreconditioned CG resolves in
+    /// misleadingly few iterations, so preconditioner comparisons (the
+    /// `precond` bench and the iteration-regression tests) run on this one.
+    #[must_use]
+    pub fn generic_rhs(&self) -> ElementField {
+        let pi = std::f64::consts::PI;
+        self.right_hand_side(move |x, y, z| {
+            3.0 * pi * pi * (pi * x).sin() * (pi * y).sin() * (pi * z).sin()
+                + 14.0 * pi * pi * (3.0 * pi * x).sin() * (2.0 * pi * y).sin() * (pi * z).sin()
+                + 0.5 * (5.0 * pi * x).sin() * (4.0 * pi * y).sin() * (3.0 * pi * z).sin()
+                + x * (1.0 - x) * y * (1.0 - y) * z * (1.0 - z) * (7.3 * x * y).cos()
+        })
+    }
+
     /// The masked nodal values of the standard manufactured solution, for
     /// error measurement via [`PoissonProblem::error_against`].
     #[must_use]
@@ -146,8 +165,8 @@ impl PoissonProblem {
     /// `u*(x, y, z) = Π_i sin(π x_i / L_i)` (which vanishes on the boundary),
     /// returning error metrics.
     #[must_use]
-    pub fn solve_manufactured(&self, options: CgOptions, use_jacobi: bool) -> PoissonSolution {
-        self.solve_manufactured_through(&self.operator, options, use_jacobi)
+    pub fn solve_manufactured(&self, options: CgOptions, precond: PrecondSpec) -> PoissonSolution {
+        self.solve_manufactured_through(&self.operator, options, precond)
     }
 
     /// Solve the manufactured problem, routing every operator application of
@@ -167,10 +186,10 @@ impl PoissonProblem {
         &self,
         operator: &Op,
         options: CgOptions,
-        use_jacobi: bool,
+        precond: PrecondSpec,
     ) -> PoissonSolution {
         let rhs = self.manufactured_rhs();
-        let cg = self.solve_rhs_through(operator, options, use_jacobi, &rhs);
+        let cg = self.solve_rhs_through(operator, options, precond, &rhs);
         let exact_field = self.manufactured_exact();
         let (max_error, l2_error) = self.error_against(&cg.solution, &exact_field);
         PoissonSolution {
@@ -195,7 +214,7 @@ impl PoissonProblem {
         &self,
         operator: &Op,
         options: CgOptions,
-        use_jacobi: bool,
+        precond: PrecondSpec,
         rhs: &ElementField,
     ) -> CgOutcome {
         assert_eq!(operator.degree(), self.mesh.degree(), "degree mismatch");
@@ -205,11 +224,20 @@ impl PoissonProblem {
             "element count mismatch"
         );
         let solver = CgSolver::new(operator, &self.gather_scatter, &self.mask, options);
-        if use_jacobi {
-            let pc = self.jacobi_preconditioner();
-            solver.solve(rhs, &pc)
-        } else {
-            solver.solve(rhs, &IdentityPreconditioner)
+        let pc = self.preconditioner(precond);
+        solver.solve(rhs, &pc)
+    }
+
+    /// Build the preconditioner a spec names, against the host
+    /// discretisation.  Building is setup cost (the FDM eigendecompositions
+    /// and coarse factorisation in particular), so batched drivers construct
+    /// it once per session, not per solve.
+    #[must_use]
+    pub fn preconditioner(&self, spec: PrecondSpec) -> AnyPreconditioner {
+        match spec {
+            PrecondSpec::Identity => AnyPreconditioner::Identity(IdentityPreconditioner),
+            PrecondSpec::Jacobi => AnyPreconditioner::Jacobi(self.jacobi_preconditioner()),
+            PrecondSpec::Fdm => AnyPreconditioner::Fdm(Box::new(self.fdm_preconditioner())),
         }
     }
 
@@ -221,13 +249,21 @@ impl PoissonProblem {
         JacobiPreconditioner::new(&self.operator, &self.gather_scatter, &self.mask)
     }
 
+    /// The two-level fast-diagonalization preconditioner of this
+    /// discretisation (eigendecompositions and the Galerkin coarse solve are
+    /// computed here, once).
+    #[must_use]
+    pub fn fdm_preconditioner(&self) -> FdmPreconditioner {
+        FdmPreconditioner::new(&self.mesh, &self.operator, &self.gather_scatter, &self.mask)
+    }
+
     /// Solve for an arbitrary forcing with a known exact solution and report
     /// the errors.
     #[must_use]
     pub fn solve_with_exact<F, G>(
         &self,
         options: CgOptions,
-        use_jacobi: bool,
+        precond: PrecondSpec,
         forcing: F,
         exact: G,
     ) -> PoissonSolution
@@ -235,7 +271,7 @@ impl PoissonProblem {
         F: Fn(f64, f64, f64) -> f64,
         G: Fn(f64, f64, f64) -> f64,
     {
-        self.solve_with_exact_through(&self.operator, options, use_jacobi, forcing, exact)
+        self.solve_with_exact_through(&self.operator, options, precond, forcing, exact)
     }
 
     /// Like [`PoissonProblem::solve_with_exact`], but iterating through an
@@ -250,7 +286,7 @@ impl PoissonProblem {
         &self,
         operator: &Op,
         options: CgOptions,
-        use_jacobi: bool,
+        precond: PrecondSpec,
         forcing: F,
         exact: G,
     ) -> PoissonSolution
@@ -267,14 +303,10 @@ impl PoissonProblem {
         );
         let rhs = self.right_hand_side(forcing);
         let solver = CgSolver::new(operator, &self.gather_scatter, &self.mask, options);
-        let cg = if use_jacobi {
-            // The Jacobi diagonal comes from the host discretisation; it is a
-            // preconditioner, so this does not change what is being solved.
-            let pc = JacobiPreconditioner::new(&self.operator, &self.gather_scatter, &self.mask);
-            solver.solve(&rhs, &pc)
-        } else {
-            solver.solve(&rhs, &IdentityPreconditioner)
-        };
+        // The preconditioner comes from the host discretisation; it does not
+        // change what is being solved.
+        let pc = self.preconditioner(precond);
+        let cg = solver.solve(&rhs, &pc);
 
         let mut exact_field = self.mesh.evaluate(exact);
         self.mask.apply(&mut exact_field);
@@ -294,7 +326,7 @@ impl PoissonProblem {
 mod tests {
     use super::*;
 
-    fn solve(degree: usize, elems: usize, jacobi: bool) -> PoissonSolution {
+    fn solve(degree: usize, elems: usize, precond: PrecondSpec) -> PoissonSolution {
         let mesh = BoxMesh::unit_cube(degree, elems);
         let problem = PoissonProblem::new(mesh, AxImplementation::Optimized);
         problem.solve_manufactured(
@@ -303,13 +335,13 @@ mod tests {
                 tolerance: 1e-12,
                 record_history: false,
             },
-            jacobi,
+            precond,
         )
     }
 
     #[test]
     fn converges_to_the_manufactured_solution() {
-        let sol = solve(7, 2, true);
+        let sol = solve(7, 2, PrecondSpec::Jacobi);
         assert!(sol.cg.converged);
         assert!(sol.max_error < 1e-6, "max error {}", sol.max_error);
         assert!(sol.l2_error < 1e-6, "l2 error {}", sol.l2_error);
@@ -319,7 +351,7 @@ mod tests {
     fn error_decays_spectrally_with_degree() {
         let mut previous = f64::INFINITY;
         for degree in [2, 4, 6, 8] {
-            let sol = solve(degree, 2, true);
+            let sol = solve(degree, 2, PrecondSpec::Jacobi);
             assert!(
                 sol.max_error < previous,
                 "degree {degree}: error {} did not decrease (prev {previous})",

@@ -6,10 +6,11 @@
 //! same structure natively in Rust so the host CPU of this reproduction can
 //! be placed on the same axes.
 
-use crate::cg::{CgOptions, CgSolver, IdentityPreconditioner};
-use crate::jacobi::JacobiPreconditioner;
-use sem_kernel::{AxImplementation, PoissonOperator};
-use sem_mesh::{BoxMesh, DirichletMask, GatherScatter};
+use crate::cg::{CgOptions, CgSolver};
+use crate::poisson::PoissonProblem;
+use crate::precond::PrecondSpec;
+use sem_kernel::AxImplementation;
+use sem_mesh::BoxMesh;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -24,8 +25,8 @@ pub struct ProxyConfig {
     pub cg_iterations: usize,
     /// Kernel implementation to use.
     pub implementation: AxImplementation,
-    /// Whether to use the Jacobi preconditioner.
-    pub use_jacobi: bool,
+    /// Which preconditioner to run.
+    pub precond: PrecondSpec,
 }
 
 impl Default for ProxyConfig {
@@ -35,7 +36,7 @@ impl Default for ProxyConfig {
             elements: [8, 8, 8],
             cg_iterations: 100,
             implementation: AxImplementation::Parallel,
-            use_jacobi: true,
+            precond: PrecondSpec::Jacobi,
         }
     }
 }
@@ -79,31 +80,29 @@ impl ProxyConfig {
             [1.0; 3],
             sem_mesh::MeshDeformation::None,
         );
-        let operator = PoissonOperator::new(&mesh, self.implementation);
-        let gather_scatter = GatherScatter::from_mesh(&mesh);
-        let mask = DirichletMask::from_mesh(&mesh);
+        let problem = PoissonProblem::new(mesh, self.implementation);
+        let operator = problem.operator();
 
         let pi = std::f64::consts::PI;
-        let mut rhs = mesh
+        let mut rhs = problem
+            .mesh()
             .evaluate(|x, y, z| 3.0 * pi * pi * (pi * x).sin() * (pi * y).sin() * (pi * z).sin());
         rhs.pointwise_mul(operator.geometry().mass());
-        gather_scatter.direct_stiffness_sum(&mut rhs);
-        mask.apply(&mut rhs);
+        problem.gather_scatter().direct_stiffness_sum(&mut rhs);
+        problem.mask().apply(&mut rhs);
 
         let options = CgOptions {
             max_iterations: self.cg_iterations,
             tolerance: 0.0, // run the full iteration budget, Nekbone-style
             record_history: false,
         };
-        let solver = CgSolver::new(&operator, &gather_scatter, &mask, options);
+        let solver = CgSolver::new(operator, problem.gather_scatter(), problem.mask(), options);
 
+        // Preconditioner setup (eigendecompositions for FDM) stays outside
+        // the timed loop, like Nekbone's setup phase.
+        let pc = problem.preconditioner(self.precond);
         let start = Instant::now();
-        let outcome = if self.use_jacobi {
-            let pc = JacobiPreconditioner::new(&operator, &gather_scatter, &mask);
-            solver.solve(&rhs, &pc)
-        } else {
-            solver.solve(&rhs, &IdentityPreconditioner)
-        };
+        let outcome = solver.solve(&rhs, &pc);
         let seconds = start.elapsed().as_secs_f64();
 
         let gflops = if seconds > 0.0 {
@@ -136,7 +135,7 @@ mod tests {
             elements: [2, 2, 2],
             cg_iterations: 10,
             implementation: AxImplementation::Optimized,
-            use_jacobi: true,
+            precond: PrecondSpec::Jacobi,
         };
         let result = config.run();
         assert_eq!(result.num_elements, 8);

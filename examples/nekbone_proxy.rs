@@ -5,7 +5,7 @@
 //! Run with `cargo run --example nekbone_proxy --release -- [degree] [elements_per_side] [iterations]`.
 
 use semfpga::kernel::AxImplementation;
-use semfpga::solver::ProxyConfig;
+use semfpga::solver::{PrecondSpec, ProxyConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,7 +18,7 @@ fn main() {
         elements: [per_side, per_side, per_side],
         cg_iterations: iterations,
         implementation: AxImplementation::Parallel,
-        use_jacobi: true,
+        precond: PrecondSpec::Jacobi,
     };
     println!(
         "Nekbone proxy: N = {degree}, {} elements, {} CG iterations (Jacobi preconditioned)\n",

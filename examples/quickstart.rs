@@ -21,14 +21,11 @@ fn main() {
         .elements(elements)
         .backend(Backend::cpu_parallel())
         .build();
-    let solution = cpu.solve_manufactured(
-        CgOptions {
-            max_iterations: 2000,
-            tolerance: 1e-10,
-            record_history: false,
-        },
-        true,
-    );
+    let solution = cpu.solve_manufactured(CgOptions {
+        max_iterations: 2000,
+        tolerance: 1e-10,
+        record_history: false,
+    });
     println!(
         "CG solve     : {} iterations, relative residual {:.2e}",
         solution.cg.iterations, solution.cg.relative_residual
@@ -87,14 +84,11 @@ fn main() {
     // 5. The same solve, end to end, *through* the FPGA backend: every CG
     //    operator application runs on the simulated accelerator, and the
     //    report carries simulated kernel seconds, transfer time and power.
-    let report = fpga.solve(
-        CgOptions {
-            max_iterations: 2000,
-            tolerance: 1e-10,
-            record_history: false,
-        },
-        true,
-    );
+    let report = fpga.solve(CgOptions {
+        max_iterations: 2000,
+        tolerance: 1e-10,
+        record_history: false,
+    });
     println!(
         "\nSolve on {} ({} iterations):",
         report.backend,

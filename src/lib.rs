@@ -37,7 +37,7 @@
 //!     .elements([2, 2, 2])
 //!     .backend(Backend::fpga_simulated()) // or .backend_named("fpga:stratix10-gx2800")
 //!     .build();
-//! let report = system.solve(CgOptions::default(), true);
+//! let report = system.solve(CgOptions::default());
 //! assert!(report.converged());
 //! // The solve was executed (and accounted) by the simulated accelerator:
 //! assert_eq!(report.source, PerfSource::Simulated);

@@ -9,7 +9,7 @@
 
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter};
-use sem_solver::{CgOptions, CgScratch, CgSolver, JacobiPreconditioner};
+use sem_solver::{CgOptions, CgScratch, CgSolver, FdmPreconditioner, JacobiPreconditioner};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -103,6 +103,36 @@ fn cg_iterations_perform_no_heap_allocations_with_a_shared_scratch() {
     // And the reused scratch did not disturb correctness.
     let fresh = long.solve(&rhs, &preconditioner);
     assert_eq!(fresh.solution.as_slice(), out_long.solution.as_slice());
+
+    // The FDM path: setup allocates (eigendecompositions, coarse factor,
+    // per-thread apply scratch on first use) — all once, before the loop —
+    // and then the hot loop stays heap-silent, iteration-count-independent.
+    let fdm = FdmPreconditioner::new(&mesh, &operator, &gather_scatter, &mask);
+    let fdm_warmup = short.solve_with_scratch(&rhs, &fdm, &mut scratch);
+    assert_eq!(fdm_warmup.iterations, 5);
+
+    let before_fdm_short = allocations();
+    let fdm_short = short.solve_with_scratch(&rhs, &fdm, &mut scratch);
+    let delta_fdm_short = allocations() - before_fdm_short;
+
+    let before_fdm_long = allocations();
+    let fdm_long = long.solve_with_scratch(&rhs, &fdm, &mut scratch);
+    let delta_fdm_long = allocations() - before_fdm_long;
+
+    assert!(fdm_long.iterations > fdm_short.iterations);
+    assert!(
+        delta_fdm_short <= 8,
+        "a 5-iteration FDM solve allocated {delta_fdm_short} times"
+    );
+    assert!(
+        delta_fdm_long <= delta_fdm_short + 4,
+        "extra FDM iterations leaked allocations: {delta_fdm_long} (long) vs {delta_fdm_short} (short)"
+    );
+    assert!(
+        fdm_long.precond_applications > 0 && fdm_long.precond_seconds > 0.0,
+        "the outcome accounts the preconditioner applications"
+    );
+
     let _ = ElementField::zeros(4, mesh.num_elements()); // counter sanity:
     assert!(allocations() > before_short, "the counter must be live");
 }

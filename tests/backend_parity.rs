@@ -86,9 +86,9 @@ fn solves_converge_identically_on_cpu_and_fpga_backends() {
             .build()
     };
 
-    let cpu = build(Backend::cpu_optimized()).solve(options, true);
-    let fpga = build(Backend::fpga_simulated()).solve(options, true);
-    let multi = build(Backend::multi_fpga(2)).solve(options, true);
+    let cpu = build(Backend::cpu_optimized()).solve(options);
+    let fpga = build(Backend::fpga_simulated()).solve(options);
+    let multi = build(Backend::multi_fpga(2)).solve(options);
 
     assert!(cpu.converged() && fpga.converged() && multi.converged());
     assert_eq!(cpu.iterations(), fpga.iterations());

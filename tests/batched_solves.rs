@@ -34,10 +34,10 @@ fn solve_many_matches_sequential_solves_on_every_registry_backend() {
             })
             .collect();
 
-        let batched = system.solve_many(&rhss, options(), true);
+        let batched = system.solve_many(&rhss, options());
         assert_eq!(batched.len(), rhss.len(), "{name}");
         for (rhs, report) in rhss.iter().zip(&batched) {
-            let solo = system.solve_rhs(rhs, options(), true);
+            let solo = system.solve_rhs(rhs, options());
             assert!(report.converged(), "{name} must converge");
             assert_eq!(
                 report.solution.solution.as_slice(),
@@ -62,8 +62,8 @@ fn batch_16_drops_per_rhs_offload_seconds_by_at_least_30_percent_on_fpga_backend
             .backend_named(&name)
             .build();
         let batch = 16;
-        let reports = system.solve_many_manufactured(batch, options(), true);
-        let sequential = system.solve(options(), true);
+        let reports = system.solve_many_manufactured(batch, options());
+        let sequential = system.solve(options());
         assert!(sequential.transfer_seconds > 0.0, "{name}");
 
         let per_rhs_batched: f64 =

@@ -4,7 +4,7 @@
 use semfpga::accel::{Backend, SemSystem};
 use semfpga::kernel::AxImplementation;
 use semfpga::mesh::{BoxMesh, MeshDeformation};
-use semfpga::solver::{CgOptions, PoissonProblem};
+use semfpga::solver::{CgOptions, PoissonProblem, PrecondSpec};
 
 #[test]
 fn cost_formulas_agree_between_kernel_and_model() {
@@ -46,7 +46,7 @@ fn poisson_solves_converge_spectrally_on_deformed_meshes() {
                 tolerance: 1e-11,
                 record_history: false,
             },
-            true,
+            PrecondSpec::Jacobi,
         );
         assert!(sol.cg.converged, "degree {degree} did not converge");
         assert!(
@@ -99,7 +99,7 @@ fn proxy_driver_uses_exactly_the_advertised_flops() {
         elements: [2, 2, 2],
         cg_iterations: 7,
         implementation: AxImplementation::Optimized,
-        use_jacobi: false,
+        precond: PrecondSpec::Identity,
     };
     let result = config.run();
     let expected = 7
@@ -121,7 +121,13 @@ fn offload_plan_matches_the_traffic_model() {
     let plan = system.offload_plan().unwrap();
     let dofs = 64_u64 * 512;
     let expected_traffic = dofs * semfpga::kernel::bytes_per_dof(7) as u64;
-    assert_eq!(plan.total_transfer_bytes(), expected_traffic + 2 * 64 * 8);
+    // The session's plan also folds in the configured preconditioner's
+    // one-off upload (the default Jacobi inverse diagonal: one field).
+    assert_eq!(plan.precond_table_bytes, dofs * 8);
+    assert_eq!(
+        plan.total_transfer_bytes(),
+        expected_traffic + 2 * 64 * 8 + plan.precond_table_bytes
+    );
 }
 
 #[test]
