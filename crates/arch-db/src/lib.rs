@@ -18,7 +18,7 @@
 //! `EXPERIMENTS.md`.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod machine_model;

@@ -15,8 +15,7 @@ fn main() {
     let per_side: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
 
     println!(
-        "Backend registry sweep: N = {degree}, {0}x{0}x{0} elements, manufactured Poisson solve\n",
-        per_side
+        "Backend registry sweep: N = {degree}, {per_side}x{per_side}x{per_side} elements, manufactured Poisson solve\n"
     );
     let mut table = TableWriter::new(vec![
         "backend",

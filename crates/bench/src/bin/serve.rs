@@ -373,7 +373,7 @@ fn async_scenario(
         .all(|(a, s)| a.solution.as_slice() == s.solution.as_slice());
     AsyncRow {
         scenario: scenario.to_string(),
-        pool: pool.iter().map(|s| s.to_string()).collect(),
+        pool: pool.iter().map(ToString::to_string).collect(),
         policy: policy_name.to_string(),
         precond: run.precond.clone(),
         requests: requests.len(),
@@ -600,7 +600,7 @@ fn main() {
         degree,
         elements_per_side: per_side,
         policy_requests: num_requests,
-        pool: POLICY_POOL.iter().map(|s| s.to_string()).collect(),
+        pool: POLICY_POOL.iter().map(ToString::to_string).collect(),
         precond: PrecondSpec::default().label().to_string(),
         pipeline,
         policies,

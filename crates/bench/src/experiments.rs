@@ -113,7 +113,7 @@ fn fig2_row_from_machine(model: &MachineModel) -> Fig2Row {
         model.achieved_gflops(11, REFERENCE_ELEMENTS),
         model.achieved_gflops(15, REFERENCE_ELEMENTS),
     ];
-    let best = gflops.iter().cloned().fold(0.0, f64::max);
+    let best = gflops.iter().copied().fold(0.0, f64::max);
     Fig2Row {
         machine: model.architecture.name.clone(),
         gflops,
@@ -173,7 +173,7 @@ pub fn fig2_rows() -> Vec<Fig2Row> {
             out.for_degree(11).map_or(0.0, |p| p.prediction.gflops),
             out.for_degree(15).map_or(0.0, |p| p.prediction.gflops),
         ];
-        let best = gflops.iter().cloned().fold(0.0, f64::max);
+        let best = gflops.iter().copied().fold(0.0, f64::max);
         rows.push(Fig2Row {
             machine: device.name.clone(),
             gflops,

@@ -7,7 +7,7 @@
 //! print.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod table;

@@ -28,7 +28,7 @@
 //!   and power-efficiency are derived.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod bram;
 pub mod design;

@@ -25,7 +25,7 @@
 //!   host roofline cost model scheduling policies price backends with.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod device;

@@ -12,6 +12,7 @@ use crate::backend::Backend;
 use fpga_sim::{synthesize, AcceleratorDesign, FpgaAccelerator};
 use sem_mesh::{BoxMesh, ElementField, MeshDeformation};
 use serde::{Deserialize, Serialize};
+// lint: wall-clock (autotuning measures host kernels to rank against modelled FPGA throughput)
 use std::time::Instant;
 
 /// One evaluated candidate configuration.

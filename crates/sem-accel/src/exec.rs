@@ -63,6 +63,8 @@ pub trait AxBackend: Send + Sync {
     /// # Panics
     /// Panics if the slices differ in length or any field does not match the
     /// backend's degree and element count.
+    // lint: alloc-free (batched apply reuses the caller's output fields;
+    // per-operand allocation would defeat the batch amortisation being priced)
     fn apply_many(&self, us: &[ElementField], ws: &mut [ElementField]) {
         assert_eq!(us.len(), ws.len(), "batch size mismatch");
         for (u, w) in us.iter().zip(ws.iter_mut()) {

@@ -17,6 +17,7 @@ use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformat
 use sem_solver::{
     AnyPreconditioner, CgOptions, CgScratch, CgSolver, PoissonProblem, PoissonSolution, PrecondSpec,
 };
+// lint: wall-clock (system sessions time host-side kernel execution behind backend pricing)
 use std::time::Instant;
 
 /// PCIe-class link speed (GB/s) assumed when charging host↔device transfer

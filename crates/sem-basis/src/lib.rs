@@ -26,7 +26,7 @@
 //! validated by unit tests plus property-based tests (see `tests/`).
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod derivative;
 pub mod eigen;

@@ -23,7 +23,7 @@
 //! preconditioning.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod assemble;
 pub mod fdm;

@@ -126,6 +126,7 @@ impl PoissonOperator {
     }
 
     /// Apply the operator into an existing output field (no allocation).
+    // lint: alloc-free (the Ax hot path: every CG iteration routes through here)
     pub fn apply_into(&self, u: &ElementField, w: &mut ElementField) {
         assert_eq!(u.len(), w.len(), "output field size mismatch");
         match self.implementation {

@@ -1,0 +1,397 @@
+//! A dependency-free Rust token lexer, sufficient for lint passes.
+//!
+//! This is not a full Rust lexer: it distinguishes the token classes the
+//! passes care about — identifiers, numbers, string/char literals,
+//! lifetimes, punctuation, and (crucially, unlike a compiler lexer)
+//! **comments**, which are preserved as tokens so passes can read
+//! `// lint: ...` markers.  Nested block comments, raw strings with hash
+//! fences, byte strings, and the char-vs-lifetime ambiguity are handled so
+//! that no real workspace source confuses it.
+
+/// The class of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`{`, `.`, `<`, …).
+    Punct,
+    /// `// …` comment (including doc comments), text without the newline.
+    LineComment,
+    /// `/* … */` comment (nesting folded into one token).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's text, owned (workspace sources are small).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this is punctuation matching `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    /// Whether this is an identifier equal to `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `source` into tokens, comments included.  Unterminated constructs
+/// are tolerated (the remainder becomes one token) — lint passes must not
+/// crash on malformed input, they run before the compiler does.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start_line = line;
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            match chars[i + 1] {
+                '/' => {
+                    let begin = i;
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                    tokens.push(token(TokKind::LineComment, &chars[begin..i], start_line));
+                    continue;
+                }
+                '*' => {
+                    let begin = i;
+                    i += 2;
+                    let mut depth = 1;
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                            depth += 1;
+                            i += 2;
+                        } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    tokens.push(token(TokKind::BlockComment, &chars[begin..i], start_line));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings / byte strings / raw identifiers: r"…", r#"…"#,
+        // br#"…"#, b"…", and r#ident.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && j < chars.len() && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < chars.len() && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = j > i + 1 || (j < chars.len() && chars[j] == '"' && c == 'r');
+            if j < chars.len() && chars[j] == '"' && (is_raw || c == 'b') {
+                let begin = i;
+                i = j + 1;
+                // Scan to the closing quote followed by `hashes` hashes.
+                // Raw strings have no escapes; plain b"…" does.
+                let escapes = hashes == 0 && c == 'b' && begin + 1 == j;
+                loop {
+                    if i >= chars.len() {
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if escapes && chars[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < chars.len() && chars[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                tokens.push(token(
+                    TokKind::Str,
+                    &chars[begin..i.min(chars.len())],
+                    start_line,
+                ));
+                continue;
+            }
+            if c == 'r' && hashes == 1 && j < chars.len() && is_ident_start(chars[j]) {
+                // Raw identifier r#type.
+                let begin = i;
+                i = j;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(token(TokKind::Ident, &chars[begin..i], start_line));
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let begin = i;
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            tokens.push(token(
+                TokKind::Str,
+                &chars[begin..i.min(chars.len())],
+                start_line,
+            ));
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match (next, after) {
+                (Some(n), Some(a)) => (is_ident_start(n)) && a != '\'',
+                (Some(n), None) => is_ident_start(n),
+                _ => false,
+            };
+            if is_lifetime {
+                let begin = i;
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(token(TokKind::Lifetime, &chars[begin..i], start_line));
+                continue;
+            }
+            let begin = i;
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '\'' {
+                    i += 1;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    // Unterminated; bail on the line break.
+                    break;
+                }
+                i += 1;
+            }
+            tokens.push(token(
+                TokKind::Char,
+                &chars[begin..i.min(chars.len())],
+                start_line,
+            ));
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let begin = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            tokens.push(token(TokKind::Ident, &chars[begin..i], start_line));
+            continue;
+        }
+        // Numbers: consume alphanumerics and underscores (covers suffixes
+        // and hex), plus a dot only when a digit follows (so `0..n` stays
+        // three tokens).
+        if c.is_ascii_digit() {
+            let begin = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric()
+                    || chars[i] == '_'
+                    || (chars[i] == '.'
+                        && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                        && !chars[begin..i].contains(&'.')))
+            {
+                i += 1;
+            }
+            tokens.push(token(TokKind::Number, &chars[begin..i], start_line));
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        tokens.push(token(TokKind::Punct, &chars[i..=i], start_line));
+        i += 1;
+    }
+    tokens
+}
+
+fn token(kind: TokKind, chars: &[char], line: usize) -> Token {
+    Token {
+        kind,
+        text: chars.iter().collect(),
+        line,
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Given the token index of a `{`, return the index of its matching `}`
+/// (or the last token when unbalanced).  Comments inside count as tokens
+/// but not as braces.
+#[must_use]
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    debug_assert!(tokens[open].is_punct('{'));
+    let mut depth = 0usize;
+    for (offset, tok) in tokens[open..].iter().enumerate() {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return open + offset;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_preserved_with_lines() {
+        let toks = lex("let x = 1; // trailing\n/* block\nspan */ fn");
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
+        assert_eq!(comment.text, "// trailing");
+        assert_eq!(comment.line, 1);
+        let block = toks
+            .iter()
+            .find(|t| t.kind == TokKind::BlockComment)
+            .unwrap();
+        assert_eq!(block.line, 2);
+        assert_eq!(toks.last().unwrap().line, 3, "lines advance inside blocks");
+    }
+
+    #[test]
+    fn nested_block_comments_fold_into_one_token() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_token_matching() {
+        let toks = kinds(r#"let s = "clone // not a comment";"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("clone")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_byte_strings_lex_whole() {
+        let toks = kinds(r##"r#"embedded "quote" here"# b"bytes\"esc" r"plain""##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_to_numbers() {
+        let toks = kinds("for i in 0..10 { a[i] = 2.5; }");
+        assert!(toks.contains(&(TokKind::Number, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Number, "10".to_string())));
+        assert!(toks.contains(&(TokKind::Number, "2.5".to_string())));
+    }
+
+    #[test]
+    fn matching_brace_skips_nested_blocks() {
+        let toks = lex("{ a { b } c } d");
+        let close = matching_brace(&toks, 0);
+        assert!(toks[close].is_punct('}'));
+        assert_eq!(toks[close + 1].text, "d");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "r#type".to_string())));
+    }
+}

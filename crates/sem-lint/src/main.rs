@@ -1,0 +1,105 @@
+//! The `sem-lint` binary: lint the workspace, then explore schedules.
+//!
+//! ```text
+//! cargo run --release -p sem-lint            # both engines
+//! cargo run --release -p sem-lint -- --lint-only
+//! cargo run --release -p sem-lint -- --race-only
+//! SEM_SCHED_ITERS=200 cargo run -p sem-lint  # bounded race budget
+//! ```
+//!
+//! Exits non-zero on any lint finding or schedule-contract violation —
+//! CI runs it as a hard gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Default schedule budget: comfortably past the thousand-distinct-schedule
+/// bar while staying a sub-second step on a laptop.
+const DEFAULT_SCHED_ITERS: usize = 2000;
+
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::current_dir().ok()?;
+    sem_lint::workspace::find_root(&start).or_else(|| {
+        sem_lint::workspace::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+    })
+}
+
+fn run_lints() -> bool {
+    let Some(root) = workspace_root() else {
+        eprintln!("sem-lint: cannot locate a cargo workspace root");
+        return false;
+    };
+    let findings = sem_lint::lint_workspace(&root);
+    if findings.is_empty() {
+        println!("sem-lint: lints clean ({})", root.display());
+        return true;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!("sem-lint: {} finding(s)", findings.len());
+    false
+}
+
+fn run_races() -> bool {
+    let budget = std::env::var("SEM_SCHED_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SCHED_ITERS);
+    let reports = sem_serve::standard_battery(budget);
+    let mut ok = true;
+    let mut total = 0;
+    for report in &reports {
+        total += report.schedules;
+        let status = if report.violations.is_empty() {
+            "ok"
+        } else {
+            ok = false;
+            "VIOLATED"
+        };
+        println!(
+            "race: {:24} {} workers, {} jobs: {:5} schedules{} (longest trace {}) {status}",
+            report.name,
+            report.workers,
+            report.jobs,
+            report.schedules,
+            if report.exhausted { " [exhausted]" } else { "" },
+            report.longest_trace,
+        );
+        for violation in &report.violations {
+            println!("race:   {violation}");
+        }
+    }
+    println!(
+        "race: {total} distinct schedules across {} cases (budget {budget})",
+        reports.len()
+    );
+    ok
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lint_only = args.iter().any(|a| a == "--lint-only");
+    let race_only = args.iter().any(|a| a == "--race-only");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--lint-only" && *a != "--race-only")
+    {
+        eprintln!("sem-lint: unknown argument `{unknown}` (accepted: --lint-only, --race-only)");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    if !race_only {
+        ok &= run_lints();
+    }
+    if !lint_only {
+        ok &= run_races();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

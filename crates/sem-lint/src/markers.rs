@@ -1,0 +1,242 @@
+//! The `// lint: …` marker grammar the passes understand.
+//!
+//! Markers are plain line comments (doc comments are prose, not policy):
+//!
+//! * `// lint: alloc-free` — the next braced block is a hot path: no
+//!   allocating calls inside (see the alloc-free pass).
+//! * `// lint: no-panic` — the next braced block must not contain panicking
+//!   calls (see the panic-audit pass).
+//! * `// lint: wall-clock (reason)` — file pragma: this module is a
+//!   whitelisted measurement module and may use `Instant`.
+//! * `// lint: alloc-ok (reason)` / `// lint: panic-ok (reason)` /
+//!   `// lint: wall-clock-compare-ok (reason)` — waive one finding on the
+//!   marker's own line (trailing comment) or, for a standalone comment
+//!   line, on the next line carrying code.
+//!
+//! Region markers accept an optional parenthesized note; **waivers and the
+//! wall-clock pragma require a non-empty justification** — an unjustified
+//! waiver is itself a finding, so the workspace cannot silently grow
+//! unexplained exemptions.
+
+use crate::lexer::{TokKind, Token};
+
+/// The directive a marker comment carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Region: no allocation in the next braced block.
+    AllocFree,
+    /// Region: no panicking calls in the next braced block.
+    NoPanic,
+    /// File pragma: whitelisted wall-clock measurement module.
+    WallClockFile,
+    /// Line waiver for the alloc-free pass.
+    AllocOk,
+    /// Line waiver for the panic-audit pass.
+    PanicOk,
+    /// Line waiver for the measured-vs-modelled comparison rule.
+    WallClockCompareOk,
+}
+
+impl Directive {
+    fn parse(word: &str) -> Option<Self> {
+        match word {
+            "alloc-free" => Some(Self::AllocFree),
+            "no-panic" => Some(Self::NoPanic),
+            "wall-clock" => Some(Self::WallClockFile),
+            "alloc-ok" => Some(Self::AllocOk),
+            "panic-ok" => Some(Self::PanicOk),
+            "wall-clock-compare-ok" => Some(Self::WallClockCompareOk),
+            _ => None,
+        }
+    }
+
+    /// Whether this directive demands a non-empty `(reason)`.
+    #[must_use]
+    pub fn requires_reason(self) -> bool {
+        matches!(
+            self,
+            Self::WallClockFile | Self::AllocOk | Self::PanicOk | Self::WallClockCompareOk
+        )
+    }
+}
+
+/// One parsed marker.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// What the marker directs.
+    pub directive: Directive,
+    /// The parenthesized justification, when present.
+    pub reason: Option<String>,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+    /// Index of the comment token in the file's token stream.
+    pub token_index: usize,
+}
+
+/// A malformed marker (unknown directive, missing justification).  The
+/// framework reports these as findings of the `lint-marker` pass.
+#[derive(Debug, Clone)]
+pub struct MarkerError {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Extract every marker from a token stream; unknown or unjustified
+/// `lint:` comments come back as errors.
+#[must_use]
+pub fn parse_markers(tokens: &[Token]) -> (Vec<Marker>, Vec<MarkerError>) {
+    let mut markers = Vec::new();
+    let mut errors = Vec::new();
+    for (token_index, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        // Strip `//`; reject doc comments (`///`, `//!`) as marker hosts.
+        let body = &tok.text[2..];
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (word, tail) = match rest.find(['(', ' ']) {
+            Some(cut) => rest.split_at(cut),
+            None => (rest, ""),
+        };
+        let Some(directive) = Directive::parse(word.trim()) else {
+            errors.push(MarkerError {
+                line: tok.line,
+                message: format!("unknown lint marker directive `{}`", word.trim()),
+            });
+            continue;
+        };
+        let tail = tail.trim();
+        let reason = tail
+            .strip_prefix('(')
+            .and_then(|inner| inner.strip_suffix(')'))
+            .map(str::trim)
+            .filter(|inner| !inner.is_empty())
+            .map(str::to_owned);
+        if directive.requires_reason() && reason.is_none() {
+            errors.push(MarkerError {
+                line: tok.line,
+                message: format!(
+                    "`lint: {}` requires a non-empty parenthesized justification",
+                    word.trim()
+                ),
+            });
+            continue;
+        }
+        markers.push(Marker {
+            directive,
+            reason,
+            line: tok.line,
+            token_index,
+        });
+    }
+    (markers, errors)
+}
+
+/// The source line a waiver marker covers: its own line when code shares
+/// it (trailing comment), otherwise the next line carrying a non-comment
+/// token.
+#[must_use]
+pub fn waived_line(tokens: &[Token], marker: &Marker) -> usize {
+    let trailing = tokens
+        .iter()
+        .take(marker.token_index)
+        .rev()
+        .take_while(|t| t.line == marker.line)
+        .any(|t| !t.is_comment());
+    if trailing {
+        return marker.line;
+    }
+    tokens[marker.token_index + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map_or(marker.line, |t| t.line)
+}
+
+/// The token range `(open, close)` of the braced region a region marker
+/// governs: the first `{` after the marker through its matching `}`.
+/// `None` when no block follows.
+#[must_use]
+pub fn region_range(tokens: &[Token], marker: &Marker) -> Option<(usize, usize)> {
+    let open = tokens[marker.token_index + 1..]
+        .iter()
+        .position(|t| t.is_punct('{'))
+        .map(|offset| marker.token_index + 1 + offset)?;
+    Some((open, crate::lexer::matching_brace(tokens, open)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn markers_parse_with_and_without_reasons() {
+        let tokens = lex("// lint: alloc-free\nfn f() {}\n// lint: wall-clock (timing module)\n");
+        let (markers, errors) = parse_markers(&tokens);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(markers.len(), 2);
+        assert_eq!(markers[0].directive, Directive::AllocFree);
+        assert_eq!(markers[0].reason, None);
+        assert_eq!(markers[1].directive, Directive::WallClockFile);
+        assert_eq!(markers[1].reason.as_deref(), Some("timing module"));
+    }
+
+    #[test]
+    fn waivers_without_justification_are_errors() {
+        let tokens = lex("// lint: alloc-ok\nlet v = x.clone();\n// lint: panic-ok ()\n");
+        let (markers, errors) = parse_markers(&tokens);
+        assert!(markers.is_empty());
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_directives_are_errors() {
+        let tokens = lex("// lint: allocfree\n");
+        let (markers, errors) = parse_markers(&tokens);
+        assert!(markers.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("allocfree"));
+    }
+
+    #[test]
+    fn doc_comments_and_prose_are_not_markers() {
+        let tokens = lex("/// lint: alloc-free\n//! lint: no-panic\n// mentions lint rules\n");
+        let (markers, errors) = parse_markers(&tokens);
+        assert!(markers.is_empty());
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn waived_line_is_trailing_or_next_code_line() {
+        let src =
+            "let a = 1; // lint: alloc-ok (scratch)\n// lint: panic-ok (startup)\nlet b = 2;\n";
+        let tokens = lex(src);
+        let (markers, _) = parse_markers(&tokens);
+        assert_eq!(waived_line(&tokens, &markers[0]), 1, "trailing waiver");
+        assert_eq!(waived_line(&tokens, &markers[1]), 3, "standalone waiver");
+    }
+
+    #[test]
+    fn region_range_finds_the_next_block() {
+        let src = "// lint: alloc-free\nfn hot(x: &mut [f64]) { x[0] = 1.0; }\nfn cold() {}\n";
+        let tokens = lex(src);
+        let (markers, _) = parse_markers(&tokens);
+        let (open, close) = region_range(&tokens, &markers[0]).unwrap();
+        assert!(tokens[open].is_punct('{'));
+        assert!(tokens[close].is_punct('}'));
+        assert!(
+            tokens[close + 1].is_ident("fn"),
+            "region ends before cold()"
+        );
+    }
+}

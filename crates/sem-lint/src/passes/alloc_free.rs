@@ -1,0 +1,79 @@
+//! Hot-path allocation hygiene.
+//!
+//! Regions marked `// lint: alloc-free` (the CG iteration loop, the
+//! operator/preconditioner `apply_into` paths) must not allocate per
+//! application: scratch is preallocated once and reused, which is what
+//! makes the solver's inner loop cheap enough to price against modelled
+//! hardware.  Inside a marked region this pass forbids:
+//!
+//! * allocating method calls: `.clone()`, `.to_vec()`, `.to_owned()`,
+//!   `.to_string()`, `.collect()`;
+//! * allocating constructors: `Vec::…`, `Box::…`, `String::…`,
+//!   `VecDeque::…`, `BTreeMap::…`, `HashMap::…`;
+//! * allocating macros: `vec![…]`, `format!(…)`.
+//!
+//! A justified `// lint: alloc-ok (reason)` waives one line — e.g. a
+//! one-time lazy init the region can prove runs once.
+
+use crate::lexer::TokKind;
+use crate::markers::Directive;
+use crate::passes::{next_code_token, prev_code_token};
+use crate::{Finding, SourceFile};
+
+const PASS: &str = "alloc-free";
+
+const METHODS: [&str; 5] = ["clone", "to_vec", "to_owned", "to_string", "collect"];
+const CTORS: [&str; 6] = ["Vec", "Box", "String", "VecDeque", "BTreeMap", "HashMap"];
+const MACROS: [&str; 2] = ["vec", "format"];
+
+/// Run the pass (see module docs).
+#[must_use]
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let regions = file.regions(Directive::AllocFree);
+        if regions.is_empty() {
+            continue;
+        }
+        let waived = file.waived_lines(Directive::AllocOk);
+        for (open, close) in regions {
+            for index in open..=close {
+                let tok = &file.tokens[index];
+                if tok.kind != TokKind::Ident || waived.contains(&tok.line) {
+                    continue;
+                }
+                let name = tok.text.as_str();
+                if METHODS.contains(&name)
+                    && prev_code_token(&file.tokens, index).is_some_and(|p| p.is_punct('.'))
+                {
+                    findings.push(file.finding(
+                        PASS,
+                        tok.line,
+                        format!("`.{name}()` allocates inside an alloc-free region"),
+                    ));
+                    continue;
+                }
+                if CTORS.contains(&name)
+                    && next_code_token(&file.tokens, index).is_some_and(|n| n.is_punct(':'))
+                {
+                    findings.push(file.finding(
+                        PASS,
+                        tok.line,
+                        format!("`{name}::…` constructor inside an alloc-free region"),
+                    ));
+                    continue;
+                }
+                if MACROS.contains(&name)
+                    && next_code_token(&file.tokens, index).is_some_and(|n| n.is_punct('!'))
+                {
+                    findings.push(file.finding(
+                        PASS,
+                        tok.line,
+                        format!("`{name}!` allocates inside an alloc-free region"),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,264 @@
+//! Backend-contract coherence.
+//!
+//! The `AxBackend` trait ships permissive defaults (`fuses_dssum` →
+//! `false`, `precond_on_device` → `false`, pricing hooks → `None`/`0`), so
+//! a backend that *claims* a capability without overriding the hooks that
+//! price it silently gets nonsense numbers instead of a compile error.
+//! This pass closes that hole structurally:
+//!
+//! * an `impl AxBackend for X` whose `fuses_dssum` can return `true` must
+//!   override `simulated_seconds_per_batch` (the fused pass is priced per
+//!   batch, not per round trip);
+//! * an impl whose `precond_on_device` can return `true` must override
+//!   both `simulated_seconds_per_precond` and `precond_table_bytes`;
+//! * the preconditioner registry must stay closed under naming: every
+//!   `PrecondSpec` variant appears in `all()` and in `from_name_suffix`,
+//!   every suffix literal `name_suffix` can produce parses back through
+//!   `from_name_suffix`, and `extended_registry_names` crosses the base
+//!   registry with `PrecondSpec::all` (so new variants surface in the
+//!   registry automatically).
+
+use crate::lexer::{matching_brace, TokKind, Token};
+use crate::passes::{fn_body, range_has_ident};
+use crate::{Finding, SourceFile};
+
+const PASS: &str = "backend-contract";
+
+/// Methods defined at depth 1 of a brace-delimited block, with whether
+/// each body contains a literal `true`.
+fn block_methods(tokens: &[Token], open: usize, close: usize) -> Vec<(String, bool)> {
+    let mut methods = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i <= close {
+        let tok = &tokens[i];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 1 && tok.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let body_open = tokens[i + 2..=close]
+                        .iter()
+                        .position(|t| t.is_punct('{'))
+                        .map(|off| i + 2 + off);
+                    if let Some(body_open) = body_open {
+                        let body_close = matching_brace(tokens, body_open);
+                        let returns_true = range_has_ident(tokens, (body_open, body_close), "true");
+                        methods.push((name_tok.text.clone(), returns_true));
+                        // Skip the whole body (both braces): depth stays at
+                        // the impl-block level.
+                        i = body_close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    methods
+}
+
+/// String literal contents (quotes stripped) in a token range.
+fn string_literals(tokens: &[Token], range: (usize, usize)) -> Vec<String> {
+    tokens[range.0..=range.1]
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .filter_map(|t| {
+            let first = t.text.find('"')?;
+            let last = t.text.rfind('"')?;
+            (last > first).then(|| t.text[first + 1..last].to_string())
+        })
+        .collect()
+}
+
+/// Variant identifiers of `enum <name>` (idents at brace depth 1 outside
+/// attribute brackets).
+fn enum_variants(tokens: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident(name) {
+            let open = tokens[i + 2..]
+                .iter()
+                .position(|t| t.is_punct('{'))
+                .map(|off| i + 2 + off)?;
+            let close = matching_brace(tokens, open);
+            let mut variants = Vec::new();
+            let mut brace_depth = 0usize;
+            let mut bracket_depth = 0usize;
+            let mut paren_depth = 0usize;
+            for tok in &tokens[open..=close] {
+                if tok.is_punct('{') {
+                    brace_depth += 1;
+                } else if tok.is_punct('}') {
+                    brace_depth = brace_depth.saturating_sub(1);
+                } else if tok.is_punct('[') {
+                    bracket_depth += 1;
+                } else if tok.is_punct(']') {
+                    bracket_depth = bracket_depth.saturating_sub(1);
+                } else if tok.is_punct('(') {
+                    paren_depth += 1;
+                } else if tok.is_punct(')') {
+                    paren_depth = paren_depth.saturating_sub(1);
+                } else if tok.kind == TokKind::Ident
+                    && brace_depth == 1
+                    && bracket_depth == 0
+                    && paren_depth == 0
+                {
+                    variants.push(tok.text.clone());
+                }
+            }
+            return Some(variants);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn check_ax_impls(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if !(toks[i].is_ident("impl")
+            && toks[i + 1].is_ident("AxBackend")
+            && toks[i + 2].is_ident("for"))
+        {
+            i += 1;
+            continue;
+        }
+        let backend = toks[i + 3].text.clone();
+        let Some(open) = toks[i + 4..]
+            .iter()
+            .position(|t| t.is_punct('{'))
+            .map(|off| i + 4 + off)
+        else {
+            break;
+        };
+        let close = matching_brace(toks, open);
+        let methods = block_methods(toks, open, close);
+        let defines = |name: &str| methods.iter().any(|(n, _)| n == name);
+        let claims = |name: &str| methods.iter().any(|(n, t)| n == name && *t);
+        if claims("fuses_dssum") && !defines("simulated_seconds_per_batch") {
+            findings.push(file.finding(
+                PASS,
+                toks[i].line,
+                format!(
+                    "`{backend}` claims `fuses_dssum` but inherits the default \
+                     `simulated_seconds_per_batch`; the fused pass must be priced"
+                ),
+            ));
+        }
+        if claims("precond_on_device") {
+            for hook in ["simulated_seconds_per_precond", "precond_table_bytes"] {
+                if !defines(hook) {
+                    findings.push(file.finding(
+                        PASS,
+                        toks[i].line,
+                        format!(
+                            "`{backend}` claims `precond_on_device` but inherits the \
+                             default `{hook}`"
+                        ),
+                    ));
+                }
+            }
+        }
+        i = close;
+    }
+}
+
+fn check_precond_registry(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    // The enum and its naming functions live in one file (sem-solver's
+    // precond module); find that file.
+    let Some(file) = files
+        .iter()
+        .find(|f| !f.is_support() && enum_variants(&f.tokens, "PrecondSpec").is_some())
+    else {
+        return;
+    };
+    let variants = enum_variants(&file.tokens, "PrecondSpec").unwrap_or_default();
+    let all = fn_body(&file.tokens, "all");
+    let name_suffix = fn_body(&file.tokens, "name_suffix");
+    let from_suffix = fn_body(&file.tokens, "from_name_suffix");
+    match all {
+        Some(range) => {
+            for variant in &variants {
+                if !range_has_ident(&file.tokens, range, variant) {
+                    findings.push(file.finding(
+                        PASS,
+                        file.tokens[range.0].line,
+                        format!("`PrecondSpec::all` omits variant `{variant}`"),
+                    ));
+                }
+            }
+        }
+        None => findings.push(file.finding(
+            PASS,
+            1,
+            "`PrecondSpec` lacks an `all()` enumeration".to_string(),
+        )),
+    }
+    if let Some(range) = from_suffix {
+        for variant in &variants {
+            if !range_has_ident(&file.tokens, range, variant) {
+                findings.push(file.finding(
+                    PASS,
+                    file.tokens[range.0].line,
+                    format!("`PrecondSpec::from_name_suffix` cannot parse variant `{variant}`"),
+                ));
+            }
+        }
+        // Round trip: every suffix name_suffix can emit must parse back.
+        if let Some(emit) = name_suffix {
+            let emitted = string_literals(&file.tokens, emit);
+            let accepted = string_literals(&file.tokens, from_suffix.unwrap_or(emit));
+            for suffix in emitted {
+                if !accepted.contains(&suffix) {
+                    findings.push(file.finding(
+                        PASS,
+                        file.tokens[emit.0].line,
+                        format!(
+                            "registry suffix `+{suffix}` is emitted by `name_suffix` but \
+                             not accepted by `from_name_suffix`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // The extended registry must cross with the full spec set.
+    if let Some(reg_file) = files
+        .iter()
+        .find(|f| !f.is_support() && fn_body(&f.tokens, "extended_registry_names").is_some())
+    {
+        let range =
+            fn_body(&reg_file.tokens, "extended_registry_names").expect("just located by fn_body");
+        if !(range_has_ident(&reg_file.tokens, range, "PrecondSpec")
+            && range_has_ident(&reg_file.tokens, range, "all"))
+        {
+            findings.push(
+                reg_file.finding(
+                    PASS,
+                    reg_file.tokens[range.0].line,
+                    "`extended_registry_names` must cross the base registry with \
+                 `PrecondSpec::all()` so every suffix stays listed"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Run the pass (see module docs).
+#[must_use]
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if file.is_support() {
+            continue;
+        }
+        check_ax_impls(file, &mut findings);
+    }
+    check_precond_registry(files, &mut findings);
+    findings
+}

@@ -1,0 +1,93 @@
+//! Wall-clock discipline.
+//!
+//! This workspace models hardware it cannot run: most "seconds" are
+//! *modelled* (analytic FPGA timing), and only a few measurement modules
+//! read the host clock.  Two rules keep those worlds apart:
+//!
+//! 1. `Instant` / `SystemTime` may appear only in files carrying a
+//!    `// lint: wall-clock (reason)` pragma — the whitelisted measurement
+//!    modules.  Everywhere else, touching the host clock is a category
+//!    error (a modelled solver must stay deterministic).
+//! 2. No line may mix measured-time identifiers (`elapsed`,
+//!    `*wall_seconds*`, `*wall_clock*`) with modelled-time identifiers
+//!    (`*simulated*`, `*modelled*`/`*modeled*`) — comparing host seconds
+//!    against model seconds is the classic apples-to-oranges bug this repo
+//!    has to guard against.  Lines that genuinely need both (e.g. a
+//!    measured-vs-predicted report) carry
+//!    `// lint: wall-clock-compare-ok (reason)`.
+
+use crate::lexer::TokKind;
+use crate::markers::Directive;
+use crate::{Finding, SourceFile};
+use std::collections::BTreeMap;
+
+const PASS: &str = "wall-clock";
+
+fn is_clock_type(name: &str) -> bool {
+    name == "Instant" || name == "SystemTime"
+}
+
+fn is_measured(name: &str) -> bool {
+    name == "elapsed" || name.contains("wall_seconds") || name.contains("wall_clock")
+}
+
+fn is_modelled(name: &str) -> bool {
+    name.contains("simulated") || name.contains("modelled") || name.contains("modeled")
+}
+
+/// Run the pass (see module docs).
+#[must_use]
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if file.is_support() {
+            continue;
+        }
+        let whitelisted = file.has_pragma(Directive::WallClockFile);
+        if !whitelisted {
+            let mut seen_lines = std::collections::BTreeSet::new();
+            for tok in &file.tokens {
+                if tok.kind == TokKind::Ident
+                    && is_clock_type(&tok.text)
+                    && seen_lines.insert(tok.line)
+                {
+                    findings.push(file.finding(
+                        PASS,
+                        tok.line,
+                        format!(
+                            "`{}` outside a whitelisted measurement module; add \
+                             `// lint: wall-clock (reason)` if this file is one",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // Mixing rule applies everywhere, pragma or not.
+        let waived = file.waived_lines(Directive::WallClockCompareOk);
+        let mut lines: BTreeMap<usize, (bool, bool)> = BTreeMap::new();
+        for tok in &file.tokens {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            let entry = lines.entry(tok.line).or_default();
+            entry.0 |= is_measured(&tok.text);
+            entry.1 |= is_modelled(&tok.text);
+        }
+        for (line, (measured, modelled)) in lines {
+            if measured && modelled && !waived.contains(&line) {
+                findings.push(
+                    file.finding(
+                        PASS,
+                        line,
+                        "measured wall-clock seconds mixed with modelled/simulated seconds \
+                     on one line; if intentional, waive with \
+                     `// lint: wall-clock-compare-ok (reason)`"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+    findings
+}

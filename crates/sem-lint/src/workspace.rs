@@ -1,0 +1,94 @@
+//! Workspace discovery: find the cargo workspace root and enumerate every
+//! Rust source file the lints should see.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(candidate) = dir {
+        let manifest = candidate.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(candidate.to_path_buf());
+            }
+        }
+        dir = candidate.parent();
+    }
+    None
+}
+
+/// Directories the walk never descends into: build output, VCS metadata,
+/// and the lint fixtures themselves (deliberately lint-dirty snippets).
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.') || name == "fixtures"
+}
+
+/// Every `.rs` file under `root`, workspace-relative and sorted for
+/// deterministic reports.
+#[must_use]
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if path.is_dir() {
+                if !skip_dir(name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    found.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("sem-lint lives inside the workspace");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn collects_workspace_sources_but_not_fixtures_or_target() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).unwrap();
+        let sources = collect_sources(&root);
+        assert!(sources.iter().any(|p| p.ends_with("src/lib.rs")));
+        assert!(
+            sources.iter().all(|p| {
+                p.components().all(|c| {
+                    let name = c.as_os_str().to_string_lossy();
+                    name != "target" && name != "fixtures"
+                })
+            }),
+            "skipped directories leaked into the source list"
+        );
+        let sorted: Vec<_> = {
+            let mut copy = sources.clone();
+            copy.sort();
+            copy
+        };
+        assert_eq!(sources, sorted, "deterministic ordering");
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: allocation in a hot region. Not compiled; lexed by tests/lints.rs.
+
+// lint: alloc-free
+fn hot(input: &[f64], out: &mut Vec<f64>) {
+    let copy = input.to_vec();
+    let doubled: Vec<f64> = copy.iter().map(|x| x * 2.0).collect();
+    let mut extra = Vec::new();
+    extra.push(format!("{doubled:?}"));
+    out.clone_from(&doubled);
+    let boxed = vec![1.0; 8];
+    out.extend_from_slice(&boxed);
+}
+
+fn cold(input: &[f64]) -> Vec<f64> {
+    input.to_vec() // outside the region: fine
+}

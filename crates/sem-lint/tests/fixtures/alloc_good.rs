@@ -1,0 +1,15 @@
+// Fixture: clean hot region. Not compiled; lexed by tests/lints.rs.
+
+// lint: alloc-free
+fn hot(input: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+    for ((o, &i), s) in out.iter_mut().zip(input).zip(scratch.iter_mut()) {
+        *s = i * 2.0;
+        *o = *s + 1.0;
+    }
+    let label = name().to_string(); // lint: alloc-ok (one-time lazy label, not per-apply)
+    drop(label);
+}
+
+fn name() -> &'static str {
+    "hot"
+}

@@ -1,0 +1,31 @@
+// Fixture: AxBackend impls claiming capabilities without pricing them.
+// Not compiled; lexed by tests/lints.rs.
+
+struct FusedNoPricing;
+
+impl AxBackend for FusedNoPricing {
+    fn fuses_dssum(&self) -> bool {
+        true
+    }
+}
+
+struct DevicePrecondNoHooks;
+
+impl AxBackend for DevicePrecondNoHooks {
+    fn precond_on_device(&self, precond: PrecondSpec) -> bool {
+        !matches!(precond, PrecondSpec::Identity) && true
+    }
+
+    fn simulated_seconds_per_precond(&self, precond: PrecondSpec) -> Option<f64> {
+        let _ = precond;
+        Some(1.0e-6)
+    }
+}
+
+struct HonestDefaults;
+
+impl AxBackend for HonestDefaults {
+    fn fuses_dssum(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: an AxBackend impl whose claims are fully priced.
+// Not compiled; lexed by tests/lints.rs.
+
+struct PricedBoard;
+
+impl AxBackend for PricedBoard {
+    fn fuses_dssum(&self) -> bool {
+        true
+    }
+
+    fn simulated_seconds_per_batch(&self, batch: usize) -> Option<f64> {
+        Some(1.0e-6 * batch as f64)
+    }
+
+    fn precond_on_device(&self, precond: PrecondSpec) -> bool {
+        !matches!(precond, PrecondSpec::Identity) && true
+    }
+
+    fn simulated_seconds_per_precond(&self, precond: PrecondSpec) -> Option<f64> {
+        let _ = precond;
+        Some(2.0e-6)
+    }
+
+    fn precond_table_bytes(&self, precond: PrecondSpec) -> u64 {
+        let _ = precond;
+        4096
+    }
+}

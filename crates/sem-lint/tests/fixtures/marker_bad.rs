@@ -1,0 +1,12 @@
+// Fixture: malformed markers. Not compiled; lexed by tests/lints.rs.
+
+// lint: alloc-okay
+fn typo() {}
+
+fn unjustified(x: Option<u32>) -> u32 {
+    // lint: panic-ok
+    x.unwrap()
+}
+
+// lint: wall-clock ()
+fn empty_reason() {}

@@ -1,0 +1,13 @@
+// Fixture: panicking calls in a no-panic region, and a crate root without
+// forbid(unsafe_code). Not compiled; lexed by tests/lints.rs with the rel
+// path of a crate root.
+#![deny(missing_docs)]
+
+// lint: no-panic
+fn worker(jobs: &[usize]) -> usize {
+    let first = jobs.first().unwrap();
+    if *first > 10 {
+        panic!("too big");
+    }
+    jobs.iter().copied().max().expect("nonempty")
+}

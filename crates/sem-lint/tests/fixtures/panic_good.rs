@@ -1,0 +1,13 @@
+// Fixture: clean no-panic region with a justified waiver and a forbid
+// attribute. Not compiled; lexed by tests/lints.rs.
+#![forbid(unsafe_code)]
+
+// lint: no-panic
+fn worker(jobs: &[usize]) -> usize {
+    let Some(first) = jobs.first() else {
+        return 0;
+    };
+    // lint: panic-ok (pool construction guarantees nonempty; violated only by a harness bug)
+    let top = jobs.iter().copied().max().expect("nonempty");
+    first + top
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock violations. Not compiled; lexed by tests/lints.rs.
+use std::time::Instant;
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+fn compare(measured_wall_seconds: f64, simulated_seconds: f64) -> bool {
+    measured_wall_seconds < simulated_seconds
+}

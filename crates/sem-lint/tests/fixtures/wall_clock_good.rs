@@ -1,0 +1,15 @@
+// Fixture: clean wall-clock usage. Not compiled; lexed by tests/lints.rs.
+// lint: wall-clock (this fixture plays a measurement module)
+use std::time::Instant;
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+fn report(measured: f64, predicted: f64) -> f64 {
+    let wall_seconds = measured;
+    let simulated_seconds = predicted;
+    // lint: wall-clock-compare-ok (speedup report, not a scheduling decision)
+    wall_seconds / simulated_seconds
+}

@@ -15,7 +15,7 @@
 //!   accelerator, Section III-B of the paper).
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod field;
 pub mod gather_scatter;

@@ -72,7 +72,7 @@ impl BoxMesh {
             lengths[1] / elements[1] as f64,
             lengths[2] / elements[2] as f64,
         ];
-        let min_len = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_len = lengths.iter().copied().fold(f64::INFINITY, f64::min);
 
         for ek in 0..elements[2] {
             for ej in 0..elements[1] {
@@ -273,13 +273,13 @@ mod tests {
     fn coordinates_span_the_box() {
         let mesh = BoxMesh::new(4, [2, 2, 2], [1.0, 2.0, 0.5], MeshDeformation::None);
         let [xs, ys, zs] = mesh.coordinates();
-        let max_x = xs.as_slice().iter().cloned().fold(f64::MIN, f64::max);
-        let max_y = ys.as_slice().iter().cloned().fold(f64::MIN, f64::max);
-        let max_z = zs.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+        let max_x = xs.as_slice().iter().copied().fold(f64::MIN, f64::max);
+        let max_y = ys.as_slice().iter().copied().fold(f64::MIN, f64::max);
+        let max_z = zs.as_slice().iter().copied().fold(f64::MIN, f64::max);
         assert!((max_x - 1.0).abs() < 1e-12);
         assert!((max_y - 2.0).abs() < 1e-12);
         assert!((max_z - 0.5).abs() < 1e-12);
-        let min_x = xs.as_slice().iter().cloned().fold(f64::MAX, f64::min);
+        let min_x = xs.as_slice().iter().copied().fold(f64::MAX, f64::min);
         assert!(min_x.abs() < 1e-12);
     }
 

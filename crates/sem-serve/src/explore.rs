@@ -1,0 +1,622 @@
+//! Loom-style bounded schedule exploration of the work-stealing host.
+//!
+//! The vendored crossbeam primitives route every queue operation through
+//! [`crossbeam::sched::yield_point`]; this module installs a [`Scheduler`]
+//! that *serializes* the worker pool of [`run_stealing`]: every controlled
+//! thread parks at each yield point, and a central arbiter picks which
+//! thread runs next.  The whole interleaving then becomes a pure function of
+//! the arbiter's choice sequence, which makes schedules **replayable** and
+//! **enumerable**:
+//!
+//! * [`Strategy::Exhaustive`] walks the bounded choice tree depth-first —
+//!   run a schedule, backtrack the last choice with an unexplored
+//!   alternative, replay the prefix, and continue.  Every run is a distinct
+//!   interleaving by construction.
+//! * [`Strategy::Seeded`] takes pseudo-random walks instead (for cases whose
+//!   trees are too large to enumerate) and counts distinct traces.
+//!
+//! Every explored schedule is checked for the host's contract:
+//!
+//! 1. **Job conservation** — every submitted job executes exactly once, and
+//!    the per-worker ledgers agree with the delivered completions;
+//! 2. **Ordering** — each worker's deliveries arrive in its execution
+//!    order, jobs a worker takes from its *own* deque execute in hint
+//!    (submission) order, and each worker drains injector floaters in FIFO
+//!    order;
+//! 3. **Deadlock/livelock freedom** — the schedule terminates within a step
+//!    budget (a genuinely stuck pool would either hang a grant forever or
+//!    exceed the budget, both of which the explorer reports).
+//!
+//! Exploration is process-global (the scheduler hook is), so explorer
+//! entry points serialize on an internal lock, and only threads spawned by
+//! [`run_stealing`] register for control — concurrent uncontrolled threads
+//! are unaffected.  Use the `SEM_SCHED_ITERS` environment variable (read by
+//! the `sem-lint` binary and the integration smoke test) to bound the
+//! schedule budget in constrained environments.
+
+use crate::steal::{run_stealing, StealRun, TaggedJob};
+use crossbeam::sched::{self, SchedOp, Scheduler};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// How the explorer picks the next thread at each scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Depth-first enumeration of the bounded choice tree: every run is a
+    /// distinct schedule, and small cases are proven exhaustively.
+    Exhaustive,
+    /// Seeded pseudo-random walks for cases whose trees are too large to
+    /// enumerate; distinct schedules are counted by trace.
+    Seeded(u64),
+}
+
+/// One scenario to explore: a pool size plus the hint of every job
+/// (`Some(worker)` seeds the worker's deque, `None` floats via the
+/// injector).  Job `i`'s payload is its submission index `i`.
+#[derive(Debug, Clone)]
+pub struct ExploreCase {
+    /// Short stable name for reports.
+    pub name: &'static str,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Per-job scheduling hints, in submission order.
+    pub hints: Vec<Option<usize>>,
+}
+
+impl ExploreCase {
+    fn jobs(&self) -> Vec<TaggedJob<usize>> {
+        self.hints
+            .iter()
+            .enumerate()
+            .map(|(payload, &hint)| TaggedJob { payload, hint })
+            .collect()
+    }
+}
+
+/// The outcome of exploring one case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case's name.
+    pub name: &'static str,
+    /// Pool size.
+    pub workers: usize,
+    /// Job count.
+    pub jobs: usize,
+    /// Distinct schedules explored.
+    pub schedules: usize,
+    /// Whether the whole bounded choice tree was enumerated (exhaustive
+    /// strategy only; seeded walks never claim exhaustion).
+    pub exhausted: bool,
+    /// Longest schedule trace seen (scheduling decisions per run).
+    pub longest_trace: usize,
+    /// Invariant violations, each tagged with the schedule trace that
+    /// produced it.  Empty on a passing case.
+    pub violations: Vec<String>,
+}
+
+/// Serializes explorer entry points: the schedule hook is process-global.
+static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Ceiling on scheduling decisions per run; `run_stealing` on the standard
+/// cases needs a few dozen, so hitting this means a livelock.
+const MAX_STEPS_PER_RUN: usize = 4096;
+
+fn lock_poison_free<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Splitmix64: a tiny deterministic generator for seeded walks.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct SchedState {
+    /// Worker indices parked at a yield point (or at birth), ascending — the
+    /// canonical alternative ordering that makes choice indices replayable.
+    parked: Vec<usize>,
+    /// The operation each parked thread is about to perform (`None`: birth).
+    pending: Vec<Option<SchedOp>>,
+    /// The one thread currently allowed to run.
+    granted: Option<usize>,
+    /// Registered minus finished threads.
+    alive: usize,
+    /// Threads registered so far (the first grant waits for the whole pool).
+    registered: usize,
+    /// Choice to take at each decision depth (replayed prefix, then
+    /// extended by the strategy).
+    script: Vec<usize>,
+    /// Alternatives observed at each decision depth (for backtracking).
+    arity: Vec<usize>,
+    depth: usize,
+    /// The realized schedule: (worker, pending op) per grant.
+    trace: Vec<(usize, Option<SchedOp>)>,
+    steps: usize,
+    /// Stop controlling: release every thread to run freely (teardown, or
+    /// step budget exceeded).
+    bailed: bool,
+    budget_exceeded: bool,
+    /// A replayed choice index exceeded the observed arity — the run was
+    /// not deterministic.  Never expected; reported loudly.
+    diverged: bool,
+    random: bool,
+    rng: u64,
+}
+
+/// The serializing arbiter (see module docs).
+struct StepScheduler {
+    expected: usize,
+    max_steps: usize,
+    state: Mutex<SchedState>,
+    cvar: Condvar,
+}
+
+impl StepScheduler {
+    fn new(expected: usize, script: Vec<usize>, strategy: Strategy, run_seed: u64) -> Self {
+        let (random, rng) = match strategy {
+            Strategy::Exhaustive => (false, 0),
+            Strategy::Seeded(seed) => (true, seed ^ run_seed.wrapping_mul(0x5851_f42d_4c95_7f2d)),
+        };
+        Self {
+            expected,
+            max_steps: MAX_STEPS_PER_RUN,
+            state: Mutex::new(SchedState {
+                parked: Vec::new(),
+                pending: vec![None; expected],
+                granted: None,
+                alive: 0,
+                registered: 0,
+                script,
+                arity: Vec::new(),
+                depth: 0,
+                trace: Vec::new(),
+                steps: 0,
+                bailed: false,
+                budget_exceeded: false,
+                diverged: false,
+                random,
+                rng,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Pick the next thread to run, if a grant is due.  Called with the
+    /// state lock held, at every point the runnable set changes.
+    fn arbitrate(&self, s: &mut SchedState) {
+        if s.bailed || s.granted.is_some() || s.registered < self.expected || s.parked.is_empty() {
+            return;
+        }
+        s.steps += 1;
+        if s.steps > self.max_steps {
+            s.bailed = true;
+            s.budget_exceeded = true;
+            self.cvar.notify_all();
+            return;
+        }
+        let arity = s.parked.len();
+        let choice = if s.depth < s.script.len() {
+            let c = s.script[s.depth];
+            if c >= arity {
+                s.diverged = true;
+                s.bailed = true;
+                self.cvar.notify_all();
+                return;
+            }
+            c
+        } else {
+            let c = if s.random {
+                (next_rand(&mut s.rng) as usize) % arity
+            } else {
+                0
+            };
+            s.script.push(c);
+            c
+        };
+        s.arity.push(arity);
+        s.depth += 1;
+        let index = s.parked.remove(choice);
+        s.trace.push((index, s.pending[index]));
+        s.granted = Some(index);
+        self.cvar.notify_all();
+    }
+
+    /// Park `index` (keeping the set sorted) and block until it is granted
+    /// or control is released.
+    fn park_and_wait(&self, mut s: MutexGuard<'_, SchedState>, index: usize) {
+        let slot = s.parked.partition_point(|&p| p < index);
+        s.parked.insert(slot, index);
+        self.arbitrate(&mut s);
+        loop {
+            if s.bailed {
+                return;
+            }
+            if s.granted == Some(index) {
+                return;
+            }
+            s = self.cvar.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Release every parked thread to run freely (teardown path).
+    fn release_all(&self) {
+        let mut s = lock_poison_free(&self.state);
+        s.bailed = true;
+        self.cvar.notify_all();
+    }
+}
+
+impl Scheduler for StepScheduler {
+    fn thread_started(&self, index: usize) {
+        let mut s = lock_poison_free(&self.state);
+        if s.bailed {
+            return;
+        }
+        s.registered += 1;
+        s.alive += 1;
+        s.pending[index] = None;
+        self.park_and_wait(s, index);
+    }
+
+    fn yield_point(&self, index: usize, op: SchedOp) {
+        let mut s = lock_poison_free(&self.state);
+        if s.bailed {
+            return;
+        }
+        if s.granted == Some(index) {
+            s.granted = None;
+        }
+        s.pending[index] = Some(op);
+        self.park_and_wait(s, index);
+    }
+
+    fn thread_finished(&self, index: usize) {
+        let mut s = lock_poison_free(&self.state);
+        if s.granted == Some(index) {
+            s.granted = None;
+        }
+        s.alive = s.alive.saturating_sub(1);
+        self.arbitrate(&mut s);
+    }
+}
+
+/// Uninstalls the scheduler (releasing any parked thread first) even when a
+/// run unwinds, so one failed schedule cannot wedge the process.
+struct Installed {
+    scheduler: Arc<StepScheduler>,
+}
+
+impl Installed {
+    fn new(scheduler: Arc<StepScheduler>) -> Self {
+        sched::install(Arc::clone(&scheduler) as Arc<dyn Scheduler>);
+        Self { scheduler }
+    }
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        self.scheduler.release_all();
+        sched::uninstall();
+    }
+}
+
+/// What one scheduled run realized.
+#[derive(Debug)]
+struct RunRecord {
+    script: Vec<usize>,
+    arity: Vec<usize>,
+    trace: Vec<(usize, Option<SchedOp>)>,
+    budget_exceeded: bool,
+    diverged: bool,
+}
+
+fn run_one(
+    case: &ExploreCase,
+    script: Vec<usize>,
+    strategy: Strategy,
+    run_seed: u64,
+) -> (StealRun<Vec<usize>, usize>, RunRecord) {
+    let scheduler = Arc::new(StepScheduler::new(case.workers, script, strategy, run_seed));
+    let installed = Installed::new(Arc::clone(&scheduler));
+    let states: Vec<Vec<usize>> = vec![Vec::new(); case.workers];
+    let run = run_stealing(states, case.jobs(), |_, log: &mut Vec<usize>, payload| {
+        log.push(payload);
+        payload
+    });
+    drop(installed);
+    let s = lock_poison_free(&scheduler.state);
+    let record = RunRecord {
+        script: s.script.clone(),
+        arity: s.arity.clone(),
+        trace: s.trace.clone(),
+        budget_exceeded: s.budget_exceeded,
+        diverged: s.diverged,
+    };
+    (run, record)
+}
+
+/// Render a trace compactly for violation messages: `w0:wo w1:ws ...`.
+fn format_trace(trace: &[(usize, Option<SchedOp>)]) -> String {
+    let mut out = String::new();
+    for (worker, op) in trace {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push('w');
+        out.push_str(&worker.to_string());
+        out.push(':');
+        out.push_str(op.map_or("go", SchedOp::mnemonic));
+    }
+    out
+}
+
+/// Check the host's contract on one completed run; returns human-readable
+/// violations (empty when the schedule upholds every invariant).
+fn check_run(case: &ExploreCase, run: &StealRun<Vec<usize>, usize>) -> Vec<String> {
+    let n = case.hints.len();
+    let mut violations = Vec::new();
+
+    // 1. Conservation: every job exactly once, globally and per ledger.
+    let mut seen: Vec<usize> = run.completed.iter().map(|c| c.result).collect();
+    seen.sort_unstable();
+    if seen != (0..n).collect::<Vec<_>>() {
+        violations.push(format!(
+            "conservation: expected every job 0..{n} exactly once, got {seen:?}"
+        ));
+    }
+    let executed: usize = run.workers.iter().map(|w| w.executed_jobs).sum();
+    if executed != n {
+        violations.push(format!(
+            "conservation: ledgers executed {executed} of {n} jobs"
+        ));
+    }
+
+    for (worker, ledger) in run.workers.iter().enumerate() {
+        // 2a. Delivery order: this worker's completions cross the channel in
+        // its execution order (the caller's re-sequencing relies on results
+        // being attributable, not on channel order — but per-sender FIFO is
+        // the channel's contract and the ledger must agree with it).
+        let delivered: Vec<usize> = run
+            .completed
+            .iter()
+            .filter(|c| c.worker == worker)
+            .map(|c| c.result)
+            .collect();
+        if delivered != ledger.state {
+            violations.push(format!(
+                "ordering: worker {worker} delivered {delivered:?} but executed {:?}",
+                ledger.state
+            ));
+        }
+        if ledger.executed_jobs != ledger.state.len() {
+            violations.push(format!(
+                "accounting: worker {worker} ledger claims {} jobs, log has {}",
+                ledger.executed_jobs,
+                ledger.state.len()
+            ));
+        }
+        // 2b. Own-deque FIFO: jobs hinted here and executed here left the
+        // deque front in submission order.
+        let own: Vec<usize> = ledger
+            .state
+            .iter()
+            .copied()
+            .filter(|&job| case.hints[job] == Some(worker))
+            .collect();
+        if !own.windows(2).all(|pair| pair[0] < pair[1]) {
+            violations.push(format!(
+                "ordering: worker {worker} ran its own hinted jobs out of order: {own:?}"
+            ));
+        }
+        // 2c. Injector FIFO per consumer: floaters a worker takes arrive in
+        // submission order.
+        let floats: Vec<usize> = ledger
+            .state
+            .iter()
+            .copied()
+            .filter(|&job| case.hints[job].is_none())
+            .collect();
+        if !floats.windows(2).all(|pair| pair[0] < pair[1]) {
+            violations.push(format!(
+                "ordering: worker {worker} drained floaters out of order: {floats:?}"
+            ));
+        }
+    }
+
+    // 3. Steal accounting matches the per-job flags and recorded hints.
+    let stolen_flags = run.completed.iter().filter(|c| c.stolen()).count();
+    if run.total_steals() != stolen_flags {
+        violations.push(format!(
+            "accounting: total_steals {} != stolen completions {stolen_flags}",
+            run.total_steals()
+        ));
+    }
+    for completed in &run.completed {
+        if completed.hint != case.hints[completed.result] {
+            violations.push(format!(
+                "accounting: job {} completed with hint {:?}, submitted with {:?}",
+                completed.result, completed.hint, case.hints[completed.result]
+            ));
+        }
+    }
+    violations
+}
+
+/// Advance a depth-first script: drop trailing maxed-out choices, bump the
+/// deepest choice with an unexplored alternative.  `None` when the tree is
+/// fully enumerated.
+fn next_script(mut script: Vec<usize>, mut arity: Vec<usize>) -> Option<Vec<usize>> {
+    debug_assert_eq!(script.len(), arity.len());
+    while let (Some(choice), Some(alternatives)) = (script.pop(), arity.pop()) {
+        if choice + 1 < alternatives {
+            script.push(choice + 1);
+            return Some(script);
+        }
+    }
+    None
+}
+
+/// Explore one case under `strategy`, running at most `budget` schedules.
+///
+/// Exhaustive exploration stops early (with `exhausted = true`) once the
+/// bounded choice tree is fully enumerated; seeded exploration always runs
+/// `budget` walks and reports how many were distinct.
+///
+/// # Panics
+/// Panics if the case has no workers or a hint is out of range (mirroring
+/// [`run_stealing`]'s own contract).
+#[must_use]
+pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> CaseReport {
+    let _exclusive = lock_poison_free(&EXPLORE_LOCK);
+    let mut report = CaseReport {
+        name: case.name,
+        workers: case.workers,
+        jobs: case.hints.len(),
+        schedules: 0,
+        exhausted: false,
+        longest_trace: 0,
+        violations: Vec::new(),
+    };
+    let mut distinct: BTreeSet<Vec<(usize, Option<SchedOp>)>> = BTreeSet::new();
+    let mut script = Vec::new();
+    for run_seed in 0..budget as u64 {
+        let (run, record) = run_one(case, script, strategy, run_seed);
+        report.longest_trace = report.longest_trace.max(record.trace.len());
+        if distinct.insert(record.trace.clone()) {
+            report.schedules += 1;
+        }
+        if record.diverged {
+            report.violations.push(format!(
+                "determinism: replayed schedule diverged at depth {} [{}]",
+                record.arity.len(),
+                format_trace(&record.trace)
+            ));
+        }
+        if record.budget_exceeded {
+            report.violations.push(format!(
+                "liveness: schedule exceeded {MAX_STEPS_PER_RUN} steps (possible livelock) [{}]",
+                format_trace(&record.trace)
+            ));
+        }
+        for violation in check_run(case, &run) {
+            report
+                .violations
+                .push(format!("{violation} [{}]", format_trace(&record.trace)));
+        }
+        match strategy {
+            Strategy::Exhaustive => match next_script(record.script, record.arity) {
+                Some(next) => script = next,
+                None => {
+                    report.exhausted = true;
+                    break;
+                }
+            },
+            Strategy::Seeded(_) => script = Vec::new(),
+        }
+    }
+    report
+}
+
+/// The standard exploration battery: the hint/float patterns the serving
+/// host actually produces, small enough to explore densely.
+#[must_use]
+pub fn standard_cases() -> Vec<ExploreCase> {
+    vec![
+        ExploreCase {
+            name: "steal-storm",
+            workers: 2,
+            hints: vec![Some(0), Some(0), Some(0)],
+        },
+        ExploreCase {
+            name: "hinted-plus-floater",
+            workers: 2,
+            hints: vec![Some(0), Some(1), None],
+        },
+        ExploreCase {
+            name: "floaters-only",
+            workers: 2,
+            hints: vec![None, None, None],
+        },
+        ExploreCase {
+            name: "three-way-contention",
+            workers: 3,
+            hints: vec![Some(0), Some(0)],
+        },
+        ExploreCase {
+            name: "idle-pool",
+            workers: 3,
+            hints: vec![Some(1)],
+        },
+    ]
+}
+
+/// Run the standard battery, splitting `budget` schedules across the cases
+/// (each case also stops early once exhausted).  This is the race-detector
+/// engine behind `sem-lint` and the CI smoke step.
+#[must_use]
+pub fn standard_battery(budget: usize) -> Vec<CaseReport> {
+    let cases = standard_cases();
+    let per_case = (budget / cases.len()).max(1);
+    cases
+        .iter()
+        .map(|case| explore_case(case, Strategy::Exhaustive, per_case))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_script_enumerates_a_small_tree_completely() {
+        // Tree: depth 0 has 2 alternatives, depth 1 has 2 — but arity is
+        // whatever each run reports, so feed a fixed shape and walk it.
+        let mut script = Vec::new();
+        let mut visited = Vec::new();
+        loop {
+            // Pretend every run observes arity [2, 2] (4 leaves).
+            let arity = vec![2, 2];
+            let full: Vec<usize> = script
+                .iter()
+                .copied()
+                .chain(std::iter::repeat(0))
+                .take(2)
+                .collect();
+            visited.push(full.clone());
+            match next_script(full, arity) {
+                Some(next) => script = next,
+                None => break,
+            }
+        }
+        assert_eq!(
+            visited,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+            "depth-first enumeration of the whole tree, each leaf once"
+        );
+    }
+
+    #[test]
+    fn next_script_on_a_single_alternative_tree_is_done_immediately() {
+        assert_eq!(next_script(vec![0, 0], vec![1, 1]), None);
+        assert_eq!(next_script(Vec::new(), Vec::new()), None);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_non_constant() {
+        let mut a = 42;
+        let mut b = 42;
+        let first = next_rand(&mut a);
+        assert_eq!(first, next_rand(&mut b));
+        assert_ne!(first, next_rand(&mut a));
+    }
+
+    #[test]
+    fn trace_formatting_is_compact() {
+        let trace = vec![(0, None), (1, Some(SchedOp::WorkerPop))];
+        assert_eq!(format_trace(&trace), "w0:go w1:wo");
+    }
+}

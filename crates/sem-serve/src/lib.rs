@@ -60,9 +60,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod explore;
 pub mod pipeline;
 pub mod queue;
 pub mod request;
@@ -71,6 +72,9 @@ pub mod server;
 pub mod steal;
 
 pub use admission::{AdmissionPolicy, AdmittedJob, RejectedRequest};
+pub use explore::{
+    explore_case, standard_battery, standard_cases, CaseReport, ExploreCase, Strategy,
+};
 pub use pipeline::{
     PipelineConfig, PipelineTimeline, RequestStages, Stage, StageEvent,
     RESIDUAL_BYTES_PER_ITERATION,

@@ -165,8 +165,9 @@ impl RequestStages {
     ) -> Self {
         let compute_seconds = backend
             .simulated_seconds_per_batch(applications.max(1))
-            .map(|kernel| kernel + precond_seconds_per_application * applications.max(1) as f64)
-            .unwrap_or(fallback_compute_seconds);
+            .map_or(fallback_compute_seconds, |kernel| {
+                kernel + precond_seconds_per_application * applications.max(1) as f64
+            });
         let (upload_seconds, download_seconds) = plan.map_or((0.0, 0.0), |plan| {
             (
                 plan.operand_upload_seconds(link_gbs),

@@ -23,6 +23,7 @@ use sem_mesh::ElementField;
 use sem_solver::{CgOptions, PrecondSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+// lint: wall-clock (the serving host measures request latency end to end)
 use std::time::Instant;
 
 /// Serving knobs.
@@ -498,6 +499,8 @@ impl Server {
         // hands them back through the ledger for reuse by the next serve.
         let states: Vec<HashMap<ProblemSpec, SemSystem>> =
             self.systems.iter_mut().map(std::mem::take).collect();
+        // lint: no-panic (this closure runs on worker threads; a panic would
+        // strand sibling deques mid-run)
         let run = run_stealing(states, tagged, |worker, systems, job| {
             let system = systems.entry(job.spec).or_insert_with(|| {
                 Self::build_system(&self.slots[worker].config, job.spec, self.options.precond)

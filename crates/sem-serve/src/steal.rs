@@ -31,6 +31,7 @@
 
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+// lint: wall-clock (worker busy-time ledgers are measured on the host, never modelled)
 use std::time::Instant;
 
 /// One job plus the scheduling hint it was admitted with.
@@ -167,7 +168,11 @@ where
             let injector = &injector;
             let stealers = &stealers;
             let execute = &execute;
+            // lint: no-panic (a worker panic strands sibling deques mid-run)
             handles.push(scope.spawn(move || {
+                // Registers this thread with a schedule explorer when one is
+                // installed (`sem_serve::explore`); inert in production.
+                let _control = crossbeam::sched::controlled(index);
                 let mut busy_wall_seconds = 0.0;
                 let mut executed_jobs = 0;
                 let mut steals = 0;
@@ -180,15 +185,18 @@ where
                     let result = execute(index, &mut state, job.payload);
                     busy_wall_seconds += begun.elapsed().as_secs_f64();
                     executed_jobs += 1;
-                    // The receiver outlives the scope, so delivery can only
-                    // fail if the channel is poisoned — surface that.
-                    tx.send(Delivery {
+                    // The receiver outlives the scope by construction, so a
+                    // failed send can only mean the channel was torn down
+                    // mid-run; stop taking work instead of panicking with
+                    // sibling deques still live.
+                    let delivery = Delivery {
                         worker: index,
                         hint,
                         result,
-                    })
-                    .map_err(|_| "serve channel closed mid-run")
-                    .unwrap();
+                    };
+                    if tx.send(delivery).is_err() {
+                        break;
+                    }
                 }
                 WorkerLedger {
                     state,

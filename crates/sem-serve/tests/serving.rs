@@ -12,7 +12,7 @@
 //! reproducible.  Placement itself is deterministic too: policies see
 //! modelled hint backlogs, not wall clocks.
 
-use sem_accel::{Backend, SemSystem};
+use sem_accel::{Backend, SemSystem, SolveReport};
 use sem_serve::{
     LeastLoaded, ModelOptimal, PipelineConfig, PipelineTimeline, ProblemSpec, RoundRobin,
     ServeOptions, ServeRequest, Server, Stage,
@@ -111,7 +111,7 @@ fn overlap_disabled_timeline_bitwise_matches_solve_report_accounting() {
             &reports,
             PipelineConfig::serial(),
         );
-        let accounting: f64 = reports.iter().map(|r| r.modeled_seconds()).sum();
+        let accounting: f64 = reports.iter().map(SolveReport::modeled_seconds).sum();
         assert_eq!(
             timeline.makespan_seconds.to_bits(),
             accounting.to_bits(),

@@ -8,6 +8,7 @@
 use sem_kernel::PoissonOperator;
 use sem_mesh::{DirichletMask, ElementField, GatherScatter};
 use serde::{Deserialize, Serialize};
+// lint: wall-clock (CG measures host apply time when a backend carries no timing model)
 use std::time::Instant;
 
 /// The element-local operator a Krylov solver iterates with.
@@ -408,6 +409,8 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
         let mut iterations = 0;
         let mut rel_res = 1.0;
 
+        // lint: alloc-free (the CG iteration loop reuses preallocated scratch; one
+        // allocation per iteration would dominate small solves)
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
             operator_seconds += self.apply_operator_into(&scratch.p, &mut scratch.w);

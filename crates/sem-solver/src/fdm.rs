@@ -588,6 +588,8 @@ impl Preconditioner for FdmPreconditioner {
         self.modeled_seconds
     }
 
+    // lint: alloc-free (runs once per CG iteration; scratch lives in a
+    // thread-local and is resized only on shape change)
     fn apply_into(&self, r: &ElementField, z: &mut ElementField) {
         assert_eq!(r.degree(), self.degree, "residual degree mismatch");
         assert_eq!(
@@ -643,12 +645,12 @@ impl Preconditioner for FdmPreconditioner {
                 let (ei, ej, ek) = (e % ex, (e / ex) % ey, e / (ex * ey));
                 // Coarse restriction of the counting-weighted residual.
                 if let Some(coarse) = &self.coarse {
-                    let range = e * npts..(e + 1) * npts;
+                    let start = e * npts;
                     for ((d, &rv), &wv) in s
                         .staged
                         .iter_mut()
-                        .zip(&r.as_slice()[range.clone()])
-                        .zip(&self.weight.as_slice()[range])
+                        .zip(&r.as_slice()[start..start + npts])
+                        .zip(&self.weight.as_slice()[start..start + npts])
                     {
                         *d = rv * wv;
                     }

@@ -66,6 +66,7 @@ impl JacobiPreconditioner {
 }
 
 impl Preconditioner for JacobiPreconditioner {
+    // lint: alloc-free (runs once per CG iteration against caller scratch)
     fn apply_into(&self, r: &ElementField, z: &mut ElementField) {
         z.copy_from(r);
         z.pointwise_mul(&self.inverse_diagonal);

@@ -20,7 +20,7 @@
 //!   benches (fixed iteration count, FLOP accounting).
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod cg;
 pub mod fdm;

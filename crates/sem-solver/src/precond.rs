@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<_> = PrecondSpec::all().iter().map(|s| s.label()).collect();
+        let labels: Vec<_> = PrecondSpec::all().iter().map(PrecondSpec::label).collect();
         assert_eq!(labels, vec!["identity", "jacobi", "fdm"]);
         assert_eq!(format!("{}", PrecondSpec::Fdm), "fdm");
     }

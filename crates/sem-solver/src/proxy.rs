@@ -12,6 +12,7 @@ use crate::precond::PrecondSpec;
 use sem_kernel::AxImplementation;
 use sem_mesh::BoxMesh;
 use serde::{Deserialize, Serialize};
+// lint: wall-clock (the proxy benchmark harness times full solves)
 use std::time::Instant;
 
 /// Configuration of a proxy run.

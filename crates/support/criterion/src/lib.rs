@@ -180,10 +180,7 @@ fn report(name: &str, samples: &Samples, throughput: Option<Throughput>) {
         }
         _ => String::new(),
     };
-    println!(
-        "  {name}: median {:?} (min {:?}, max {:?}){rate}",
-        median, min, max
-    );
+    println!("  {name}: median {median:?} (min {min:?}, max {max:?}){rate}");
 }
 
 /// Define a function running a list of benchmark functions, criterion-style.

@@ -3,6 +3,7 @@
 //! semantics (a receive on an empty channel with no live senders fails
 //! instead of blocking forever).
 
+use crate::sched::{self, SchedOp};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -75,6 +76,7 @@ pub struct Sender<T> {
 impl<T> Sender<T> {
     /// Send a message; fails only if the receiver was dropped.
     pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        sched::yield_point(SchedOp::ChannelSend);
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         if !inner.receiver_alive {
             return Err(SendError(message));
@@ -116,6 +118,7 @@ pub struct Receiver<T> {
 impl<T> Receiver<T> {
     /// Block until a message arrives or every sender is gone.
     pub fn recv(&self) -> Result<T, RecvError> {
+        sched::yield_point(SchedOp::ChannelRecv);
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         loop {
             if let Some(message) = inner.queue.pop_front() {
@@ -134,6 +137,7 @@ impl<T> Receiver<T> {
 
     /// Take a message if one is already queued.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        sched::yield_point(SchedOp::ChannelRecv);
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         match inner.queue.pop_front() {
             Some(message) => Ok(message),
@@ -242,7 +246,7 @@ mod tests {
             drop(tx);
             let mut counts = [0usize; 4];
             let mut last_seen = [None::<usize>; 4];
-            for (producer, i) in rx.iter() {
+            for (producer, i) in &rx {
                 counts[producer] += 1;
                 // Per-sender FIFO: each producer's messages arrive in order.
                 assert!(last_seen[producer].is_none_or(|prev| prev < i));

@@ -7,6 +7,7 @@
 //! kept for API fidelity but this implementation never returns it — steals
 //! block briefly on the lock instead of spinning.
 
+use crate::sched::{self, SchedOp};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -90,11 +91,13 @@ impl<T> Injector<T> {
 
     /// Push an item onto the back of the queue.
     pub fn push(&self, item: T) {
+        sched::yield_point(SchedOp::InjectorPush);
         self.shared.push_back(item);
     }
 
     /// Steal the oldest item.
     pub fn steal(&self) -> Steal<T> {
+        sched::yield_point(SchedOp::InjectorSteal);
         match self.shared.pop_front() {
             Some(item) => Steal::Success(item),
             None => Steal::Empty,
@@ -133,11 +136,13 @@ impl<T> Worker<T> {
 
     /// Push an item onto the back of the queue.
     pub fn push(&self, item: T) {
+        sched::yield_point(SchedOp::WorkerPush);
         self.shared.push_back(item);
     }
 
     /// Pop the oldest item (owner side).
     pub fn pop(&self) -> Option<T> {
+        sched::yield_point(SchedOp::WorkerPop);
         self.shared.pop_front()
     }
 
@@ -179,6 +184,7 @@ impl<T> Clone for Stealer<T> {
 impl<T> Stealer<T> {
     /// Steal the newest item from the worker's queue.
     pub fn steal(&self) -> Steal<T> {
+        sched::yield_point(SchedOp::WorkerSteal);
         match self.shared.pop_back() {
             Some(item) => Steal::Success(item),
             None => Steal::Empty,

@@ -1,6 +1,8 @@
 //! Vendored stand-in for the subset of `crossbeam` this workspace uses:
 //! the work-stealing deque trio ([`deque::Injector`], [`deque::Worker`],
-//! [`deque::Stealer`]) and an unbounded MPSC [`channel`].
+//! [`deque::Stealer`]) and an unbounded MPSC [`channel`], instrumented with
+//! a pluggable schedule hook ([`sched`]) for systematic interleaving
+//! exploration (a no-op unless a test explorer installs a controller).
 //!
 //! The offline build environment cannot fetch the real `crossbeam`, so this
 //! crate provides the same API surface backed by `std::sync` primitives
@@ -22,3 +24,4 @@
 
 pub mod channel;
 pub mod deque;
+pub mod sched;

@@ -78,8 +78,7 @@ impl<T: Send> EnumeratedChunksMut<'_, T> {
         }
         let num_chunks = slice.len().div_ceil(chunk_size);
         let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+            .map_or(1, NonZeroUsize::get)
             .min(num_chunks);
 
         if threads <= 1 {
@@ -116,6 +115,7 @@ impl<T: Send> EnumeratedChunksMut<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::num::NonZeroUsize;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -148,9 +148,7 @@ mod tests {
                 || inits.fetch_add(1, Ordering::SeqCst),
                 |_, (_, chunk)| chunk[0] = 1,
             );
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let threads = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
         assert!(inits.load(Ordering::SeqCst) <= threads.min(64));
         assert!(data.iter().all(|&v| v == 1));
     }

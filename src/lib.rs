@@ -46,7 +46,7 @@
 //! ```
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use arch_db as archdb;
 pub use fpga_sim as fpga;
