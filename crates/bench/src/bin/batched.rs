@@ -3,15 +3,24 @@
 //! `SemSystem::solve_many` and record how the per-RHS cost falls as the
 //! offload transfer amortises and the CG scratch is reused.
 //!
+//! A second sweep walks every degree the specialized kernel family covers
+//! (N = 3..=15) and times the same manufactured solve through the pinned
+//! generic `optimized` kernel versus the degree-specialized dispatch,
+//! recording the per-RHS operator seconds of each and their ratio — the
+//! measured payoff of compile-time `NX` that motivates the whole layer.
+//!
 //! Writes `BENCH_batched.json` next to the working directory so successive
-//! PRs can track the batched-serving trajectory, and prints a summary table.
+//! PRs can track the batched-serving trajectory, and prints summary tables.
 //!
 //! Run with `cargo run --release -p bench --bin batched -- [degree] [elements_per_side]`
 //! (CI runs tiny sizes as a smoke step: `-- 3 2`).
 
 use bench::table::{fmt, TableWriter};
 use sem_accel::{Backend, PerfSource, SemSystem};
-use sem_solver::CgOptions;
+use sem_kernel::specialized::{MAX_DEGREE, MIN_DEGREE};
+use sem_kernel::AxImplementation;
+use sem_mesh::{BoxMesh, ElementField, MeshDeformation};
+use sem_solver::{CgOptions, PoissonProblem, PrecondSpec};
 use serde::Serialize;
 
 /// Batch sizes of the sweep (the serving shapes the ROADMAP names).
@@ -45,6 +54,35 @@ struct BatchedRow {
     max_error: f64,
 }
 
+/// One degree of the generic-vs-specialized kernel comparison: the same
+/// manufactured Jacobi-CG solve run once through the pinned generic
+/// `optimized` kernel and once through the degree-specialized dispatch
+/// (which is what `cpu:specialized` — and the auto-upgraded `cpu:optimized`
+/// — executes in production).
+#[derive(Debug, Clone, Serialize)]
+struct DegreeRow {
+    degree: usize,
+    /// Elements per side of the sweep mesh (capped below the main sweep's
+    /// so the full 13-degree walk stays a bench step, not a campaign).
+    elements_per_side: usize,
+    /// CG iterations of the solve — identical for both variants because the
+    /// specialized kernel is bitwise identical to the generic one.
+    iterations: usize,
+    /// Vector width of the generated kernel at this degree (the same
+    /// structural constant `fpga_sim` derives its design unroll from).
+    unroll: usize,
+    /// Per-RHS operator seconds through the pinned generic kernel.
+    generic_per_rhs_operator_seconds: f64,
+    /// Per-RHS operator seconds through the specialized dispatch.
+    specialized_per_rhs_operator_seconds: f64,
+    /// Generic over specialized per-RHS operator seconds (> 1 means the
+    /// compile-time `NX` kernels win).
+    speedup: f64,
+    /// Max |specialized − reference| of one operator application on the
+    /// manufactured exact field (parity, not convergence error).
+    max_error: f64,
+}
+
 /// The persisted sweep.
 #[derive(Debug, Clone, Serialize)]
 struct BatchedBenchReport {
@@ -52,6 +90,75 @@ struct BatchedBenchReport {
     elements_per_side: usize,
     batches: Vec<usize>,
     rows: Vec<BatchedRow>,
+    /// Generic-vs-specialized kernel timing for every covered degree.
+    degree_sweep: Vec<DegreeRow>,
+}
+
+/// Time the manufactured solve through `operator` and return the best
+/// per-RHS operator seconds over `reps` runs plus the iteration count.
+fn time_solve(
+    problem: &PoissonProblem,
+    operator: &sem_kernel::PoissonOperator,
+    options: CgOptions,
+    reps: usize,
+) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..reps {
+        let solution = problem.solve_manufactured_through(operator, options, PrecondSpec::Jacobi);
+        best = best.min(solution.cg.operator_seconds);
+        iterations = solution.cg.iterations;
+    }
+    (best, iterations)
+}
+
+/// Walk every specialized degree, timing generic vs specialized kernels on
+/// the same problem and checking one application against the reference
+/// kernel.
+fn sweep_degrees(per_side: usize) -> Vec<DegreeRow> {
+    // Timing-oriented options: enough iterations to integrate over, bounded
+    // so the 13-degree sweep stays quick even at N = 15.
+    let options = CgOptions {
+        max_iterations: 300,
+        tolerance: 1e-8,
+        record_history: false,
+    };
+    let mut rows = Vec::new();
+    for degree in MIN_DEGREE..=MAX_DEGREE {
+        let mesh = BoxMesh::new(degree, [per_side; 3], [1.0; 3], MeshDeformation::None);
+        let problem = PoissonProblem::new(mesh, AxImplementation::Specialized);
+        let specialized = problem.operator();
+        let mut generic = specialized.clone();
+        generic.pin_generic();
+        let mut reference = specialized.clone();
+        reference.set_implementation(AxImplementation::Reference);
+
+        let exact = problem.manufactured_exact();
+        let mut w_specialized = ElementField::zeros(degree, problem.mesh().num_elements());
+        let mut w_reference = w_specialized.clone();
+        specialized.apply_into(&exact, &mut w_specialized);
+        reference.apply_into(&exact, &mut w_reference);
+        let max_error = w_specialized
+            .as_slice()
+            .iter()
+            .zip(w_reference.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+
+        let (generic_seconds, iterations) = time_solve(&problem, &generic, options, 2);
+        let (specialized_seconds, _) = time_solve(&problem, specialized, options, 2);
+        rows.push(DegreeRow {
+            degree,
+            elements_per_side: per_side,
+            iterations,
+            unroll: sem_kernel::kernel_structure(degree).map_or(1, |structure| structure.unroll),
+            generic_per_rhs_operator_seconds: generic_seconds,
+            specialized_per_rhs_operator_seconds: specialized_seconds,
+            speedup: generic_seconds / specialized_seconds.max(f64::MIN_POSITIVE),
+            max_error,
+        });
+    }
+    rows
 }
 
 fn main() {
@@ -137,11 +244,42 @@ fn main() {
     }
     table.print();
 
+    // Degree sweep: generic vs specialized kernel, every covered degree, on
+    // a mesh capped at 3^3 elements so the walk stays a bench step.
+    let sweep_side = per_side.min(3);
+    println!(
+        "\nDegree sweep: generic vs specialized kernels, N = {MIN_DEGREE}..={MAX_DEGREE}, \
+         {sweep_side}x{sweep_side}x{sweep_side} elements\n"
+    );
+    let degree_sweep = sweep_degrees(sweep_side);
+    let mut sweep_table = TableWriter::new(vec![
+        "N",
+        "unroll",
+        "iters",
+        "generic op/RHS (ms)",
+        "specialized op/RHS (ms)",
+        "speedup",
+        "max err",
+    ]);
+    for row in &degree_sweep {
+        sweep_table.row(vec![
+            row.degree.to_string(),
+            row.unroll.to_string(),
+            row.iterations.to_string(),
+            fmt(row.generic_per_rhs_operator_seconds * 1e3, 3),
+            fmt(row.specialized_per_rhs_operator_seconds * 1e3, 3),
+            format!("{:.2}x", row.speedup),
+            format!("{:.1e}", row.max_error),
+        ]);
+    }
+    sweep_table.print();
+
     let report = BatchedBenchReport {
         degree,
         elements_per_side: per_side,
         batches: BATCHES.to_vec(),
         rows,
+        degree_sweep,
     };
     let json = serde::json::to_string(&report);
     std::fs::write("BENCH_batched.json", &json).expect("write BENCH_batched.json");

@@ -90,10 +90,17 @@ pub struct AcceleratorDesign {
 }
 
 impl AcceleratorDesign {
-    /// The production design for `degree` on `device`: the largest
-    /// power-of-two unroll that divides `N + 1`, fits in the fabric next to
-    /// the calibrated base design, and does not exceed the bandwidth bound at
-    /// the memory clock.
+    /// The production design for `degree` on `device`.
+    ///
+    /// For degrees the degree-specialized CPU kernel family covers, the
+    /// unroll factor and initiation interval come from the generated
+    /// kernel's own structure ([`sem_kernel::kernel_structure`]): the
+    /// kernel's arbitration-free vector width, narrowed by halving — each
+    /// halving keeps it a power-of-two divisor of `N + 1` — until it fits
+    /// the fabric next to the calibrated base design and the bandwidth
+    /// bound at the memory clock.  Measured CPU structure and modeled FPGA
+    /// structure therefore share one source of truth.  Degrees outside the
+    /// generated range fall back to the closed-form arbitration policy.
     #[must_use]
     pub fn for_degree(degree: usize, device: &FpgaDevice) -> Self {
         let base = calibrated_base(degree);
@@ -105,13 +112,24 @@ impl AcceleratorDesign {
             device.memory_clock_mhz,
         );
         let unconstrained = resource_limit.min(bandwidth_limit);
-        let unroll =
-            constrain_throughput(unconstrained, degree, ArbitrationPolicy::PowerOfTwoDivisor)
-                .max(1.0) as usize;
+        let (unroll, initiation_interval) = match sem_kernel::kernel_structure(degree) {
+            Some(kernel) => {
+                let mut unroll = kernel.unroll;
+                while unroll > 1 && unroll as f64 > unconstrained {
+                    unroll /= 2;
+                }
+                (unroll, kernel.initiation_interval)
+            }
+            None => (
+                constrain_throughput(unconstrained, degree, ArbitrationPolicy::PowerOfTwoDivisor)
+                    .max(1.0) as usize,
+                1,
+            ),
+        };
         Self {
             degree,
             unroll,
-            initiation_interval: 1,
+            initiation_interval,
             host_padding: false,
             memory_allocation: MemoryAllocation::Banked,
             stage: OptimizationStage::Banked,
@@ -209,5 +227,29 @@ mod tests {
         let ideal = FpgaDevice::hypothetical_ideal();
         let d = AcceleratorDesign::for_degree(15, &ideal);
         assert!(d.unroll >= 16, "unroll {}", d.unroll);
+    }
+
+    #[test]
+    fn covered_degrees_consume_the_generated_kernel_structure() {
+        let ideal = FpgaDevice::hypothetical_ideal();
+        let gx2800 = FpgaDevice::stratix10_gx2800();
+        for degree in 3..=15 {
+            let kernel = sem_kernel::kernel_structure(degree).unwrap();
+            for device in [&ideal, &gx2800] {
+                let d = AcceleratorDesign::for_degree(degree, device);
+                // The design's unroll is the kernel's vector width, possibly
+                // halved to fit the device — never some unrelated constant.
+                assert!(
+                    kernel.unroll.is_multiple_of(d.unroll) && d.unroll <= kernel.unroll,
+                    "degree {degree}: design unroll {} vs kernel unroll {}",
+                    d.unroll,
+                    kernel.unroll
+                );
+                assert_eq!(d.initiation_interval, kernel.initiation_interval);
+            }
+        }
+        // An unconstrained device inherits the kernel's full vector width.
+        let d15 = AcceleratorDesign::for_degree(15, &ideal);
+        assert_eq!(d15.unroll, sem_kernel::kernel_structure(15).unwrap().unroll);
     }
 }

@@ -235,6 +235,7 @@ impl CpuBackend {
             AxImplementation::Reference => "cpu-reference",
             AxImplementation::Optimized => "cpu-optimized",
             AxImplementation::Parallel => "cpu-parallel",
+            AxImplementation::Specialized => "cpu-specialized",
         }
     }
 }

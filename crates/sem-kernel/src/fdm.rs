@@ -27,10 +27,15 @@ impl FdmScratch {
         }
     }
 
+    /// Grow-only resize: shrinking to a smaller patch reuses the existing
+    /// allocations (the apply only touches the first `nx³` entries), so
+    /// mixed-degree batches stay allocation-free after the first element of
+    /// the largest size.
     fn ensure(&mut self, nx: usize) {
         let npts = nx * nx * nx;
-        if self.t1.len() != npts {
-            *self = Self::new(nx);
+        if self.t1.len() < npts {
+            self.t1.resize(npts, 0.0);
+            self.t2.resize(npts, 0.0);
         }
     }
 }
@@ -154,7 +159,10 @@ pub fn fdm_element_apply(
     debug_assert_eq!(z.len(), npts);
     debug_assert_eq!(inv.len(), npts);
     scratch.ensure(nx);
-    let FdmScratch { t1, t2 } = scratch;
+    // Slice to the active patch size: the scratch may be larger when a
+    // previous patch had a higher degree (grow-only `ensure`).
+    let t1 = &mut scratch.t1[..npts];
+    let t2 = &mut scratch.t2[..npts];
 
     // Forward: modal coefficients c = (Szᵀ ⊗ Syᵀ ⊗ Sxᵀ) r.
     contract_x(st[0], r, t1, nx);
@@ -322,6 +330,18 @@ mod tests {
         for (a, b) in z.iter().zip(&r) {
             assert!((a - 2.0 * b).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn ensure_reuses_the_allocation_when_shrinking() {
+        let mut scratch = FdmScratch::new(9);
+        let ptr = scratch.t1.as_ptr();
+        let cap = scratch.t1.capacity();
+        scratch.ensure(4);
+        assert_eq!(scratch.t1.as_ptr(), ptr, "shrinking must not reallocate");
+        assert_eq!(scratch.t1.capacity(), cap);
+        scratch.ensure(9);
+        assert_eq!(scratch.t1.as_ptr(), ptr);
     }
 
     #[test]

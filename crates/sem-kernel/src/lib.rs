@@ -17,6 +17,12 @@
 //! * [`parallel`] — the optimised kernel dispatched over elements with Rayon,
 //!   the multi-core CPU baseline of the evaluation.
 //!
+//! [`specialized`] layers degree-specialized codegen on top: const-generic
+//! kernel families with `NX = N + 1` baked in for the hot degrees
+//! `N = 3..=15`, resolved once via [`specialized::DegreeDispatch`] and
+//! bitwise identical to [`optimized`] (the Rust-native analogue of the
+//! paper's fixed-degree HLS datapath).
+//!
 //! [`ops`] provides the FLOP / byte / DOF accounting used by every
 //! benchmark, matching the closed forms of Section IV, and [`assemble`]
 //! builds dense element matrices and operator diagonals for verification and
@@ -33,6 +39,7 @@ pub mod ops;
 pub mod optimized;
 pub mod parallel;
 pub mod reference;
+pub mod specialized;
 
 pub use fdm::{
     fdm_bytes_per_dof, fdm_flops_per_element, fdm_patch_points, rcontract_x, rcontract_y,
@@ -41,3 +48,4 @@ pub use fdm::{
 pub use helmholtz::{HelmholtzCost, HelmholtzOperator};
 pub use operator::{AxImplementation, PoissonOperator};
 pub use ops::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};
+pub use specialized::{kernel_structure, DegreeDispatch, KernelStructure};

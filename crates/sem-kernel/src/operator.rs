@@ -9,6 +9,7 @@ use crate::ops;
 use crate::optimized::ax_optimized;
 use crate::parallel::ax_parallel;
 use crate::reference::ax_reference;
+use crate::specialized::DegreeDispatch;
 use sem_basis::DerivativeMatrix;
 use sem_mesh::{BoxMesh, ElementField, GeometricFactors};
 use serde::{Deserialize, Serialize};
@@ -23,6 +24,10 @@ pub enum AxImplementation {
     Optimized,
     /// Split-layout kernel parallelised over elements with Rayon.
     Parallel,
+    /// Degree-specialized const-generic kernel (`NX = N + 1` compile-time,
+    /// see [`crate::specialized`]); bitwise identical to [`Self::Optimized`]
+    /// and falls back to it when the degree is outside `3..=15`.
+    Specialized,
 }
 
 /// The matrix-free local Poisson operator bound to a mesh.
@@ -34,6 +39,21 @@ pub struct PoissonOperator {
     geometry: GeometricFactors,
     split_planes: [Vec<f64>; 6],
     implementation: AxImplementation,
+    /// Specialized kernel family, resolved once at construction when the
+    /// selected implementation can use it and the degree is covered.
+    dispatch: Option<DegreeDispatch>,
+}
+
+/// Resolve the specialized dispatch for an implementation/degree pair:
+/// `Specialized` asks for it explicitly, and `Optimized` auto-upgrades
+/// (bitwise-identical results) when the degree is covered.
+fn resolve_dispatch(implementation: AxImplementation, degree: usize) -> Option<DegreeDispatch> {
+    match implementation {
+        AxImplementation::Optimized | AxImplementation::Specialized => {
+            DegreeDispatch::for_degree(degree)
+        }
+        AxImplementation::Reference | AxImplementation::Parallel => None,
+    }
 }
 
 impl PoissonOperator {
@@ -63,6 +83,7 @@ impl PoissonOperator {
             geometry,
             split_planes,
             implementation,
+            dispatch: resolve_dispatch(implementation, degree),
         }
     }
 
@@ -85,9 +106,25 @@ impl PoissonOperator {
     }
 
     /// Switch implementation (e.g. reference for verification, parallel for
-    /// throughput runs).
+    /// throughput runs).  Re-resolves the specialized dispatch.
     pub fn set_implementation(&mut self, implementation: AxImplementation) {
         self.implementation = implementation;
+        self.dispatch = resolve_dispatch(implementation, self.degree);
+    }
+
+    /// The specialized kernel family serving this operator, when one is
+    /// resolved (`Optimized` auto-upgrades on covered degrees; `None` means
+    /// the generic path runs).
+    #[must_use]
+    pub fn dispatch(&self) -> Option<&DegreeDispatch> {
+        self.dispatch.as_ref()
+    }
+
+    /// Pin the generic kernels even when the degree is covered — the
+    /// escape hatch benchmarks use to measure generic-vs-specialized on the
+    /// same operator configuration.
+    pub fn pin_generic(&mut self) {
+        self.dispatch = None;
     }
 
     /// The differentiation matrix.
@@ -136,12 +173,33 @@ impl PoissonOperator {
                 self.geometry.interleaved(),
                 &self.derivative,
             ),
-            AxImplementation::Optimized => ax_optimized(
-                u.as_slice(),
-                w.as_mut_slice(),
-                &self.split_planes,
-                &self.derivative,
-            ),
+            AxImplementation::Optimized | AxImplementation::Specialized => {
+                if let Some(dispatch) = &self.dispatch {
+                    dispatch.ax_apply_all(
+                        u.as_slice(),
+                        w.as_mut_slice(),
+                        [
+                            &self.split_planes[0][..],
+                            &self.split_planes[1][..],
+                            &self.split_planes[2][..],
+                            &self.split_planes[3][..],
+                            &self.split_planes[4][..],
+                            &self.split_planes[5][..],
+                        ],
+                        self.derivative.d().as_slice(),
+                        self.derivative.dt().as_slice(),
+                    );
+                } else {
+                    // Out-of-range degree (or pinned generic): the generic
+                    // split-layout kernel is the fallback path.
+                    ax_optimized(
+                        u.as_slice(),
+                        w.as_mut_slice(),
+                        &self.split_planes,
+                        &self.derivative,
+                    );
+                }
+            }
             AxImplementation::Parallel => ax_parallel(
                 u.as_slice(),
                 w.as_mut_slice(),
@@ -200,6 +258,50 @@ mod tests {
             assert!((a - b).abs() < 1e-11 * (1.0 + a.abs()));
             assert_eq!(b, c, "optimized and parallel are bitwise identical");
         }
+    }
+
+    #[test]
+    fn specialized_dispatch_resolves_once_and_is_bitwise_identical() {
+        let mesh = BoxMesh::unit_cube(5, 2);
+        let mut op = PoissonOperator::new(&mesh, AxImplementation::Specialized);
+        assert!(op.dispatch().is_some(), "degree 5 is covered");
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut u = ElementField::zeros(5, 8);
+        u.as_mut_slice()
+            .iter_mut()
+            .for_each(|v| *v = rng.gen_range(-1.0..1.0));
+        let w_spec = op.apply(&u);
+        op.pin_generic();
+        assert!(op.dispatch().is_none());
+        let w_gen = op.apply(&u);
+        assert_eq!(w_spec.as_slice(), w_gen.as_slice());
+    }
+
+    #[test]
+    fn optimized_auto_upgrades_on_covered_degrees_only() {
+        let covered = PoissonOperator::new(&BoxMesh::unit_cube(7, 1), AxImplementation::Optimized);
+        assert!(covered.dispatch().is_some());
+        let low = PoissonOperator::new(&BoxMesh::unit_cube(2, 1), AxImplementation::Optimized);
+        assert!(low.dispatch().is_none());
+        let reference =
+            PoissonOperator::new(&BoxMesh::unit_cube(7, 1), AxImplementation::Reference);
+        assert!(reference.dispatch().is_none());
+    }
+
+    #[test]
+    fn specialized_out_of_range_falls_back_without_panicking() {
+        let mesh = BoxMesh::unit_cube(2, 2);
+        let mut op = PoissonOperator::new(&mesh, AxImplementation::Specialized);
+        assert!(op.dispatch().is_none(), "degree 2 is below the range");
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut u = ElementField::zeros(2, 8);
+        u.as_mut_slice()
+            .iter_mut()
+            .for_each(|v| *v = rng.gen_range(-1.0..1.0));
+        let w_spec = op.apply(&u);
+        op.set_implementation(AxImplementation::Optimized);
+        let w_opt = op.apply(&u);
+        assert_eq!(w_spec.as_slice(), w_opt.as_slice());
     }
 
     #[test]

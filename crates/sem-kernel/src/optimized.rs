@@ -41,10 +41,23 @@ impl AxScratch {
         }
     }
 
+    /// Grow-only resize: shrinking to a smaller degree reuses the existing
+    /// allocations (the kernel only touches the first `nx³` entries), so
+    /// mixed-degree batches stay allocation-free after the first element of
+    /// the largest size.
     fn ensure(&mut self, nx: usize) {
         let npts = nx * nx * nx;
-        if self.shur.len() != npts {
-            *self = Self::new(nx);
+        if self.shur.len() < npts {
+            for buf in [
+                &mut self.shur,
+                &mut self.shus,
+                &mut self.shut,
+                &mut self.ur,
+                &mut self.us,
+                &mut self.ut,
+            ] {
+                buf.resize(npts, 0.0);
+            }
         }
     }
 }
@@ -79,9 +92,11 @@ pub fn ax_element_split(
     // us(i,j,k) = sum_l D[j][l] u(i,l,k)
     // ut(i,j,k) = sum_l D[k][l] u(i,j,l)
     {
-        let ur = &mut scratch.ur;
-        let us = &mut scratch.us;
-        let ut = &mut scratch.ut;
+        // Slice to the active element size: the scratch may be larger when a
+        // previous element had a higher degree (grow-only `ensure`).
+        let ur = &mut scratch.ur[..npts];
+        let us = &mut scratch.us[..npts];
+        let ut = &mut scratch.ut[..npts];
         ur.iter_mut().for_each(|v| *v = 0.0);
         us.iter_mut().for_each(|v| *v = 0.0);
         ut.iter_mut().for_each(|v| *v = 0.0);
@@ -296,6 +311,24 @@ mod tests {
     fn random_field(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn ensure_reuses_the_allocation_when_shrinking() {
+        let mut scratch = AxScratch::new(8);
+        let cap = scratch.shur.capacity();
+        let ptr = scratch.shur.as_ptr();
+        scratch.ensure(4);
+        assert_eq!(scratch.shur.as_ptr(), ptr, "shrinking must not reallocate");
+        assert_eq!(scratch.shur.capacity(), cap);
+        scratch.ensure(8);
+        assert_eq!(
+            scratch.shur.as_ptr(),
+            ptr,
+            "growing back within capacity must not reallocate"
+        );
+        scratch.ensure(10);
+        assert!(scratch.shur.len() >= 10 * 10 * 10);
     }
 
     #[test]

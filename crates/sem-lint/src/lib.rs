@@ -6,8 +6,9 @@
 //!    pass framework runs repo-specific lints over every workspace source
 //!    file: wall-clock discipline ([`passes::wall_clock`]), hot-path
 //!    allocation hygiene ([`passes::alloc_free`]), backend-contract
-//!    coherence ([`passes::backend_contract`]), and an unsafe/panic audit
-//!    ([`passes::panic_audit`]).  Policy is declared in-source with
+//!    coherence ([`passes::backend_contract`]), an unsafe/panic audit
+//!    ([`passes::panic_audit`]), and bench-report schema pinning
+//!    ([`passes::bench_schema`]).  Policy is declared in-source with
 //!    [`markers`] (`// lint: …` comments); waivers require justifications
 //!    the linter parses, so exemptions are never silent.
 //! 2. **Race detection** — the `sem-lint` binary drives
@@ -173,11 +174,13 @@ pub fn run_passes(files: &[SourceFile]) -> Vec<Finding> {
 }
 
 /// Lint the whole workspace rooted at `root`: load, parse markers, run all
-/// passes.
+/// passes (including the root-aware bench-schema pass, which needs the
+/// committed `BENCH_*.json` reports next to the sources).
 #[must_use]
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     let (files, mut findings) = load_workspace(root);
     findings.extend(run_passes(&files));
+    findings.extend(passes::bench_schema::run(&files, root));
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
     });

@@ -60,14 +60,16 @@ fn run_races() -> bool {
             "VIOLATED"
         };
         println!(
-            "race: {:24} {} workers, {} jobs: {:5} schedules{} (longest trace {}) {status}",
+            "race: {:24} {} workers, {} jobs: {:5} schedules{} (longest trace {}, {} op-pair classes) {status}",
             report.name,
             report.workers,
             report.jobs,
             report.schedules,
             if report.exhausted { " [exhausted]" } else { "" },
             report.longest_trace,
+            report.transitions.len(),
         );
+        println!("race:   coverage: {}", report.transition_map());
         for violation in &report.violations {
             println!("race:   {violation}");
         }

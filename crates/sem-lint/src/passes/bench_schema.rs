@@ -1,0 +1,431 @@
+//! Bench-schema drift lint.
+//!
+//! The committed `BENCH_*.json` reports at the workspace root are written by
+//! the bench bins in `crates/bench/src/bin/` through serde.  Nothing ties
+//! the two together at compile time: renaming a report field silently
+//! orphans the committed JSON, and adding a field silently leaves the
+//! committed report stale until someone remembers to re-run the bench.
+//! This pass pins them to each other:
+//!
+//! 1. **Stale-code drift** — every key in a committed `BENCH_<name>.json`
+//!    must be a field of some `#[derive(Serialize)]` struct in the
+//!    workspace (support crates excluded).  A key nothing can produce means
+//!    the producing code was renamed or removed.
+//! 2. **Stale-report drift** — every field of every `Serialize` struct
+//!    defined in `crates/bench/src/bin/<name>.rs` must appear as a key in
+//!    its committed `BENCH_<name>.json` (when one is committed).  A missing
+//!    key means the bench was not re-run after the schema grew.  Fields
+//!    carrying a `#[serde(...)]` attribute (renames, conditional skips) are
+//!    exempt — the lexer does not evaluate serde's runtime behaviour.
+//! 3. Every committed `BENCH_<name>.json` must have a producing bin.
+
+use crate::lexer::{matching_brace, TokKind};
+use crate::passes::{next_code_token, prev_code_token};
+use crate::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+const PASS: &str = "bench-schema";
+
+/// One field of a `Serialize` struct: name, definition line, and whether a
+/// `#[serde(...)]` attribute sits on it (which exempts it from rule 2).
+struct FieldInfo {
+    name: String,
+    line: usize,
+    has_serde_attr: bool,
+}
+
+/// One `Serialize` struct found in a source file.
+struct StructInfo {
+    name: String,
+    fields: Vec<FieldInfo>,
+}
+
+/// Whether the token at `index` starts a `derive(...)` attribute argument
+/// list containing `Serialize`; returns the index just past the closing
+/// `)` when it does.
+fn serialize_derive_end(file: &SourceFile, index: usize) -> Option<usize> {
+    let toks = &file.tokens;
+    if !toks[index].is_ident("derive") {
+        return None;
+    }
+    let mut i = index + 1;
+    while i < toks.len() && toks[i].is_comment() {
+        i += 1;
+    }
+    if i >= toks.len() || !toks[i].is_punct('(') {
+        return None;
+    }
+    let mut depth = 1_usize;
+    let mut has_serialize = false;
+    i += 1;
+    while i < toks.len() && depth > 0 {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+        } else if toks[i].is_ident("Serialize") {
+            has_serialize = true;
+        }
+        i += 1;
+    }
+    if has_serialize {
+        Some(i)
+    } else {
+        None
+    }
+}
+
+/// Skip attributes (`#[...]`) and comments starting at `i`; returns the
+/// first index of real code.
+fn skip_attrs_and_comments(file: &SourceFile, mut i: usize) -> usize {
+    let toks = &file.tokens;
+    loop {
+        while i < toks.len() && toks[i].is_comment() {
+            i += 1;
+        }
+        if i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+            let mut depth = 0_usize;
+            i += 1;
+            while i < toks.len() {
+                if toks[i].is_punct('[') {
+                    depth += 1;
+                } else if toks[i].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// All `#[derive(...Serialize...)]` structs with named fields in `file`.
+fn serialize_structs(file: &SourceFile) -> Vec<StructInfo> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let Some(after_derive) = serialize_derive_end(file, i) else {
+            i += 1;
+            continue;
+        };
+        // Expect (after further attributes): `pub? struct Name ... {`.
+        let mut j = skip_attrs_and_comments(file, after_derive);
+        // The derive's closing `]` is consumed by skip only if we land on
+        // `#`; step over a stray `]` from the enclosing attribute.
+        while j < toks.len() && toks[j].is_punct(']') {
+            j = skip_attrs_and_comments(file, j + 1);
+        }
+        if j < toks.len() && toks[j].is_ident("pub") {
+            j += 1;
+            // `pub(crate)` and friends.
+            if j < toks.len() && toks[j].is_punct('(') {
+                while j < toks.len() && !toks[j].is_punct(')') {
+                    j += 1;
+                }
+                j += 1;
+            }
+        }
+        if j >= toks.len() || !toks[j].is_ident("struct") {
+            i = after_derive;
+            continue;
+        }
+        let Some(name_tok) = toks.get(j + 1) else {
+            break;
+        };
+        let name = name_tok.text.clone();
+        // Find the opening brace (skipping generics); tuple/unit structs
+        // hit `(`/`;` first and are skipped.
+        let mut k = j + 2;
+        let mut body_open = None;
+        while k < toks.len() {
+            if toks[k].is_punct('{') {
+                body_open = Some(k);
+                break;
+            }
+            if toks[k].is_punct('(') || toks[k].is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let Some(open) = body_open else {
+            i = after_derive;
+            continue;
+        };
+        let close = matching_brace(toks, open);
+        let mut fields = Vec::new();
+        let mut depth = 0_usize;
+        let mut t = open + 1;
+        while t < close {
+            let tok = &toks[t];
+            if tok.is_punct('{') || tok.is_punct('(') || tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct('}') || tok.is_punct(')') || tok.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && tok.kind == TokKind::Ident {
+                // A field name: `ident :` not part of a `::` path.
+                let next_is_colon = next_code_token(toks, t).is_some_and(|n| n.is_punct(':'));
+                let prev_is_colon = prev_code_token(toks, t).is_some_and(|p| p.is_punct(':'));
+                let colon_index = (t + 1..close).find(|&c| !toks[c].is_comment());
+                let double_colon = colon_index
+                    .and_then(|c| (c + 1..close).find(|&c2| !toks[c2].is_comment()))
+                    .is_some_and(|c2| toks[c2].is_punct(':'));
+                if next_is_colon && !prev_is_colon && !double_colon {
+                    // Any `#[serde(...)]` attribute between the previous
+                    // comma (or the body start) and the field exempts it.
+                    let has_serde_attr = field_has_serde_attr(file, open, t);
+                    fields.push(FieldInfo {
+                        name: tok.text.clone(),
+                        line: tok.line,
+                        has_serde_attr,
+                    });
+                }
+            }
+            t += 1;
+        }
+        out.push(StructInfo { name, fields });
+        i = close + 1;
+    }
+    out
+}
+
+/// Whether a `serde` attribute sits between the previous field separator
+/// and the field name at `field_index`.
+fn field_has_serde_attr(file: &SourceFile, body_open: usize, field_index: usize) -> bool {
+    let toks = &file.tokens;
+    let mut i = field_index;
+    // Walk back to the previous `,` or the body's `{`, looking for `serde`
+    // inside an attribute.
+    while i > body_open {
+        i -= 1;
+        let tok = &toks[i];
+        if tok.is_punct(',') || i == body_open {
+            break;
+        }
+        if tok.is_ident("serde") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Keys of a JSON document: every quoted string directly followed by `:`.
+fn json_keys(text: &str) -> BTreeSet<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut keys = BTreeSet::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '"' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut key = String::new();
+        while j < chars.len() && chars[j] != '"' {
+            if chars[j] == '\\' && j + 1 < chars.len() {
+                j += 1;
+            }
+            key.push(chars[j]);
+            j += 1;
+        }
+        let mut k = j + 1;
+        while k < chars.len() && chars[k].is_whitespace() {
+            k += 1;
+        }
+        if k < chars.len() && chars[k] == ':' {
+            keys.insert(key);
+        }
+        i = j + 1;
+    }
+    keys
+}
+
+/// The core check, separated from filesystem discovery for testability:
+/// `reports` maps a report name (`batched` for `BENCH_batched.json`) to its
+/// JSON text.
+fn check(files: &[SourceFile], reports: &BTreeMap<String, String>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Rule 1 needs the union of Serialize-struct fields across the repo.
+    let mut workspace_fields: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        if file.is_support() {
+            continue;
+        }
+        for s in serialize_structs(file) {
+            workspace_fields.extend(s.fields.into_iter().map(|f| f.name));
+        }
+    }
+
+    for (name, text) in reports {
+        let json_rel = format!("BENCH_{name}.json");
+        let bin_rel = format!("crates/bench/src/bin/{name}.rs");
+        let keys = json_keys(text);
+        let Some(bin) = files.iter().find(|f| f.rel == bin_rel) else {
+            findings.push(Finding {
+                pass: PASS,
+                file: json_rel,
+                line: 1,
+                message: format!("no producing bench bin at {bin_rel}"),
+            });
+            continue;
+        };
+
+        // Rule 1: every JSON key must be producible by some struct.
+        for key in &keys {
+            if !workspace_fields.contains(key) {
+                findings.push(Finding {
+                    pass: PASS,
+                    file: json_rel.clone(),
+                    line: 1,
+                    message: format!(
+                        "key `{key}` matches no field of any Serialize struct in the \
+                         workspace (stale report or renamed field — re-run the bench)"
+                    ),
+                });
+            }
+        }
+
+        // Rule 2: every field the bin's own report structs declare must be
+        // in the committed JSON.
+        for s in serialize_structs(bin) {
+            for field in &s.fields {
+                if field.has_serde_attr {
+                    continue;
+                }
+                if !keys.contains(&field.name) {
+                    findings.push(bin.finding(
+                        PASS,
+                        field.line,
+                        format!(
+                            "field `{}` of Serialize struct `{}` is missing from {json_rel} \
+                             (stale committed report — re-run the bench)",
+                            field.name, s.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Run the pass: discover committed `BENCH_*.json` reports at `root` and
+/// check them against the workspace sources (see module docs).
+#[must_use]
+pub fn run(files: &[SourceFile], root: &Path) -> Vec<Finding> {
+    let mut reports = BTreeMap::new();
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let file_name = entry.file_name();
+            let Some(name) = file_name.to_str() else {
+                continue;
+            };
+            if let Some(stem) = name
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+            {
+                if let Ok(text) = std::fs::read_to_string(entry.path()) {
+                    reports.insert(stem.to_string(), text);
+                }
+            }
+        }
+    }
+    check(files, &reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(rel: &str, text: &str) -> SourceFile {
+        let (file, errors) = SourceFile::parse(rel.to_string(), text);
+        assert!(errors.is_empty(), "{errors:?}");
+        file
+    }
+
+    const BIN: &str = r#"
+        use serde::Serialize;
+        #[derive(Debug, Clone, Serialize)]
+        struct Report {
+            degree: usize,
+            rows: Vec<Row>,
+        }
+        #[derive(Serialize)]
+        pub struct Row {
+            backend: String,
+            seconds: f64,
+            #[serde(skip_serializing_if = "Option::is_none")]
+            optional_note: Option<String>,
+        }
+        struct NotSerialized {
+            internal: usize,
+        }
+    "#;
+
+    #[test]
+    fn extracts_serialize_struct_fields_only() {
+        let file = source("crates/bench/src/bin/demo.rs", BIN);
+        let structs = serialize_structs(&file);
+        let names: Vec<&str> = structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["Report", "Row"]);
+        let row = &structs[1];
+        let fields: Vec<&str> = row.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, vec!["backend", "seconds", "optional_note"]);
+        assert!(row.fields[2].has_serde_attr);
+        assert!(!row.fields[0].has_serde_attr);
+    }
+
+    #[test]
+    fn json_keys_ignore_values_with_colons() {
+        let keys = json_keys(r#"{"backend":"cpu:optimized","rows":[{"seconds":1.5}]}"#);
+        assert_eq!(
+            keys.into_iter().collect::<Vec<_>>(),
+            vec!["backend", "rows", "seconds"]
+        );
+    }
+
+    #[test]
+    fn consistent_report_is_clean() {
+        let file = source("crates/bench/src/bin/demo.rs", BIN);
+        let mut reports = BTreeMap::new();
+        reports.insert(
+            "demo".to_string(),
+            r#"{"degree":7,"rows":[{"backend":"cpu:optimized","seconds":0.5}]}"#.to_string(),
+        );
+        let findings = check(std::slice::from_ref(&file), &reports);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_report_key_and_missing_field_are_flagged() {
+        let file = source("crates/bench/src/bin/demo.rs", BIN);
+        let mut reports = BTreeMap::new();
+        // `old_name` no longer exists in any struct; `seconds` is missing
+        // from the committed report.
+        reports.insert(
+            "demo".to_string(),
+            r#"{"degree":7,"old_name":1,"rows":[{"backend":"x"}]}"#.to_string(),
+        );
+        let findings = check(std::slice::from_ref(&file), &reports);
+        let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(messages[0].contains("`old_name`"));
+        assert!(messages[1].contains("`seconds`"));
+    }
+
+    #[test]
+    fn orphan_report_without_a_bin_is_flagged() {
+        let mut reports = BTreeMap::new();
+        reports.insert("ghost".to_string(), "{}".to_string());
+        let findings = check(&[], &reports);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no producing bench bin"));
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod alloc_free;
 pub mod backend_contract;
+pub mod bench_schema;
 pub mod panic_audit;
 pub mod wall_clock;
 

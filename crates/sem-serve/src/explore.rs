@@ -27,6 +27,13 @@
 //!    budget (a genuinely stuck pool would either hang a grant forever or
 //!    exceed the budget, both of which the explorer reports).
 //!
+//! Alongside the pass/fail verdict, each [`CaseReport`] carries a coverage
+//! map over [`SchedOp`] pair transitions — the distinct ordered pairs of
+//! consecutive queue operations any explored schedule realized.  Distinct
+//! trace counts grow with budget almost indefinitely; the transition-class
+//! count saturates, which is the signal that a seeded walk has stopped
+//! finding genuinely new operation orderings.
+//!
 //! Exploration is process-global (the scheduler hook is), so explorer
 //! entry points serialize on an internal lock, and only threads spawned by
 //! [`run_stealing`] register for control — concurrent uncontrolled threads
@@ -89,9 +96,35 @@ pub struct CaseReport {
     pub exhausted: bool,
     /// Longest schedule trace seen (scheduling decisions per run).
     pub longest_trace: usize,
+    /// Coverage map over scheduling-operation pair transitions: every
+    /// ordered `(SchedOp, SchedOp)` pair of consecutive operations realized
+    /// by any explored schedule (birth grants, which carry no operation,
+    /// are skipped).  The class count is the saturation signal for seeded
+    /// walks: when more budget stops adding classes, the walk has stopped
+    /// discovering new operation orderings even if raw trace counts keep
+    /// growing.
+    pub transitions: BTreeSet<(SchedOp, SchedOp)>,
     /// Invariant violations, each tagged with the schedule trace that
     /// produced it.  Empty on a passing case.
     pub violations: Vec<String>,
+}
+
+impl CaseReport {
+    /// Render the transition-coverage map compactly with the trace
+    /// mnemonics, one `from>to` entry per observed class: `ip>is wo>ws ...`.
+    #[must_use]
+    pub fn transition_map(&self) -> String {
+        let mut out = String::new();
+        for (from, to) in &self.transitions {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(from.mnemonic());
+            out.push('>');
+            out.push_str(to.mnemonic());
+        }
+        out
+    }
 }
 
 /// Serializes explorer entry points: the schedule hook is process-global.
@@ -479,6 +512,7 @@ pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> Ca
         schedules: 0,
         exhausted: false,
         longest_trace: 0,
+        transitions: BTreeSet::new(),
         violations: Vec::new(),
     };
     let mut distinct: BTreeSet<Vec<(usize, Option<SchedOp>)>> = BTreeSet::new();
@@ -486,6 +520,10 @@ pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> Ca
     for run_seed in 0..budget as u64 {
         let (run, record) = run_one(case, script, strategy, run_seed);
         report.longest_trace = report.longest_trace.max(record.trace.len());
+        let ops: Vec<SchedOp> = record.trace.iter().filter_map(|&(_, op)| op).collect();
+        for pair in ops.windows(2) {
+            report.transitions.insert((pair[0], pair[1]));
+        }
         if distinct.insert(record.trace.clone()) {
             report.schedules += 1;
         }
@@ -618,5 +656,42 @@ mod tests {
     fn trace_formatting_is_compact() {
         let trace = vec![(0, None), (1, Some(SchedOp::WorkerPop))];
         assert_eq!(format_trace(&trace), "w0:go w1:wo");
+    }
+
+    #[test]
+    fn transition_map_renders_classes_in_deterministic_order() {
+        let mut transitions = BTreeSet::new();
+        transitions.insert((SchedOp::WorkerPop, SchedOp::WorkerSteal));
+        transitions.insert((SchedOp::InjectorPush, SchedOp::InjectorSteal));
+        let report = CaseReport {
+            name: "map",
+            workers: 1,
+            jobs: 0,
+            schedules: 0,
+            exhausted: false,
+            longest_trace: 0,
+            transitions,
+            violations: Vec::new(),
+        };
+        assert_eq!(report.transition_map(), "ip>is wo>ws");
+    }
+
+    #[test]
+    fn exploration_accumulates_transition_coverage() {
+        let case = ExploreCase {
+            name: "coverage-smoke",
+            workers: 2,
+            hints: vec![Some(0), None],
+        };
+        let report = explore_case(&case, Strategy::Exhaustive, 64);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Any run of the host performs at least push -> consume -> send
+        // sequences, so coverage can never be empty, and the map renders
+        // one class per entry.
+        assert!(!report.transitions.is_empty());
+        assert_eq!(
+            report.transition_map().split(' ').count(),
+            report.transitions.len()
+        );
     }
 }

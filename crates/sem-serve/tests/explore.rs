@@ -33,6 +33,17 @@ fn standard_battery_upholds_the_contract_on_every_schedule() {
             "case {} ran no schedules",
             report.name
         );
+        // Transition coverage: even a handful of schedules realizes most of
+        // the operation-pair classes a case can produce (measured: >= 8 at
+        // ten schedules per case, 11-16 at saturation).  A collapse below
+        // this floor means the explorer stopped actually interleaving ops.
+        assert!(
+            report.transitions.len() >= 6,
+            "case {} covered only {} op-pair transition classes: {}",
+            report.name,
+            report.transitions.len(),
+            report.transition_map()
+        );
         total += report.schedules;
     }
     // Five cases, each explored depth-first: the battery covers a healthy
@@ -85,6 +96,37 @@ fn seeded_walks_find_many_distinct_schedules() {
     let report = explore_case(&case, Strategy::Seeded(0xFEED_5EED), 64);
     assert!(report.schedules > 8, "random walks should diverge quickly");
     assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn transition_coverage_saturates_under_a_fixed_exhaustive_budget() {
+    // DFS exploration is deterministic, so the coverage map at a fixed
+    // budget is a stable fingerprint of the host's scheduling behaviour.
+    // steal-storm realizes 16 op-pair classes at 400 schedules (measured);
+    // pin a floor with a small margin so a host change that *narrows* the
+    // realizable interleavings trips this test.
+    let case = ExploreCase {
+        name: "steal-storm",
+        workers: 2,
+        hints: vec![Some(0), Some(0), Some(0)],
+    };
+    let half = explore_case(&case, Strategy::Exhaustive, 200);
+    let full = explore_case(&case, Strategy::Exhaustive, 400);
+    assert!(
+        full.transitions.len() >= 14,
+        "expected >= 14 transition classes, got {}: {}",
+        full.transitions.len(),
+        full.transition_map()
+    );
+    // Saturation: doubling the budget must not keep unlocking new classes
+    // at the rate raw distinct-trace counts grow.
+    assert!(
+        full.transitions.len() <= half.transitions.len() + 2,
+        "coverage still climbing steeply: {} -> {} classes",
+        half.transitions.len(),
+        full.transitions.len()
+    );
+    assert!(full.violations.is_empty(), "{:?}", full.violations);
 }
 
 #[test]

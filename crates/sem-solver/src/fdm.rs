@@ -46,6 +46,7 @@
 use crate::cg::Preconditioner;
 use sem_basis::{fdm_overlap, DenseMatrix, Fdm1d, Fdm1dBoundary};
 use sem_kernel::fdm::{fdm_element_apply, rcontract_x, rcontract_y, rcontract_z, FdmScratch};
+use sem_kernel::specialized::{DegreeDispatch, COARSE_POINTS};
 use sem_kernel::PoissonOperator;
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter};
 use std::cell::RefCell;
@@ -104,6 +105,10 @@ struct CoarseCorrection {
     jt: DenseMatrix,
     /// Cholesky factor of the Galerkin coarse operator `Pᵀ A P`.
     factor: DenseMatrix,
+    /// Degree-specialized transfer kernels, resolved once at setup when the
+    /// coarse space is the degree-2 one the specialized family is generated
+    /// for and the fine degree is covered.
+    dispatch: Option<DegreeDispatch>,
 }
 
 impl CoarseCorrection {
@@ -134,8 +139,12 @@ impl CoarseCorrection {
 
     /// `t1[..cnx³] = Jᵀ⊗Jᵀ⊗Jᵀ fine` (`t2` is the ping-pong buffer).
     fn restrict_local(&self, fine: &[f64], nx: usize, t1: &mut [f64], t2: &mut [f64]) {
-        let cnx = self.coarse_nx();
         let jt = self.jt.as_slice();
+        if let Some(dispatch) = &self.dispatch {
+            dispatch.coarse_restrict(jt, fine, t1, t2);
+            return;
+        }
+        let cnx = self.coarse_nx();
         rcontract_x(jt, cnx, nx, fine, t1, nx, nx);
         rcontract_y(jt, cnx, nx, t1, t2, cnx, nx);
         rcontract_z(jt, cnx, nx, t2, t1, cnx, cnx);
@@ -144,8 +153,12 @@ impl CoarseCorrection {
     /// `out[..nx³] = J⊗J⊗J t1[..cnx³]` (`t1` is clobbered, `t2` is the
     /// ping-pong buffer; the result lands in `t2`).
     fn prolong_local<'b>(&self, t1: &'b mut [f64], t2: &'b mut [f64], nx: usize) -> &'b [f64] {
-        let cnx = self.coarse_nx();
         let j = self.j.as_slice();
+        if let Some(dispatch) = &self.dispatch {
+            dispatch.coarse_prolong(j, t1, t2);
+            return t2;
+        }
+        let cnx = self.coarse_nx();
         rcontract_x(j, nx, cnx, &t1[..cnx * cnx * cnx], t2, cnx, cnx);
         rcontract_y(j, nx, cnx, t2, t1, nx, cnx);
         rcontract_z(j, nx, cnx, t1, t2, nx, nx);
@@ -234,6 +247,10 @@ pub struct FdmPreconditioner {
     /// Modelled seconds one application costs when the backend claims the
     /// pass on-device (`None`: measure wall-clock instead).
     modeled_seconds: Option<f64>,
+    /// Degree-specialized patch kernel, resolved once at setup from the
+    /// patch extent `N + 1 + 2·overlap` (covers overlapping patches too as
+    /// long as the extent stays within the generated range).
+    dispatch: Option<DegreeDispatch>,
 }
 
 impl FdmPreconditioner {
@@ -375,7 +392,20 @@ impl FdmPreconditioner {
             gather_scatter: gather_scatter.clone(),
             mask: mask.clone(),
             modeled_seconds: None,
+            dispatch: DegreeDispatch::for_points(pnx),
         }
+    }
+
+    /// Pin the generic kernels for the patch solve and coarse transfer even
+    /// when the degree is covered — the escape hatch parity tests and
+    /// benchmarks use to compare generic against specialized.
+    #[must_use]
+    pub fn with_generic_kernels(mut self) -> Self {
+        self.dispatch = None;
+        if let Some(coarse) = &mut self.coarse {
+            coarse.dispatch = None;
+        }
+        self
     }
 
     /// The same preconditioner with the given modelled per-application cost
@@ -499,6 +529,13 @@ impl FdmPreconditioner {
 
         let j = sem_basis::degree_prolongation(coarse_degree, mesh.degree());
         let jt = j.transpose();
+        // The specialized transfer kernels are generated for the degree-2
+        // coarse space (3 nodes per direction) only.
+        let dispatch = if cnx == COARSE_POINTS {
+            DegreeDispatch::for_degree(mesh.degree())
+        } else {
+            None
+        };
         let mut coarse = CoarseCorrection {
             degree: coarse_degree,
             num_dofs,
@@ -506,6 +543,7 @@ impl FdmPreconditioner {
             j,
             jt,
             factor: DenseMatrix::zeros(0, 0),
+            dispatch,
         };
 
         // Galerkin assembly, element by element: the coarse basis functions
@@ -694,15 +732,25 @@ impl Preconditioner for FdmPreconditioner {
                 let fx = &self.classes[0][combo.class[0]].factors;
                 let fy = &self.classes[1][combo.class[1]].factors;
                 let fz = &self.classes[2][combo.class[2]].factors;
-                fdm_element_apply(
-                    [fx.s.as_slice(), fy.s.as_slice(), fz.s.as_slice()],
-                    [fx.st.as_slice(), fy.st.as_slice(), fz.st.as_slice()],
-                    &combo.inv,
-                    &s.patch_in,
-                    &mut s.patch_out,
-                    pnx,
-                    &mut s.kernel,
-                );
+                if let Some(dispatch) = &self.dispatch {
+                    dispatch.fdm_element_apply(
+                        [fx.s.as_slice(), fy.s.as_slice(), fz.s.as_slice()],
+                        [fx.st.as_slice(), fy.st.as_slice(), fz.st.as_slice()],
+                        &combo.inv,
+                        &s.patch_in,
+                        &mut s.patch_out,
+                    );
+                } else {
+                    fdm_element_apply(
+                        [fx.s.as_slice(), fy.s.as_slice(), fz.s.as_slice()],
+                        [fx.st.as_slice(), fy.st.as_slice(), fz.st.as_slice()],
+                        &combo.inv,
+                        &s.patch_in,
+                        &mut s.patch_out,
+                        pnx,
+                        &mut s.kernel,
+                    );
+                }
 
                 // Scatter the weighted correction to the global grid.
                 for (&src, &zv) in s.patch_src.iter().zip(&s.patch_out) {
@@ -769,6 +817,24 @@ mod tests {
             mesh.evaluate(move |x, y, z| (pi * x).sin() * (pi * y).sin() * (pi * z).sin());
         mask.apply(&mut x_exact);
         solver.apply_operator(&x_exact)
+    }
+
+    #[test]
+    fn specialized_kernels_are_bitwise_identical_in_the_apply() {
+        let (mesh, op, gs, mask) = problem(7, 2);
+        let pre = FdmPreconditioner::new(&mesh, &op, &gs, &mask);
+        assert!(pre.dispatch.is_some(), "degree 7 patches are covered");
+        let pre_generic = pre.clone().with_generic_kernels();
+        let pi = std::f64::consts::PI;
+        let mut r = mesh.evaluate(move |x, y, z| {
+            (pi * x).sin() * (2.0 * pi * y).sin() * (pi * z).cos() + 0.3 * x * y
+        });
+        mask.apply(&mut r);
+        let mut z_spec = ElementField::zeros(7, mesh.num_elements());
+        let mut z_gen = ElementField::zeros(7, mesh.num_elements());
+        pre.apply_into(&r, &mut z_spec);
+        pre_generic.apply_into(&r, &mut z_gen);
+        assert_eq!(z_spec.as_slice(), z_gen.as_slice());
     }
 
     /// A right-hand side with broad spectral content — the shape of an

@@ -1,0 +1,106 @@
+//! Degree-sweep parity battery for the specialized kernel family: for every
+//! covered degree N = 3..=15 the `cpu:specialized` path must agree with
+//! `cpu:reference` to 1e-10 on the Ax operator, the FDM preconditioner
+//! application, and the Helmholtz operator — and out-of-range degrees must
+//! fall back to the generic kernels instead of panicking.
+
+use semfpga::accel::Backend;
+use semfpga::kernel::specialized::{MAX_DEGREE, MIN_DEGREE};
+use semfpga::kernel::{AxImplementation, DegreeDispatch, HelmholtzOperator, PoissonOperator};
+use semfpga::mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
+use semfpga::solver::{FdmPreconditioner, Preconditioner};
+
+/// A deformed mesh so all six geometric-factor planes are populated and the
+/// contractions cannot hide behind diagonal geometry.
+fn deformed_mesh(degree: usize) -> BoxMesh {
+    BoxMesh::new(
+        degree,
+        [2; 3],
+        [1.0; 3],
+        MeshDeformation::Sinusoidal { amplitude: 0.06 },
+    )
+}
+
+fn assert_close(label: &str, degree: usize, expected: &ElementField, got: &ElementField) {
+    let scale = expected.max_abs();
+    for (i, (a, b)) in expected.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-10 * (1.0 + scale),
+            "{label}, degree {degree}, dof {i}: reference {a} vs specialized {b}"
+        );
+    }
+}
+
+#[test]
+fn specialized_ax_matches_reference_on_every_covered_degree() {
+    for degree in MIN_DEGREE..=MAX_DEGREE {
+        let mesh = deformed_mesh(degree);
+        let u = mesh.evaluate(|x, y, z| (3.1 * x + 1.3 * y).sin() * (z * z + 0.25) + x * y);
+        let specialized = Backend::cpu_specialized().instantiate(&mesh);
+        let reference = Backend::cpu_reference().instantiate(&mesh);
+        let mut w_spec = ElementField::zeros(degree, mesh.num_elements());
+        let mut w_ref = w_spec.clone();
+        specialized.apply_into(&u, &mut w_spec);
+        reference.apply_into(&u, &mut w_ref);
+        assert_close("Ax", degree, &w_ref, &w_spec);
+    }
+}
+
+#[test]
+fn specialized_fdm_apply_matches_the_generic_kernels_on_every_covered_degree() {
+    for degree in MIN_DEGREE..=MAX_DEGREE {
+        let mesh = deformed_mesh(degree);
+        let operator = PoissonOperator::new(&mesh, AxImplementation::Specialized);
+        let gather_scatter = GatherScatter::from_mesh(&mesh);
+        let mask = DirichletMask::from_mesh(&mesh);
+        let fdm = FdmPreconditioner::new(&mesh, &operator, &gather_scatter, &mask);
+        let generic = fdm.clone().with_generic_kernels();
+
+        let mut r = mesh.evaluate(|x, y, z| (x - 0.4) * (y + 0.2) + (2.2 * z).cos());
+        gather_scatter.direct_stiffness_sum(&mut r);
+        mask.apply(&mut r);
+        let z_spec = fdm.apply(&r);
+        let z_ref = generic.apply(&r);
+        assert_close("FDM apply", degree, &z_ref, &z_spec);
+    }
+}
+
+#[test]
+fn specialized_helmholtz_matches_reference_on_every_covered_degree() {
+    for degree in MIN_DEGREE..=MAX_DEGREE {
+        let mesh = deformed_mesh(degree);
+        let u = mesh.evaluate(|x, y, z| (1.7 * x).cos() * (y - 0.3) + z * z * x);
+        let specialized = HelmholtzOperator::new(
+            PoissonOperator::new(&mesh, AxImplementation::Specialized),
+            0.9,
+        );
+        let reference = HelmholtzOperator::new(
+            PoissonOperator::new(&mesh, AxImplementation::Reference),
+            0.9,
+        );
+        let w_spec = specialized.apply(&u);
+        let w_ref = reference.apply(&u);
+        assert_close("Helmholtz", degree, &w_ref, &w_spec);
+    }
+}
+
+#[test]
+fn out_of_range_degrees_fall_back_to_the_generic_path_without_panicking() {
+    for degree in [2_usize, MAX_DEGREE + 1] {
+        assert!(
+            DegreeDispatch::for_degree(degree).is_none(),
+            "degree {degree} must not be covered"
+        );
+        let mesh = deformed_mesh(degree);
+        let operator = PoissonOperator::new(&mesh, AxImplementation::Specialized);
+        assert!(operator.dispatch().is_none(), "degree {degree}");
+        let u = mesh.evaluate(|x, y, z| x * y + z);
+        let reference = PoissonOperator::new(&mesh, AxImplementation::Reference);
+        assert_close(
+            "fallback Ax",
+            degree,
+            &reference.apply(&u),
+            &operator.apply(&u),
+        );
+    }
+}
