@@ -27,10 +27,16 @@
 //! Run with `cargo run --release -p bench --bin serve -- [degree] [elements_per_side] [requests]`
 //! (CI runs a tiny smoke size: `-- 3 2 6`).  Passing `--async` makes the
 //! Part 3 acceptance criterion a hard assertion (async wall-clock makespan
-//! < 0.75x the synchronous path on the multi-slot CPU pool).
+//! < 0.75x the synchronous path on the multi-slot CPU pool).  Passing
+//! `--trace` adds Part 5: one serve of the same workload on the evaluated
+//! board under a modelled-clock sem-obs recorder, exporting the Chrome
+//! trace (`OBS_trace.json`), the Prometheus snapshot (`OBS_metrics.prom`)
+//! and the model-drift calibration report (`OBS_drift.json`) — the
+//! committed samples sem-lint's obs-schema pass validates.
 
 use bench::table::{fmt, TableWriter};
 use sem_accel::{Backend, SemSystem};
+use sem_obs::{chrome_trace_json, recorder, DriftReport, ObsConfig, Recorder};
 use sem_serve::{
     policy_by_name, policy_names, Pinned, PipelineConfig, PipelineTimeline, ProblemSpec,
     ServeOptions, ServeRequest, Server,
@@ -493,9 +499,65 @@ fn precond_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Pre
     rows
 }
 
+/// Part 5 (`--trace`): serve the workload once more on the evaluated board
+/// under a modelled-clock recorder and export the three OBS artifacts.
+fn observability_export(degree: usize, per_side: usize, num_requests: usize) {
+    Recorder::install(ObsConfig::default());
+    let spec = ProblemSpec::cube(degree, per_side);
+    let requests: Vec<ServeRequest> = (0..num_requests)
+        .map(|i| ServeRequest::seeded(spec, i as u64))
+        .collect();
+    let mut server = Server::from_registry_names(
+        &["fpga:stratix10-gx2800"],
+        ServeOptions {
+            cg: cg(),
+            max_batch: 4,
+            ..ServeOptions::default()
+        },
+    );
+    let mut policy = policy_by_name("model-optimal").expect("known policy");
+    let report = server.serve(&requests, policy.as_mut());
+    assert!(report.outcomes.iter().all(|o| o.converged));
+
+    let obs = recorder();
+    let snapshot = obs.trace_snapshot();
+    assert_eq!(snapshot.dropped_events, 0, "ring must hold the whole serve");
+    let trace = chrome_trace_json(&snapshot);
+    std::fs::write("OBS_trace.json", format!("{trace}\n")).expect("write OBS_trace.json");
+
+    let metrics = obs.prometheus_text();
+    std::fs::write("OBS_metrics.prom", &metrics).expect("write OBS_metrics.prom");
+
+    let samples = obs.drift_samples();
+    let drift = DriftReport::aggregate(&samples, perf_model::suspect_term);
+    std::fs::write("OBS_drift.json", format!("{}\n", drift.to_json()))
+        .expect("write OBS_drift.json");
+    Recorder::uninstall();
+
+    let spans = snapshot.events.len();
+    let families = metrics.lines().filter(|l| l.starts_with("# TYPE")).count();
+    println!(
+        "\nPart 5 — observability export ({num_requests} requests on \
+         fpga:stratix10-gx2800, modelled clock):\n\
+         \n  OBS_trace.json    {spans} spans across {} lanes\n  \
+         OBS_metrics.prom  {families} metric families\n  \
+         OBS_drift.json    {} samples, {} (stage, backend) rows",
+        trace.matches("thread_name").count(),
+        drift.total_samples,
+        drift.rows.len()
+    );
+    if let Some(worst) = drift.rows.first() {
+        println!(
+            "  worst drift: stage `{}` on {} (mean |residual| {:.3e} s) — suspect {}",
+            worst.stage, worst.backend, worst.mean_abs_residual_seconds, worst.suspect_term
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let strict_async = args.iter().any(|arg| arg == "--async");
+    let trace = args.iter().any(|arg| arg == "--trace");
     let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
     let degree: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(7);
     let per_side: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -594,6 +656,10 @@ fn main() {
             (1.0 - fdm.total_iterations as f64 / jacobi.total_iterations as f64) * 100.0,
             fdm.throughput_rps / jacobi.throughput_rps
         );
+    }
+
+    if trace {
+        observability_export(degree, per_side, num_requests);
     }
 
     let report = ServeBenchReport {

@@ -23,6 +23,7 @@ use crate::synthesis::{synthesize, SynthesisReport};
 use perf_model::FpgaDevice;
 use sem_basis::DerivativeMatrix;
 use sem_mesh::{ElementField, GeometricFactors};
+use sem_obs::{recorder, Scope, SpanEvent, SpanKind};
 use serde::{Deserialize, Serialize};
 
 /// Kernel-launch overhead in cycles (queue submission, control, DMA setup).
@@ -292,7 +293,7 @@ impl FpgaAccelerator {
         let single = self.estimate(num_elements);
         let hz = single.kernel_clock_mhz * 1e6;
         let work_cycles = (single.cycles - LAUNCH_OVERHEAD_CYCLES).max(0.0);
-        KernelStageTiming {
+        let timing = KernelStageTiming {
             degree: self.design.degree,
             num_elements,
             batch,
@@ -302,7 +303,23 @@ impl FpgaAccelerator {
             // Delegate the total to the batched estimate itself so the two
             // stay consistent structurally, not by parallel maintenance.
             total_seconds: self.estimate_batch(num_elements, batch).seconds,
+        };
+        let obs = recorder();
+        if obs.is_enabled() {
+            // Cycle-model output only: deterministic by construction, stamped
+            // relative to the submission (the serving pipeline re-anchors it).
+            let start = obs.stamp(0.0);
+            let end = obs.stamp(timing.total_seconds);
+            obs.record(
+                SpanEvent::new(SpanKind::SimStage, Scope::Deterministic, start, end)
+                    .with_label(obs.intern(&self.device.name))
+                    .with_index(batch as u64),
+            );
+            let labels = [("device", self.device.name.as_str())];
+            obs.counter_add("sem_sim_launches_total", &labels, 1);
+            obs.observe("sem_sim_stage_seconds", &labels, timing.total_seconds);
         }
+        timing
     }
 
     /// Execute the kernel: compute `w = A u` for every element (numerically,

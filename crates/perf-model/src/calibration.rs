@@ -1,0 +1,55 @@
+//! Calibration: mapping observed model drift back to the model term that
+//! produced the prediction.
+//!
+//! The serving layer records one `sem_obs::DriftSample` per stage per
+//! admitted request — predicted seconds (the figure admission and placement
+//! compared) against the seconds the executed timeline actually charged.
+//! Aggregating those residuals answers *whether* the model is lying;
+//! [`suspect_term`] answers *where*: it names the `perf_model` /
+//! accelerator-model term each stage's prediction flows from, so a
+//! calibration report reads as a worklist of model constants to revisit
+//! rather than a pile of anonymous numbers.
+
+/// The model term a drifting stage implicates.
+///
+/// Stage names follow the serving layer's drift samples: `upload`,
+/// `compute`, `download`, `residual_stream` (per-request stage costs) and
+/// `session` (the whole-job makespan prediction).  Unknown stages map to
+/// `"unmodelled stage"` rather than panicking, so new stages degrade
+/// gracefully in reports.
+#[must_use]
+pub fn suspect_term(stage: &str) -> &'static str {
+    match stage {
+        "shared_upload" => "OffloadPlan::shared_upload_seconds (table bytes / link_gbs)",
+        "upload" => "OffloadPlan::operand_upload_seconds (operand bytes / link_gbs)",
+        "compute" => "AxBackend::simulated_seconds_per_batch (cycle model + applications hint)",
+        "download" => "OffloadPlan::result_download_seconds (result bytes / link_gbs)",
+        "residual_stream" => "RESIDUAL_BYTES_PER_ITERATION x applications hint / link_gbs",
+        "session" => "PipelineTimeline::predict (overlap recurrence over the stage terms)",
+        _ => "unmodelled stage",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_serving_stage_names_a_model_term() {
+        for stage in [
+            "shared_upload",
+            "upload",
+            "compute",
+            "download",
+            "residual_stream",
+            "session",
+        ] {
+            assert_ne!(suspect_term(stage), "unmodelled stage", "stage {stage}");
+        }
+    }
+
+    #[test]
+    fn unknown_stages_degrade_gracefully() {
+        assert_eq!(suspect_term("teleport"), "unmodelled stage");
+    }
+}

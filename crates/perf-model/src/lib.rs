@@ -22,11 +22,14 @@
 //! * [`projection`] — performance projection for arbitrary devices and the
 //!   inverse question ("what FPGA would beat an A100?");
 //! * [`serving`] — the three-stage offload-pipeline closed form and the
-//!   host roofline cost model scheduling policies price backends with.
+//!   host roofline cost model scheduling policies price backends with;
+//! * [`calibration`] — the drift-report helper naming which model term a
+//!   drifting serving stage implicates.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calibration;
 pub mod cost;
 pub mod device;
 pub mod measured;
@@ -38,6 +41,7 @@ pub mod sensitivity;
 pub mod serving;
 pub mod throughput;
 
+pub use calibration::suspect_term;
 pub use cost::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};
 pub use device::FpgaDevice;
 pub use measured::{measured_table1, Table1Row};

@@ -11,9 +11,8 @@
 use crate::backend::Backend;
 use fpga_sim::{synthesize, AcceleratorDesign, FpgaAccelerator};
 use sem_mesh::{BoxMesh, ElementField, MeshDeformation};
+use sem_obs::WallTimer;
 use serde::{Deserialize, Serialize};
-// lint: wall-clock (autotuning measures host kernels to rank against modelled FPGA throughput)
-use std::time::Instant;
 
 /// One evaluated candidate configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,11 +93,11 @@ pub fn autotune(degree: usize, elements: [usize; 3]) -> TuningReport {
             Some(seconds) => (flops / seconds / 1e9, true),
             None => {
                 // Host kernels: measure a few repetitions.
-                let start = Instant::now();
+                let timer = WallTimer::start();
                 for _ in 0..3 {
                     engine.apply_into(&u, &mut w);
                 }
-                let seconds = start.elapsed().as_secs_f64().max(1e-12);
+                let seconds = timer.elapsed_wall_seconds().max(1e-12);
                 (3.0 * flops / seconds / 1e9, false)
             }
         };

@@ -14,11 +14,10 @@ use fpga_sim::FpgaAccelerator;
 use rayon::prelude::*;
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
+use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
 use sem_solver::{
     AnyPreconditioner, CgOptions, CgScratch, CgSolver, PoissonProblem, PoissonSolution, PrecondSpec,
 };
-// lint: wall-clock (system sessions time host-side kernel execution behind backend pricing)
-use std::time::Instant;
 
 /// PCIe-class link speed (GB/s) assumed when charging host↔device transfer
 /// time to a solve.
@@ -347,9 +346,9 @@ impl SemSystem {
                 self.summary(seconds, 1)
             }
             None => {
-                let start = Instant::now();
+                let timer = WallTimer::start();
                 self.execution.apply_into(u, &mut w);
-                self.summary(start.elapsed().as_secs_f64().max(1e-12), 1)
+                self.summary(timer.elapsed_wall_seconds().max(1e-12), 1)
             }
         };
         (w, summary)
@@ -378,9 +377,9 @@ impl SemSystem {
                 self.summary(seconds, us.len())
             }
             None => {
-                let start = Instant::now();
+                let timer = WallTimer::start();
                 self.execution.apply_many(us, &mut ws);
-                self.summary(start.elapsed().as_secs_f64().max(1e-12), us.len())
+                self.summary(timer.elapsed_wall_seconds().max(1e-12), us.len())
             }
         };
         (ws, summary)
@@ -401,11 +400,11 @@ impl SemSystem {
                     .mesh()
                     .evaluate(|x, y, z| (x + 0.3) * (y - 0.7) * (z + 0.11));
                 let mut w = ElementField::zeros(self.mesh().degree(), self.mesh().num_elements());
-                let start = Instant::now();
+                let timer = WallTimer::start();
                 for _ in 0..applications {
                     self.execution.apply_into(&u, &mut w);
                 }
-                let seconds = start.elapsed().as_secs_f64().max(1e-12);
+                let seconds = timer.elapsed_wall_seconds().max(1e-12);
                 self.summary(seconds, applications)
             }
         }
@@ -543,9 +542,9 @@ impl SemSystem {
         transfer_seconds: f64,
         batch: usize,
     ) -> SolveReport {
-        let start = Instant::now();
+        let timer = WallTimer::start();
         let cg = solver.solve_with_scratch(rhs, &self.precond, scratch);
-        let host_wall_seconds = start.elapsed().as_secs_f64();
+        let host_wall_seconds = timer.elapsed_wall_seconds();
         let operator = self.summary(
             cg.operator_seconds.max(1e-12),
             cg.operator_applications.max(1),
@@ -568,7 +567,7 @@ impl SemSystem {
                 })
                 .min(transfer_seconds)
         };
-        SolveReport {
+        let report = SolveReport {
             backend: self.execution.label().into_owned(),
             precond: self.config.precond,
             precond_seconds: cg.precond_seconds,
@@ -585,7 +584,32 @@ impl SemSystem {
                 l2_error: f64::NAN,
                 cg,
             },
+        };
+        let obs = recorder();
+        if obs.is_enabled() {
+            // Simulated backends are fully priced by their cycle model, so
+            // the span is deterministic; measured CPU solves vary with the
+            // host and stay out of modelled-clock exports.
+            let (scope, seconds) = match report.source {
+                PerfSource::Simulated => (Scope::Deterministic, report.modeled_seconds()),
+                PerfSource::Measured => (Scope::ScheduleDependent, report.host_wall_seconds),
+            };
+            let start = obs.stamp(0.0);
+            let end = obs.stamp(seconds);
+            obs.record(
+                SpanEvent::new(SpanKind::Solve, scope, start, end)
+                    .with_label(obs.intern(&report.backend)),
+            );
+            let labels = [("backend", report.backend.as_str())];
+            obs.counter_add("sem_accel_solves_total", &labels, 1);
+            obs.observe("sem_accel_solve_seconds", &labels, seconds);
+            obs.observe(
+                "sem_accel_transfer_seconds",
+                &labels,
+                report.transfer_seconds,
+            );
         }
+        report
     }
 
     /// Aggregate a per-application cost into a [`PerfSummary`] using the

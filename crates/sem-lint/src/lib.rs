@@ -7,8 +7,10 @@
 //!    file: wall-clock discipline ([`passes::wall_clock`]), hot-path
 //!    allocation hygiene ([`passes::alloc_free`]), backend-contract
 //!    coherence ([`passes::backend_contract`]), an unsafe/panic audit
-//!    ([`passes::panic_audit`]), and bench-report schema pinning
-//!    ([`passes::bench_schema`]).  Policy is declared in-source with
+//!    ([`passes::panic_audit`]), metric-name conventions
+//!    ([`passes::obs_naming`]), bench-report schema pinning
+//!    ([`passes::bench_schema`]), and observability-artifact schema
+//!    pinning ([`passes::obs_schema`]).  Policy is declared in-source with
 //!    [`markers`] (`// lint: …` comments); waivers require justifications
 //!    the linter parses, so exemptions are never silent.
 //! 2. **Race detection** — the `sem-lint` binary drives
@@ -167,6 +169,7 @@ pub fn run_passes(files: &[SourceFile]) -> Vec<Finding> {
     findings.extend(passes::alloc_free::run(files));
     findings.extend(passes::backend_contract::run(files));
     findings.extend(passes::panic_audit::run(files));
+    findings.extend(passes::obs_naming::run(files));
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
     });
@@ -174,13 +177,15 @@ pub fn run_passes(files: &[SourceFile]) -> Vec<Finding> {
 }
 
 /// Lint the whole workspace rooted at `root`: load, parse markers, run all
-/// passes (including the root-aware bench-schema pass, which needs the
-/// committed `BENCH_*.json` reports next to the sources).
+/// passes (including the root-aware bench-schema and obs-schema passes,
+/// which need the committed `BENCH_*.json` reports and `OBS_*` artifacts
+/// next to the sources).
 #[must_use]
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     let (files, mut findings) = load_workspace(root);
     findings.extend(run_passes(&files));
     findings.extend(passes::bench_schema::run(&files, root));
+    findings.extend(passes::obs_schema::run(root));
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
     });

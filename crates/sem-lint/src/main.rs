@@ -4,6 +4,7 @@
 //! cargo run --release -p sem-lint            # both engines
 //! cargo run --release -p sem-lint -- --lint-only
 //! cargo run --release -p sem-lint -- --race-only
+//! cargo run --release -p sem-lint -- --races-json OBS_races.json
 //! SEM_SCHED_ITERS=200 cargo run -p sem-lint  # bounded race budget
 //! ```
 //!
@@ -43,7 +44,7 @@ fn run_lints() -> bool {
     false
 }
 
-fn run_races() -> bool {
+fn run_races(json_path: Option<&str>) -> bool {
     let budget = std::env::var("SEM_SCHED_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -78,6 +79,23 @@ fn run_races() -> bool {
         "race: {total} distinct schedules across {} cases (budget {budget})",
         reports.len()
     );
+    if let Some(path) = json_path {
+        let mut json = String::from("[");
+        for (i, report) in reports.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&report.to_json());
+        }
+        json.push_str("]\n");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("race: wrote machine-readable battery to {path}"),
+            Err(err) => {
+                eprintln!("sem-lint: cannot write {path}: {err}");
+                ok = false;
+            }
+        }
+    }
     ok
 }
 
@@ -85,19 +103,33 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let lint_only = args.iter().any(|a| a == "--lint-only");
     let race_only = args.iter().any(|a| a == "--race-only");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| *a != "--lint-only" && *a != "--race-only")
-    {
-        eprintln!("sem-lint: unknown argument `{unknown}` (accepted: --lint-only, --race-only)");
-        return ExitCode::FAILURE;
+    let mut races_json: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--lint-only" | "--race-only" => {}
+            "--races-json" => match iter.next() {
+                Some(path) => races_json = Some(path.clone()),
+                None => {
+                    eprintln!("sem-lint: --races-json requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            unknown => {
+                eprintln!(
+                    "sem-lint: unknown argument `{unknown}` \
+                     (accepted: --lint-only, --race-only, --races-json <path>)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let mut ok = true;
     if !race_only {
         ok &= run_lints();
     }
     if !lint_only {
-        ok &= run_races();
+        ok &= run_races(races_json.as_deref());
     }
     if ok {
         ExitCode::SUCCESS

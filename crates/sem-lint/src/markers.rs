@@ -9,7 +9,8 @@
 //! * `// lint: wall-clock (reason)` — file pragma: this module is a
 //!   whitelisted measurement module and may use `Instant`.
 //! * `// lint: alloc-ok (reason)` / `// lint: panic-ok (reason)` /
-//!   `// lint: wall-clock-compare-ok (reason)` — waive one finding on the
+//!   `// lint: wall-clock-compare-ok (reason)` /
+//!   `// lint: obs-naming-ok (reason)` — waive one finding on the
 //!   marker's own line (trailing comment) or, for a standalone comment
 //!   line, on the next line carrying code.
 //!
@@ -35,6 +36,8 @@ pub enum Directive {
     PanicOk,
     /// Line waiver for the measured-vs-modelled comparison rule.
     WallClockCompareOk,
+    /// Line waiver for the metric-name convention rule.
+    ObsNamingOk,
 }
 
 impl Directive {
@@ -46,6 +49,7 @@ impl Directive {
             "alloc-ok" => Some(Self::AllocOk),
             "panic-ok" => Some(Self::PanicOk),
             "wall-clock-compare-ok" => Some(Self::WallClockCompareOk),
+            "obs-naming-ok" => Some(Self::ObsNamingOk),
             _ => None,
         }
     }
@@ -55,7 +59,11 @@ impl Directive {
     pub fn requires_reason(self) -> bool {
         matches!(
             self,
-            Self::WallClockFile | Self::AllocOk | Self::PanicOk | Self::WallClockCompareOk
+            Self::WallClockFile
+                | Self::AllocOk
+                | Self::PanicOk
+                | Self::WallClockCompareOk
+                | Self::ObsNamingOk
         )
     }
 }

@@ -216,7 +216,9 @@ fn field_has_serde_attr(file: &SourceFile, body_open: usize, field_index: usize)
 }
 
 /// Keys of a JSON document: every quoted string directly followed by `:`.
-fn json_keys(text: &str) -> BTreeSet<String> {
+/// Shared with the obs-schema pass, which pins the OBS artifacts the same
+/// way this pass pins the BENCH reports.
+pub(crate) fn json_keys(text: &str) -> BTreeSet<String> {
     let chars: Vec<char> = text.chars().collect();
     let mut keys = BTreeSet::new();
     let mut i = 0;

@@ -1,0 +1,82 @@
+//! Metric-name convention lint.
+//!
+//! Every metric registered through the sem-obs recorder sinks
+//! (`counter_add`, `gauge_set`, `observe`) must be named
+//! `sem_<crate>_<noun>_<unit>` — lowercase snake-case, a crate token from
+//! `sem_obs::metrics::METRIC_CRATES`, at least one noun segment, and a
+//! unit suffix from `sem_obs::metrics::METRIC_UNITS`.  The registry
+//! asserts the same predicate at runtime; this pass moves the failure to
+//! lint time and catches call sites tests never execute.
+//!
+//! Only string-*literal* first arguments are checkable statically; names
+//! built at runtime are left to the registry's assert.  A line that must
+//! carry an off-convention literal (e.g. a test proving the registry
+//! rejects one) waives with `// lint: obs-naming-ok (reason)`.
+
+use crate::lexer::{TokKind, Token};
+use crate::markers::Directive;
+use crate::{Finding, SourceFile};
+use sem_obs::name_matches_convention;
+
+const PASS: &str = "obs-naming";
+
+/// Recorder/registry methods whose first argument is a metric name.
+const SINKS: &[&str] = &["counter_add", "gauge_set", "observe"];
+
+/// Index of the next non-comment token after `i`, if any.
+fn next_code_idx(tokens: &[Token], i: usize) -> Option<usize> {
+    (i + 1..tokens.len()).find(|&j| !tokens[j].is_comment())
+}
+
+/// The literal text of a plain `"…"` string token, quotes stripped;
+/// `None` for raw/byte strings (no metric name needs those).
+fn plain_str_contents(tok: &Token) -> Option<&str> {
+    tok.text.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Run the pass (see module docs).
+#[must_use]
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if file.is_support() {
+            continue;
+        }
+        let waived = file.waived_lines(Directive::ObsNamingOk);
+        let toks = &file.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.kind != TokKind::Ident || !SINKS.contains(&tok.text.as_str()) {
+                continue;
+            }
+            // A call site: `sink ( "name" , …`.  Method *definitions* hit
+            // `(` too, but their first token is `&`/`self`, not a string
+            // literal, so they fall through the Str check below.
+            let Some(open) = next_code_idx(toks, i) else {
+                continue;
+            };
+            if !toks[open].is_punct('(') {
+                continue;
+            }
+            let Some(arg) = next_code_idx(toks, open) else {
+                continue;
+            };
+            if toks[arg].kind != TokKind::Str {
+                continue;
+            }
+            let Some(name) = plain_str_contents(&toks[arg]) else {
+                continue;
+            };
+            if !name_matches_convention(name) && !waived.contains(&toks[arg].line) {
+                findings.push(file.finding(
+                    PASS,
+                    toks[arg].line,
+                    format!(
+                        "metric `{name}` violates the `sem_<crate>_<noun>_<unit>` naming \
+                         convention (crate from sem-obs METRIC_CRATES, unit from METRIC_UNITS)"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}

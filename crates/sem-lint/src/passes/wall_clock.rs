@@ -15,6 +15,10 @@
 //!    has to guard against.  Lines that genuinely need both (e.g. a
 //!    measured-vs-predicted report) carry
 //!    `// lint: wall-clock-compare-ok (reason)`.
+//! 3. A pragma'd workspace file must implement `ObsClock`: since sem-obs,
+//!    the observability clock is the *single* sanctioned `Instant` site —
+//!    every other module reads host time through `sem_obs::WallTimer` (no
+//!    pragma needed), so a new pragma elsewhere is a policy regression.
 
 use crate::lexer::TokKind;
 use crate::markers::Directive;
@@ -44,6 +48,23 @@ pub fn run(files: &[SourceFile]) -> Vec<Finding> {
             continue;
         }
         let whitelisted = file.has_pragma(Directive::WallClockFile);
+        if whitelisted && !file.tokens.iter().any(|t| t.is_ident("ObsClock")) {
+            let line = file
+                .markers
+                .iter()
+                .find(|m| m.directive == Directive::WallClockFile)
+                .map_or(1, |m| m.line);
+            findings.push(
+                file.finding(
+                    PASS,
+                    line,
+                    "`// lint: wall-clock` pragma on a file that does not implement `ObsClock`; \
+                 the sem-obs clock is the single sanctioned `Instant` site — measure through \
+                 `sem_obs::WallTimer` instead of adding a new pragma"
+                        .to_string(),
+                ),
+            );
+        }
         if !whitelisted {
             let mut seen_lines = std::collections::BTreeSet::new();
             for tok in &file.tokens {

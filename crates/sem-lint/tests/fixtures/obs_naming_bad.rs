@@ -1,0 +1,10 @@
+// Fixture: bad metric names at recorder sinks. Lexed by tests/lints.rs.
+fn instrument(obs: &Recorder) {
+    obs.counter_add("cg_iterations_total", &[], 1);
+    obs.gauge_set("sem_solver_backlog", &[], 2.0);
+    obs.observe("sem_unknown_latency_seconds", &[], 0.1);
+    obs.counter_add(dynamic_name, &[], 1);
+    obs.counter_add("sem_serve_requests_total", &[], 1);
+    // lint: obs-naming-ok (fixture: justified waiver silences the finding)
+    obs.counter_add("waived_bad_name", &[], 1);
+}

@@ -1,0 +1,12 @@
+// Fixture: clean metric names at recorder sinks. Lexed by tests/lints.rs.
+impl Recorder {
+    pub fn counter_add(&self, name: &'static str, labels: &[(&str, &str)], delta: u64) {
+        self.registry.counter_add(name, labels, delta);
+    }
+}
+
+fn instrument(obs: &Recorder) {
+    obs.counter_add("sem_solver_cg_iterations_total", &[], 1);
+    obs.gauge_set("sem_serve_makespan_seconds", &[], 2.0);
+    obs.observe("sem_accel_solve_seconds", &[("backend", "fpga")], 0.1);
+}

@@ -1,6 +1,11 @@
 // Fixture: clean wall-clock usage. Not compiled; lexed by tests/lints.rs.
-// lint: wall-clock (this fixture plays a measurement module)
+// lint: wall-clock (this fixture plays the sanctioned ObsClock module)
 use std::time::Instant;
+
+pub enum ObsClock {
+    Wall,
+    Modeled,
+}
 
 fn measure() -> f64 {
     let start = Instant::now();

@@ -1,0 +1,8 @@
+// Fixture: pragma'd file that is not the ObsClock site. Lexed by tests/lints.rs.
+// lint: wall-clock (measurement module predating the sem-obs clock)
+use std::time::Instant;
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -2,7 +2,7 @@
 //! snippets, proven silent on known-good ones, and the real workspace tree
 //! must come back completely clean.
 
-use sem_lint::passes::{alloc_free, backend_contract, panic_audit, wall_clock};
+use sem_lint::passes::{alloc_free, backend_contract, obs_naming, panic_audit, wall_clock};
 use sem_lint::{Finding, SourceFile};
 use std::path::Path;
 
@@ -41,6 +41,42 @@ fn wall_clock_accepts_pragma_and_justified_comparison() {
     let (file, marker_findings) = parse("crates/foo/src/timing.rs", "wall_clock_good.rs");
     assert!(marker_findings.is_empty());
     let findings = wall_clock::run(std::slice::from_ref(&file));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn wall_clock_rejects_pragmas_outside_the_obs_clock() {
+    let (file, marker_findings) = parse("crates/foo/src/timing.rs", "wall_clock_pragma_bad.rs");
+    assert!(marker_findings.is_empty());
+    let findings = wall_clock::run(std::slice::from_ref(&file));
+    // The pragma (line 2) is flagged because the file does not implement
+    // `ObsClock`; the pragma still whitelists the `Instant` uses below it.
+    assert_eq!(lines_of(&findings, "wall-clock"), vec![2]);
+    assert!(findings[0].message.contains("ObsClock"), "{findings:?}");
+}
+
+#[test]
+fn obs_naming_flags_literal_names_off_convention() {
+    let (file, marker_findings) = parse("crates/foo/src/instrument.rs", "obs_naming_bad.rs");
+    assert!(marker_findings.is_empty());
+    let findings = obs_naming::run(std::slice::from_ref(&file));
+    // Lines 3-5: missing sem_ prefix, missing unit, unknown crate token.
+    // The dynamic name (line 6) and the conforming name (line 7) pass.
+    assert_eq!(lines_of(&findings, "obs-naming"), vec![3, 4, 5]);
+}
+
+#[test]
+fn obs_naming_accepts_convention_names_and_method_definitions() {
+    let (file, marker_findings) = parse("crates/foo/src/instrument.rs", "obs_naming_good.rs");
+    assert!(marker_findings.is_empty());
+    let findings = obs_naming::run(std::slice::from_ref(&file));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn obs_naming_exempts_support_crates() {
+    let (file, _) = parse("crates/support/fake/src/lib.rs", "obs_naming_bad.rs");
+    let findings = obs_naming::run(std::slice::from_ref(&file));
     assert!(findings.is_empty(), "{findings:?}");
 }
 

@@ -1,0 +1,138 @@
+//! The observability clock — the **single sanctioned host-clock site** of
+//! the workspace.
+//!
+//! Every measured second in the repo flows through this module: the
+//! recorder stamps spans through [`ObsClock`], and code that needs a raw
+//! stopwatch (CPU backends timing an operator application) uses
+//! [`WallTimer`].  No other non-support file may touch
+//! `std::time::Instant`; the sem-lint wall-clock pass enforces exactly
+//! that — a `// lint: wall-clock` pragma is only accepted in the module
+//! that defines `ObsClock`.
+//!
+//! The modelled variant exists so traces stay bit-deterministic: when the
+//! recorder runs on [`ObsClock::Modeled`], span stamps are the modelled
+//! seconds the caller already carries (`SolveReport`, `PipelineTimeline`),
+//! and the host clock is never read.
+
+// lint: wall-clock (the one sanctioned Instant site: ObsClock/WallTimer re-export host time to the rest of the workspace)
+use std::time::Instant;
+
+/// A monotonic stopwatch over the host clock.
+///
+/// This is the primitive measurement modules use instead of importing
+/// `Instant` themselves; naming the accessor `elapsed_wall_seconds` keeps
+/// the result inside the lint's measured-identifier family so it can never
+/// be compared against modelled seconds on one line without a waiver.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: Instant,
+}
+
+impl WallTimer {
+    /// Start the stopwatch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Measured seconds since [`WallTimer::start`].
+    #[must_use]
+    pub fn elapsed_wall_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// The epoch wall-mode span stamps are relative to (captured when the
+/// recorder is installed, so exported trace timestamps start near zero).
+#[derive(Debug, Clone, Copy)]
+pub struct WallEpoch {
+    start: Instant,
+}
+
+impl WallEpoch {
+    /// Capture the epoch now.
+    #[must_use]
+    pub fn now() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Measured seconds since the epoch.
+    #[must_use]
+    pub fn elapsed_wall_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for WallEpoch {
+    fn default() -> Self {
+        Self::now()
+    }
+}
+
+/// The pluggable time source spans are stamped by.
+#[derive(Debug, Clone, Copy)]
+pub enum ObsClock {
+    /// Deterministic: a stamp is the modelled seconds the caller supplies
+    /// (the figures already flowing through `SolveReport` /
+    /// `PipelineTimeline`).  The host clock is never read, so traces are
+    /// byte-reproducible under a fixed seed.
+    Modeled,
+    /// Measured: a stamp is host seconds since the recorder's epoch; the
+    /// caller-supplied modelled value is ignored.
+    Wall(WallEpoch),
+}
+
+impl ObsClock {
+    /// Stamp one instant: the supplied modelled seconds under
+    /// [`ObsClock::Modeled`], host seconds since the epoch under
+    /// [`ObsClock::Wall`].
+    #[must_use]
+    pub fn stamp(&self, modeled_seconds: f64) -> f64 {
+        match self {
+            Self::Modeled => modeled_seconds,
+            Self::Wall(epoch) => epoch.elapsed_wall_seconds(),
+        }
+    }
+
+    /// Whether this clock is the deterministic modelled variant.
+    #[must_use]
+    pub fn is_modeled(&self) -> bool {
+        matches!(self, Self::Modeled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_clock_echoes_the_supplied_seconds() {
+        let clock = ObsClock::Modeled;
+        assert_eq!(clock.stamp(0.0), 0.0);
+        assert_eq!(clock.stamp(1.25), 1.25);
+        assert!(clock.is_modeled());
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_ignores_the_argument() {
+        let clock = ObsClock::Wall(WallEpoch::now());
+        let a = clock.stamp(1e9);
+        let b = clock.stamp(-1e9);
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert!(!clock.is_modeled());
+    }
+
+    #[test]
+    fn wall_timer_measures_forward() {
+        let timer = WallTimer::start();
+        let first = timer.elapsed_wall_seconds();
+        let second = timer.elapsed_wall_seconds();
+        assert!(first >= 0.0);
+        assert!(second >= first);
+    }
+}

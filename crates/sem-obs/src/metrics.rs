@@ -1,0 +1,428 @@
+//! Label-aware metrics: counters, gauges, and log-linear histograms.
+//!
+//! The registry is built for the workspace's hot paths: after a series
+//! exists (first touch allocates it), every further update is a name/label
+//! lookup over preallocated storage plus an atomic — no allocation, so
+//! per-solve metric updates stay inside the repo's alloc-free budget.
+//!
+//! Metric names must follow the `sem_<crate>_<noun>_<unit>` convention
+//! ([`name_matches_convention`]); sem-lint's `obs-naming` pass checks every
+//! registration site statically, and the registry asserts it at runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Crate tokens a metric name may claim (`sem_<crate>_…`).
+pub const METRIC_CRATES: &[&str] = &[
+    "basis", "mesh", "kernel", "solver", "accel", "sim", "model", "serve", "obs", "bench",
+];
+
+/// Unit suffixes a metric name must end with (`…_<unit>`).
+pub const METRIC_UNITS: &[&str] = &["total", "seconds", "bytes", "count", "ratio"];
+
+/// Whether `name` matches `sem_<crate>_<noun>_<unit>`: lowercase
+/// snake-case, a known crate token, at least one noun segment, and a known
+/// unit suffix.
+#[must_use]
+pub fn name_matches_convention(name: &str) -> bool {
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        return false;
+    }
+    let segments: Vec<&str> = name.split('_').collect();
+    if segments.len() < 4 || segments.iter().any(|s| s.is_empty()) {
+        return false;
+    }
+    segments[0] == "sem"
+        && METRIC_CRATES.contains(&segments[1])
+        && METRIC_UNITS.contains(segments.last().expect("len checked"))
+}
+
+/// Histogram bucketing: log-linear — each power-of-two octave between
+/// 2^[`MIN_EXP`] and 2^[`MAX_EXP`] is subdivided into [`SUBDIVISIONS`]
+/// linear sub-buckets, plus an underflow and an overflow bucket.
+const MIN_EXP: i32 = -30;
+/// Upper octave bound (2^10 s ≈ 17 min).
+const MAX_EXP: i32 = 10;
+/// Linear sub-buckets per octave.
+const SUBDIVISIONS: usize = 4;
+/// Total bucket count (underflow + octaves × subdivisions + overflow).
+const BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUBDIVISIONS + 2;
+
+/// The bucket a value falls into.
+fn bucket_index(value: f64) -> usize {
+    let floor = (MIN_EXP as f64).exp2();
+    if value.is_nan() || value <= floor {
+        return 0;
+    }
+    if value >= (MAX_EXP as f64).exp2() {
+        return BUCKETS - 1;
+    }
+    let exp = value.log2().floor();
+    let octave = (exp as i32 - MIN_EXP).clamp(0, MAX_EXP - MIN_EXP - 1) as usize;
+    let fraction = value / exp.exp2();
+    let sub = (((fraction - 1.0) * SUBDIVISIONS as f64) as usize).min(SUBDIVISIONS - 1);
+    1 + octave * SUBDIVISIONS + sub
+}
+
+/// The inclusive upper bound of a bucket (for Prometheus `le` labels);
+/// `None` is the overflow (`+Inf`) bucket.
+fn bucket_upper_bound(index: usize) -> Option<f64> {
+    if index + 1 >= BUCKETS {
+        return None;
+    }
+    if index == 0 {
+        return Some((MIN_EXP as f64).exp2());
+    }
+    let k = index - 1;
+    let exp = MIN_EXP + (k / SUBDIVISIONS) as i32;
+    let sub = k % SUBDIVISIONS;
+    Some((exp as f64).exp2() * (1.0 + (sub + 1) as f64 / SUBDIVISIONS as f64))
+}
+
+/// Atomically add to an f64 stored as bits in an `AtomicU64`.
+fn add_f64(bits: &AtomicU64, delta: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// One metric cell.
+enum Cell {
+    Counter(AtomicU64),
+    /// f64 bits.
+    Gauge(AtomicU64),
+    Histogram {
+        buckets: Vec<AtomicU64>,
+        count: AtomicU64,
+        /// f64 bits.
+        sum: AtomicU64,
+    },
+}
+
+/// The kind tag Prometheus output needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
+/// One labelled series of a family.
+struct Series {
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+impl Series {
+    fn matches(&self, labels: &[(&str, &str)]) -> bool {
+        self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels)
+                .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+    }
+}
+
+/// One named metric family.
+struct Family {
+    name: &'static str,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// The metrics registry (one per installed recorder).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locate (or, on first touch, create) a series and apply `update` to
+    /// its cell.  After first touch the path performs no allocation.
+    fn with_cell(
+        &self,
+        name: &'static str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        update: impl FnOnce(&Cell),
+    ) {
+        assert!(
+            name_matches_convention(name),
+            "metric `{name}` violates the sem_<crate>_<noun>_<unit> naming convention"
+        );
+        let Ok(mut families) = self.families.lock() else {
+            return;
+        };
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(found) => {
+                assert!(
+                    found.kind == kind,
+                    "metric `{name}` registered as {} and used as {}",
+                    found.kind.as_str(),
+                    kind.as_str()
+                );
+                found
+            }
+            None => {
+                families.push(Family {
+                    name,
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(series) = family.series.iter().find(|s| s.matches(labels)) {
+            update(&series.cell);
+            return;
+        }
+        let cell = match kind {
+            Kind::Counter => Cell::Counter(AtomicU64::new(0)),
+            Kind::Gauge => Cell::Gauge(AtomicU64::new(0.0_f64.to_bits())),
+            Kind::Histogram => Cell::Histogram {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0.0_f64.to_bits()),
+            },
+        };
+        family.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+            cell,
+        });
+        update(&family.series.last().expect("just pushed").cell);
+    }
+
+    /// Add `delta` to a counter series.
+    pub fn counter_add(&self, name: &'static str, labels: &[(&str, &str)], delta: u64) {
+        self.with_cell(name, Kind::Counter, labels, |cell| {
+            if let Cell::Counter(value) = cell {
+                value.fetch_add(delta, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Set a gauge series.
+    pub fn gauge_set(&self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.with_cell(name, Kind::Gauge, labels, |cell| {
+            if let Cell::Gauge(bits) = cell {
+                bits.store(value.to_bits(), Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Observe one value into a log-linear histogram series.
+    pub fn observe(&self, name: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.with_cell(name, Kind::Histogram, labels, |cell| {
+            if let Cell::Histogram {
+                buckets,
+                count,
+                sum,
+            } = cell
+            {
+                buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+                add_f64(sum, value);
+            }
+        });
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format,
+    /// deterministically ordered (families by name, series by labels).
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let Ok(mut families) = self.families.lock() else {
+            return String::new();
+        };
+        families.sort_by_key(|f| f.name);
+        let mut out = String::new();
+        for family in &mut *families {
+            family.series.sort_by(|a, b| a.labels.cmp(&b.labels));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                family.name,
+                family.kind.as_str()
+            ));
+            for series in &family.series {
+                match &series.cell {
+                    Cell::Counter(value) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            value.load(Ordering::Relaxed)
+                        ));
+                    }
+                    Cell::Gauge(bits) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            f64::from_bits(bits.load(Ordering::Relaxed))
+                        ));
+                    }
+                    Cell::Histogram {
+                        buckets,
+                        count,
+                        sum,
+                    } => {
+                        let mut cumulative = 0_u64;
+                        for (index, bucket) in buckets.iter().enumerate() {
+                            cumulative += bucket.load(Ordering::Relaxed);
+                            let le = match bucket_upper_bound(index) {
+                                Some(bound) => format!("{bound}"),
+                                None => "+Inf".to_string(),
+                            };
+                            out.push_str(&format!(
+                                "{}_bucket{} {cumulative}\n",
+                                family.name,
+                                render_labels(&series.labels, Some(&le)),
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            f64::from_bits(sum.load(Ordering::Relaxed))
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            count.load(Ordering::Relaxed)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render `{k="v",…}` (empty string when there are no labels and no `le`).
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_convention_accepts_and_rejects() {
+        assert!(name_matches_convention("sem_solver_cg_iterations_total"));
+        assert!(name_matches_convention("sem_serve_request_latency_seconds"));
+        assert!(name_matches_convention("sem_obs_dropped_events_total"));
+        // Wrong prefix, unknown crate, missing unit, missing noun, casing.
+        assert!(!name_matches_convention("solver_cg_iterations_total"));
+        assert!(!name_matches_convention("sem_unknown_cg_iterations_total"));
+        assert!(!name_matches_convention("sem_solver_cg_iterations"));
+        assert!(!name_matches_convention("sem_solver_total"));
+        assert!(!name_matches_convention("sem_Solver_cg_total"));
+        assert!(!name_matches_convention("sem__solver_cg_total"));
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("sem_serve_requests_total", &[("backend", "cpu")], 2);
+        registry.counter_add("sem_serve_requests_total", &[("backend", "cpu")], 3);
+        registry.counter_add("sem_serve_requests_total", &[("backend", "fpga")], 1);
+        let text = registry.prometheus_text();
+        assert!(text.contains("# TYPE sem_serve_requests_total counter"));
+        assert!(text.contains("sem_serve_requests_total{backend=\"cpu\"} 5"));
+        assert!(text.contains("sem_serve_requests_total{backend=\"fpga\"} 1"));
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let registry = MetricsRegistry::new();
+        registry.gauge_set("sem_serve_queue_depth_count", &[], 3.0);
+        registry.gauge_set("sem_serve_queue_depth_count", &[], 1.5);
+        assert!(registry
+            .prometheus_text()
+            .contains("sem_serve_queue_depth_count 1.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_counts_match() {
+        let registry = MetricsRegistry::new();
+        for value in [1e-4, 2e-4, 0.5, 2.0] {
+            registry.observe("sem_accel_solve_seconds", &[], value);
+        }
+        let text = registry.prometheus_text();
+        assert!(text.contains("# TYPE sem_accel_solve_seconds histogram"));
+        assert!(text.contains("sem_accel_solve_seconds_count 4"));
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("overflow bucket");
+        assert!(inf_line.ends_with(" 4"), "{inf_line}");
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("sem_accel_solve_seconds_sum"))
+            .expect("sum line");
+        let sum: f64 = sum_line.split(' ').next_back().unwrap().parse().unwrap();
+        assert!((sum - 2.5003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_over_bounds() {
+        let mut previous = 0;
+        for index in 0..BUCKETS - 1 {
+            let bound = bucket_upper_bound(index).unwrap();
+            // A value just below the bound lands at or before this bucket.
+            let at = bucket_index(bound * (1.0 - 1e-12));
+            assert!(at <= index, "value under bound {bound} fell in {at}");
+            assert!(at >= previous);
+            previous = at;
+        }
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(1e9), BUCKETS - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "naming convention")]
+    fn misnamed_metric_is_rejected() {
+        // lint: obs-naming-ok (this test proves the registry rejects the misnamed metric)
+        MetricsRegistry::new().counter_add("requests", &[], 1);
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::queue::BatchJob;
 use perf_model::DeadlineModel;
+use sem_obs::{recorder, Scope, SpanEvent, SpanKind};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -103,14 +104,20 @@ where
     F: FnMut(usize, &BatchJob) -> f64,
 {
     assert!(pool_size > 0, "need at least one device to admit onto");
+    let obs = recorder();
     let Some(deadline_seconds) = policy.deadline_seconds() else {
-        let admitted = jobs
+        let admitted: Vec<AdmittedJob> = jobs
             .into_iter()
             .map(|job| AdmittedJob {
                 job,
                 floating: false,
             })
             .collect();
+        if obs.is_enabled() {
+            for admitted_job in &admitted {
+                record_verdict(SpanKind::AdmissionAdmit, &admitted_job.job, 0.0, 0.0);
+            }
+        }
         return (admitted, Vec::new());
     };
     let deadline = DeadlineModel::new(deadline_seconds);
@@ -130,13 +137,23 @@ where
             .expect("non-empty pool");
         let completion = backlog[best] + session_seconds;
         if deadline.admits(completion) {
+            if obs.is_enabled() {
+                record_verdict(SpanKind::AdmissionAdmit, &job, backlog[best], completion);
+            }
             backlog[best] += session_seconds;
             admitted.push(AdmittedJob { job, floating });
         } else if down_batch && job.batch_size() > 1 {
+            if obs.is_enabled() {
+                record_verdict(SpanKind::DownBatchSplit, &job, backlog[best], completion);
+                obs.counter_add("sem_serve_downbatch_splits_total", &[], 1);
+            }
             let (front, back) = job.split();
             pending.push_front((back, true));
             pending.push_front((front, true));
         } else {
+            if obs.is_enabled() {
+                record_verdict(SpanKind::AdmissionReject, &job, backlog[best], completion);
+            }
             rejections.extend(job.requests.iter().map(|&request| RejectedRequest {
                 request,
                 predicted_completion_seconds: completion,
@@ -146,6 +163,27 @@ where
     }
     rejections.sort_by_key(|rejection| rejection.request);
     (admitted, rejections)
+}
+
+/// Record one admission-verdict span per request of `job` on the modelled
+/// completion axis (device backlog → predicted completion).  Admission runs
+/// before anything executes and prices in modelled seconds only, so these
+/// spans are deterministic on both serving hosts.
+fn record_verdict(kind: SpanKind, job: &BatchJob, backlog_seconds: f64, completion_seconds: f64) {
+    let obs = recorder();
+    let start = obs.stamp(backlog_seconds);
+    let end = obs.stamp(completion_seconds);
+    for &request in &job.requests {
+        obs.record(
+            SpanEvent::new(kind, Scope::Deterministic, start, end).with_request(request as u64),
+        );
+    }
+    let metric = match kind {
+        SpanKind::AdmissionAdmit => "sem_serve_admitted_requests_total",
+        SpanKind::AdmissionReject => "sem_serve_rejected_requests_total",
+        _ => return,
+    };
+    obs.counter_add(metric, &[], job.batch_size() as u64);
 }
 
 #[cfg(test)]

@@ -125,6 +125,63 @@ impl CaseReport {
         }
         out
     }
+
+    /// Render the report as machine-readable JSON: the scalar verdict
+    /// fields verbatim, the transition coverage as an array of `"from>to"`
+    /// mnemonic classes (the same rendering as
+    /// [`CaseReport::transition_map`]), and the violations as strings —
+    /// so CI and tooling can join race-detector output against the other
+    /// exported artifacts instead of parsing the printed table.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"name\":");
+        out.push_str(&json_string(self.name));
+        out.push_str(&format!(
+            ",\"workers\":{},\"jobs\":{},\"schedules\":{},\"exhausted\":{},\"longest_trace\":{}",
+            self.workers, self.jobs, self.schedules, self.exhausted, self.longest_trace
+        ));
+        out.push_str(",\"transitions\":[");
+        for (i, (from, to)) in self.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(&format!(
+                "{}>{}",
+                from.mnemonic(),
+                to.mnemonic()
+            )));
+        }
+        out.push_str("],\"violations\":[");
+        for (i, violation) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(violation));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) for
+/// the hand-rolled [`CaseReport::to_json`] export.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Serializes explorer entry points: the schedule hook is process-global.
@@ -674,6 +731,30 @@ mod tests {
             violations: Vec::new(),
         };
         assert_eq!(report.transition_map(), "ip>is wo>ws");
+    }
+
+    #[test]
+    fn to_json_round_trips_fields_and_escapes_violations() {
+        let mut transitions = BTreeSet::new();
+        transitions.insert((SchedOp::WorkerPop, SchedOp::WorkerSteal));
+        let report = CaseReport {
+            name: "json",
+            workers: 2,
+            jobs: 3,
+            schedules: 17,
+            exhausted: true,
+            longest_trace: 9,
+            transitions,
+            violations: vec!["lost \"job\"\nafter steal".to_string()],
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"name\":\"json\",\"workers\":2,\"jobs\":3,\"schedules\":17,\
+             \"exhausted\":true,\"longest_trace\":9,\
+             \"transitions\":[\"wo>ws\"],\
+             \"violations\":[\"lost \\\"job\\\"\\nafter steal\"]}"
+        );
     }
 
     #[test]

@@ -13,18 +13,17 @@
 //! same request order, no matter which worker stole which job.
 
 use crate::admission::{admit, AdmissionPolicy, AdmittedJob, RejectedRequest};
-use crate::pipeline::{PipelineConfig, PipelineTimeline};
+use crate::pipeline::{PipelineConfig, PipelineTimeline, RequestStages, Stage};
 use crate::queue::{BatchJob, SolveQueue};
 use crate::request::{ProblemSpec, RhsSpec, ServeRequest};
 use crate::scheduler::{DeviceSlot, DeviceStatus, SchedulingPolicy};
 use crate::steal::{run_stealing, TaggedJob};
-use sem_accel::{Backend, SemSystem};
+use sem_accel::{Backend, PerfSource, SemSystem};
 use sem_mesh::ElementField;
+use sem_obs::{recorder, DriftSample, Scope, SpanEvent, SpanKind, WallTimer};
 use sem_solver::{CgOptions, PrecondSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-// lint: wall-clock (the serving host measures request latency end to end)
-use std::time::Instant;
 
 /// Serving knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -147,6 +146,12 @@ impl RequestOutcome {
 /// One executed batch job, for tracing/visualisation.
 #[derive(Debug, Clone)]
 pub struct JobTrace {
+    /// Ordinal of this job in the report's `jobs` list — the stable id the
+    /// exported Chrome trace carries in every span's `args.job`, so trace
+    /// rows join back to this trace, and through [`JobTrace::requests`] to
+    /// `ServeReport::outcomes` (whose `request` index matches the spans'
+    /// `args.request`).
+    pub job_id: usize,
     /// The job's shape.
     pub spec: ProblemSpec,
     /// Device it actually ran on.
@@ -371,6 +376,10 @@ struct ExecutedJob {
     hinted_device: Option<usize>,
     timeline: PipelineTimeline,
     outcomes: Vec<RequestOutcome>,
+    /// Whether the job's stage costs come from a cycle model (simulated
+    /// backend) rather than host measurement — which decides whether its
+    /// spans survive a modelled-clock trace export.
+    modeled: bool,
 }
 
 /// A serving instance: a device pool plus options, with one lazily built
@@ -438,22 +447,23 @@ impl Server {
         requests: &[ServeRequest],
         policy: &mut dyn SchedulingPolicy,
     ) -> ServeReport {
-        let started = Instant::now();
+        let started = WallTimer::start();
         let (placed, rejections) = self.prepare(requests, policy);
         let mut wall_stats = vec![(0.0_f64, 0_usize); self.slots.len()];
         let executed: Vec<ExecutedJob> = placed
             .into_iter()
             .map(|(job, device, _)| {
-                let begun = Instant::now();
-                let (timeline, outcomes) =
+                let begun = WallTimer::start();
+                let (timeline, outcomes, modeled) =
                     self.execute_job_on(self.system(device, job.spec), device, &job, requests);
-                wall_stats[device].0 += begun.elapsed().as_secs_f64();
+                wall_stats[device].0 += begun.elapsed_wall_seconds();
                 ExecutedJob {
                     job,
                     device,
                     hinted_device: Some(device),
                     timeline,
                     outcomes,
+                    modeled,
                 }
             })
             .collect();
@@ -464,7 +474,7 @@ impl Server {
             executed,
             rejections,
             wall_stats,
-            started.elapsed().as_secs_f64(),
+            started.elapsed_wall_seconds(),
         )
     }
 
@@ -485,7 +495,7 @@ impl Server {
         requests: &[ServeRequest],
         policy: &mut dyn SchedulingPolicy,
     ) -> ServeReport {
-        let started = Instant::now();
+        let started = WallTimer::start();
         let (placed, rejections) = self.prepare(requests, policy);
         let tagged: Vec<TaggedJob<BatchJob>> = placed
             .into_iter()
@@ -505,8 +515,8 @@ impl Server {
             let system = systems.entry(job.spec).or_insert_with(|| {
                 Self::build_system(&self.slots[worker].config, job.spec, self.options.precond)
             });
-            let (timeline, outcomes) = self.execute_job_on(system, worker, &job, requests);
-            (job, timeline, outcomes)
+            let (timeline, outcomes, modeled) = self.execute_job_on(system, worker, &job, requests);
+            (job, timeline, outcomes, modeled)
         });
         let mut wall_stats = Vec::with_capacity(self.slots.len());
         for (slot, ledger) in self.systems.iter_mut().zip(run.workers) {
@@ -517,13 +527,14 @@ impl Server {
             .completed
             .into_iter()
             .map(|completed| {
-                let (job, timeline, outcomes) = completed.result;
+                let (job, timeline, outcomes, modeled) = completed.result;
                 ExecutedJob {
                     job,
                     device: completed.worker,
                     hinted_device: completed.hint,
                     timeline,
                     outcomes,
+                    modeled,
                 }
             })
             .collect();
@@ -534,7 +545,7 @@ impl Server {
             executed,
             rejections,
             wall_stats,
-            started.elapsed().as_secs_f64(),
+            started.elapsed_wall_seconds(),
         )
     }
 
@@ -632,6 +643,7 @@ impl Server {
         let mut outcomes: Vec<Option<RequestOutcome>> = (0..num_requests).map(|_| None).collect();
         let mut traces = Vec::with_capacity(executed.len());
 
+        let obs = recorder();
         for job in executed {
             let device = job.device;
             let started = busy[device];
@@ -640,6 +652,10 @@ impl Server {
             jobs_per_device[device] += 1;
             requests_per_device[device] += job.job.batch_size();
             let completed = busy[device];
+            let job_id = traces.len();
+            if obs.is_enabled() {
+                self.record_job_spans(&job, job_id, started, completed, asynchronous);
+            }
             for mut outcome in job.outcomes {
                 outcome.started_seconds = started;
                 outcome.completed_seconds = completed;
@@ -650,6 +666,7 @@ impl Server {
                 );
             }
             traces.push(JobTrace {
+                job_id,
                 spec: job.job.spec,
                 device,
                 hinted_device: job.hinted_device,
@@ -683,6 +700,18 @@ impl Server {
             num_requests,
             "every request is answered or rejected exactly once"
         );
+        if obs.is_enabled() {
+            obs.counter_add("sem_serve_requests_total", &[], outcomes.len() as u64);
+            obs.counter_add("sem_serve_jobs_total", &[], traces.len() as u64);
+            obs.gauge_set("sem_serve_makespan_seconds", &[], makespan_seconds);
+            for outcome in &outcomes {
+                obs.observe(
+                    "sem_serve_request_latency_seconds",
+                    &[("device", outcome.device_label.as_str())],
+                    outcome.latency_seconds(),
+                );
+            }
+        }
         ServeReport {
             policy: policy.to_string(),
             precond: self.precond_label(),
@@ -695,6 +724,67 @@ impl Server {
             makespan_seconds,
             serial_makespan_seconds,
             wall_seconds,
+        }
+    }
+
+    /// Record one job's pipeline spans on the report's modelled time axis:
+    /// every timeline stage interval (shared upload, operand uploads,
+    /// kernel computes, residual streams, result downloads) re-anchored at
+    /// the device's running busy offset, plus one [`SpanKind::PipelineSlot`]
+    /// span per request covering its whole session slot.
+    ///
+    /// Spans are deterministic only when the stage costs come from a cycle
+    /// model *and* the jobs arrived in the deterministic (synchronous)
+    /// completion order — the async host's completion order is a property of
+    /// the schedule, so its spans are excluded from modelled-clock exports.
+    fn record_job_spans(
+        &self,
+        job: &ExecutedJob,
+        job_id: usize,
+        started: f64,
+        completed: f64,
+        asynchronous: bool,
+    ) {
+        let obs = recorder();
+        let scope = if job.modeled && !asynchronous {
+            Scope::Deterministic
+        } else {
+            Scope::ScheduleDependent
+        };
+        let label = obs.intern(&self.slots[job.device].label);
+        for event in &job.timeline.events {
+            let kind = match event.stage {
+                Stage::SharedUpload => SpanKind::SharedUpload,
+                Stage::Upload => SpanKind::Upload,
+                Stage::Compute => SpanKind::Compute,
+                Stage::ResidualStream => SpanKind::ResidualStream,
+                Stage::Download => SpanKind::Download,
+            };
+            let mut span = SpanEvent::new(
+                kind,
+                scope,
+                obs.stamp(started + event.start_seconds),
+                obs.stamp(started + event.end_seconds),
+            )
+            .with_job(job_id as u64)
+            .with_label(label);
+            if let Some(i) = event.request {
+                span = span.with_request(job.job.requests[i] as u64);
+            }
+            obs.record(span);
+        }
+        for &request in &job.job.requests {
+            obs.record(
+                SpanEvent::new(
+                    SpanKind::PipelineSlot,
+                    scope,
+                    obs.stamp(started),
+                    obs.stamp(completed),
+                )
+                .with_request(request as u64)
+                .with_job(job_id as u64)
+                .with_label(label),
+            );
         }
     }
 
@@ -721,7 +811,7 @@ impl Server {
         device: usize,
         job: &BatchJob,
         requests: &[ServeRequest],
-    ) -> (PipelineTimeline, Vec<RequestOutcome>) {
+    ) -> (PipelineTimeline, Vec<RequestOutcome>, bool) {
         let rhss: Vec<ElementField> = job
             .requests
             .iter()
@@ -733,6 +823,8 @@ impl Server {
             &reports,
             self.options.pipeline,
         );
+        let modeled = system.execution().perf_source() == PerfSource::Simulated;
+        self.record_drift(system, device, job, &timeline);
         // Manufactured requests get real error metrics (solve_many itself
         // cannot know the exact solution of an arbitrary RHS).
         let exact = job
@@ -779,7 +871,94 @@ impl Server {
                 }
             })
             .collect();
-        (timeline, outcomes)
+        (timeline, outcomes, modeled)
+    }
+
+    /// Record the model-drift samples of one executed job: for every
+    /// admitted request, the per-stage seconds the deadline/placement model
+    /// predicted at admission time against what the executed timeline
+    /// actually charged — the raw material of the calibration report that
+    /// identifies which `perf_model` terms are lying.
+    fn record_drift(
+        &self,
+        system: &SemSystem,
+        device: usize,
+        job: &BatchJob,
+        timeline: &PipelineTimeline,
+    ) {
+        let obs = recorder();
+        if !obs.is_enabled() {
+            return;
+        }
+        let applications = self.options.applications_hint.max(1);
+        let precond = self.slot_precond(device);
+        let precond_per_application = system
+            .execution()
+            .simulated_seconds_per_precond(precond)
+            .unwrap_or(0.0);
+        let plan = system.offload_plan();
+        let predicted = RequestStages::predict(
+            system.execution(),
+            plan.as_ref(),
+            applications,
+            precond_per_application,
+            self.host_fallback_seconds(device, job.spec, applications),
+            self.options.pipeline.link_gbs,
+        );
+        let predicted_session = PipelineTimeline::predict(
+            system.execution(),
+            job.batch_size(),
+            applications,
+            precond_per_application,
+            self.host_fallback_seconds(device, job.spec, applications),
+            self.options.pipeline,
+        )
+        .makespan_seconds;
+        let backend = &self.slots[device].label;
+        for (&request, actual) in job.requests.iter().zip(&timeline.stages) {
+            let stages = [
+                ("upload", predicted.upload_seconds, actual.upload_seconds),
+                ("compute", predicted.compute_seconds, actual.compute_seconds),
+                (
+                    "download",
+                    predicted.download_seconds,
+                    actual.download_seconds,
+                ),
+                (
+                    "residual_stream",
+                    predicted.residual_stream_seconds,
+                    actual.residual_stream_seconds,
+                ),
+                ("session", predicted_session, timeline.makespan_seconds),
+            ];
+            for (stage, predicted_seconds, actual_seconds) in stages {
+                obs.record_drift(DriftSample {
+                    request: request as u64,
+                    stage,
+                    backend: backend.clone(),
+                    predicted_seconds,
+                    actual_seconds,
+                });
+            }
+        }
+    }
+
+    /// Roofline host pricing of one solve on `device` — the prediction
+    /// fallback for backends without a cycle model, scaled by the
+    /// preconditioner's Ax-equivalent work (FDM is six contractions ≈ one
+    /// Ax per application, Jacobi a pointwise sweep) so CPU predictions do
+    /// not flatter the stronger preconditioners.
+    fn host_fallback_seconds(&self, device: usize, spec: ProblemSpec, applications: usize) -> f64 {
+        let host_precond_factor = match self.slot_precond(device) {
+            PrecondSpec::Identity => 0.0,
+            PrecondSpec::Jacobi => 0.05,
+            PrecondSpec::Fdm => 1.0,
+        };
+        self.slots[device]
+            .host_model
+            .seconds_per_application(spec.degree, spec.num_elements())
+            * applications as f64
+            * (1.0 + host_precond_factor)
     }
 
     /// Predicted session seconds of `job` on `device` — the number
@@ -797,20 +976,7 @@ impl Server {
             .execution()
             .simulated_seconds_per_precond(precond)
             .unwrap_or(0.0);
-        // Host slots have no preconditioner cycle model; scale the roofline
-        // fallback by the pass's Ax-equivalent work instead (FDM is six
-        // contractions ≈ one Ax per application, Jacobi a pointwise sweep)
-        // so CPU predictions do not flatter the stronger preconditioners.
-        let host_precond_factor = match precond {
-            PrecondSpec::Identity => 0.0,
-            PrecondSpec::Jacobi => 0.05,
-            PrecondSpec::Fdm => 1.0,
-        };
-        let fallback = self.slots[device]
-            .host_model
-            .seconds_per_application(job.spec.degree, job.spec.num_elements())
-            * applications as f64
-            * (1.0 + host_precond_factor);
+        let fallback = self.host_fallback_seconds(device, job.spec, applications);
         PipelineTimeline::predict(
             system.execution(),
             job.batch_size(),

@@ -31,8 +31,7 @@
 
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-// lint: wall-clock (worker busy-time ledgers are measured on the host, never modelled)
-use std::time::Instant;
+use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
 
 /// One job plus the scheduling hint it was admitted with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,7 +158,7 @@ where
     }
 
     let (tx, rx) = channel::unbounded::<Delivery<R>>();
-    let start = Instant::now();
+    let run_timer = WallTimer::start();
     let mut ledgers: Vec<Option<WorkerLedger<S>>> = Vec::with_capacity(pool);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(pool);
@@ -176,14 +175,26 @@ where
                 let mut busy_wall_seconds = 0.0;
                 let mut executed_jobs = 0;
                 let mut steals = 0;
+                let obs = recorder();
                 while let Some(job) = next_job(index, &queue, injector, stealers) {
                     if job.hint.is_some_and(|hint| hint != index) {
                         steals += 1;
+                        if obs.is_enabled() {
+                            // Which worker robbed whom is a property of the
+                            // schedule, never of the answer: mark the event
+                            // so modelled-clock exports drop it.
+                            let at = obs.stamp(busy_wall_seconds);
+                            obs.record(
+                                SpanEvent::new(SpanKind::Steal, Scope::ScheduleDependent, at, at)
+                                    .with_index(index as u64),
+                            );
+                            obs.counter_add("sem_serve_steals_total", &[], 1);
+                        }
                     }
                     let hint = job.hint;
-                    let begun = Instant::now();
+                    let begun = WallTimer::start();
                     let result = execute(index, &mut state, job.payload);
-                    busy_wall_seconds += begun.elapsed().as_secs_f64();
+                    busy_wall_seconds += begun.elapsed_wall_seconds();
                     executed_jobs += 1;
                     // The receiver outlives the scope by construction, so a
                     // failed send can only mean the channel was torn down
@@ -211,7 +222,7 @@ where
             ledgers.push(Some(handle.join().expect("worker thread panicked")));
         }
     });
-    let wall_seconds = start.elapsed().as_secs_f64();
+    let wall_seconds = run_timer.elapsed_wall_seconds();
 
     let completed = rx
         .iter()
@@ -258,7 +269,24 @@ fn next_job<T>(
             }
         }
         if retry {
+            let obs = recorder();
+            if obs.is_enabled() {
+                // A contended sweep: the worker backs off and retries.  Like
+                // steals, parking is schedule-only telemetry.
+                let at = obs.stamp(0.0);
+                obs.record(
+                    SpanEvent::new(SpanKind::WorkerPark, Scope::ScheduleDependent, at, at)
+                        .with_index(index as u64),
+                );
+            }
             std::thread::yield_now();
+            if obs.is_enabled() {
+                let at = obs.stamp(0.0);
+                obs.record(
+                    SpanEvent::new(SpanKind::WorkerUnpark, Scope::ScheduleDependent, at, at)
+                        .with_index(index as u64),
+                );
+            }
             continue;
         }
         // Every source is empty and jobs are never re-queued: nothing is

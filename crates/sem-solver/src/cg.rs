@@ -7,9 +7,8 @@
 
 use sem_kernel::PoissonOperator;
 use sem_mesh::{DirichletMask, ElementField, GatherScatter};
+use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
 use serde::{Deserialize, Serialize};
-// lint: wall-clock (CG measures host apply time when a backend carries no timing model)
-use std::time::Instant;
 
 /// The element-local operator a Krylov solver iterates with.
 ///
@@ -298,9 +297,21 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
     /// the operator has no accounting of its own).  Operators that claim the
     /// fused `Ax`+dssum pass (see [`LocalOperator::fuses_dssum`]) get one
     /// call instead of an apply followed by a host gather–scatter.
-    fn apply_operator_into(&self, u: &ElementField, w: &mut ElementField) -> f64 {
+    ///
+    /// `accumulated_seconds` is the solve's running operator+preconditioner
+    /// cost so far: under the modelled observability clock the recorded
+    /// span is stamped with it, so per-apply spans tile the solve
+    /// deterministically.
+    fn apply_operator_into(
+        &self,
+        u: &ElementField,
+        w: &mut ElementField,
+        accumulated_seconds: f64,
+    ) -> f64 {
+        let obs = recorder();
         match self.operator.seconds_per_application() {
             Some(seconds) => {
+                let span_start = obs.stamp(accumulated_seconds);
                 if self.operator.fuses_dssum() {
                     self.operator.apply_dssum_into(u, self.gather_scatter, w);
                 } else {
@@ -308,25 +319,48 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                     self.gather_scatter.direct_stiffness_sum(w);
                 }
                 self.mask.apply(w);
+                let span_end = obs.stamp(accumulated_seconds + seconds);
+                obs.record(SpanEvent::new(
+                    SpanKind::OperatorApply,
+                    Scope::Deterministic,
+                    span_start,
+                    span_end,
+                ));
                 seconds
             }
             None if self.operator.fuses_dssum() => {
                 // The fused pass is indivisible, so its wall clock includes
                 // the summation.
-                let start = Instant::now();
+                let span_start = obs.stamp(accumulated_seconds);
+                let timer = WallTimer::start();
                 self.operator.apply_dssum_into(u, self.gather_scatter, w);
-                let seconds = start.elapsed().as_secs_f64();
+                let seconds = timer.elapsed_wall_seconds();
                 self.mask.apply(w);
+                let span_end = obs.stamp(accumulated_seconds + seconds);
+                obs.record(SpanEvent::new(
+                    SpanKind::OperatorApply,
+                    Scope::ScheduleDependent,
+                    span_start,
+                    span_end,
+                ));
                 seconds
             }
             None => {
                 // Time only the local operator, not dssum/mask, so the
                 // accumulated seconds divide the operator FLOPs cleanly.
-                let start = Instant::now();
+                let span_start = obs.stamp(accumulated_seconds);
+                let timer = WallTimer::start();
                 self.operator.apply_local_into(u, w);
-                let seconds = start.elapsed().as_secs_f64();
+                let seconds = timer.elapsed_wall_seconds();
                 self.gather_scatter.direct_stiffness_sum(w);
                 self.mask.apply(w);
+                let span_end = obs.stamp(accumulated_seconds + seconds);
+                obs.record(SpanEvent::new(
+                    SpanKind::OperatorApply,
+                    Scope::ScheduleDependent,
+                    span_start,
+                    span_end,
+                ));
                 seconds
             }
         }
@@ -395,9 +429,21 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
             };
         }
 
+        let obs = recorder();
+        // One CG iteration is reproducible only when both its costed passes
+        // carry their own (modelled) accounting; a measured pass makes the
+        // stamps host-dependent.
+        let iteration_scope = if self.operator.seconds_per_application().is_some()
+            && precond.seconds_per_application().is_some()
+        {
+            Scope::Deterministic
+        } else {
+            Scope::ScheduleDependent
+        };
+
         let mut precond_applications = 0_usize;
         let mut precond_seconds = 0.0_f64;
-        precond_seconds += Self::apply_precond_into(precond, &scratch.r, &mut scratch.z);
+        precond_seconds += Self::apply_precond_into(precond, &scratch.r, &mut scratch.z, 0.0);
         precond_applications += 1;
         self.mask.apply(&mut scratch.z);
         scratch.p.copy_from(&scratch.z);
@@ -413,7 +459,12 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
         // allocation per iteration would dominate small solves)
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
-            operator_seconds += self.apply_operator_into(&scratch.p, &mut scratch.w);
+            let span_start = obs.stamp(operator_seconds + precond_seconds);
+            operator_seconds += self.apply_operator_into(
+                &scratch.p,
+                &mut scratch.w,
+                operator_seconds + precond_seconds,
+            );
             operator_flops += self.operator.flops_per_application();
             operator_applications += 1;
             let pw = self.inner_product(&scratch.p, &scratch.w);
@@ -433,10 +484,20 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
             }
             if rel_res < self.options.tolerance {
                 converged = true;
+                let span_end = obs.stamp(operator_seconds + precond_seconds);
+                obs.record(
+                    SpanEvent::new(SpanKind::CgIteration, iteration_scope, span_start, span_end)
+                        .with_index(iter as u64),
+                );
                 break;
             }
 
-            precond_seconds += Self::apply_precond_into(precond, &scratch.r, &mut scratch.z);
+            precond_seconds += Self::apply_precond_into(
+                precond,
+                &scratch.r,
+                &mut scratch.z,
+                operator_seconds + precond_seconds,
+            );
             precond_applications += 1;
             self.mask.apply(&mut scratch.z);
             let rz_new = self.inner_product(&scratch.r, &scratch.z);
@@ -444,7 +505,21 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
             rz = rz_new;
             // p = z + beta p
             scratch.p.scale_add(beta, &scratch.z);
+            let span_end = obs.stamp(operator_seconds + precond_seconds);
+            obs.record(
+                SpanEvent::new(SpanKind::CgIteration, iteration_scope, span_start, span_end)
+                    .with_index(iter as u64),
+            );
         }
+
+        obs.counter_add("sem_solver_cg_iterations_total", &[], iterations as u64);
+        obs.counter_add(
+            "sem_solver_operator_applications_total",
+            &[],
+            operator_applications as u64,
+        );
+        obs.observe("sem_solver_operator_seconds", &[], operator_seconds);
+        obs.observe("sem_solver_precond_seconds", &[], precond_seconds);
 
         CgOutcome {
             solution: scratch.x.clone(),
@@ -462,21 +537,41 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
 
     /// One preconditioner application with its cost: the preconditioner's
     /// own accounting when it has one (on-device model), measured wall-clock
-    /// otherwise.
+    /// otherwise.  `accumulated_seconds` stamps the recorded span exactly
+    /// like [`CgSolver::apply_operator_into`].
     fn apply_precond_into<P: Preconditioner + ?Sized>(
         precond: &P,
         r: &ElementField,
         z: &mut ElementField,
+        accumulated_seconds: f64,
     ) -> f64 {
+        let obs = recorder();
         match precond.seconds_per_application() {
             Some(seconds) => {
+                let span_start = obs.stamp(accumulated_seconds);
                 precond.apply_into(r, z);
+                let span_end = obs.stamp(accumulated_seconds + seconds);
+                obs.record(SpanEvent::new(
+                    SpanKind::PrecondApply,
+                    Scope::Deterministic,
+                    span_start,
+                    span_end,
+                ));
                 seconds
             }
             None => {
-                let start = Instant::now();
+                let span_start = obs.stamp(accumulated_seconds);
+                let timer = WallTimer::start();
                 precond.apply_into(r, z);
-                start.elapsed().as_secs_f64()
+                let seconds = timer.elapsed_wall_seconds();
+                let span_end = obs.stamp(accumulated_seconds + seconds);
+                obs.record(SpanEvent::new(
+                    SpanKind::PrecondApply,
+                    Scope::ScheduleDependent,
+                    span_start,
+                    span_end,
+                ));
+                seconds
             }
         }
     }

@@ -11,9 +11,8 @@ use crate::poisson::PoissonProblem;
 use crate::precond::PrecondSpec;
 use sem_kernel::AxImplementation;
 use sem_mesh::BoxMesh;
+use sem_obs::WallTimer;
 use serde::{Deserialize, Serialize};
-// lint: wall-clock (the proxy benchmark harness times full solves)
-use std::time::Instant;
 
 /// Configuration of a proxy run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -102,9 +101,9 @@ impl ProxyConfig {
         // Preconditioner setup (eigendecompositions for FDM) stays outside
         // the timed loop, like Nekbone's setup phase.
         let pc = problem.preconditioner(self.precond);
-        let start = Instant::now();
+        let timer = WallTimer::start();
         let outcome = solver.solve(&rhs, &pc);
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = timer.elapsed_wall_seconds();
 
         let gflops = if seconds > 0.0 {
             outcome.operator_flops as f64 / seconds / 1e9

@@ -6,14 +6,12 @@
 //!
 //! Run with `cargo run --example degree_sweep --release`.
 
-// lint: wall-clock (this example measures host kernels side by side with the calibrated models)
-
 use semfpga::accel::{Backend, SemSystem};
 use semfpga::archdb::machine_model::calibrated_model;
 use semfpga::fpga::{FpgaAccelerator, FpgaDevice};
 use semfpga::kernel::{kernel_structure, PoissonOperator};
 use semfpga::mesh::ElementField;
-use std::time::Instant;
+use semfpga::obs::WallTimer;
 
 /// Average seconds per application over `reps` runs (after one warm-up).
 fn seconds_per_application(
@@ -23,11 +21,11 @@ fn seconds_per_application(
     reps: usize,
 ) -> f64 {
     operator.apply_into(u, w);
-    let start = Instant::now();
+    let timer = WallTimer::start();
     for _ in 0..reps {
         operator.apply_into(u, w);
     }
-    start.elapsed().as_secs_f64() / reps as f64
+    timer.elapsed_wall_seconds() / reps as f64
 }
 
 fn main() {

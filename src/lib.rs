@@ -20,7 +20,9 @@
 //!   machine models (`arch-db`);
 //! * [`accel`] — the high-level backend-selection API (`sem-accel`);
 //! * [`serve`] — the pipelined, overlap-aware serving layer: solve queue,
-//!   multi-device scheduler and offload-pipeline timeline (`sem-serve`).
+//!   multi-device scheduler and offload-pipeline timeline (`sem-serve`);
+//! * [`obs`] — deterministic tracing, metrics and model-drift telemetry for
+//!   the whole solve/serve stack (`sem-obs`).
 //!
 //! See the `examples/` directory for runnable entry points and the `bench`
 //! crate for the binaries regenerating every table and figure of the paper.
@@ -55,6 +57,7 @@ pub use sem_accel as accel;
 pub use sem_basis as basis;
 pub use sem_kernel as kernel;
 pub use sem_mesh as mesh;
+pub use sem_obs as obs;
 pub use sem_serve as serve;
 pub use sem_solver as solver;
 

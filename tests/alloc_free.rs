@@ -4,11 +4,15 @@
 //! solve (which sizes the kernel's thread-local element scratch), repeated
 //! solves through a shared [`sem_solver::CgScratch`] must allocate a small,
 //! **iteration-count-independent** number of times — i.e. nothing inside the
-//! iteration loop touches the heap.  This file holds exactly one test so no
+//! iteration loop touches the heap.  The same bound must hold with an
+//! *enabled* sem-obs recorder: spans land in the preallocated per-thread
+//! ring and metrics in families registered at first touch, so observing a
+//! solve costs no heap traffic.  This file holds exactly one test so no
 //! concurrent test pollutes the global counter.
 
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter};
+use sem_obs::{recorder, ObsConfig, Recorder, SpanKind};
 use sem_solver::{CgOptions, CgScratch, CgSolver, FdmPreconditioner, JacobiPreconditioner};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -132,6 +136,52 @@ fn cg_iterations_perform_no_heap_allocations_with_a_shared_scratch() {
         fdm_long.precond_applications > 0 && fdm_long.precond_seconds > 0.0,
         "the outcome accounts the preconditioner applications"
     );
+
+    // The enabled recorder must not change the bound: the warmup solve
+    // registers the metric families, allocates this thread's event ring and
+    // touches every span path once; after that, tracing a solve is
+    // ring-writes and atomics only.
+    Recorder::install(ObsConfig::default());
+    let obs_warmup = short.solve_with_scratch(&rhs, &preconditioner, &mut scratch);
+    assert_eq!(obs_warmup.iterations, 5);
+    assert!(recorder().is_enabled());
+
+    let before_obs_short = allocations();
+    let obs_short = short.solve_with_scratch(&rhs, &preconditioner, &mut scratch);
+    let delta_obs_short = allocations() - before_obs_short;
+
+    let before_obs_long = allocations();
+    let obs_long = long.solve_with_scratch(&rhs, &preconditioner, &mut scratch);
+    let delta_obs_long = allocations() - before_obs_long;
+
+    assert!(obs_long.iterations > obs_short.iterations);
+    assert!(
+        delta_obs_short <= 8,
+        "a traced 5-iteration solve allocated {delta_obs_short} times"
+    );
+    assert!(
+        delta_obs_long <= delta_obs_short + 4,
+        "the enabled recorder leaked per-iteration allocations: \
+         {delta_obs_long} (long) vs {delta_obs_short} (short)"
+    );
+
+    // And it actually recorded: per-iteration spans are in the ring, the
+    // iteration counter moved.
+    let snapshot = recorder().trace_snapshot();
+    let cg_spans = snapshot
+        .events
+        .iter()
+        .filter(|(_, e)| e.kind == SpanKind::CgIteration)
+        .count();
+    assert!(
+        cg_spans >= (obs_short.iterations + obs_long.iterations),
+        "expected at least {} CG iteration spans, found {cg_spans}",
+        obs_short.iterations + obs_long.iterations
+    );
+    assert!(recorder()
+        .prometheus_text()
+        .contains("sem_solver_cg_iterations_total"));
+    Recorder::uninstall();
 
     let _ = ElementField::zeros(4, mesh.num_elements()); // counter sanity:
     assert!(allocations() > before_short, "the counter must be live");
