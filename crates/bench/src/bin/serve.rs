@@ -314,6 +314,12 @@ fn policy_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Poli
         );
         let report = server.serve(&requests, policy.as_mut());
         let summary = report.summary();
+        let p50 = summary
+            .p50_latency_seconds
+            .expect("policy run admits requests");
+        let p99 = summary
+            .p99_latency_seconds
+            .expect("policy run admits requests");
         let devices: Vec<String> = summary
             .devices
             .iter()
@@ -324,8 +330,8 @@ fn policy_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Poli
             fmt(summary.makespan_seconds * 1e3, 3),
             fmt(summary.serial_makespan_seconds * 1e3, 3),
             fmt(summary.throughput_rps, 1),
-            fmt(summary.p50_latency_seconds * 1e3, 3),
-            fmt(summary.p99_latency_seconds * 1e3, 3),
+            fmt(p50 * 1e3, 3),
+            fmt(p99 * 1e3, 3),
             devices.join(", "),
         ]);
         rows.push(PolicyRow {
@@ -338,8 +344,8 @@ fn policy_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Poli
             makespan_seconds: summary.makespan_seconds,
             serial_makespan_seconds: summary.serial_makespan_seconds,
             throughput_rps: summary.throughput_rps,
-            p50_latency_seconds: summary.p50_latency_seconds,
-            p99_latency_seconds: summary.p99_latency_seconds,
+            p50_latency_seconds: p50,
+            p99_latency_seconds: p99,
             devices,
         });
     }
@@ -475,13 +481,19 @@ fn precond_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Pre
         let report = server.serve(&requests, policy.as_mut());
         assert!(report.outcomes.iter().all(|o| o.converged));
         let summary = report.summary();
+        let p50 = summary
+            .p50_latency_seconds
+            .expect("precond run admits requests");
+        let p99 = summary
+            .p99_latency_seconds
+            .expect("precond run admits requests");
         table.row(vec![
             summary.precond.clone(),
             summary.total_iterations.to_string(),
             fmt(summary.precond_apply_seconds * 1e3, 3),
             fmt(summary.makespan_seconds * 1e3, 3),
             fmt(summary.throughput_rps, 1),
-            fmt(summary.p99_latency_seconds * 1e3, 3),
+            fmt(p99 * 1e3, 3),
         ]);
         rows.push(PrecondServeRow {
             precond: summary.precond,
@@ -491,8 +503,8 @@ fn precond_sweep(degree: usize, per_side: usize, num_requests: usize) -> Vec<Pre
             precond_apply_seconds: summary.precond_apply_seconds,
             makespan_seconds: summary.makespan_seconds,
             throughput_rps: summary.throughput_rps,
-            p50_latency_seconds: summary.p50_latency_seconds,
-            p99_latency_seconds: summary.p99_latency_seconds,
+            p50_latency_seconds: p50,
+            p99_latency_seconds: p99,
         });
     }
     table.print();

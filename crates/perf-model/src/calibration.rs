@@ -30,6 +30,69 @@ pub fn suspect_term(stage: &str) -> &'static str {
     }
 }
 
+/// An online multiplicative correction for a drifting prediction term.
+///
+/// The live serving path feeds every executed job's (predicted, actual)
+/// session seconds into the corrector; subsequent admission verdicts and
+/// autoscaler capacity checks price jobs at
+/// `prediction × correction()` instead of trusting the raw model.  The
+/// correction is the ratio of accumulated actual to accumulated predicted
+/// seconds — exactly the aggregate the drift report computes for the
+/// `session` stage, whose suspect term is the admission-time applications
+/// hint.  Clamped to `[0.125, 8.0]` so one absurd sample cannot swing
+/// admission by more than 8x in either direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DriftCorrector {
+    predicted_seconds: f64,
+    actual_seconds: f64,
+    samples: usize,
+}
+
+impl DriftCorrector {
+    /// A corrector with no evidence yet (correction factor 1).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one executed job's predicted and actual seconds.
+    pub fn record(&mut self, predicted_seconds: f64, actual_seconds: f64) {
+        if predicted_seconds.is_finite()
+            && actual_seconds.is_finite()
+            && predicted_seconds > 0.0
+            && actual_seconds >= 0.0
+        {
+            self.predicted_seconds += predicted_seconds;
+            self.actual_seconds += actual_seconds;
+            self.samples += 1;
+        }
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The multiplicative correction: accumulated actual over accumulated
+    /// predicted seconds, clamped to `[0.125, 8.0]`; `1.0` with no
+    /// evidence.
+    #[must_use]
+    pub fn correction(&self) -> f64 {
+        if self.samples == 0 || self.predicted_seconds <= 0.0 {
+            1.0
+        } else {
+            (self.actual_seconds / self.predicted_seconds).clamp(0.125, 8.0)
+        }
+    }
+
+    /// Apply the correction to a raw model prediction.
+    #[must_use]
+    pub fn corrected(&self, predicted_seconds: f64) -> f64 {
+        predicted_seconds * self.correction()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +114,35 @@ mod tests {
     #[test]
     fn unknown_stages_degrade_gracefully() {
         assert_eq!(suspect_term("teleport"), "unmodelled stage");
+    }
+
+    #[test]
+    fn corrector_converges_on_the_measured_ratio() {
+        let mut c = DriftCorrector::new();
+        assert_eq!(c.correction(), 1.0, "no evidence means no correction");
+        // The model consistently predicts half the measured cost (the
+        // admission-time applications hint undershooting the real
+        // iteration count).
+        c.record(1.0, 2.0);
+        c.record(3.0, 6.0);
+        assert!((c.correction() - 2.0).abs() < 1e-12);
+        assert!((c.corrected(5.0) - 10.0).abs() < 1e-12);
+        assert_eq!(c.samples(), 2);
+    }
+
+    #[test]
+    fn corrector_is_clamped_and_ignores_junk() {
+        let mut c = DriftCorrector::new();
+        c.record(1.0, 1000.0);
+        assert_eq!(c.correction(), 8.0, "upper clamp");
+        let mut d = DriftCorrector::new();
+        d.record(1000.0, 1.0);
+        assert_eq!(d.correction(), 0.125, "lower clamp");
+        let mut e = DriftCorrector::new();
+        e.record(f64::NAN, 1.0);
+        e.record(0.0, 1.0);
+        e.record(1.0, f64::INFINITY);
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.correction(), 1.0);
     }
 }

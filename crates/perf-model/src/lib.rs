@@ -24,7 +24,10 @@
 //! * [`serving`] — the three-stage offload-pipeline closed form and the
 //!   host roofline cost model scheduling policies price backends with;
 //! * [`calibration`] — the drift-report helper naming which model term a
-//!   drifting serving stage implicates.
+//!   drifting serving stage implicates, and the [`calibration::DriftCorrector`]
+//!   that turns measured residuals into a multiplicative prediction fix;
+//! * [`workload`] — seeded open-loop arrival-time generators (Poisson,
+//!   bursty, diurnal) for the live serving bench.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,8 +43,9 @@ pub mod roofline;
 pub mod sensitivity;
 pub mod serving;
 pub mod throughput;
+pub mod workload;
 
-pub use calibration::suspect_term;
+pub use calibration::{suspect_term, DriftCorrector};
 pub use cost::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};
 pub use device::FpgaDevice;
 pub use measured::{measured_table1, Table1Row};
@@ -52,3 +56,4 @@ pub use serving::{
     nearest_rank_percentile, AdmissionVerdict, DeadlineModel, HostCostModel, PipelineCost,
 };
 pub use throughput::{PerformanceBound, ThroughputPrediction};
+pub use workload::{arrival_times, WorkloadKind};

@@ -183,16 +183,21 @@ impl DeadlineModel {
 
 /// Nearest-rank percentile of a set of (latency or completion) seconds:
 /// the smallest value such that at least `p` percent of the samples are at
-/// or below it.  Zero for an empty set; `p` is clamped to (0, 100].
+/// or below it.  `p` is clamped to (0, 100].
+///
+/// Returns `None` for an empty set: an empty window carries no latency
+/// evidence, and reporting `0.0` would hand an SLO controller a perfect
+/// tail latency fabricated from no data (e.g. an all-rejected window
+/// reading as "p99 = 0, scale down").
 #[must_use]
-pub fn nearest_rank_percentile(samples: &[f64], p: f64) -> f64 {
+pub fn nearest_rank_percentile(samples: &[f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 /// Roofline-derated cost model for a natively executed (measured) backend,
@@ -358,19 +363,27 @@ mod tests {
             .filter(|&s| model.admits(s))
             .collect();
         assert_eq!(admitted.len(), 4);
-        assert!(nearest_rank_percentile(&admitted, 99.0) <= model.deadline_seconds);
+        assert!(nearest_rank_percentile(&admitted, 99.0).unwrap() <= model.deadline_seconds);
         // The unfiltered stream overshoots.
-        assert!(nearest_rank_percentile(&predicted, 99.0) > model.deadline_seconds);
+        assert!(nearest_rank_percentile(&predicted, 99.0).unwrap() > model.deadline_seconds);
     }
 
     #[test]
     fn nearest_rank_percentile_matches_the_definition() {
         let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
-        assert_eq!(nearest_rank_percentile(&samples, 50.0), 3.0);
-        assert_eq!(nearest_rank_percentile(&samples, 100.0), 5.0);
-        assert_eq!(nearest_rank_percentile(&samples, 1.0), 1.0);
-        assert_eq!(nearest_rank_percentile(&[], 99.0), 0.0);
-        assert_eq!(nearest_rank_percentile(&[7.5], 99.0), 7.5);
+        assert_eq!(nearest_rank_percentile(&samples, 50.0), Some(3.0));
+        assert_eq!(nearest_rank_percentile(&samples, 100.0), Some(5.0));
+        assert_eq!(nearest_rank_percentile(&samples, 1.0), Some(1.0));
+        assert_eq!(nearest_rank_percentile(&[7.5], 99.0), Some(7.5));
+    }
+
+    #[test]
+    fn empty_windows_carry_no_percentile_evidence() {
+        // Regression: this used to return 0.0 — a fabricated "perfect tail"
+        // that an all-rejected serving window would feed to the autoscaler
+        // as a scale-down signal.
+        assert_eq!(nearest_rank_percentile(&[], 99.0), None);
+        assert_eq!(nearest_rank_percentile(&[], 50.0), None);
     }
 
     #[test]

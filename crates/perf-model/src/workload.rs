@@ -1,0 +1,339 @@
+//! Seeded open-loop workload generators for live-traffic serving.
+//!
+//! An open-loop load source decides arrival times without waiting for the
+//! server: millions of independent users do not pause because the pool is
+//! busy.  Three canonical shapes are provided, each a time-varying rate
+//! `λ(t)` sampled into concrete arrival timestamps by Lewis–Shedler
+//! thinning against the peak rate.  The generator is fully deterministic
+//! under a seed, so every `BENCH_live.json` row is reproducible bit for
+//! bit and the live smoke test in CI replays the exact committed trace.
+
+/// A time-varying offered-load shape, in requests per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Memoryless arrivals at a constant rate: the classical open-loop
+    /// baseline.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// A square-wave burst pattern: `base_rps` most of the time, spiking
+    /// to `burst_rps` for the first `burst_fraction` of every period.
+    Bursty {
+        /// Off-burst arrival rate, requests per second.
+        base_rps: f64,
+        /// In-burst arrival rate, requests per second.
+        burst_rps: f64,
+        /// Length of one base+burst cycle, seconds.
+        period_seconds: f64,
+        /// Fraction of each period spent bursting, in (0, 1).
+        burst_fraction: f64,
+    },
+    /// A sinusoidal day/night cycle around a mean rate.
+    Diurnal {
+        /// Mean arrival rate, requests per second.
+        mean_rps: f64,
+        /// Relative swing in [0, 1]: the rate oscillates between
+        /// `mean × (1 − amplitude)` and `mean × (1 + amplitude)`.
+        amplitude: f64,
+        /// Length of one full cycle, seconds.
+        period_seconds: f64,
+    },
+}
+
+impl WorkloadKind {
+    /// The instantaneous arrival rate `λ(t)` in requests per second.
+    #[must_use]
+    pub fn rate_at(&self, t_seconds: f64) -> f64 {
+        match *self {
+            Self::Poisson { rate_rps } => rate_rps,
+            Self::Bursty {
+                base_rps,
+                burst_rps,
+                period_seconds,
+                burst_fraction,
+            } => {
+                let phase = (t_seconds / period_seconds).fract();
+                if phase < burst_fraction {
+                    burst_rps
+                } else {
+                    base_rps
+                }
+            }
+            Self::Diurnal {
+                mean_rps,
+                amplitude,
+                period_seconds,
+            } => {
+                let phase = 2.0 * std::f64::consts::PI * t_seconds / period_seconds;
+                mean_rps * (1.0 + amplitude * phase.sin())
+            }
+        }
+    }
+
+    /// The peak of `λ(t)` over all `t`, used as the thinning envelope.
+    #[must_use]
+    pub fn peak_rate_rps(&self) -> f64 {
+        match *self {
+            Self::Poisson { rate_rps } => rate_rps,
+            Self::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => base_rps.max(burst_rps),
+            Self::Diurnal {
+                mean_rps,
+                amplitude,
+                ..
+            } => mean_rps * (1.0 + amplitude),
+        }
+    }
+
+    /// The time-average of `λ(t)` over one period (the offered load a
+    /// sweep reports).
+    #[must_use]
+    pub fn mean_rate_rps(&self) -> f64 {
+        match *self {
+            Self::Poisson { rate_rps } => rate_rps,
+            Self::Bursty {
+                base_rps,
+                burst_rps,
+                burst_fraction,
+                ..
+            } => burst_rps * burst_fraction + base_rps * (1.0 - burst_fraction),
+            Self::Diurnal { mean_rps, .. } => mean_rps,
+        }
+    }
+
+    /// Panic with a descriptive message if the shape parameters are not
+    /// a valid rate function (non-finite, negative, or a degenerate
+    /// period/fraction).
+    fn validate(&self) {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        match *self {
+            Self::Poisson { rate_rps } => {
+                assert!(ok(rate_rps), "Poisson rate must be finite and >= 0");
+            }
+            Self::Bursty {
+                base_rps,
+                burst_rps,
+                period_seconds,
+                burst_fraction,
+            } => {
+                assert!(
+                    ok(base_rps) && ok(burst_rps),
+                    "burst rates must be finite and >= 0"
+                );
+                assert!(
+                    period_seconds.is_finite() && period_seconds > 0.0,
+                    "burst period must be positive"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&burst_fraction),
+                    "burst fraction must lie in [0, 1]"
+                );
+            }
+            Self::Diurnal {
+                mean_rps,
+                amplitude,
+                period_seconds,
+            } => {
+                assert!(ok(mean_rps), "diurnal mean rate must be finite and >= 0");
+                assert!(
+                    (0.0..=1.0).contains(&amplitude),
+                    "diurnal amplitude must lie in [0, 1]"
+                );
+                assert!(
+                    period_seconds.is_finite() && period_seconds > 0.0,
+                    "diurnal period must be positive"
+                );
+            }
+        }
+    }
+}
+
+/// Sample concrete arrival timestamps for `kind` over `[0, horizon_seconds)`.
+///
+/// Lewis–Shedler thinning: draw a homogeneous Poisson process at the peak
+/// rate, keep each candidate arrival at time `t` with probability
+/// `λ(t) / λ_peak`.  The returned timestamps are strictly increasing and
+/// fully determined by `(kind, seed, horizon_seconds)`.
+#[must_use]
+pub fn arrival_times(kind: WorkloadKind, seed: u64, horizon_seconds: f64) -> Vec<f64> {
+    kind.validate();
+    assert!(
+        horizon_seconds.is_finite() && horizon_seconds >= 0.0,
+        "horizon must be finite and >= 0"
+    );
+    let peak = kind.peak_rate_rps();
+    if peak <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0_f64;
+    loop {
+        // Exponential inter-arrival gap at the envelope rate; next_unit is
+        // in (0, 1], so ln() is finite and the gap strictly positive.
+        t += -rng.next_unit().ln() / peak;
+        if t >= horizon_seconds {
+            break;
+        }
+        if rng.next_unit() <= kind.rate_at(t) / peak {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// The splitmix64 generator: tiny, seedable, and plenty for load traces.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform double in (0, 1]: 53 mantissa bits, shifted off zero so
+    /// `ln()` of the result is always finite.
+    fn next_unit(&mut self) -> f64 {
+        (((self.next_u64() >> 11) as f64) + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_under_a_seed() {
+        let kind = WorkloadKind::Poisson { rate_rps: 5.0 };
+        let a = arrival_times(kind, 42, 100.0);
+        let b = arrival_times(kind, 42, 100.0);
+        assert_eq!(a, b, "same seed must replay the same trace");
+        let c = arrival_times(kind, 43, 100.0);
+        assert_ne!(a, c, "a different seed must give a different trace");
+    }
+
+    #[test]
+    fn poisson_count_is_near_the_offered_load() {
+        let kind = WorkloadKind::Poisson { rate_rps: 8.0 };
+        let arrivals = arrival_times(kind, 7, 500.0);
+        let expected = 8.0 * 500.0;
+        let n = arrivals.len() as f64;
+        assert!(
+            (n - expected).abs() < 4.0 * expected.sqrt(),
+            "count {n} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_inside_the_horizon() {
+        for kind in [
+            WorkloadKind::Poisson { rate_rps: 20.0 },
+            WorkloadKind::Bursty {
+                base_rps: 2.0,
+                burst_rps: 40.0,
+                period_seconds: 10.0,
+                burst_fraction: 0.2,
+            },
+            WorkloadKind::Diurnal {
+                mean_rps: 10.0,
+                amplitude: 0.8,
+                period_seconds: 30.0,
+            },
+        ] {
+            let arrivals = arrival_times(kind, 11, 60.0);
+            assert!(!arrivals.is_empty());
+            for pair in arrivals.windows(2) {
+                assert!(pair[0] < pair[1], "timestamps must strictly increase");
+            }
+            assert!(*arrivals.last().unwrap() < 60.0);
+            assert!(arrivals[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals_in_the_burst_window() {
+        let kind = WorkloadKind::Bursty {
+            base_rps: 1.0,
+            burst_rps: 50.0,
+            period_seconds: 10.0,
+            burst_fraction: 0.1,
+        };
+        let arrivals = arrival_times(kind, 3, 200.0);
+        let in_burst = arrivals
+            .iter()
+            .filter(|&&t| (t / 10.0).fract() < 0.1)
+            .count();
+        // 10% of the time carries 50/(50·0.1 + 1·0.9) ≈ 85% of the load.
+        assert!(
+            in_burst * 2 > arrivals.len(),
+            "bursts carry the majority of arrivals: {in_burst}/{}",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_swings_around_the_mean() {
+        let kind = WorkloadKind::Diurnal {
+            mean_rps: 10.0,
+            amplitude: 0.5,
+            period_seconds: 40.0,
+        };
+        assert!((kind.rate_at(10.0) - 15.0).abs() < 1e-9, "peak at T/4");
+        assert!((kind.rate_at(30.0) - 5.0).abs() < 1e-9, "trough at 3T/4");
+        assert!((kind.peak_rate_rps() - 15.0).abs() < 1e-12);
+        assert!((kind.mean_rate_rps() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_matches_the_sampled_trace() {
+        let kind = WorkloadKind::Bursty {
+            base_rps: 2.0,
+            burst_rps: 20.0,
+            period_seconds: 5.0,
+            burst_fraction: 0.25,
+        };
+        let horizon = 400.0;
+        let arrivals = arrival_times(kind, 19, horizon);
+        let sampled = arrivals.len() as f64 / horizon;
+        let mean = kind.mean_rate_rps();
+        assert!((mean - 6.5).abs() < 1e-12);
+        assert!(
+            (sampled - mean).abs() < 4.0 * (mean / horizon).sqrt(),
+            "sampled rate {sampled} too far from offered {mean}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_or_zero_horizon_yields_no_arrivals() {
+        assert!(arrival_times(WorkloadKind::Poisson { rate_rps: 0.0 }, 1, 100.0).is_empty());
+        assert!(arrival_times(WorkloadKind::Poisson { rate_rps: 5.0 }, 1, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "burst fraction")]
+    fn invalid_burst_fraction_is_rejected() {
+        let _ = arrival_times(
+            WorkloadKind::Bursty {
+                base_rps: 1.0,
+                burst_rps: 2.0,
+                period_seconds: 10.0,
+                burst_fraction: 1.5,
+            },
+            0,
+            10.0,
+        );
+    }
+}

@@ -22,6 +22,14 @@
 //!   model priced them as deadline-marginal, so the async host routes them
 //!   through the shared injector where the first free device takes them
 //!   instead of binding them to one backlog.
+//!
+//! Because floating jobs ride the shared injector, their admitted session
+//! seconds are charged to a *pool-wide* floating backlog — spread evenly
+//! across the devices when pricing later jobs — rather than to the single
+//! device that happened to price them cheapest.  Charging them to one
+//! device's ledger (the pre-fix behaviour) inflated that device's backlog
+//! with work it would never serially carry and made admission reject jobs
+//! the pool had capacity for.
 
 use crate::queue::BatchJob;
 use perf_model::DeadlineModel;
@@ -124,6 +132,10 @@ where
     let down_batch = matches!(policy, AdmissionPolicy::DownBatch { .. });
 
     let mut backlog = vec![0.0_f64; pool_size];
+    // Admitted floating work: injector-fed, served by whichever device
+    // frees up first, so it burdens the pool as a whole.  Each device's
+    // effective backlog carries an even share of it.
+    let mut floating_seconds = 0.0_f64;
     let mut admitted = Vec::new();
     let mut rejections = Vec::new();
     // (job, floating): splits re-enter at the front so a job's pieces are
@@ -131,20 +143,26 @@ where
     let mut pending: VecDeque<(BatchJob, bool)> =
         jobs.into_iter().map(|job| (job, false)).collect();
     while let Some((job, floating)) = pending.pop_front() {
+        let floating_share = floating_seconds / pool_size as f64;
+        let effective = |device: usize| backlog[device] + floating_share;
         let (best, session_seconds) = (0..pool_size)
             .map(|device| (device, predict_seconds(device, &job)))
-            .min_by(|a, b| (backlog[a.0] + a.1).total_cmp(&(backlog[b.0] + b.1)))
+            .min_by(|a, b| (effective(a.0) + a.1).total_cmp(&(effective(b.0) + b.1)))
             .expect("non-empty pool");
-        let completion = backlog[best] + session_seconds;
+        let completion = effective(best) + session_seconds;
         if deadline.admits(completion) {
             if obs.is_enabled() {
-                record_verdict(SpanKind::AdmissionAdmit, &job, backlog[best], completion);
+                record_verdict(SpanKind::AdmissionAdmit, &job, effective(best), completion);
             }
-            backlog[best] += session_seconds;
+            if floating {
+                floating_seconds += session_seconds;
+            } else {
+                backlog[best] += session_seconds;
+            }
             admitted.push(AdmittedJob { job, floating });
         } else if down_batch && job.batch_size() > 1 {
             if obs.is_enabled() {
-                record_verdict(SpanKind::DownBatchSplit, &job, backlog[best], completion);
+                record_verdict(SpanKind::DownBatchSplit, &job, effective(best), completion);
                 obs.counter_add("sem_serve_downbatch_splits_total", &[], 1);
             }
             let (front, back) = job.split();
@@ -152,7 +170,7 @@ where
             pending.push_front((front, true));
         } else {
             if obs.is_enabled() {
-                record_verdict(SpanKind::AdmissionReject, &job, backlog[best], completion);
+                record_verdict(SpanKind::AdmissionReject, &job, effective(best), completion);
             }
             rejections.extend(job.requests.iter().map(|&request| RejectedRequest {
                 request,
@@ -325,6 +343,39 @@ mod tests {
             rejected.iter().map(|r| r.request).collect::<Vec<_>>(),
             vec![4, 5, 6, 7]
         );
+    }
+
+    #[test]
+    fn floaters_are_priced_against_the_pool_not_one_device() {
+        // Regression for the floating-job double-charge: every admitted
+        // floater used to be charged to `backlog[best]` even though
+        // injector-fed jobs are served by whichever device frees up first.
+        //
+        // Two devices, the second 3x slower, deadline 4 s.  A 6-request job
+        // splits into floaters that all price cheapest on device 0; the
+        // pre-fix accounting piled their 5 s of floating work onto device
+        // 0's ledger alone, so the final single-request sub-job was priced
+        // at 5 + 1 = 6 s and rejected.  Spread pool-wide (5/2 = 2.5 s a
+        // device), it prices at 3.5 s and is admitted — the pool has the
+        // capacity, only the ledger said otherwise.
+        let pricing = |device: usize, job: &BatchJob| {
+            job.batch_size() as f64 * if device == 0 { 1.0 } else { 3.0 }
+        };
+        let (admitted, rejected) = admit(
+            AdmissionPolicy::DownBatch {
+                deadline_seconds: 4.0,
+            },
+            vec![job(vec![0, 1, 2, 3, 4, 5])],
+            2,
+            pricing,
+        );
+        assert_eq!(rejected, Vec::new(), "the pool has capacity for all six");
+        let served: Vec<usize> = admitted
+            .iter()
+            .flat_map(|a| a.job.requests.iter().copied())
+            .collect();
+        assert_eq!(served, vec![0, 1, 2, 3, 4, 5]);
+        assert!(admitted.iter().all(|a| a.floating), "splits float");
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! the `sem-lint` binary and the integration smoke test) to bound the
 //! schedule budget in constrained environments.
 
-use crate::steal::{run_stealing, StealRun, TaggedJob};
+use crate::steal::{run_stealing, run_stealing_with_feeder, StealRun, TaggedJob};
 use crossbeam::sched::{self, SchedOp, Scheduler};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -68,6 +68,19 @@ pub struct ExploreCase {
     pub workers: usize,
     /// Per-job scheduling hints, in submission order.
     pub hints: Vec<Option<usize>>,
+    /// Jobs pushed into the shared injector *while the pool runs*, by an
+    /// uncontrolled feeder thread (payloads continue after the seeded
+    /// jobs).  Non-zero cases exercise the feeder-done termination
+    /// protocol: workers must neither exit before fed jobs land nor hang
+    /// after the feeder finishes.  Because the feeder is uncontrolled, its
+    /// pushes interleave with granted steps nondeterministically — explore
+    /// such cases with [`Strategy::Seeded`], never exhaustively.
+    pub feeder_jobs: usize,
+    /// Simulated-contention budget: the first this-many controlled
+    /// injector steals observe [`crossbeam::deque::Steal::Retry`] instead
+    /// of touching the queue, driving the contended-sweep backoff path a
+    /// mutex-backed deque never reaches on its own.
+    pub contention: usize,
 }
 
 impl ExploreCase {
@@ -77,6 +90,16 @@ impl ExploreCase {
             .enumerate()
             .map(|(payload, &hint)| TaggedJob { payload, hint })
             .collect()
+    }
+
+    /// Total jobs the run must conserve: seeded plus fed.
+    fn total_jobs(&self) -> usize {
+        self.hints.len() + self.feeder_jobs
+    }
+
+    /// The hint job `payload` was submitted with (fed jobs always float).
+    fn hint_of(&self, payload: usize) -> Option<usize> {
+        self.hints.get(payload).copied().flatten()
     }
 }
 
@@ -191,6 +214,18 @@ static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
 /// cases needs a few dozen, so hitting this means a livelock.
 const MAX_STEPS_PER_RUN: usize = 4096;
 
+/// Per-case liveness budget.  Feeder cases burn steps while workers back
+/// off waiting for the uncontrolled feeder thread to be scheduled by the
+/// OS, so they get a proportionally larger ceiling — a slow machine must
+/// not misreport a livelock.
+fn step_budget(case: &ExploreCase) -> usize {
+    if case.feeder_jobs > 0 {
+        MAX_STEPS_PER_RUN * 8
+    } else {
+        MAX_STEPS_PER_RUN
+    }
+}
+
 fn lock_poison_free<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -235,6 +270,11 @@ struct SchedState {
     diverged: bool,
     random: bool,
     rng: u64,
+    /// Remaining simulated-contention injections (see
+    /// [`ExploreCase::contention`]).  Consumed by controlled injector
+    /// steals in grant order, so exhaustive replays of a schedule prefix
+    /// reproduce the same retries.
+    contention_left: usize,
 }
 
 /// The serializing arbiter (see module docs).
@@ -246,14 +286,21 @@ struct StepScheduler {
 }
 
 impl StepScheduler {
-    fn new(expected: usize, script: Vec<usize>, strategy: Strategy, run_seed: u64) -> Self {
+    fn new(
+        expected: usize,
+        script: Vec<usize>,
+        strategy: Strategy,
+        run_seed: u64,
+        contention: usize,
+        max_steps: usize,
+    ) -> Self {
         let (random, rng) = match strategy {
             Strategy::Exhaustive => (false, 0),
             Strategy::Seeded(seed) => (true, seed ^ run_seed.wrapping_mul(0x5851_f42d_4c95_7f2d)),
         };
         Self {
             expected,
-            max_steps: MAX_STEPS_PER_RUN,
+            max_steps,
             state: Mutex::new(SchedState {
                 parked: Vec::new(),
                 pending: vec![None; expected],
@@ -270,6 +317,7 @@ impl StepScheduler {
                 diverged: false,
                 random,
                 rng,
+                contention_left: contention,
             }),
             cvar: Condvar::new(),
         }
@@ -372,6 +420,21 @@ impl Scheduler for StepScheduler {
         s.alive = s.alive.saturating_sub(1);
         self.arbitrate(&mut s);
     }
+
+    fn steal_contended(&self, _index: usize, op: SchedOp) -> bool {
+        if op != SchedOp::InjectorSteal {
+            return false;
+        }
+        let mut s = lock_poison_free(&self.state);
+        if s.bailed || s.contention_left == 0 {
+            return false;
+        }
+        // Consumed in grant order: the schedule script fully determines
+        // which steals lose their race, so exhaustive replay stays
+        // deterministic.
+        s.contention_left -= 1;
+        true
+    }
 }
 
 /// Uninstalls the scheduler (releasing any parked thread first) even when a
@@ -410,13 +473,40 @@ fn run_one(
     strategy: Strategy,
     run_seed: u64,
 ) -> (StealRun<Vec<usize>, usize>, RunRecord) {
-    let scheduler = Arc::new(StepScheduler::new(case.workers, script, strategy, run_seed));
+    let max_steps = step_budget(case);
+    let scheduler = Arc::new(StepScheduler::new(
+        case.workers,
+        script,
+        strategy,
+        run_seed,
+        case.contention,
+        max_steps,
+    ));
     let installed = Installed::new(Arc::clone(&scheduler));
     let states: Vec<Vec<usize>> = vec![Vec::new(); case.workers];
-    let run = run_stealing(states, case.jobs(), |_, log: &mut Vec<usize>, payload| {
+    let execute = |_: usize, log: &mut Vec<usize>, payload: usize| {
         log.push(payload);
         payload
-    });
+    };
+    let run = if case.feeder_jobs > 0 {
+        let base = case.hints.len();
+        let fed = case.feeder_jobs;
+        run_stealing_with_feeder(
+            states,
+            case.jobs(),
+            |feeder| {
+                for payload in base..base + fed {
+                    feeder.push(payload);
+                    // Let workers drain between arrivals so some pushes
+                    // genuinely race live sweeps.
+                    std::thread::yield_now();
+                }
+            },
+            execute,
+        )
+    } else {
+        run_stealing(states, case.jobs(), execute)
+    };
     drop(installed);
     let s = lock_poison_free(&scheduler.state);
     let record = RunRecord {
@@ -447,7 +537,7 @@ fn format_trace(trace: &[(usize, Option<SchedOp>)]) -> String {
 /// Check the host's contract on one completed run; returns human-readable
 /// violations (empty when the schedule upholds every invariant).
 fn check_run(case: &ExploreCase, run: &StealRun<Vec<usize>, usize>) -> Vec<String> {
-    let n = case.hints.len();
+    let n = case.total_jobs();
     let mut violations = Vec::new();
 
     // 1. Conservation: every job exactly once, globally and per ledger.
@@ -495,7 +585,7 @@ fn check_run(case: &ExploreCase, run: &StealRun<Vec<usize>, usize>) -> Vec<Strin
             .state
             .iter()
             .copied()
-            .filter(|&job| case.hints[job] == Some(worker))
+            .filter(|&job| case.hint_of(job) == Some(worker))
             .collect();
         if !own.windows(2).all(|pair| pair[0] < pair[1]) {
             violations.push(format!(
@@ -504,11 +594,14 @@ fn check_run(case: &ExploreCase, run: &StealRun<Vec<usize>, usize>) -> Vec<Strin
         }
         // 2c. Injector FIFO per consumer: floaters a worker takes arrive in
         // submission order.
+        // Fed jobs are pushed behind the seeded floaters in ascending
+        // payload order by a single feeder thread, so the global injector
+        // FIFO (and hence each consumer's drain order) stays ascending.
         let floats: Vec<usize> = ledger
             .state
             .iter()
             .copied()
-            .filter(|&job| case.hints[job].is_none())
+            .filter(|&job| case.hint_of(job).is_none())
             .collect();
         if !floats.windows(2).all(|pair| pair[0] < pair[1]) {
             violations.push(format!(
@@ -526,10 +619,12 @@ fn check_run(case: &ExploreCase, run: &StealRun<Vec<usize>, usize>) -> Vec<Strin
         ));
     }
     for completed in &run.completed {
-        if completed.hint != case.hints[completed.result] {
+        if completed.hint != case.hint_of(completed.result) {
             violations.push(format!(
                 "accounting: job {} completed with hint {:?}, submitted with {:?}",
-                completed.result, completed.hint, case.hints[completed.result]
+                completed.result,
+                completed.hint,
+                case.hint_of(completed.result)
             ));
         }
     }
@@ -565,7 +660,7 @@ pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> Ca
     let mut report = CaseReport {
         name: case.name,
         workers: case.workers,
-        jobs: case.hints.len(),
+        jobs: case.total_jobs(),
         schedules: 0,
         exhausted: false,
         longest_trace: 0,
@@ -593,7 +688,8 @@ pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> Ca
         }
         if record.budget_exceeded {
             report.violations.push(format!(
-                "liveness: schedule exceeded {MAX_STEPS_PER_RUN} steps (possible livelock) [{}]",
+                "liveness: schedule exceeded {} steps (possible livelock) [{}]",
+                step_budget(case),
                 format_trace(&record.trace)
             ));
         }
@@ -625,26 +721,56 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             name: "steal-storm",
             workers: 2,
             hints: vec![Some(0), Some(0), Some(0)],
+            feeder_jobs: 0,
+            contention: 0,
         },
         ExploreCase {
             name: "hinted-plus-floater",
             workers: 2,
             hints: vec![Some(0), Some(1), None],
+            feeder_jobs: 0,
+            contention: 0,
         },
         ExploreCase {
             name: "floaters-only",
             workers: 2,
             hints: vec![None, None, None],
+            feeder_jobs: 0,
+            contention: 0,
         },
         ExploreCase {
             name: "three-way-contention",
             workers: 3,
             hints: vec![Some(0), Some(0)],
+            feeder_jobs: 0,
+            contention: 0,
         },
         ExploreCase {
             name: "idle-pool",
             workers: 3,
             hints: vec![Some(1)],
+            feeder_jobs: 0,
+            contention: 0,
+        },
+        // Pins the injector-retry backoff fix: contended sweeps must fall
+        // through to sibling steals and the shared backoff path instead of
+        // hot-spinning on the injector, with conservation intact.
+        ExploreCase {
+            name: "contended-injector",
+            workers: 2,
+            hints: vec![Some(0), Some(1), None],
+            feeder_jobs: 0,
+            contention: 2,
+        },
+        // Pins the feeder-done termination protocol: arrivals pushed by an
+        // uncontrolled thread mid-run must all execute (no early exit) and
+        // the pool must still terminate (no hang after the feeder stops).
+        ExploreCase {
+            name: "streaming-feeder",
+            workers: 2,
+            hints: vec![Some(0), None],
+            feeder_jobs: 3,
+            contention: 0,
         },
     ]
 }
@@ -652,13 +778,25 @@ pub fn standard_cases() -> Vec<ExploreCase> {
 /// Run the standard battery, splitting `budget` schedules across the cases
 /// (each case also stops early once exhausted).  This is the race-detector
 /// engine behind `sem-lint` and the CI smoke step.
+///
+/// Cases with an uncontrolled feeder are explored with seeded walks — the
+/// feeder's pushes interleave nondeterministically, so exhaustive
+/// enumeration's replayed prefixes would diverge; everything else is
+/// enumerated exhaustively.
 #[must_use]
 pub fn standard_battery(budget: usize) -> Vec<CaseReport> {
     let cases = standard_cases();
     let per_case = (budget / cases.len()).max(1);
     cases
         .iter()
-        .map(|case| explore_case(case, Strategy::Exhaustive, per_case))
+        .map(|case| {
+            let strategy = if case.feeder_jobs > 0 {
+                Strategy::Seeded(0x5eed_cafe)
+            } else {
+                Strategy::Exhaustive
+            };
+            explore_case(case, strategy, per_case)
+        })
         .collect()
 }
 
@@ -763,6 +901,8 @@ mod tests {
             name: "coverage-smoke",
             workers: 2,
             hints: vec![Some(0), None],
+            feeder_jobs: 0,
+            contention: 0,
         };
         let report = explore_case(&case, Strategy::Exhaustive, 64);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -774,5 +914,121 @@ mod tests {
             report.transition_map().split(' ').count(),
             report.transitions.len()
         );
+    }
+
+    #[test]
+    fn contended_injector_steal_falls_through_to_siblings_not_back_to_own_pop() {
+        // Regression for the injector hot-spin: a `Steal::Retry` from the
+        // injector used to `continue` straight back to the top of the
+        // sweep (own-deque pop next), skipping the sibling probes and the
+        // yield/park backoff that sibling retries got.  Force worker 0's
+        // first injector steals to lose their race and assert each one
+        // falls through to a sibling steal within the same sweep — the
+        // pre-fix loop restarted at `WorkerPop` instead.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let _exclusive = lock_poison_free(&EXPLORE_LOCK);
+
+        struct RetryProbe {
+            ops: Mutex<Vec<(usize, SchedOp)>>,
+            retries_left: AtomicUsize,
+        }
+
+        impl Scheduler for RetryProbe {
+            fn thread_started(&self, _index: usize) {}
+            fn yield_point(&self, index: usize, op: SchedOp) {
+                lock_poison_free(&self.ops).push((index, op));
+            }
+            fn thread_finished(&self, _index: usize) {}
+            fn steal_contended(&self, index: usize, op: SchedOp) -> bool {
+                index == 0
+                    && op == SchedOp::InjectorSteal
+                    && self
+                        .retries_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                            left.checked_sub(1)
+                        })
+                        .is_ok()
+            }
+        }
+
+        const FORCED_RETRIES: usize = 2;
+        let probe = Arc::new(RetryProbe {
+            ops: Mutex::new(Vec::new()),
+            retries_left: AtomicUsize::new(FORCED_RETRIES),
+        });
+        sched::install(Arc::clone(&probe) as Arc<dyn Scheduler>);
+        let jobs: Vec<TaggedJob<usize>> = (0..2)
+            .map(|payload| TaggedJob {
+                payload,
+                hint: Some(1),
+            })
+            .collect();
+        let run = run_stealing(
+            vec![Vec::new(); 2],
+            jobs,
+            |_, log: &mut Vec<usize>, payload| {
+                log.push(payload);
+                payload
+            },
+        );
+        sched::uninstall();
+        assert_eq!(run.completed.len(), 2, "conservation under forced retries");
+
+        let ops = lock_poison_free(&probe.ops);
+        let w0: Vec<SchedOp> = ops
+            .iter()
+            .filter(|&&(index, _)| index == 0)
+            .map(|&(_, op)| op)
+            .collect();
+        let retried: Vec<usize> = w0
+            .iter()
+            .enumerate()
+            .filter(|&(_, &op)| op == SchedOp::InjectorSteal)
+            .map(|(at, _)| at)
+            .take(FORCED_RETRIES)
+            .collect();
+        assert_eq!(
+            retried.len(),
+            FORCED_RETRIES,
+            "worker 0 must reach enough injector steals to consume the budget"
+        );
+        for at in retried {
+            assert_eq!(
+                w0.get(at + 1),
+                Some(&SchedOp::WorkerSteal),
+                "a contended injector steal must fall through to the sibling \
+                 probe, not restart the sweep at its own deque: {w0:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_injection_is_explored_without_violations() {
+        let case = ExploreCase {
+            name: "contention-smoke",
+            workers: 2,
+            hints: vec![Some(0), None],
+            feeder_jobs: 0,
+            contention: 2,
+        };
+        let report = explore_case(&case, Strategy::Exhaustive, 128);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn feeder_case_conserves_and_terminates_under_seeded_walks() {
+        let case = ExploreCase {
+            name: "feeder-smoke",
+            workers: 2,
+            hints: vec![Some(0), None],
+            feeder_jobs: 3,
+            contention: 0,
+        };
+        let report = explore_case(&case, Strategy::Seeded(7), 16);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.jobs, 5, "seeded plus fed jobs are all accounted");
+        assert!(report.schedules > 0);
     }
 }

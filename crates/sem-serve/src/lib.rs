@@ -37,7 +37,17 @@
 //!   the two hosts), re-sequence answers into request order, and report
 //!   per-request latency, per-device utilisation, measured concurrency,
 //!   steal counts and aggregate throughput ([`ServeReport`] /
-//!   [`ServeSummary`]).
+//!   [`ServeSummary`]);
+//! * [`stream`] — live traffic: [`ArrivalStream`]s of timestamped requests
+//!   (seeded open-loop workloads via `perf_model::workload`), windowed
+//!   deadline admission in virtual time with drift-corrected pricing, the
+//!   synchronous reference host ([`Server::serve_stream`]) and the
+//!   streaming work-stealing host ([`Server::serve_stream_async`]) whose
+//!   feeder pushes arrivals into the shared injector while workers drain;
+//! * [`autoscaler`] — [`Autoscaler`]: an SLO-holding, cost-minimising
+//!   activation mask over an `arch-db` candidate pool (real FPGA boards and
+//!   `fpga:projected:*` devices), one flip per observation window, holding
+//!   rather than shrinking when a window carries no latency evidence.
 //!
 //! ```
 //! use sem_serve::{
@@ -63,6 +73,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod autoscaler;
 pub mod explore;
 pub mod pipeline;
 pub mod queue;
@@ -70,8 +81,10 @@ pub mod request;
 pub mod scheduler;
 pub mod server;
 pub mod steal;
+pub mod stream;
 
 pub use admission::{AdmissionPolicy, AdmittedJob, RejectedRequest};
+pub use autoscaler::{Autoscaler, AutoscalerPolicy, ScaleDirection, ScaleEvent};
 pub use explore::{
     explore_case, standard_battery, standard_cases, CaseReport, ExploreCase, Strategy,
 };
@@ -88,4 +101,10 @@ pub use scheduler::{
 pub use server::{
     DeviceUsage, JobTrace, RequestOutcome, ServeOptions, ServeReport, ServeSummary, Server,
 };
-pub use steal::{run_stealing, CompletedJob, StealRun, TaggedJob, WorkerLedger};
+pub use steal::{
+    run_stealing, run_stealing_with_feeder, CompletedJob, FeederHandle, StealRun, TaggedJob,
+    WorkerLedger,
+};
+pub use stream::{
+    ArrivalStream, LiveOptions, LiveOutcome, LiveRejection, LiveReport, TimedRequest, WindowStats,
+};

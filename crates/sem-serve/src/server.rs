@@ -239,9 +239,10 @@ impl ServeReport {
     }
 
     /// Latency at percentile `p` (0–100, nearest-rank over completion
-    /// times).  Zero for an empty run.
+    /// times).  `None` for a run with no admitted requests — no latency
+    /// evidence exists, and a fabricated 0 would read as a perfect tail.
     #[must_use]
-    pub fn latency_percentile_seconds(&self, p: f64) -> f64 {
+    pub fn latency_percentile_seconds(&self, p: f64) -> Option<f64> {
         let latencies: Vec<f64> = self
             .outcomes
             .iter()
@@ -360,10 +361,10 @@ pub struct ServeSummary {
     pub steals: usize,
     /// Requests per modelled second.
     pub throughput_rps: f64,
-    /// Median latency.
-    pub p50_latency_seconds: f64,
-    /// 99th-percentile latency.
-    pub p99_latency_seconds: f64,
+    /// Median latency (`None` when nothing was admitted).
+    pub p50_latency_seconds: Option<f64>,
+    /// 99th-percentile latency (`None` when nothing was admitted).
+    pub p99_latency_seconds: Option<f64>,
     /// Per-device aggregates.
     pub devices: Vec<DeviceUsage>,
 }
@@ -385,9 +386,9 @@ struct ExecutedJob {
 /// A serving instance: a device pool plus options, with one lazily built
 /// `SemSystem` per (device, problem shape).
 pub struct Server {
-    slots: Vec<DeviceSlot>,
-    systems: Vec<HashMap<ProblemSpec, SemSystem>>,
-    options: ServeOptions,
+    pub(crate) slots: Vec<DeviceSlot>,
+    pub(crate) systems: Vec<HashMap<ProblemSpec, SemSystem>>,
+    pub(crate) options: ServeOptions,
 }
 
 impl Server {
@@ -805,7 +806,7 @@ impl Server {
     /// Run one job on one device's system: assemble the right-hand sides,
     /// solve the batch through the backend, and schedule the session on the
     /// pipeline timeline.
-    fn execute_job_on(
+    pub(crate) fn execute_job_on(
         &self,
         system: &SemSystem,
         device: usize,
@@ -968,7 +969,7 @@ impl Server {
     /// iteration count) and the on-device preconditioner pass is priced per
     /// application, so a stronger preconditioner shows up as a genuinely
     /// cheaper predicted completion.  Requires the system to exist.
-    fn predict_job_seconds(&self, device: usize, job: &BatchJob) -> f64 {
+    pub(crate) fn predict_job_seconds(&self, device: usize, job: &BatchJob) -> f64 {
         let system = self.system(device, job.spec);
         let applications = self.options.applications_hint.max(1);
         let precond = self.slot_precond(device);
@@ -991,7 +992,7 @@ impl Server {
     /// Build the session one device uses for one problem shape (an explicit
     /// serve-options preconditioner overrides the slot's config; otherwise
     /// the slot's own `+suffix` stands).
-    fn build_system(
+    pub(crate) fn build_system(
         config: &Backend,
         spec: ProblemSpec,
         precond: Option<PrecondSpec>,
@@ -1015,14 +1016,14 @@ impl Server {
             .unwrap_or(self.slots[device].config.precond)
     }
 
-    fn ensure_system(&mut self, device: usize, spec: ProblemSpec) {
+    pub(crate) fn ensure_system(&mut self, device: usize, spec: ProblemSpec) {
         if !self.systems[device].contains_key(&spec) {
             let system = Self::build_system(&self.slots[device].config, spec, self.options.precond);
             self.systems[device].insert(spec, system);
         }
     }
 
-    fn system(&self, device: usize, spec: ProblemSpec) -> &SemSystem {
+    pub(crate) fn system(&self, device: usize, spec: ProblemSpec) -> &SemSystem {
         self.systems[device]
             .get(&spec)
             .expect("system instantiated before use")

@@ -22,16 +22,32 @@
 //!    the *newest* job — the one that would otherwise wait longest behind a
 //!    busy device.
 //!
-//! When all three sources are empty the worker exits: jobs are only removed
-//! to be executed and nothing is ever re-queued, so an empty sweep means no
-//! pending work remains (jobs still *executing* on other workers need no
-//! help).  This is also why the run conserves jobs: every seeded job is
-//! taken exactly once, by exactly one worker, and its result is delivered
-//! over a channel that the caller drains to completion.
+//! ## Termination: the feeder-done protocol
+//!
+//! Jobs are only removed to be executed and nothing is ever re-queued, so
+//! with a fixed job set an empty sweep would prove no pending
+//! work remains.  Live serving breaks that proof: a *feeder* (see
+//! [`run_stealing_with_feeder`]) keeps pushing arrivals into the shared
+//! injector while workers run, and a worker that exited on the first empty
+//! sweep would strand every job fed after it.  Workers therefore exit only
+//! when a **fully empty, uncontended sweep began after the feeder-done flag
+//! was observed set**.  The feeder publishes every push *before* the done
+//! flag is stored (both SeqCst), so a sweep that started after observing
+//! `done` sees every fed job — empty then really means empty forever.  The
+//! batch-only [`run_stealing`] starts with the flag already set, which
+//! restores the old "first empty sweep exits" behaviour exactly.
+//!
+//! Contended sweeps (a [`Steal::Retry`] from the injector *or* a sibling
+//! deque) and empty-but-not-done sweeps share one backoff path: park/unpark
+//! telemetry around a scheduler yield.  This is also why the run conserves
+//! jobs: every seeded or fed job is taken exactly once, by exactly one
+//! worker, and its result is delivered over a channel that the caller
+//! drains to completion.
 
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One job plus the scheduling hint it was admitted with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +137,29 @@ struct Delivery<R> {
     result: R,
 }
 
+/// The live-arrival side of a streaming run: the handle the feeder closure
+/// pushes timestamped work through while the worker pool is already
+/// draining.  Fed jobs carry no hint — they ride the shared injector to
+/// whichever worker frees up first, exactly like down-batched floaters.
+#[derive(Debug)]
+pub struct FeederHandle<'a, T> {
+    injector: &'a Injector<TaggedJob<T>>,
+}
+
+impl<T> FeederHandle<'_, T> {
+    /// Push one live arrival into the shared injector.
+    pub fn push(&self, payload: T) {
+        self.injector.push(TaggedJob {
+            payload,
+            hint: None,
+        });
+        let obs = recorder();
+        if obs.is_enabled() {
+            obs.counter_add("sem_serve_live_arrivals_total", &[], 1);
+        }
+    }
+}
+
 /// Run `jobs` across one thread per entry of `states`, work-stealing style.
 ///
 /// `execute` is called as `execute(worker_index, &mut state, payload)` with
@@ -142,6 +181,47 @@ where
     R: Send,
     F: Fn(usize, &mut S, T) -> R + Sync,
 {
+    run_stealing_inner(states, jobs, None::<fn(&FeederHandle<'_, T>)>, execute)
+}
+
+/// Like [`run_stealing`], but with a live feeder: `feeder` runs on the
+/// calling thread *after* the workers are spawned and may push arrivals
+/// into the shared injector at any point while the pool drains.  Workers
+/// stay alive — backing off through the contended-sweep path — until the
+/// feeder returns and every queued job is taken (the feeder-done protocol
+/// in the module docs).
+///
+/// # Panics
+/// Panics if `states` is empty or any seeded hint is out of range.
+pub fn run_stealing_with_feeder<T, S, R, F, G>(
+    states: Vec<S>,
+    jobs: Vec<TaggedJob<T>>,
+    feeder: G,
+    execute: F,
+) -> StealRun<S, R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> R + Sync,
+    G: FnOnce(&FeederHandle<'_, T>),
+{
+    run_stealing_inner(states, jobs, Some(feeder), execute)
+}
+
+fn run_stealing_inner<T, S, R, F, G>(
+    states: Vec<S>,
+    jobs: Vec<TaggedJob<T>>,
+    feeder: Option<G>,
+    execute: F,
+) -> StealRun<S, R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> R + Sync,
+    G: FnOnce(&FeederHandle<'_, T>),
+{
     let pool = states.len();
     assert!(pool > 0, "need at least one worker");
     let queues: Vec<Worker<TaggedJob<T>>> = (0..pool).map(|_| Worker::new_fifo()).collect();
@@ -157,6 +237,9 @@ where
         }
     }
 
+    // With no feeder the flag starts set, so the first fully empty sweep
+    // exits — identical to the old batch-only termination rule.
+    let feeder_done = AtomicBool::new(feeder.is_none());
     let (tx, rx) = channel::unbounded::<Delivery<R>>();
     let run_timer = WallTimer::start();
     let mut ledgers: Vec<Option<WorkerLedger<S>>> = Vec::with_capacity(pool);
@@ -167,6 +250,7 @@ where
             let injector = &injector;
             let stealers = &stealers;
             let execute = &execute;
+            let feeder_done = &feeder_done;
             // lint: no-panic (a worker panic strands sibling deques mid-run)
             handles.push(scope.spawn(move || {
                 // Registers this thread with a schedule explorer when one is
@@ -176,7 +260,7 @@ where
                 let mut executed_jobs = 0;
                 let mut steals = 0;
                 let obs = recorder();
-                while let Some(job) = next_job(index, &queue, injector, stealers) {
+                while let Some(job) = next_job(index, &queue, injector, stealers, feeder_done) {
                     if job.hint.is_some_and(|hint| hint != index) {
                         steals += 1;
                         if obs.is_enabled() {
@@ -218,6 +302,18 @@ where
             }));
         }
         drop(tx);
+        if let Some(feed) = feeder {
+            // The feeder runs on the calling thread, uncontrolled by any
+            // schedule explorer: live arrivals are outside the pool under
+            // test.  Every push lands before the done flag is stored, so a
+            // worker that observes `done` and then sweeps empty has seen
+            // every fed job.
+            let handle = FeederHandle {
+                injector: &injector,
+            };
+            feed(&handle);
+            feeder_done.store(true, Ordering::SeqCst);
+        }
         for handle in handles {
             ledgers.push(Some(handle.join().expect("worker thread panicked")));
         }
@@ -242,56 +338,98 @@ where
     }
 }
 
-/// One sweep of the three work sources: own deque, injector, siblings.
+/// What one pass over the three work sources observed.
+enum SweepOutcome<T> {
+    /// A job was taken.
+    Job(TaggedJob<T>),
+    /// At least one source reported a lost race ([`Steal::Retry`]); work
+    /// may exist, so emptiness proves nothing this pass.
+    Contended,
+    /// Every source was empty and no steal was contended.
+    Empty,
+}
+
+/// One sweep: own deque, then the injector, then sibling deques round-robin
+/// starting after `index`.  A `Retry` from *any* source — the injector
+/// included — marks the sweep contended but still probes the remaining
+/// sources first, so one hot queue cannot starve the others of a look.
+fn sweep<T>(
+    index: usize,
+    own: &Worker<TaggedJob<T>>,
+    injector: &Injector<TaggedJob<T>>,
+    stealers: &[Stealer<TaggedJob<T>>],
+) -> SweepOutcome<T> {
+    if let Some(job) = own.pop() {
+        return SweepOutcome::Job(job);
+    }
+    let mut contended = false;
+    match injector.steal() {
+        Steal::Success(job) => return SweepOutcome::Job(job),
+        Steal::Retry => contended = true,
+        Steal::Empty => {}
+    }
+    let pool = stealers.len();
+    for offset in 1..pool {
+        let victim = (index + offset) % pool;
+        match stealers[victim].steal() {
+            Steal::Success(job) => return SweepOutcome::Job(job),
+            Steal::Retry => contended = true,
+            Steal::Empty => {}
+        }
+    }
+    if contended {
+        SweepOutcome::Contended
+    } else {
+        SweepOutcome::Empty
+    }
+}
+
+/// The single backoff path every unproductive sweep funnels through:
+/// park/unpark telemetry around a scheduler yield.  Contended sweeps used
+/// to split here — an injector `Retry` looped straight back into the sweep,
+/// a busy-wait that skipped both the yield and the park telemetry.
+fn backoff(index: usize) {
+    let obs = recorder();
+    if obs.is_enabled() {
+        // An unproductive sweep: the worker backs off and retries.  Like
+        // steals, parking is schedule-only telemetry.
+        let at = obs.stamp(0.0);
+        obs.record(
+            SpanEvent::new(SpanKind::WorkerPark, Scope::ScheduleDependent, at, at)
+                .with_index(index as u64),
+        );
+    }
+    std::thread::yield_now();
+    if obs.is_enabled() {
+        let at = obs.stamp(0.0);
+        obs.record(
+            SpanEvent::new(SpanKind::WorkerUnpark, Scope::ScheduleDependent, at, at)
+                .with_index(index as u64),
+        );
+    }
+}
+
+/// Take the next job, or decide the run is over.  Exits only on a fully
+/// empty, uncontended sweep that *began after* the feeder-done flag was
+/// observed set: the feeder publishes every push before storing the flag,
+/// so such a sweep has seen every job that will ever exist.
 fn next_job<T>(
     index: usize,
     own: &Worker<TaggedJob<T>>,
     injector: &Injector<TaggedJob<T>>,
     stealers: &[Stealer<TaggedJob<T>>],
+    feeder_done: &AtomicBool,
 ) -> Option<TaggedJob<T>> {
     loop {
-        if let Some(job) = own.pop() {
-            return Some(job);
+        // Load the flag before sweeping: a push racing with this sweep may
+        // be missed, but then the flag read here was false and the sweep
+        // retries.
+        let done_before_sweep = feeder_done.load(Ordering::SeqCst);
+        match sweep(index, own, injector, stealers) {
+            SweepOutcome::Job(job) => return Some(job),
+            SweepOutcome::Empty if done_before_sweep => return None,
+            SweepOutcome::Empty | SweepOutcome::Contended => backoff(index),
         }
-        match injector.steal() {
-            Steal::Success(job) => return Some(job),
-            Steal::Retry => continue,
-            Steal::Empty => {}
-        }
-        let pool = stealers.len();
-        let mut retry = false;
-        for offset in 1..pool {
-            let victim = (index + offset) % pool;
-            match stealers[victim].steal() {
-                Steal::Success(job) => return Some(job),
-                Steal::Retry => retry = true,
-                Steal::Empty => {}
-            }
-        }
-        if retry {
-            let obs = recorder();
-            if obs.is_enabled() {
-                // A contended sweep: the worker backs off and retries.  Like
-                // steals, parking is schedule-only telemetry.
-                let at = obs.stamp(0.0);
-                obs.record(
-                    SpanEvent::new(SpanKind::WorkerPark, Scope::ScheduleDependent, at, at)
-                        .with_index(index as u64),
-                );
-            }
-            std::thread::yield_now();
-            if obs.is_enabled() {
-                let at = obs.stamp(0.0);
-                obs.record(
-                    SpanEvent::new(SpanKind::WorkerUnpark, Scope::ScheduleDependent, at, at)
-                        .with_index(index as u64),
-                );
-            }
-            continue;
-        }
-        // Every source is empty and jobs are never re-queued: nothing is
-        // pending anywhere, so this worker is done.
-        return None;
     }
 }
 
@@ -364,6 +502,70 @@ mod tests {
         });
         let handed_back: u64 = run.workers.iter().map(|w| w.state).sum();
         assert_eq!(handed_back, 55, "every job mutated exactly one state");
+    }
+
+    #[test]
+    fn feeder_jobs_arrive_while_workers_run_and_are_conserved() {
+        let seeded: Vec<TaggedJob<usize>> = (0..10)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: Some(i % 3),
+            })
+            .collect();
+        let run = run_stealing_with_feeder(
+            vec![(); 3],
+            seeded,
+            |feeder| {
+                for i in 10..40 {
+                    feeder.push(i);
+                    // Give workers a chance to drain between arrivals so
+                    // some pushes genuinely race live sweeps.
+                    std::thread::yield_now();
+                }
+            },
+            |_, (), payload| payload,
+        );
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen.len(), 40, "every seeded and fed job exactly once");
+        let executed: usize = run.workers.iter().map(|w| w.executed_jobs).sum();
+        assert_eq!(executed, 40);
+        // Fed jobs float: they can never be counted as steals.
+        assert!(run
+            .completed
+            .iter()
+            .filter(|c| c.result >= 10)
+            .all(|c| c.hint.is_none() && !c.stolen()));
+    }
+
+    #[test]
+    fn a_feeder_that_pushes_nothing_still_terminates() {
+        let run = run_stealing_with_feeder(
+            vec![(); 2],
+            vec![TaggedJob {
+                payload: 1usize,
+                hint: Some(0),
+            }],
+            |_feeder| {},
+            |_, (), payload| payload,
+        );
+        assert_eq!(run.completed.len(), 1);
+    }
+
+    #[test]
+    fn a_run_fed_entirely_through_the_injector_drains() {
+        let run = run_stealing_with_feeder(
+            vec![(); 4],
+            Vec::new(),
+            |feeder| {
+                for i in 0..100usize {
+                    feeder.push(i);
+                }
+            },
+            |_, (), payload| payload,
+        );
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen.len(), 100);
+        assert_eq!(run.total_steals(), 0);
     }
 
     #[test]

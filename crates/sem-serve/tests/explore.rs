@@ -46,8 +46,9 @@ fn standard_battery_upholds_the_contract_on_every_schedule() {
         );
         total += report.schedules;
     }
-    // Five cases, each explored depth-first: the battery covers a healthy
-    // slice of the interleaving space even under the CI smoke budget.
+    // Seven cases (feeder cases walk seeded, the rest depth-first): the
+    // battery covers a healthy slice of the interleaving space even under
+    // the CI smoke budget.
     assert!(
         total >= reports.len() * 10,
         "expected meaningful coverage, got {total} schedules"
@@ -62,6 +63,8 @@ fn single_worker_case_is_exhausted_with_one_schedule() {
         name: "solo",
         workers: 1,
         hints: vec![Some(0), Some(0)],
+        feeder_jobs: 0,
+        contention: 0,
     };
     let report = explore_case(&case, Strategy::Exhaustive, 16);
     assert!(report.exhausted, "a one-worker tree has a single schedule");
@@ -75,6 +78,8 @@ fn exhaustive_runs_are_distinct_by_construction() {
         name: "pair",
         workers: 2,
         hints: vec![Some(0)],
+        feeder_jobs: 0,
+        contention: 0,
     };
     let report = explore_case(&case, Strategy::Exhaustive, 400);
     // Every DFS replay differs from every other in at least one choice, so
@@ -92,6 +97,8 @@ fn seeded_walks_find_many_distinct_schedules() {
         name: "seeded-storm",
         workers: 3,
         hints: vec![Some(0), Some(0), None],
+        feeder_jobs: 0,
+        contention: 0,
     };
     let report = explore_case(&case, Strategy::Seeded(0xFEED_5EED), 64);
     assert!(report.schedules > 8, "random walks should diverge quickly");
@@ -109,6 +116,8 @@ fn transition_coverage_saturates_under_a_fixed_exhaustive_budget() {
         name: "steal-storm",
         workers: 2,
         hints: vec![Some(0), Some(0), Some(0)],
+        feeder_jobs: 0,
+        contention: 0,
     };
     let half = explore_case(&case, Strategy::Exhaustive, 200);
     let full = explore_case(&case, Strategy::Exhaustive, 400);
@@ -143,6 +152,8 @@ fn regression_worker_send_failure_must_not_panic_the_pool() {
         name: "greedy-drain",
         workers: 2,
         hints: vec![Some(0), Some(0), Some(0), Some(0)],
+        feeder_jobs: 0,
+        contention: 0,
     };
     let report = explore_case(&case, Strategy::Seeded(7), 48);
     assert!(report.violations.is_empty(), "{:?}", report.violations);

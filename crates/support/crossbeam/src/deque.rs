@@ -3,9 +3,13 @@
 //! [`Worker`] queues whose [`Stealer`] handles let sibling threads take work
 //! from the back while the owner pops from the front.
 //!
-//! All three types are lock-based (see the crate docs); [`Steal::Retry`] is
-//! kept for API fidelity but this implementation never returns it — steals
-//! block briefly on the lock instead of spinning.
+//! All three types are lock-based (see the crate docs); steals block briefly
+//! on the lock instead of spinning, so [`Steal::Retry`] never arises
+//! organically.  It *is* produced on demand: an installed schedule
+//! controller (see [`crate::sched::Scheduler::steal_contended`]) can make a
+//! controlled thread's steal observe simulated contention, which is how the
+//! race explorer drives the contended-sweep paths of a work-stealing loop
+//! that a mutex-backed deque would otherwise never exercise.
 
 use crate::sched::{self, SchedOp};
 use std::collections::VecDeque;
@@ -18,9 +22,10 @@ pub enum Steal<T> {
     Empty,
     /// One item was stolen.
     Success(T),
-    /// The attempt lost a race and should be retried.  Kept for API
-    /// compatibility with `crossbeam-deque`; the lock-based implementation
-    /// never produces it.
+    /// The attempt lost a race and should be retried.  The lock-based
+    /// implementation only produces it under an installed schedule
+    /// controller injecting contention; in production steals serialize on
+    /// the lock instead.
     Retry,
 }
 
@@ -36,6 +41,11 @@ impl<T> Steal<T> {
     /// Whether the queue was observed empty.
     pub fn is_empty(&self) -> bool {
         matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt lost a (possibly simulated) race.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
     }
 }
 
@@ -98,6 +108,9 @@ impl<T> Injector<T> {
     /// Steal the oldest item.
     pub fn steal(&self) -> Steal<T> {
         sched::yield_point(SchedOp::InjectorSteal);
+        if sched::simulate_contention(SchedOp::InjectorSteal) {
+            return Steal::Retry;
+        }
         match self.shared.pop_front() {
             Some(item) => Steal::Success(item),
             None => Steal::Empty,
@@ -185,6 +198,9 @@ impl<T> Stealer<T> {
     /// Steal the newest item from the worker's queue.
     pub fn steal(&self) -> Steal<T> {
         sched::yield_point(SchedOp::WorkerSteal);
+        if sched::simulate_contention(SchedOp::WorkerSteal) {
+            return Steal::Retry;
+        }
         match self.shared.pop_back() {
             Some(item) => Steal::Success(item),
             None => Steal::Empty,

@@ -70,6 +70,21 @@ pub trait Scheduler: Send + Sync {
 
     /// A controlled thread is done: it will reach no further yield points.
     fn thread_finished(&self, index: usize);
+
+    /// Whether the steal operation `op` the controlled thread `index` is
+    /// about to perform should observe simulated contention
+    /// ([`crate::deque::Steal::Retry`]) instead of touching the queue.
+    ///
+    /// Called *after* [`Scheduler::yield_point`] grants the step, so the
+    /// decision rides the granted step rather than adding one.  The
+    /// default — no contention, ever — preserves the vendored deque's
+    /// uncontended behaviour; explorers override it to drive the
+    /// contended-sweep paths that a mutex-backed deque can otherwise
+    /// never reach.
+    fn steal_contended(&self, index: usize, op: SchedOp) -> bool {
+        let _ = (index, op);
+        false
+    }
 }
 
 /// Fast-path flag: true only while a scheduler is installed.
@@ -173,6 +188,30 @@ fn yield_point_slow(op: SchedOp) {
     }
 }
 
+/// Ask the installed scheduler whether the steal `op` the calling thread is
+/// about to perform should fail with simulated contention.  Always false in
+/// production (no scheduler installed) and for uncontrolled threads.
+#[inline]
+pub(crate) fn simulate_contention(op: SchedOp) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    simulate_contention_slow(op)
+}
+
+#[cold]
+fn simulate_contention_slow(op: SchedOp) -> bool {
+    let control = CONTROL.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .map(|(index, scheduler)| (*index, Arc::clone(scheduler)))
+    });
+    match control {
+        Some((index, scheduler)) => scheduler.steal_contended(index, op),
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +278,51 @@ mod tests {
         let injector = crate::deque::Injector::new();
         injector.push(1);
         assert_eq!(recorder.yields.load(Ordering::SeqCst), 2);
+    }
+
+    /// Grants every step; injects contention into the first `budget`
+    /// injector steals.
+    struct Contender {
+        budget: AtomicUsize,
+    }
+
+    impl Scheduler for Contender {
+        fn thread_started(&self, _index: usize) {}
+        fn yield_point(&self, _index: usize, _op: SchedOp) {}
+        fn thread_finished(&self, _index: usize) {}
+        fn steal_contended(&self, _index: usize, op: SchedOp) -> bool {
+            if op != SchedOp::InjectorSteal {
+                return false;
+            }
+            self.budget
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                    left.checked_sub(1)
+                })
+                .is_ok()
+        }
+    }
+
+    #[test]
+    fn a_scheduler_can_inject_retry_into_controlled_steals() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        install(Arc::new(Contender {
+            budget: AtomicUsize::new(2),
+        }) as Arc<dyn Scheduler>);
+        let injector = crate::deque::Injector::new();
+        injector.push(9);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _guard = controlled(0);
+                // The first two steals see simulated contention, the third
+                // lands; worker-deque steals are untouched.
+                assert!(injector.steal().is_retry());
+                assert!(injector.steal().is_retry());
+                assert_eq!(injector.steal().success(), Some(9));
+            });
+        });
+        uninstall();
+        // Uncontrolled threads never see injected contention.
+        injector.push(4);
+        assert_eq!(injector.steal().success(), Some(4));
     }
 }
