@@ -1,0 +1,422 @@
+//! Deterministic fault injection for simulated devices.
+//!
+//! Real accelerator pools fail in a handful of characteristic ways: a
+//! transient upset corrupts one kernel result, a board dies outright, a
+//! link or clock degrades and everything slows down, or a kernel hangs and
+//! never returns.  This module models all four **deterministically**: a
+//! [`FaultPlan`] schedules faults at *operator-application counts* (never
+//! wall-clock), so a faulty run is exactly reproducible on any host — the
+//! property every recovery proof in `sem-serve` leans on.
+//!
+//! The runtime half is a [`FaultState`]: a shared, thread-safe op counter
+//! that consumes the plan in order and tells the backend, per application,
+//! whether to succeed, corrupt the result, or fail with a typed
+//! [`DeviceError`].  Hangs are surfaced as errors too — the simulator plays
+//! the role of the modeled-time watchdog that would fire on a real host, so
+//! a hung kernel costs an error and a retry, never a stuck thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// What a scheduled fault does to the device when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// One operator application returns a corrupted result (a bit flip in
+    /// the output field).  The device stays healthy afterwards.
+    Transient,
+    /// The device dies: this and every later application fails with
+    /// [`DeviceError::Dead`].
+    Death,
+    /// Sticky degradation: every later application's modelled seconds are
+    /// multiplied by `factor` (a degraded link or down-clocked kernel).
+    /// The application itself still succeeds.
+    Slowdown {
+        /// Multiplier on the device's modelled per-application seconds
+        /// from this op onward (must be >= 1).
+        factor: f64,
+    },
+    /// The kernel hangs on this application.  The modelled watchdog fires:
+    /// the application fails with [`DeviceError::Hung`], the device
+    /// survives, and the caller decides whether to trust it again.
+    Hang,
+}
+
+impl FaultKind {
+    /// Stable label for telemetry (`sem_serve_fault_injections_total`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Death => "death",
+            FaultKind::Slowdown { .. } => "slowdown",
+            FaultKind::Hang => "hang",
+        }
+    }
+}
+
+/// One fault scheduled at a device-lifetime operator-application count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// The zero-based operator application at which the fault fires.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one device, ordered by op count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+/// `splitmix64` — the workspace's standard seeded stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfect device.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan from explicit faults (sorted by `at_op`; ties keep order).
+    #[must_use]
+    pub fn new(mut faults: Vec<ScheduledFault>) -> Self {
+        faults.sort_by_key(|f| f.at_op);
+        Self { faults }
+    }
+
+    /// A seeded pseudo-random plan: `count` faults drawn over the first
+    /// `horizon_ops` applications, kinds drawn uniformly from
+    /// transient / slowdown(2×) / hang (never death, so seeded chaos
+    /// exercises retries rather than killing the pool — schedule deaths
+    /// explicitly where a test wants one).  Deterministic under the seed.
+    #[must_use]
+    pub fn seeded(seed: u64, count: usize, horizon_ops: u64) -> Self {
+        let mut state = seed ^ 0x5eed_fa17_5eed_fa17;
+        let horizon = horizon_ops.max(1);
+        let faults = (0..count)
+            .map(|_| {
+                let at_op = splitmix64(&mut state) % horizon;
+                let kind = match splitmix64(&mut state) % 3 {
+                    0 => FaultKind::Transient,
+                    1 => FaultKind::Slowdown { factor: 2.0 },
+                    _ => FaultKind::Hang,
+                };
+                ScheduledFault { at_op, kind }
+            })
+            .collect();
+        Self::new(faults)
+    }
+
+    /// The scheduled faults, ordered by op count.
+    #[must_use]
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// A typed device failure, carrying the op count at which it surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The device is dead: this and every later application fails.
+    Dead {
+        /// Device-lifetime op count at which the failure surfaced.
+        at_op: u64,
+    },
+    /// The kernel hung on this application and the modelled watchdog
+    /// fired.  The device itself may still be usable.
+    Hung {
+        /// Device-lifetime op count at which the failure surfaced.
+        at_op: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Dead { at_op } => write!(f, "device dead at op {at_op}"),
+            DeviceError::Hung { at_op } => write!(f, "kernel hung at op {at_op}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// What the injector tells the backend to do with one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Apply normally.
+    Ok,
+    /// Apply, then corrupt the result (see [`corrupt_value`]).
+    Corrupt,
+    /// Fail the application with this error.
+    Fail(DeviceError),
+}
+
+/// Runtime fault state of one device: a thread-safe cursor over a
+/// [`FaultPlan`], advanced once per operator application.
+///
+/// Shared (behind an `Arc`) between the serving layer — which wants to read
+/// health and injection counts — and the backend wrapper that consults it
+/// on every application.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    op: AtomicU64,
+    cursor: AtomicUsize,
+    dead: AtomicBool,
+    slowdown_bits: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultState {
+    /// Fresh state over a plan: healthy, op counter at zero, no slowdown.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            op: AtomicU64::new(0),
+            cursor: AtomicUsize::new(0),
+            dead: AtomicBool::new(false),
+            slowdown_bits: AtomicU64::new(1.0_f64.to_bits()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// A state that never faults.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// The plan this state consumes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Advance the op counter by one application and report what the
+    /// backend must do for it.  Dead devices fail immediately; otherwise
+    /// every scheduled fault due at or before this op is consumed.
+    pub fn next_op(&self) -> FaultAction {
+        let op = self.op.fetch_add(1, Ordering::SeqCst);
+        if self.dead.load(Ordering::SeqCst) {
+            return FaultAction::Fail(DeviceError::Dead { at_op: op });
+        }
+        let mut corrupt = false;
+        let mut hung = false;
+        loop {
+            let cursor = self.cursor.load(Ordering::SeqCst);
+            let Some(fault) = self.plan.faults.get(cursor) else {
+                break;
+            };
+            if fault.at_op > op {
+                break;
+            }
+            if self
+                .cursor
+                .compare_exchange(cursor, cursor + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue; // another thread consumed it; re-inspect
+            }
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            match fault.kind {
+                FaultKind::Transient => corrupt = true,
+                FaultKind::Death => self.dead.store(true, Ordering::SeqCst),
+                FaultKind::Slowdown { factor } => {
+                    let factor = factor.max(1.0);
+                    let current = f64::from_bits(self.slowdown_bits.load(Ordering::SeqCst));
+                    self.slowdown_bits
+                        .store((current * factor).to_bits(), Ordering::SeqCst);
+                }
+                FaultKind::Hang => hung = true,
+            }
+        }
+        if self.dead.load(Ordering::SeqCst) {
+            FaultAction::Fail(DeviceError::Dead { at_op: op })
+        } else if hung {
+            FaultAction::Fail(DeviceError::Hung { at_op: op })
+        } else if corrupt {
+            FaultAction::Corrupt
+        } else {
+            FaultAction::Ok
+        }
+    }
+
+    /// Whether the device has died.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// The sticky slowdown factor accumulated so far (1.0 = full speed).
+    #[must_use]
+    pub fn slowdown_factor(&self) -> f64 {
+        f64::from_bits(self.slowdown_bits.load(Ordering::SeqCst))
+    }
+
+    /// Operator applications the device has been asked for so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.op.load(Ordering::SeqCst)
+    }
+
+    /// Faults consumed from the plan so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Revive a dead device and forget accumulated slowdown — the modelled
+    /// equivalent of a board power-cycle.  The op counter and consumed
+    /// schedule are kept: a revived device does not replay old faults.
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::SeqCst);
+        self.slowdown_bits
+            .store(1.0_f64.to_bits(), Ordering::SeqCst);
+    }
+}
+
+/// Corrupt one `f64` the way a single-event upset would: flip a high
+/// exponent bit of the payload.  The result is finite but wildly wrong
+/// (a value near 1.0 lands near 1e-154), so residual verification is
+/// guaranteed to catch it while downstream arithmetic stays NaN-free.
+#[must_use]
+pub fn corrupt_value(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() ^ (1_u64 << 61))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_always_ok() {
+        let state = FaultState::healthy();
+        for _ in 0..100 {
+            assert_eq!(state.next_op(), FaultAction::Ok);
+        }
+        assert!(!state.is_dead());
+        assert_eq!(state.slowdown_factor(), 1.0);
+        assert_eq!(state.ops(), 100);
+        assert_eq!(state.injected(), 0);
+    }
+
+    #[test]
+    fn transient_corrupts_exactly_one_op() {
+        let state = FaultState::new(FaultPlan::new(vec![ScheduledFault {
+            at_op: 2,
+            kind: FaultKind::Transient,
+        }]));
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.next_op(), FaultAction::Corrupt);
+        assert_eq!(state.next_op(), FaultAction::Ok);
+    }
+
+    #[test]
+    fn death_is_sticky() {
+        let state = FaultState::new(FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::Death,
+        }]));
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(
+            state.next_op(),
+            FaultAction::Fail(DeviceError::Dead { at_op: 1 })
+        );
+        assert_eq!(
+            state.next_op(),
+            FaultAction::Fail(DeviceError::Dead { at_op: 2 })
+        );
+        assert!(state.is_dead());
+        state.revive();
+        assert_eq!(state.next_op(), FaultAction::Ok);
+    }
+
+    #[test]
+    fn hang_fails_once_without_killing_the_device() {
+        let state = FaultState::new(FaultPlan::new(vec![ScheduledFault {
+            at_op: 0,
+            kind: FaultKind::Hang,
+        }]));
+        assert_eq!(
+            state.next_op(),
+            FaultAction::Fail(DeviceError::Hung { at_op: 0 })
+        );
+        assert!(!state.is_dead());
+        assert_eq!(state.next_op(), FaultAction::Ok);
+    }
+
+    #[test]
+    fn slowdown_accumulates_and_the_op_succeeds() {
+        let state = FaultState::new(FaultPlan::new(vec![
+            ScheduledFault {
+                at_op: 0,
+                kind: FaultKind::Slowdown { factor: 2.0 },
+            },
+            ScheduledFault {
+                at_op: 3,
+                kind: FaultKind::Slowdown { factor: 1.5 },
+            },
+        ]));
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.slowdown_factor(), 2.0);
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.slowdown_factor(), 3.0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_ordered() {
+        let a = FaultPlan::seeded(7, 8, 100);
+        let b = FaultPlan::seeded(7, 8, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 8);
+        assert!(a.faults().windows(2).all(|w| w[0].at_op <= w[1].at_op));
+        assert!(a
+            .faults()
+            .iter()
+            .all(|f| !matches!(f.kind, FaultKind::Death)));
+        let c = FaultPlan::seeded(8, 8, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corruption_is_finite_drastic_and_involutive() {
+        let x = 1.234_f64;
+        let y = corrupt_value(x);
+        assert!(y.is_finite());
+        assert!((x - y).abs() > 1.0);
+        assert_eq!(corrupt_value(y), x);
+    }
+
+    #[test]
+    fn due_faults_skipped_by_a_jump_are_still_consumed() {
+        // A plan scheduled at op 1 must fire even if the consumer only
+        // checks at op 5 (e.g. a device that sat idle while the counter
+        // advanced elsewhere is modelled conservatively).
+        let state = FaultState::new(FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::Transient,
+        }]));
+        assert_eq!(state.next_op(), FaultAction::Ok);
+        assert_eq!(state.next_op(), FaultAction::Corrupt);
+        assert_eq!(state.injected(), 1);
+    }
+}

@@ -25,7 +25,11 @@
 //! * [`executor`] — the functional+timing simulator: it produces bit-exact
 //!   kernel results (by running the same arithmetic as the CPU reference)
 //!   together with a cycle count, from which GFLOP/s, DOFs/cycle, bandwidth
-//!   and power-efficiency are derived.
+//!   and power-efficiency are derived;
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultState`]): transient result corruption, scheduled device death,
+//!   sticky slowdown and hangs, all keyed to operator-application counts so
+//!   faulty runs replay bit-for-bit.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +37,7 @@
 pub mod bram;
 pub mod design;
 pub mod executor;
+pub mod faults;
 pub mod memory;
 pub mod multi;
 pub mod power;
@@ -42,6 +47,9 @@ pub mod synthesis;
 
 pub use design::{AcceleratorDesign, MemoryAllocation, OptimizationStage};
 pub use executor::{ExecutionReport, FpgaAccelerator, KernelStageTiming};
+pub use faults::{
+    corrupt_value, DeviceError, FaultAction, FaultKind, FaultPlan, FaultState, ScheduledFault,
+};
 pub use memory::MemorySystem;
 pub use multi::{MultiBoardAccelerator, MultiBoardEstimate};
 pub use perf_model::FpgaDevice;

@@ -45,7 +45,7 @@ pub mod serving;
 pub mod throughput;
 pub mod workload;
 
-pub use calibration::{suspect_term, DriftCorrector};
+pub use calibration::{suspect_term, DriftCorrector, StageDriftCorrector};
 pub use cost::{bytes_per_dof, flops_per_dof, operational_intensity, KernelCost, KernelTraffic};
 pub use device::FpgaDevice;
 pub use measured::{measured_table1, Table1Row};

@@ -24,12 +24,24 @@
 use crate::offload::OffloadPlan;
 use crate::report::PerfSource;
 use fpga_sim::{
-    estimate_jacobi_seconds, FdmPrecondModel, FpgaAccelerator, FpgaDevice, MultiBoardAccelerator,
+    estimate_jacobi_seconds, DeviceError, FdmPrecondModel, FpgaAccelerator, FpgaDevice,
+    MultiBoardAccelerator,
 };
 use sem_kernel::{ops, AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, ElementField, GatherScatter, GeometricFactors};
-use sem_solver::{coarse_space_dofs, LocalOperator, PrecondSpec};
+use sem_solver::{coarse_space_dofs, CgApplyResult, LocalOperator, PrecondSpec, SolveFault};
 use std::borrow::Cow;
+
+/// Translate a device-level failure into the solver-side fault the CG loop
+/// reports (`sem-solver` cannot name accelerator types, so the adapter
+/// lives on this side of the seam).
+#[must_use]
+pub fn solve_fault_of(error: DeviceError) -> SolveFault {
+    match error {
+        DeviceError::Dead { at_op } => SolveFault::DeviceDead { at_op },
+        DeviceError::Hung { at_op } => SolveFault::KernelHung { at_op },
+    }
+}
 
 /// An execution engine for the matrix-free `Ax` kernel.
 ///
@@ -169,6 +181,43 @@ pub trait AxBackend: Send + Sync {
     fn fpga_accelerator(&self) -> Option<&FpgaAccelerator> {
         None
     }
+
+    /// Fallible operator application: like [`AxBackend::apply_into`], but a
+    /// backend that can fail (a dead board, a hung kernel caught by the
+    /// modelled watchdog) reports a typed [`DeviceError`] instead of
+    /// succeeding.  The default wraps the infallible path, so every
+    /// existing backend is a perfect device without any change; only fault
+    /// wrappers (see [`crate::FaultyBackend`]) override it.
+    ///
+    /// # Errors
+    /// Returns the device failure when the application cannot complete.
+    ///
+    /// # Panics
+    /// Panics if the fields do not match the backend's degree and element
+    /// count.
+    fn try_apply_into(&self, u: &ElementField, w: &mut ElementField) -> Result<(), DeviceError> {
+        self.apply_into(u, w);
+        Ok(())
+    }
+
+    /// Fallible fused `w = QQᵀ(A u)` pass (see
+    /// [`AxBackend::apply_dssum_into`]).
+    ///
+    /// # Errors
+    /// Returns the device failure when the application cannot complete.
+    ///
+    /// # Panics
+    /// Panics if the fields or gather–scatter do not match the backend's
+    /// degree and element count.
+    fn try_apply_dssum_into(
+        &self,
+        u: &ElementField,
+        gather_scatter: &GatherScatter,
+        w: &mut ElementField,
+    ) -> Result<(), DeviceError> {
+        self.apply_dssum_into(u, gather_scatter, w);
+        Ok(())
+    }
 }
 
 /// Every execution backend is a [`LocalOperator`], so the CG solver iterates
@@ -205,6 +254,19 @@ impl LocalOperator for dyn AxBackend {
         w: &mut ElementField,
     ) {
         AxBackend::apply_dssum_into(self, u, gather_scatter, w);
+    }
+
+    fn try_apply_local_into(&self, u: &ElementField, w: &mut ElementField) -> CgApplyResult {
+        AxBackend::try_apply_into(self, u, w).map_err(solve_fault_of)
+    }
+
+    fn try_apply_dssum_into(
+        &self,
+        u: &ElementField,
+        gather_scatter: &GatherScatter,
+        w: &mut ElementField,
+    ) -> CgApplyResult {
+        AxBackend::try_apply_dssum_into(self, u, gather_scatter, w).map_err(solve_fault_of)
     }
 }
 

@@ -13,7 +13,11 @@
 //!   ([`CpuBackend`], [`FpgaSimBackend`], [`MultiFpgaBackend`]); the trait
 //!   carries batched ([`AxBackend::apply_many`]) and fused
 //!   ([`AxBackend::apply_dssum_into`]) entry points accelerator engines
-//!   claim;
+//!   claim, and fallible variants ([`AxBackend::try_apply_into`]) through
+//!   which device faults surface;
+//! * [`faulty::FaultyBackend`] — a deterministic fault-injecting decorator
+//!   over any backend (transient result corruption, scheduled death, sticky
+//!   slowdown, hangs), driven by an `fpga_sim::FaultPlan`;
 //! * [`system::SemSystem`] — a problem bound to a backend, with
 //!   [`SemSystem::solve`] reporting measured wall-clock on CPUs and
 //!   simulated kernel + transfer time on accelerators, and
@@ -45,13 +49,15 @@
 pub mod autotune;
 pub mod backend;
 pub mod exec;
+pub mod faulty;
 pub mod offload;
 pub mod report;
 pub mod system;
 
 pub use autotune::{autotune, TuningCandidate, TuningReport};
 pub use backend::{Backend, ExecSpec};
-pub use exec::{AxBackend, CpuBackend, FpgaSimBackend, MultiFpgaBackend};
+pub use exec::{solve_fault_of, AxBackend, CpuBackend, FpgaSimBackend, MultiFpgaBackend};
+pub use faulty::FaultyBackend;
 pub use offload::OffloadPlan;
 pub use report::{PerfSource, PerfSummary};
 pub use sem_solver::PrecondSpec;

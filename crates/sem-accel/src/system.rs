@@ -8,9 +8,10 @@
 
 use crate::backend::{Backend, ExecSpec};
 use crate::exec::AxBackend;
+use crate::faulty::FaultyBackend;
 use crate::offload::OffloadPlan;
 use crate::report::{PerfSource, PerfSummary};
-use fpga_sim::FpgaAccelerator;
+use fpga_sim::{FaultState, FpgaAccelerator};
 use rayon::prelude::*;
 use sem_kernel::{AxImplementation, PoissonOperator};
 use sem_mesh::{BoxMesh, DirichletMask, ElementField, GatherScatter, MeshDeformation};
@@ -18,6 +19,7 @@ use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
 use sem_solver::{
     AnyPreconditioner, CgOptions, CgScratch, CgSolver, PoissonProblem, PoissonSolution, PrecondSpec,
 };
+use std::sync::Arc;
 
 /// PCIe-class link speed (GB/s) assumed when charging host↔device transfer
 /// time to a solve.
@@ -31,6 +33,7 @@ pub struct SemSystemBuilder {
     lengths: [f64; 3],
     deformation: MeshDeformation,
     backend: Backend,
+    fault_state: Option<Arc<FaultState>>,
 }
 
 impl Default for SemSystemBuilder {
@@ -41,6 +44,7 @@ impl Default for SemSystemBuilder {
             lengths: [1.0; 3],
             deformation: MeshDeformation::None,
             backend: Backend::default(),
+            fault_state: None,
         }
     }
 }
@@ -102,12 +106,24 @@ impl SemSystemBuilder {
         self.backend(backend)
     }
 
+    /// Inject deterministic faults: wrap the instantiated backend in a
+    /// [`FaultyBackend`] consulting this shared state on every fallible
+    /// application.  `None` (the default) builds a perfect device.
+    #[must_use]
+    pub fn fault_state(mut self, fault_state: Option<Arc<FaultState>>) -> Self {
+        self.fault_state = fault_state;
+        self
+    }
+
     /// Build the system (meshes the domain, precomputes geometric factors,
     /// and — for FPGA backends — synthesises the simulated accelerator).
     #[must_use]
     pub fn build(self) -> SemSystem {
         let mesh = BoxMesh::new(self.degree, self.elements, self.lengths, self.deformation);
-        let execution = self.backend.instantiate(&mesh);
+        let mut execution = self.backend.instantiate(&mesh);
+        if let Some(state) = self.fault_state {
+            execution = Box::new(FaultyBackend::new(execution, state));
+        }
         let implementation = match &self.backend.exec {
             ExecSpec::Cpu(implementation) => *implementation,
             // Accelerator backends still need a host operator for RHS

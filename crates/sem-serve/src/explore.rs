@@ -27,6 +27,13 @@
 //!    budget (a genuinely stuck pool would either hang a grant forever or
 //!    exceed the budget, both of which the explorer reports).
 //!
+//! Cases carrying a fault schedule ([`ExploreCase::fatal_workers`] /
+//! [`ExploreCase::retry_once`]) drive the *tolerant* host
+//! ([`run_stealing_tolerant`]) instead, and the contract becomes **job
+//! conservation under failure**: every job is delivered exactly once or
+//! handed back, dying workers drain their deques, retries are counted
+//! exactly, and hand-back happens only when the whole pool is dead.
+//!
 //! Alongside the pass/fail verdict, each [`CaseReport`] carries a coverage
 //! map over [`SchedOp`] pair transitions — the distinct ordered pairs of
 //! consecutive queue operations any explored schedule realized.  Distinct
@@ -41,7 +48,10 @@
 //! the `sem-lint` binary and the integration smoke test) to bound the
 //! schedule budget in constrained environments.
 
-use crate::steal::{run_stealing, run_stealing_with_feeder, StealRun, TaggedJob};
+use crate::steal::{
+    run_stealing, run_stealing_tolerant, run_stealing_tolerant_with_feeder,
+    run_stealing_with_feeder, JobVerdict, StealRun, TaggedJob, TolerantRun,
+};
 use crossbeam::sched::{self, SchedOp, Scheduler};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -81,6 +91,17 @@ pub struct ExploreCase {
     /// of touching the queue, driving the contended-sweep backoff path a
     /// mutex-backed deque never reaches on its own.
     pub contention: usize,
+    /// Fault schedule: workers whose device is dead — each returns
+    /// [`crate::steal::JobVerdict::Fatal`] on the first job it touches and
+    /// retires, draining its deque back to the injector.  Non-empty fault
+    /// fields route the case through [`run_stealing_tolerant`] and the
+    /// tolerant contract checks (conservation under failure) instead of
+    /// the plain host's ordering checks.
+    pub fatal_workers: Vec<usize>,
+    /// Fault schedule: payloads that fail recoverably
+    /// ([`crate::steal::JobVerdict::Retry`]) on their first execution by a
+    /// healthy worker and succeed on the second.
+    pub retry_once: Vec<usize>,
 }
 
 impl ExploreCase {
@@ -100,6 +121,12 @@ impl ExploreCase {
     /// The hint job `payload` was submitted with (fed jobs always float).
     fn hint_of(&self, payload: usize) -> Option<usize> {
         self.hints.get(payload).copied().flatten()
+    }
+
+    /// Whether the case carries a fault schedule and must drive the
+    /// tolerant host.
+    fn tolerant(&self) -> bool {
+        !self.fatal_workers.is_empty() || !self.retry_once.is_empty()
     }
 }
 
@@ -519,6 +546,75 @@ fn run_one(
     (run, record)
 }
 
+/// Like [`run_one`] but through the fault-tolerant host, with the case's
+/// fault schedule driving verdicts: scripted dead workers `Fatal` their
+/// first job, scripted flaky payloads `Retry` their first healthy
+/// execution.  Also returns the per-payload healthy-execution attempt
+/// counts (consumed in grant order, so exhaustive replays reproduce them).
+fn run_one_tolerant(
+    case: &ExploreCase,
+    script: Vec<usize>,
+    strategy: Strategy,
+    run_seed: u64,
+) -> (TolerantRun<usize, Vec<usize>, usize>, Vec<usize>, RunRecord) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let max_steps = step_budget(case);
+    let scheduler = Arc::new(StepScheduler::new(
+        case.workers,
+        script,
+        strategy,
+        run_seed,
+        case.contention,
+        max_steps,
+    ));
+    let installed = Installed::new(Arc::clone(&scheduler));
+    let states: Vec<Vec<usize>> = vec![Vec::new(); case.workers];
+    let attempts: Vec<AtomicUsize> = (0..case.total_jobs())
+        .map(|_| AtomicUsize::new(0))
+        .collect();
+    let execute = |worker: usize, log: &mut Vec<usize>, payload: usize| {
+        if case.fatal_workers.contains(&worker) {
+            return JobVerdict::Fatal(payload);
+        }
+        if case.retry_once.contains(&payload)
+            && attempts[payload].fetch_add(1, Ordering::SeqCst) == 0
+        {
+            return JobVerdict::Retry(payload);
+        }
+        log.push(payload);
+        JobVerdict::Done(payload)
+    };
+    let run = if case.feeder_jobs > 0 {
+        let base = case.hints.len();
+        let fed = case.feeder_jobs;
+        run_stealing_tolerant_with_feeder(
+            states,
+            case.jobs(),
+            |feeder| {
+                for payload in base..base + fed {
+                    feeder.push(payload);
+                    std::thread::yield_now();
+                }
+            },
+            execute,
+        )
+    } else {
+        run_stealing_tolerant(states, case.jobs(), execute)
+    };
+    drop(installed);
+    let s = lock_poison_free(&scheduler.state);
+    let record = RunRecord {
+        script: s.script.clone(),
+        arity: s.arity.clone(),
+        trace: s.trace.clone(),
+        budget_exceeded: s.budget_exceeded,
+        diverged: s.diverged,
+    };
+    let attempts = attempts.iter().map(|a| a.load(Ordering::SeqCst)).collect();
+    (run, attempts, record)
+}
+
 /// Render a trace compactly for violation messages: `w0:wo w1:ws ...`.
 fn format_trace(trace: &[(usize, Option<SchedOp>)]) -> String {
     let mut out = String::new();
@@ -631,6 +727,105 @@ fn check_run(case: &ExploreCase, run: &StealRun<Vec<usize>, usize>) -> Vec<Strin
     violations
 }
 
+/// Check the fault-tolerant host's contract on one completed run: **job
+/// conservation under failure** replaces the plain host's ordering checks
+/// (a retried job re-enters unhinted, so hint-order invariants no longer
+/// apply to it).
+fn check_tolerant_run(
+    case: &ExploreCase,
+    run: &TolerantRun<usize, Vec<usize>, usize>,
+    attempts: &[usize],
+) -> Vec<String> {
+    let n = case.total_jobs();
+    let mut violations = Vec::new();
+
+    // 1. Conservation under failure: every job is delivered exactly once
+    // or handed back in `unfinished`, never both and never neither.
+    let mut seen: Vec<usize> = run.completed.iter().map(|c| c.result).collect();
+    seen.extend(run.unfinished.iter().copied());
+    seen.sort_unstable();
+    if seen != (0..n).collect::<Vec<_>>() {
+        violations.push(format!(
+            "conservation: expected every job 0..{n} exactly once across \
+             completions and unfinished, got {seen:?}"
+        ));
+    }
+
+    // 2. Hand-back is a last resort: with any worker alive, everything
+    // completes.
+    if run.alive_workers() > 0 && !run.unfinished.is_empty() {
+        violations.push(format!(
+            "liveness: {} jobs handed back with {} workers alive",
+            run.unfinished.len(),
+            run.alive_workers()
+        ));
+    }
+
+    // 3. Deaths are exactly the scripted ones that were reached, and a
+    // dead device delivers nothing (it dies on its first job).
+    for (worker, &died) in run.died.iter().enumerate() {
+        if died && !case.fatal_workers.contains(&worker) {
+            violations.push(format!("fault: worker {worker} died unscripted"));
+        }
+    }
+    for completed in &run.completed {
+        if run.died[completed.worker] {
+            violations.push(format!(
+                "fault: job {} delivered by dead worker {}",
+                completed.result, completed.worker
+            ));
+        }
+    }
+
+    // 4. Ledger agreement: deliveries match each worker's execution log.
+    for (worker, ledger) in run.workers.iter().enumerate() {
+        let delivered: Vec<usize> = run
+            .completed
+            .iter()
+            .filter(|c| c.worker == worker)
+            .map(|c| c.result)
+            .collect();
+        if delivered != ledger.state {
+            violations.push(format!(
+                "ordering: worker {worker} delivered {delivered:?} but executed {:?}",
+                ledger.state
+            ));
+        }
+        if ledger.executed_jobs != ledger.state.len() {
+            violations.push(format!(
+                "accounting: worker {worker} ledger claims {} jobs, log has {}",
+                ledger.executed_jobs,
+                ledger.state.len()
+            ));
+        }
+    }
+
+    // 5. Retry accounting: exactly one retry per scripted flaky payload a
+    // healthy worker actually reached (attempt counts are consumed in
+    // grant order, so this is exact per schedule).
+    let reached = case
+        .retry_once
+        .iter()
+        .filter(|&&p| p < n && attempts[p] > 0)
+        .count();
+    if run.retries != reached {
+        violations.push(format!(
+            "accounting: {} retries recorded, {reached} scripted retry payloads reached",
+            run.retries
+        ));
+    }
+
+    // 6. Every death requeues at least the job the worker died holding.
+    let deaths = run.died.iter().filter(|&&d| d).count();
+    if run.requeued_on_death < deaths {
+        violations.push(format!(
+            "fault: {deaths} deaths but only {} jobs requeued on death",
+            run.requeued_on_death
+        ));
+    }
+    violations
+}
+
 /// Advance a depth-first script: drop trailing maxed-out choices, bump the
 /// deepest choice with an unexplored alternative.  `None` when the tree is
 /// fully enumerated.
@@ -670,7 +865,13 @@ pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> Ca
     let mut distinct: BTreeSet<Vec<(usize, Option<SchedOp>)>> = BTreeSet::new();
     let mut script = Vec::new();
     for run_seed in 0..budget as u64 {
-        let (run, record) = run_one(case, script, strategy, run_seed);
+        let (run_violations, record) = if case.tolerant() {
+            let (run, attempts, record) = run_one_tolerant(case, script, strategy, run_seed);
+            (check_tolerant_run(case, &run, &attempts), record)
+        } else {
+            let (run, record) = run_one(case, script, strategy, run_seed);
+            (check_run(case, &run), record)
+        };
         report.longest_trace = report.longest_trace.max(record.trace.len());
         let ops: Vec<SchedOp> = record.trace.iter().filter_map(|&(_, op)| op).collect();
         for pair in ops.windows(2) {
@@ -693,7 +894,7 @@ pub fn explore_case(case: &ExploreCase, strategy: Strategy, budget: usize) -> Ca
                 format_trace(&record.trace)
             ));
         }
-        for violation in check_run(case, &run) {
+        for violation in run_violations {
             report
                 .violations
                 .push(format!("{violation} [{}]", format_trace(&record.trace)));
@@ -723,6 +924,8 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![Some(0), Some(0), Some(0)],
             feeder_jobs: 0,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         },
         ExploreCase {
             name: "hinted-plus-floater",
@@ -730,6 +933,8 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![Some(0), Some(1), None],
             feeder_jobs: 0,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         },
         ExploreCase {
             name: "floaters-only",
@@ -737,6 +942,8 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![None, None, None],
             feeder_jobs: 0,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         },
         ExploreCase {
             name: "three-way-contention",
@@ -744,6 +951,8 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![Some(0), Some(0)],
             feeder_jobs: 0,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         },
         ExploreCase {
             name: "idle-pool",
@@ -751,6 +960,8 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![Some(1)],
             feeder_jobs: 0,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         },
         // Pins the injector-retry backoff fix: contended sweeps must fall
         // through to sibling steals and the shared backoff path instead of
@@ -761,6 +972,8 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![Some(0), Some(1), None],
             feeder_jobs: 0,
             contention: 2,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         },
         // Pins the feeder-done termination protocol: arrivals pushed by an
         // uncontrolled thread mid-run must all execute (no early exit) and
@@ -771,6 +984,47 @@ pub fn standard_cases() -> Vec<ExploreCase> {
             hints: vec![Some(0), None],
             feeder_jobs: 3,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
+        },
+        // Fault schedule: a device dies holding hinted work.  The dying
+        // worker must drain its deque back to the injector — whatever
+        // point of its sweep the death lands on — and the survivor must
+        // finish every job.
+        ExploreCase {
+            name: "dying-worker-drains-deque",
+            workers: 2,
+            hints: vec![Some(0), Some(0), Some(0)],
+            feeder_jobs: 0,
+            contention: 0,
+            fatal_workers: vec![0],
+            retry_once: Vec::new(),
+        },
+        // Fault schedule: the death lands on a *stolen* job — worker 1
+        // owns nothing, so whatever it dies holding was taken from a
+        // sibling's deque or the injector mid-steal, and must be handed
+        // back rather than lost with the worker.
+        ExploreCase {
+            name: "death-mid-steal",
+            workers: 3,
+            hints: vec![Some(0), Some(0)],
+            feeder_jobs: 0,
+            contention: 0,
+            fatal_workers: vec![1],
+            retry_once: Vec::new(),
+        },
+        // Fault schedule: retries race the feeder-done flag.  A fed job's
+        // requeue keeps the outstanding count up, so no worker may exit in
+        // the window between the feeder finishing and the retried job
+        // landing back in the injector.
+        ExploreCase {
+            name: "retry-races-feeder-done",
+            workers: 2,
+            hints: vec![Some(0), None],
+            feeder_jobs: 2,
+            contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: vec![1, 2, 3],
         },
     ]
 }
@@ -903,6 +1157,8 @@ mod tests {
             hints: vec![Some(0), None],
             feeder_jobs: 0,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         };
         let report = explore_case(&case, Strategy::Exhaustive, 64);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -1011,6 +1267,8 @@ mod tests {
             hints: vec![Some(0), None],
             feeder_jobs: 0,
             contention: 2,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         };
         let report = explore_case(&case, Strategy::Exhaustive, 128);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
@@ -1025,10 +1283,45 @@ mod tests {
             hints: vec![Some(0), None],
             feeder_jobs: 3,
             contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: Vec::new(),
         };
         let report = explore_case(&case, Strategy::Seeded(7), 16);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert_eq!(report.jobs, 5, "seeded plus fed jobs are all accounted");
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn a_dying_worker_case_is_explored_without_violations() {
+        let case = ExploreCase {
+            name: "death-smoke",
+            workers: 2,
+            hints: vec![Some(0), Some(0), Some(0)],
+            feeder_jobs: 0,
+            contention: 0,
+            fatal_workers: vec![0],
+            retry_once: Vec::new(),
+        };
+        let report = explore_case(&case, Strategy::Exhaustive, 128);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn retries_racing_the_feeder_conserve_jobs_under_seeded_walks() {
+        let case = ExploreCase {
+            name: "retry-feeder-smoke",
+            workers: 2,
+            hints: vec![None],
+            feeder_jobs: 2,
+            contention: 0,
+            fatal_workers: Vec::new(),
+            retry_once: vec![0, 1, 2],
+        };
+        let report = explore_case(&case, Strategy::Seeded(11), 16);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.jobs, 3, "seeded plus fed jobs are all accounted");
         assert!(report.schedules > 0);
     }
 }

@@ -30,7 +30,9 @@
 //! * [`steal`] — [`run_stealing`]: the generic work-stealing execution core
 //!   (per-worker deques + shared injector from the vendored `crossbeam`),
 //!   one thread per device slot, owned-session handoff, steal/concurrency
-//!   accounting;
+//!   accounting; [`run_stealing_tolerant`] adds verdict-driven retry and
+//!   dying-worker requeue with an outstanding-work termination proof, so
+//!   jobs are conserved under any mix of faults;
 //! * [`server`] — [`Server::serve`] and [`Server::serve_async`]: execute
 //!   everything through `SemSystem::solve_many` (solutions stay bitwise
 //!   identical to direct batched solves — and, on homogeneous pools, across
@@ -74,7 +76,9 @@
 
 pub mod admission;
 pub mod autoscaler;
+pub mod chaos;
 pub mod explore;
+pub mod fault;
 pub mod pipeline;
 pub mod queue;
 pub mod request;
@@ -85,8 +89,13 @@ pub mod stream;
 
 pub use admission::{AdmissionPolicy, AdmittedJob, RejectedRequest};
 pub use autoscaler::{Autoscaler, AutoscalerPolicy, ScaleDirection, ScaleEvent};
+pub use chaos::{ChaosReport, ChaosSummary, FaultEvent};
 pub use explore::{
     explore_case, standard_battery, standard_cases, CaseReport, ExploreCase, Strategy,
+};
+pub use fault::{
+    relative_residual, BreakerState, CircuitBreaker, FaultReason, FaultToleranceOptions,
+    RetryLedger, RetryRecord,
 };
 pub use pipeline::{
     PipelineConfig, PipelineTimeline, RequestStages, Stage, StageEvent,
@@ -102,8 +111,9 @@ pub use server::{
     DeviceUsage, JobTrace, RequestOutcome, ServeOptions, ServeReport, ServeSummary, Server,
 };
 pub use steal::{
-    run_stealing, run_stealing_with_feeder, CompletedJob, FeederHandle, StealRun, TaggedJob,
-    WorkerLedger,
+    run_stealing, run_stealing_tolerant, run_stealing_tolerant_with_feeder,
+    run_stealing_with_feeder, CompletedJob, FeederHandle, JobVerdict, StealRun, TaggedJob,
+    TolerantFeederHandle, TolerantRun, WorkerLedger,
 };
 pub use stream::{
     ArrivalStream, LiveOptions, LiveOutcome, LiveRejection, LiveReport, TimedRequest, WindowStats,

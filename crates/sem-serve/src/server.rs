@@ -116,6 +116,11 @@ pub struct RequestOutcome {
     pub precond_seconds: f64,
     /// Whether CG converged.
     pub converged: bool,
+    /// The device fault that aborted the solve, if any (`None` on the
+    /// plain hosts unless faults were injected with
+    /// [`Server::inject_faults`]; the chaos host retries such outcomes
+    /// instead of releasing them).
+    pub fault: Option<sem_solver::SolveFault>,
     /// Max-norm error against the manufactured solution (`NaN` for seeded
     /// right-hand sides, which have no exact solution).
     pub max_error: f64,
@@ -389,6 +394,10 @@ pub struct Server {
     pub(crate) slots: Vec<DeviceSlot>,
     pub(crate) systems: Vec<HashMap<ProblemSpec, SemSystem>>,
     pub(crate) options: ServeOptions,
+    /// Per-device deterministic fault injection (`None` = perfect device).
+    /// Shared `Arc`s so worker threads and the server observe one health
+    /// state per device.
+    pub(crate) fault_states: Vec<Option<std::sync::Arc<fpga_sim::FaultState>>>,
 }
 
 impl Server {
@@ -400,11 +409,32 @@ impl Server {
     pub fn new(slots: Vec<DeviceSlot>, options: ServeOptions) -> Self {
         assert!(!slots.is_empty(), "need at least one device in the pool");
         let systems = slots.iter().map(|_| HashMap::new()).collect();
+        let fault_states = slots.iter().map(|_| None).collect();
         Self {
             slots,
             systems,
             options,
+            fault_states,
         }
+    }
+
+    /// Arm device `device` with a deterministic fault plan.  Every system
+    /// the device serves from here on runs behind a
+    /// [`sem_accel::FaultyBackend`] sharing one health state; cached
+    /// sessions for the device are dropped so the wrap takes effect
+    /// immediately.
+    ///
+    /// # Panics
+    /// Panics if `device` is out of range.
+    pub fn inject_faults(&mut self, device: usize, plan: fpga_sim::FaultPlan) {
+        self.fault_states[device] = Some(std::sync::Arc::new(fpga_sim::FaultState::new(plan)));
+        self.systems[device].clear();
+    }
+
+    /// The device's shared fault state, if faults were injected.
+    #[must_use]
+    pub fn fault_state(&self, device: usize) -> Option<&std::sync::Arc<fpga_sim::FaultState>> {
+        self.fault_states[device].as_ref()
     }
 
     /// A server over backend registry names (heterogeneous pools welcome:
@@ -514,7 +544,12 @@ impl Server {
         // strand sibling deques mid-run)
         let run = run_stealing(states, tagged, |worker, systems, job| {
             let system = systems.entry(job.spec).or_insert_with(|| {
-                Self::build_system(&self.slots[worker].config, job.spec, self.options.precond)
+                Self::build_system(
+                    &self.slots[worker].config,
+                    job.spec,
+                    self.options.precond,
+                    self.fault_states[worker].clone(),
+                )
             });
             let (timeline, outcomes, modeled) = self.execute_job_on(system, worker, &job, requests);
             (job, timeline, outcomes, modeled)
@@ -855,6 +890,7 @@ impl Server {
                     }
                     _ => f64::NAN,
                 };
+                let fault = report.solution.cg.fault;
                 RequestOutcome {
                     request: i,
                     device,
@@ -865,6 +901,7 @@ impl Server {
                     iterations: report.iterations(),
                     precond_seconds: report.precond_seconds,
                     converged: report.converged(),
+                    fault,
                     max_error,
                     serial_modeled_seconds: stages.serial_seconds,
                     pipelined_modeled_seconds: report.operator.seconds + exposed_share,
@@ -991,11 +1028,13 @@ impl Server {
 
     /// Build the session one device uses for one problem shape (an explicit
     /// serve-options preconditioner overrides the slot's config; otherwise
-    /// the slot's own `+suffix` stands).
+    /// the slot's own `+suffix` stands).  A fault state wraps the
+    /// execution backend in a [`sem_accel::FaultyBackend`] sharing it.
     pub(crate) fn build_system(
         config: &Backend,
         spec: ProblemSpec,
         precond: Option<PrecondSpec>,
+        fault: Option<std::sync::Arc<fpga_sim::FaultState>>,
     ) -> SemSystem {
         let backend = match precond {
             Some(precond) => config.clone().with_precond(precond),
@@ -1005,6 +1044,7 @@ impl Server {
             .degree(spec.degree)
             .elements(spec.elements)
             .backend(backend)
+            .fault_state(fault)
             .build()
     }
 
@@ -1018,7 +1058,12 @@ impl Server {
 
     pub(crate) fn ensure_system(&mut self, device: usize, spec: ProblemSpec) {
         if !self.systems[device].contains_key(&spec) {
-            let system = Self::build_system(&self.slots[device].config, spec, self.options.precond);
+            let system = Self::build_system(
+                &self.slots[device].config,
+                spec,
+                self.options.precond,
+                self.fault_states[device].clone(),
+            );
             self.systems[device].insert(spec, system);
         }
     }

@@ -47,7 +47,7 @@
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// One job plus the scheduling hint it was admitted with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -338,6 +338,355 @@ where
     }
 }
 
+/// How a fault-tolerant executor resolved one job.
+#[derive(Debug)]
+pub enum JobVerdict<T, R> {
+    /// The job completed (and, if the caller verifies answers, passed):
+    /// deliver the result and retire the job.
+    Done(R),
+    /// The job failed recoverably (device fault, corrupt answer, timeout):
+    /// requeue the returned payload — typically the job with its retry
+    /// ledger advanced — through the shared injector for another worker.
+    /// The worker that reported it stays in the pool.
+    Retry(T),
+    /// The worker's device is unusable (dead): requeue the returned
+    /// payload, drain the worker's own deque back to the injector so
+    /// nothing it was hinted is lost, and retire the **worker**.
+    Fatal(T),
+}
+
+/// The feeder handle of a fault-tolerant run: like [`FeederHandle`], but
+/// every push registers the job with the outstanding-work counter *before*
+/// it becomes visible, so workers can never observe "all work resolved"
+/// while a fed job is still in flight.
+#[derive(Debug)]
+pub struct TolerantFeederHandle<'a, T> {
+    injector: &'a Injector<TaggedJob<T>>,
+    outstanding: &'a AtomicUsize,
+}
+
+impl<T> TolerantFeederHandle<'_, T> {
+    /// Push one live arrival into the shared injector.
+    pub fn push(&self, payload: T) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(TaggedJob {
+            payload,
+            hint: None,
+        });
+        let obs = recorder();
+        if obs.is_enabled() {
+            obs.counter_add("sem_serve_live_arrivals_total", &[], 1);
+        }
+    }
+}
+
+/// The outcome of one fault-tolerant work-stealing run.
+#[derive(Debug)]
+pub struct TolerantRun<T, S, R> {
+    /// Jobs resolved [`JobVerdict::Done`], in completion order.
+    pub completed: Vec<CompletedJob<R>>,
+    /// Per-worker ledgers, indexed like the input states.  Dead workers
+    /// still hand their state back — a died device's sessions return to
+    /// the caller, they are not leaked with the worker.
+    pub workers: Vec<WorkerLedger<S>>,
+    /// Which workers retired through [`JobVerdict::Fatal`] (parallel to
+    /// `workers`).
+    pub died: Vec<bool>,
+    /// Jobs still unresolved when the run ended — non-empty only when
+    /// *every* worker died with work left.  The caller owns them (e.g. to
+    /// degrade onto host backends); they are never silently dropped.
+    pub unfinished: Vec<T>,
+    /// [`JobVerdict::Retry`] verdicts across the run.
+    pub retries: usize,
+    /// Jobs drained from dying workers' deques back to the injector.
+    pub requeued_on_death: usize,
+    /// Wall-clock seconds from first spawn to last join.
+    pub wall_seconds: f64,
+}
+
+impl<T, S, R> TolerantRun<T, S, R> {
+    /// Workers that survived the run.
+    #[must_use]
+    pub fn alive_workers(&self) -> usize {
+        self.died.iter().filter(|&&d| !d).count()
+    }
+}
+
+/// Fault-tolerant work stealing over a fixed job set: like
+/// [`run_stealing`], but the executor returns a [`JobVerdict`] and the run
+/// guarantees **job conservation under failure** — every job is either
+/// delivered exactly once or handed back in
+/// [`TolerantRun::unfinished`], whatever mix of retries and worker deaths
+/// the executor reports.
+///
+/// Termination replaces the empty-sweep proof with an outstanding-work
+/// counter: seeded jobs start counted, [`JobVerdict::Done`] retires one,
+/// and retry/fatal requeues keep the count — so a worker exits only when
+/// the count is zero (observed *before* a fully empty, uncontended sweep,
+/// by the same publish-before-flag argument as the feeder-done protocol).
+///
+/// # Panics
+/// Panics if `states` is empty or any hint is out of range.
+pub fn run_stealing_tolerant<T, S, R, F>(
+    states: Vec<S>,
+    jobs: Vec<TaggedJob<T>>,
+    execute: F,
+) -> TolerantRun<T, S, R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> JobVerdict<T, R> + Sync,
+{
+    run_tolerant_inner(
+        states,
+        jobs,
+        None::<fn(&TolerantFeederHandle<'_, T>)>,
+        execute,
+    )
+}
+
+/// Like [`run_stealing_tolerant`], but with a live feeder pushing arrivals
+/// while the pool drains (the tolerant analogue of
+/// [`run_stealing_with_feeder`]).  The feeder's pushes register with the
+/// outstanding-work counter before they are published, so a retry racing
+/// the feeder-done flag can never convince a worker the run is over.
+///
+/// # Panics
+/// Panics if `states` is empty or any seeded hint is out of range.
+pub fn run_stealing_tolerant_with_feeder<T, S, R, F, G>(
+    states: Vec<S>,
+    jobs: Vec<TaggedJob<T>>,
+    feeder: G,
+    execute: F,
+) -> TolerantRun<T, S, R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> JobVerdict<T, R> + Sync,
+    G: FnOnce(&TolerantFeederHandle<'_, T>),
+{
+    run_tolerant_inner(states, jobs, Some(feeder), execute)
+}
+
+fn run_tolerant_inner<T, S, R, F, G>(
+    states: Vec<S>,
+    jobs: Vec<TaggedJob<T>>,
+    feeder: Option<G>,
+    execute: F,
+) -> TolerantRun<T, S, R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> JobVerdict<T, R> + Sync,
+    G: FnOnce(&TolerantFeederHandle<'_, T>),
+{
+    let pool = states.len();
+    assert!(pool > 0, "need at least one worker");
+    let queues: Vec<Worker<TaggedJob<T>>> = (0..pool).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<TaggedJob<T>>> = queues.iter().map(Worker::stealer).collect();
+    let injector = Injector::new();
+    let outstanding = AtomicUsize::new(0);
+    for job in jobs {
+        outstanding.fetch_add(1, Ordering::SeqCst);
+        match job.hint {
+            Some(hint) => {
+                assert!(hint < pool, "hint {hint} outside pool of {pool}");
+                queues[hint].push(job);
+            }
+            None => injector.push(job),
+        }
+    }
+
+    let feeder_done = AtomicBool::new(feeder.is_none());
+    let retries = AtomicUsize::new(0);
+    let requeued_on_death = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<Delivery<R>>();
+    let run_timer = WallTimer::start();
+    let mut ledgers: Vec<Option<(WorkerLedger<S>, bool)>> = Vec::with_capacity(pool);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(pool);
+        for (index, (queue, mut state)) in queues.into_iter().zip(states).enumerate() {
+            let tx = tx.clone();
+            let injector = &injector;
+            let stealers = &stealers;
+            let execute = &execute;
+            let feeder_done = &feeder_done;
+            let outstanding = &outstanding;
+            let retries = &retries;
+            let requeued_on_death = &requeued_on_death;
+            // lint: no-panic (a worker panic strands sibling deques mid-run)
+            handles.push(scope.spawn(move || {
+                let _control = crossbeam::sched::controlled(index);
+                let mut busy_wall_seconds = 0.0;
+                let mut executed_jobs = 0;
+                let mut steals = 0;
+                let mut died = false;
+                let obs = recorder();
+                while let Some(job) =
+                    next_job_tolerant(index, &queue, injector, stealers, feeder_done, outstanding)
+                {
+                    if job.hint.is_some_and(|hint| hint != index) {
+                        steals += 1;
+                        if obs.is_enabled() {
+                            let at = obs.stamp(busy_wall_seconds);
+                            obs.record(
+                                SpanEvent::new(SpanKind::Steal, Scope::ScheduleDependent, at, at)
+                                    .with_index(index as u64),
+                            );
+                            obs.counter_add("sem_serve_steals_total", &[], 1);
+                        }
+                    }
+                    let hint = job.hint;
+                    let begun = WallTimer::start();
+                    let verdict = execute(index, &mut state, job.payload);
+                    busy_wall_seconds += begun.elapsed_wall_seconds();
+                    match verdict {
+                        JobVerdict::Done(result) => {
+                            executed_jobs += 1;
+                            let delivery = Delivery {
+                                worker: index,
+                                hint,
+                                result,
+                            };
+                            let torn = tx.send(delivery).is_err();
+                            // Retire the job only after its result is
+                            // published: a worker observing zero outstanding
+                            // must be able to trust every answer is out.
+                            outstanding.fetch_sub(1, Ordering::SeqCst);
+                            if torn {
+                                break;
+                            }
+                        }
+                        JobVerdict::Retry(payload) => {
+                            // Requeue before anything else: the count never
+                            // dips, so no sibling can conclude the run is
+                            // over while this job floats.
+                            injector.push(TaggedJob {
+                                payload,
+                                hint: None,
+                            });
+                            retries.fetch_add(1, Ordering::SeqCst);
+                            if obs.is_enabled() {
+                                obs.counter_add("sem_serve_retries_total", &[], 1);
+                            }
+                        }
+                        JobVerdict::Fatal(payload) => {
+                            // The device is gone: hand the in-flight job and
+                            // everything still hinted to this worker back to
+                            // the pool, then retire the worker.  Sibling
+                            // stealers may race this drain — either way each
+                            // job ends up held exactly once.
+                            injector.push(TaggedJob {
+                                payload,
+                                hint: None,
+                            });
+                            let mut drained = 1_usize;
+                            while let Some(left) = queue.pop() {
+                                injector.push(TaggedJob {
+                                    payload: left.payload,
+                                    hint: None,
+                                });
+                                drained += 1;
+                            }
+                            requeued_on_death.fetch_add(drained, Ordering::SeqCst);
+                            if obs.is_enabled() {
+                                obs.counter_add("sem_serve_requeues_total", &[], drained as u64);
+                            }
+                            died = true;
+                            break;
+                        }
+                    }
+                }
+                (
+                    WorkerLedger {
+                        state,
+                        busy_wall_seconds,
+                        executed_jobs,
+                        steals,
+                    },
+                    died,
+                )
+            }));
+        }
+        drop(tx);
+        if let Some(feed) = feeder {
+            let handle = TolerantFeederHandle {
+                injector: &injector,
+                outstanding: &outstanding,
+            };
+            feed(&handle);
+            feeder_done.store(true, Ordering::SeqCst);
+        }
+        for handle in handles {
+            ledgers.push(Some(handle.join().expect("worker thread panicked")));
+        }
+    });
+    let wall_seconds = run_timer.elapsed_wall_seconds();
+
+    // Only an all-dead pool leaves work behind; hand it back rather than
+    // lose it (conservation is the caller's to finish, e.g. on a host
+    // backend).
+    let mut unfinished = Vec::new();
+    loop {
+        match injector.steal() {
+            Steal::Success(job) => unfinished.push(job.payload),
+            Steal::Retry => {}
+            Steal::Empty => break,
+        }
+    }
+
+    let completed = rx
+        .iter()
+        .map(|delivery| CompletedJob {
+            worker: delivery.worker,
+            hint: delivery.hint,
+            result: delivery.result,
+        })
+        .collect();
+    let (workers, died): (Vec<WorkerLedger<S>>, Vec<bool>) = ledgers
+        .into_iter()
+        .map(|entry| entry.expect("every worker joined"))
+        .unzip();
+    TolerantRun {
+        completed,
+        workers,
+        died,
+        unfinished,
+        retries: retries.load(Ordering::SeqCst),
+        requeued_on_death: requeued_on_death.load(Ordering::SeqCst),
+        wall_seconds,
+    }
+}
+
+/// Tolerant-run termination: exit only when the outstanding-work counter
+/// was zero **and** the feeder-done flag set, both observed before a fully
+/// empty, uncontended sweep.  Retries requeue before any count change and
+/// the feeder counts before it publishes, so "zero outstanding" can never
+/// be observed while a job is invisible in flight.
+fn next_job_tolerant<T>(
+    index: usize,
+    own: &Worker<TaggedJob<T>>,
+    injector: &Injector<TaggedJob<T>>,
+    stealers: &[Stealer<TaggedJob<T>>],
+    feeder_done: &AtomicBool,
+    outstanding: &AtomicUsize,
+) -> Option<TaggedJob<T>> {
+    loop {
+        let done_before_sweep = feeder_done.load(Ordering::SeqCst);
+        let outstanding_before_sweep = outstanding.load(Ordering::SeqCst);
+        match sweep(index, own, injector, stealers) {
+            SweepOutcome::Job(job) => return Some(job),
+            SweepOutcome::Empty if done_before_sweep && outstanding_before_sweep == 0 => {
+                return None;
+            }
+            SweepOutcome::Empty | SweepOutcome::Contended => backoff(index),
+        }
+    }
+}
+
 /// What one pass over the three work sources observed.
 enum SweepOutcome<T> {
     /// A job was taken.
@@ -579,5 +928,117 @@ mod tests {
             }],
             |_, (), payload| payload,
         );
+    }
+
+    fn floaters(n: usize) -> Vec<TaggedJob<usize>> {
+        (0..n)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tolerant_run_with_no_faults_matches_plain_stealing() {
+        let run = run_stealing_tolerant(vec![(); 3], floaters(60), |_, (), payload| {
+            JobVerdict::<usize, usize>::Done(payload)
+        });
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen, (0..60).collect());
+        assert_eq!(run.retries, 0);
+        assert_eq!(run.requeued_on_death, 0);
+        assert!(run.unfinished.is_empty());
+        assert_eq!(run.alive_workers(), 3);
+    }
+
+    #[test]
+    fn retries_conserve_jobs_and_are_counted() {
+        // Every job fails once before succeeding; payloads carry a retry
+        // budget the executor burns down, like a real retry ledger.
+        use std::sync::atomic::AtomicUsize;
+        let attempts: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
+        let run = run_stealing_tolerant(vec![(); 4], floaters(40), |_, (), payload: usize| {
+            if attempts[payload].fetch_add(1, Ordering::SeqCst) == 0 {
+                JobVerdict::Retry(payload)
+            } else {
+                JobVerdict::Done(payload)
+            }
+        });
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen.len(), 40, "no drop, no duplicate");
+        assert_eq!(run.retries, 40, "each job retried exactly once");
+        assert!(run.unfinished.is_empty());
+        assert_eq!(run.alive_workers(), 4);
+    }
+
+    #[test]
+    fn a_dying_worker_drains_its_deque_and_nothing_is_lost() {
+        // Everything is hinted to worker 0, which dies on its first job.
+        // Its in-flight job and its whole deque must flow back through the
+        // injector to the survivors.
+        let jobs: Vec<TaggedJob<usize>> = (0..30)
+            .map(|i| TaggedJob {
+                payload: i,
+                hint: Some(0),
+            })
+            .collect();
+        let run = run_stealing_tolerant(
+            vec![0usize, 1, 2],
+            jobs,
+            |_, me: &mut usize, payload: usize| {
+                if *me == 0 {
+                    JobVerdict::Fatal(payload)
+                } else {
+                    JobVerdict::Done(payload)
+                }
+            },
+        );
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen, (0..30).collect(), "every job resolved exactly once");
+        assert_eq!(run.died, vec![true, false, false]);
+        assert_eq!(run.alive_workers(), 2);
+        assert!(run.requeued_on_death >= 1, "at least the in-flight job");
+        assert_eq!(run.workers[0].executed_jobs, 0, "a fatal job is not done");
+        assert!(run.unfinished.is_empty());
+    }
+
+    #[test]
+    fn an_all_dead_pool_hands_every_job_back_unfinished() {
+        let run = run_stealing_tolerant(vec![(); 3], floaters(25), |_, (), payload: usize| {
+            JobVerdict::<usize, usize>::Fatal(payload)
+        });
+        assert!(run.completed.is_empty());
+        assert_eq!(run.alive_workers(), 0);
+        let handed_back: BTreeSet<usize> = run.unfinished.iter().copied().collect();
+        // Each worker kills itself on its first job; every job ends up
+        // either back in the injector or never popped — all 25 conserved.
+        assert_eq!(handed_back, (0..25).collect());
+    }
+
+    #[test]
+    fn tolerant_feeder_pushes_race_no_jobs_into_the_void() {
+        let run = run_stealing_tolerant_with_feeder(
+            vec![(); 4],
+            floaters(10),
+            |feeder| {
+                for i in 10..110usize {
+                    feeder.push(i);
+                }
+            },
+            |_, (), payload: usize| {
+                // Odd payloads bounce once through the injector first, so
+                // retries race the feeder-done flag.
+                if payload % 2 == 1 && payload < 1000 {
+                    JobVerdict::Retry(payload + 1000)
+                } else {
+                    JobVerdict::Done(payload % 1000)
+                }
+            },
+        );
+        let seen: BTreeSet<usize> = run.completed.iter().map(|c| c.result).collect();
+        assert_eq!(seen, (0..110).collect());
+        assert_eq!(run.retries, 55);
+        assert!(run.unfinished.is_empty());
     }
 }

@@ -15,8 +15,10 @@
 //!   admitted job executes inline on the device it was priced for, the
 //!   device's backlog advances by the job's *actual* modelled makespan (the
 //!   same figure the worker ledger would charge), and every
-//!   prediction/actual pair feeds a [`DriftCorrector`] so later admissions
-//!   are re-priced by measured drift.  Fully deterministic.
+//!   prediction/actual pair feeds the whole-session slot of a
+//!   [`StageDriftCorrector`] so later admissions are re-priced by measured
+//!   drift (per-stage slots carry upload/compute/download drift for the
+//!   fault-tolerant hosts' timeout budgets).  Fully deterministic.
 //! * [`Server::serve_stream_async`] — the streaming work-stealing host.
 //!   Admission runs first in virtual time against *drift-corrected
 //!   predicted* backlog (all a causal host can know at admission time),
@@ -43,7 +45,7 @@ use crate::queue::BatchJob;
 use crate::request::{ProblemSpec, ServeRequest};
 use crate::server::Server;
 use crate::steal::run_stealing_with_feeder;
-use perf_model::{arrival_times, DriftCorrector, WorkloadKind};
+use perf_model::{arrival_times, StageDriftCorrector, WorkloadKind};
 use sem_accel::SemSystem;
 use sem_mesh::ElementField;
 use sem_obs::recorder;
@@ -514,7 +516,7 @@ impl Server {
             .as_ref()
             .map_or_else(|| vec![true; pool], |s| s.active_mask().to_vec());
         let mut free_at = vec![0.0_f64; pool];
-        let mut corrector = DriftCorrector::new();
+        let mut corrector = StageDriftCorrector::new();
         let mut tracker = WindowTracker::new(live.window_seconds);
         let mut outcomes: Vec<LiveOutcome> = Vec::new();
         let mut rejections: Vec<LiveRejection> = Vec::new();
@@ -538,13 +540,15 @@ impl Server {
                 .iter()
                 .map(|&device| (device, self.predict_job_seconds(device, &job)))
                 .min_by(|a, b| {
-                    let ca = free_at[a.0].max(arrival_seconds) + corrector.corrected(a.1);
-                    let cb = free_at[b.0].max(arrival_seconds) + corrector.corrected(b.1);
+                    let ca =
+                        free_at[a.0].max(arrival_seconds) + corrector.corrected("session", a.1);
+                    let cb =
+                        free_at[b.0].max(arrival_seconds) + corrector.corrected("session", b.1);
                     ca.total_cmp(&cb).then(a.0.cmp(&b.0))
                 })
                 .expect("active pool is never empty");
             let started = free_at[best].max(arrival_seconds);
-            let predicted_completion = started + corrector.corrected(raw_predicted);
+            let predicted_completion = started + corrector.corrected("session", raw_predicted);
             let predicted_latency = predicted_completion - arrival_seconds;
 
             if predicted_latency <= live.deadline_seconds {
@@ -569,7 +573,7 @@ impl Server {
                     let (timeline, outs, _modeled) =
                         self.execute_job_on(self.system(best, job.spec), best, &job, &requests);
                     let actual = timeline.makespan_seconds;
-                    corrector.record(raw_predicted, actual);
+                    corrector.record("session", raw_predicted, actual);
                     let completed = started + actual;
                     free_at[best] = completed;
                     for outcome in outs {
@@ -640,7 +644,7 @@ impl Server {
             active_trace: tracker.active_trace,
             scale_events: scaler.map(|s| s.events().to_vec()).unwrap_or_default(),
             window_seconds: live.window_seconds,
-            drift_correction: corrector.correction(),
+            drift_correction: corrector.correction("session"),
             asynchronous,
         }
     }
@@ -677,7 +681,12 @@ impl Server {
             },
             |worker, systems, (plan_index, job): (usize, BatchJob)| {
                 let system = systems.entry(job.spec).or_insert_with(|| {
-                    Self::build_system(&self.slots[worker].config, job.spec, self.options.precond)
+                    Self::build_system(
+                        &self.slots[worker].config,
+                        job.spec,
+                        self.options.precond,
+                        self.fault_states[worker].clone(),
+                    )
                 });
                 let (_timeline, outs, _modeled) =
                     self.execute_job_on(system, worker, &job, requests);

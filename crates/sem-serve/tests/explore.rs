@@ -46,9 +46,10 @@ fn standard_battery_upholds_the_contract_on_every_schedule() {
         );
         total += report.schedules;
     }
-    // Seven cases (feeder cases walk seeded, the rest depth-first): the
-    // battery covers a healthy slice of the interleaving space even under
-    // the CI smoke budget.
+    // Ten cases (feeder cases walk seeded, the rest depth-first; three
+    // carry fault schedules through the tolerant host): the battery covers
+    // a healthy slice of the interleaving space even under the CI smoke
+    // budget.
     assert!(
         total >= reports.len() * 10,
         "expected meaningful coverage, got {total} schedules"
@@ -65,6 +66,8 @@ fn single_worker_case_is_exhausted_with_one_schedule() {
         hints: vec![Some(0), Some(0)],
         feeder_jobs: 0,
         contention: 0,
+        fatal_workers: Vec::new(),
+        retry_once: Vec::new(),
     };
     let report = explore_case(&case, Strategy::Exhaustive, 16);
     assert!(report.exhausted, "a one-worker tree has a single schedule");
@@ -80,6 +83,8 @@ fn exhaustive_runs_are_distinct_by_construction() {
         hints: vec![Some(0)],
         feeder_jobs: 0,
         contention: 0,
+        fatal_workers: Vec::new(),
+        retry_once: Vec::new(),
     };
     let report = explore_case(&case, Strategy::Exhaustive, 400);
     // Every DFS replay differs from every other in at least one choice, so
@@ -99,6 +104,8 @@ fn seeded_walks_find_many_distinct_schedules() {
         hints: vec![Some(0), Some(0), None],
         feeder_jobs: 0,
         contention: 0,
+        fatal_workers: Vec::new(),
+        retry_once: Vec::new(),
     };
     let report = explore_case(&case, Strategy::Seeded(0xFEED_5EED), 64);
     assert!(report.schedules > 8, "random walks should diverge quickly");
@@ -118,6 +125,8 @@ fn transition_coverage_saturates_under_a_fixed_exhaustive_budget() {
         hints: vec![Some(0), Some(0), Some(0)],
         feeder_jobs: 0,
         contention: 0,
+        fatal_workers: Vec::new(),
+        retry_once: Vec::new(),
     };
     let half = explore_case(&case, Strategy::Exhaustive, 200);
     let full = explore_case(&case, Strategy::Exhaustive, 400);
@@ -154,6 +163,8 @@ fn regression_worker_send_failure_must_not_panic_the_pool() {
         hints: vec![Some(0), Some(0), Some(0), Some(0)],
         feeder_jobs: 0,
         contention: 0,
+        fatal_workers: Vec::new(),
+        retry_once: Vec::new(),
     };
     let report = explore_case(&case, Strategy::Seeded(7), 48);
     assert!(report.violations.is_empty(), "{:?}", report.violations);

@@ -9,6 +9,40 @@ use sem_kernel::PoissonOperator;
 use sem_mesh::{DirichletMask, ElementField, GatherScatter};
 use sem_obs::{recorder, Scope, SpanEvent, SpanKind, WallTimer};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed backend failure observed mid-solve.
+///
+/// This is the solver-side mirror of the device-level error an execution
+/// backend raises (e.g. `fpga_sim::DeviceError`): `sem-solver` cannot name
+/// accelerator types, so the adapter in `sem-accel` translates.  A faulted
+/// solve aborts immediately — its outcome carries the fault and
+/// `converged == false`, and the serving layer decides where to retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveFault {
+    /// The device died; this and any further application would fail.
+    DeviceDead {
+        /// Device-lifetime operator-application count at the failure.
+        at_op: u64,
+    },
+    /// The kernel hung on one application and the modelled watchdog fired;
+    /// the device may still be usable.
+    KernelHung {
+        /// Device-lifetime operator-application count at the failure.
+        at_op: u64,
+    },
+}
+
+impl fmt::Display for SolveFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveFault::DeviceDead { at_op } => write!(f, "device dead at op {at_op}"),
+            SolveFault::KernelHung { at_op } => write!(f, "kernel hung at op {at_op}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveFault {}
 
 /// The element-local operator a Krylov solver iterates with.
 ///
@@ -66,7 +100,38 @@ pub trait LocalOperator {
         self.apply_local_into(u, w);
         gather_scatter.direct_stiffness_sum(w);
     }
+
+    /// Fallible operator application: like
+    /// [`LocalOperator::apply_local_into`], but a backend that can fail
+    /// (dead device, hung kernel) reports it instead of succeeding.  The
+    /// default wraps the infallible path, so existing operators are
+    /// perfect devices without any change.
+    ///
+    /// # Errors
+    /// Returns the fault when the backend cannot complete the application.
+    fn try_apply_local_into(&self, u: &ElementField, w: &mut ElementField) -> CgApplyResult {
+        self.apply_local_into(u, w);
+        Ok(())
+    }
+
+    /// Fallible fused operator-plus-dssum application (see
+    /// [`LocalOperator::apply_dssum_into`]).
+    ///
+    /// # Errors
+    /// Returns the fault when the backend cannot complete the application.
+    fn try_apply_dssum_into(
+        &self,
+        u: &ElementField,
+        gather_scatter: &GatherScatter,
+        w: &mut ElementField,
+    ) -> CgApplyResult {
+        self.apply_dssum_into(u, gather_scatter, w);
+        Ok(())
+    }
 }
+
+/// Result of one fallible operator application.
+pub type CgApplyResult = Result<(), SolveFault>;
 
 impl LocalOperator for PoissonOperator {
     fn degree(&self) -> usize {
@@ -137,6 +202,10 @@ pub struct CgOutcome {
     /// has one (see [`Preconditioner::seconds_per_application`]), measured
     /// wall-clock otherwise.
     pub precond_seconds: f64,
+    /// The backend fault that aborted the solve, if any.  A faulted
+    /// outcome never converged and its partial iterate must not be
+    /// released; the serving layer retries the request elsewhere.
+    pub fault: Option<SolveFault>,
 }
 
 impl CgOutcome {
@@ -307,15 +376,16 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
         u: &ElementField,
         w: &mut ElementField,
         accumulated_seconds: f64,
-    ) -> f64 {
+    ) -> Result<f64, SolveFault> {
         let obs = recorder();
         match self.operator.seconds_per_application() {
             Some(seconds) => {
                 let span_start = obs.stamp(accumulated_seconds);
                 if self.operator.fuses_dssum() {
-                    self.operator.apply_dssum_into(u, self.gather_scatter, w);
+                    self.operator
+                        .try_apply_dssum_into(u, self.gather_scatter, w)?;
                 } else {
-                    self.operator.apply_local_into(u, w);
+                    self.operator.try_apply_local_into(u, w)?;
                     self.gather_scatter.direct_stiffness_sum(w);
                 }
                 self.mask.apply(w);
@@ -326,14 +396,15 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                     span_start,
                     span_end,
                 ));
-                seconds
+                Ok(seconds)
             }
             None if self.operator.fuses_dssum() => {
                 // The fused pass is indivisible, so its wall clock includes
                 // the summation.
                 let span_start = obs.stamp(accumulated_seconds);
                 let timer = WallTimer::start();
-                self.operator.apply_dssum_into(u, self.gather_scatter, w);
+                self.operator
+                    .try_apply_dssum_into(u, self.gather_scatter, w)?;
                 let seconds = timer.elapsed_wall_seconds();
                 self.mask.apply(w);
                 let span_end = obs.stamp(accumulated_seconds + seconds);
@@ -343,14 +414,14 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                     span_start,
                     span_end,
                 ));
-                seconds
+                Ok(seconds)
             }
             None => {
                 // Time only the local operator, not dssum/mask, so the
                 // accumulated seconds divide the operator FLOPs cleanly.
                 let span_start = obs.stamp(accumulated_seconds);
                 let timer = WallTimer::start();
-                self.operator.apply_local_into(u, w);
+                self.operator.try_apply_local_into(u, w)?;
                 let seconds = timer.elapsed_wall_seconds();
                 self.gather_scatter.direct_stiffness_sum(w);
                 self.mask.apply(w);
@@ -361,7 +432,7 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                     span_start,
                     span_end,
                 ));
-                seconds
+                Ok(seconds)
             }
         }
     }
@@ -426,6 +497,7 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
                 operator_seconds: 0.0,
                 precond_applications: 0,
                 precond_seconds: 0.0,
+                fault: None,
             };
         }
 
@@ -454,17 +526,28 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
         let mut converged = false;
         let mut iterations = 0;
         let mut rel_res = 1.0;
+        let mut fault = None;
 
         // lint: alloc-free (the CG iteration loop reuses preallocated scratch; one
         // allocation per iteration would dominate small solves)
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
             let span_start = obs.stamp(operator_seconds + precond_seconds);
-            operator_seconds += self.apply_operator_into(
+            match self.apply_operator_into(
                 &scratch.p,
                 &mut scratch.w,
                 operator_seconds + precond_seconds,
-            );
+            ) {
+                Ok(seconds) => operator_seconds += seconds,
+                Err(observed) => {
+                    // The backend failed mid-iteration: the application
+                    // never completed, so it is not counted, and the
+                    // partial iterate is poisoned — abort and report.
+                    iterations = iter;
+                    fault = Some(observed);
+                    break;
+                }
+            }
             operator_flops += self.operator.flops_per_application();
             operator_applications += 1;
             let pw = self.inner_product(&scratch.p, &scratch.w);
@@ -532,6 +615,7 @@ impl<'a, Op: LocalOperator + ?Sized> CgSolver<'a, Op> {
             operator_seconds,
             precond_applications,
             precond_seconds,
+            fault,
         }
     }
 
@@ -688,6 +772,73 @@ mod tests {
         let rhs = ElementField::zeros(3, 8);
         let mut wrong = CgScratch::new(4, 8);
         let _ = solver.solve_with_scratch(&rhs, &IdentityPreconditioner, &mut wrong);
+    }
+
+    /// A host operator that dies after a fixed number of applications —
+    /// the solver-side model of a device death mid-solve.
+    struct DyingOperator<'a> {
+        inner: &'a PoissonOperator,
+        ok_ops: std::cell::Cell<usize>,
+    }
+
+    impl LocalOperator for DyingOperator<'_> {
+        fn degree(&self) -> usize {
+            self.inner.degree()
+        }
+
+        fn num_elements(&self) -> usize {
+            self.inner.num_elements()
+        }
+
+        fn apply_local_into(&self, u: &ElementField, w: &mut ElementField) {
+            self.inner.apply_into(u, w);
+        }
+
+        fn flops_per_application(&self) -> u64 {
+            self.inner.flops_per_application()
+        }
+
+        fn try_apply_local_into(&self, u: &ElementField, w: &mut ElementField) -> CgApplyResult {
+            let remaining = self.ok_ops.get();
+            if remaining == 0 {
+                return Err(SolveFault::DeviceDead {
+                    at_op: self.ok_ops.get() as u64,
+                });
+            }
+            self.ok_ops.set(remaining - 1);
+            self.apply_local_into(u, w);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_device_fault_aborts_the_solve_and_is_reported() {
+        let (mesh, op, gs, mask) = make_problem(4, 2);
+        let mut x_exact = mesh.evaluate(|x, y, z| (x * (1.0 - x)) * y * z.sin());
+        mask.apply(&mut x_exact);
+        let healthy_solver = CgSolver::new(&op, &gs, &mask, CgOptions::default());
+        let rhs = healthy_solver.apply_operator(&x_exact);
+        let healthy = healthy_solver.solve(&rhs, &IdentityPreconditioner);
+        assert!(healthy.converged && healthy.iterations > 3);
+
+        let dying = DyingOperator {
+            inner: &op,
+            ok_ops: std::cell::Cell::new(3),
+        };
+        let solver = CgSolver::new(
+            &dying as &dyn LocalOperator,
+            &gs,
+            &mask,
+            CgOptions::default(),
+        );
+        let out = solver.solve(&rhs, &IdentityPreconditioner);
+        assert!(!out.converged);
+        assert_eq!(out.fault, Some(SolveFault::DeviceDead { at_op: 0 }));
+        // Exactly the successful applications are counted.
+        assert_eq!(out.operator_applications, 3);
+        assert_eq!(out.iterations, 3);
+        // The fault-free solve stays fault-free.
+        assert_eq!(healthy.fault, None);
     }
 
     #[test]

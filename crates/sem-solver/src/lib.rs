@@ -30,8 +30,8 @@ pub mod precond;
 pub mod proxy;
 
 pub use cg::{
-    CgOptions, CgOutcome, CgScratch, CgSolver, IdentityPreconditioner, LocalOperator,
-    Preconditioner,
+    CgApplyResult, CgOptions, CgOutcome, CgScratch, CgSolver, IdentityPreconditioner,
+    LocalOperator, Preconditioner, SolveFault,
 };
 pub use fdm::{coarse_space_dofs, FdmPreconditioner};
 pub use jacobi::JacobiPreconditioner;
